@@ -1,0 +1,235 @@
+(* Benchmark harness (Bechamel): one Test.make per experiment of the
+   index in DESIGN.md section 3, measuring the single-machine cost of the
+   algorithms behind each experiment. The LOCAL *round* counts that the
+   paper is about are produced by bin/experiments.exe; these benchmarks
+   complement them with wall-clock cost so regressions in the enumeration
+   or geometry kernels are visible.
+
+   Run with: dune exec bench/main.exe                                   *)
+
+open Bechamel
+open Toolkit
+
+module Rat = Lll_num.Rat
+module Bigint = Lll_num.Bigint
+module Gen = Lll_graph.Generators
+module Graph = Lll_graph.Graph
+module Linial = Lll_graph.Linial
+module Edge_coloring = Lll_graph.Edge_coloring
+module Net = Lll_local.Network
+module DC = Lll_local.Dist_coloring
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+module I = Lll_core.Instance
+module Srep = Lll_core.Srep
+module Syn = Lll_core.Synthetic
+module F2 = Lll_core.Fix_rank2
+module F3 = Lll_core.Fix_rank3
+module MT = Lll_core.Moser_tardos
+module D = Lll_core.Distributed
+module HO = Lll_apps.Hyper_orientation
+module WS = Lll_apps.Weak_splitting
+module Sink = Lll_apps.Sinkless
+
+(* Pre-built inputs shared by the benchmarks (construction cost must not
+   pollute the measured kernels). *)
+
+let ring64 = Syn.ring ~seed:1 ~n:64 ~arity:4 ()
+let rank3_inst = Syn.random ~seed:1 ~n:18 ~rank:3 ~delta:2 ~arity:8 ()
+let ho_hyper = Gen.random_regular_hypergraph ~seed:1 15 3 3
+let ho_inst = HO.instance ho_hyper
+let ws_adj = Gen.random_biregular_bipartite ~seed:1 ~nv:16 ~nu:16 ~deg_u:3 ~deg_v:3
+let ws_inst = WS.instance ~nv:16 ws_adj
+let sink_graph = Gen.random_regular ~seed:1 32 3
+let sink_at = Sink.instance sink_graph
+let sink_below = Sink.relaxed_instance sink_graph
+let rr_graph = Gen.random_regular ~seed:2 128 4
+let cycle_graph = Gen.cycle 256
+
+let some_event = (I.events ring64).(0)
+let empty_fixed = Assignment.empty (I.num_vars ring64)
+
+(* F1: the S_rep geometry kernels *)
+let test_f1 =
+  Test.make_grouped ~name:"f1-srep"
+    [
+      Test.make ~name:"f(a,b)" (Staged.stage (fun () -> Srep.f 1.3 0.7));
+      Test.make ~name:"violation" (Staged.stage (fun () -> Srep.violation (1.1, 0.9, 0.4)));
+      Test.make ~name:"mem_rat"
+        (Staged.stage
+           (let t = (Rat.of_ints 11 10, Rat.of_ints 9 10, Rat.of_ints 2 5) in
+            fun () -> Srep.mem_rat t));
+      Test.make ~name:"decompose" (Staged.stage (fun () -> Srep.decompose (0.25, 1.5, 0.1)));
+      Test.make ~name:"hessian" (Staged.stage (fun () -> Srep.hessian 1.2 0.8));
+    ]
+
+(* F2: full surface grid (Figure 1 regeneration) *)
+let test_f2 =
+  Test.make ~name:"f2-surface-grid" (Staged.stage (fun () -> Srep.surface_grid ~steps:32))
+
+(* T1: the rank-2 fixer on a below-threshold ring *)
+let test_t1 =
+  Test.make ~name:"t1-fix-rank2-ring64" (Staged.stage (fun () -> F2.solve ring64))
+
+(* T2: the rank-3 fixer on random rank-3 instances *)
+let test_t2 =
+  Test.make_grouped ~name:"t2-fix-rank3"
+    [
+      Test.make ~name:"random-delta2-n18" (Staged.stage (fun () -> F3.solve rank3_inst));
+      Test.make ~name:"hyper-orientation-n15" (Staged.stage (fun () -> F3.solve ho_inst));
+      Test.make ~name:"weak-splitting-n16" (Staged.stage (fun () -> F3.solve ws_inst));
+    ]
+
+(* T3: the distributed rank-2 pipeline (coloring + sweep) *)
+let test_t3 =
+  Test.make ~name:"t3-distributed-rank2" (Staged.stage (fun () -> D.solve_rank2 ring64))
+
+(* T4: the distributed rank-3 pipeline *)
+let test_t4 =
+  Test.make ~name:"t4-distributed-rank3" (Staged.stage (fun () -> D.solve_rank3 rank3_inst))
+
+(* T5: sinkless orientation across the threshold *)
+let test_t5 =
+  Test.make_grouped ~name:"t5-sinkless"
+    [
+      Test.make ~name:"adversarial-witness"
+        (Staged.stage (fun () -> Sink.adversarial_path_assignment sink_graph ~victim:7));
+      Test.make ~name:"below-threshold-fix" (Staged.stage (fun () -> F2.solve sink_below));
+      Test.make ~name:"at-threshold-mt"
+        (Staged.stage (fun () -> MT.solve_parallel ~seed:5 sink_at));
+    ]
+
+(* T6/T7: application validity checkers *)
+let ho_solution = fst (F3.solve ho_inst)
+let ws_solution = fst (F3.solve ws_inst)
+
+let test_t6_t7 =
+  Test.make_grouped ~name:"t6t7-checkers"
+    [
+      Test.make ~name:"hyper-orientation-valid"
+        (Staged.stage (fun () -> HO.is_valid ho_hyper ho_solution));
+      Test.make ~name:"weak-splitting-valid"
+        (Staged.stage (fun () -> WS.is_valid ~nv:16 ws_adj ws_solution));
+    ]
+
+(* T8: exact criterion checks *)
+let test_t8 =
+  Test.make ~name:"t8-criteria-report" (Staged.stage (fun () -> Lll_core.Criteria.evaluate ring64))
+
+(* T9: Moser-Tardos baselines *)
+let test_t9 =
+  Test.make_grouped ~name:"t9-moser-tardos"
+    [
+      Test.make ~name:"sequential-ring64"
+        (Staged.stage (fun () -> MT.solve_sequential ~seed:3 ring64));
+      Test.make ~name:"parallel-ring64" (Staged.stage (fun () -> MT.solve_parallel ~seed:3 ring64));
+    ]
+
+(* substrate kernels: exact probability enumeration, bignum, colorings *)
+let test_substrates =
+  Test.make_grouped ~name:"substrates"
+    [
+      Test.make ~name:"prob-enumeration"
+        (Staged.stage (fun () -> Space.prob (I.space ring64) some_event ~fixed:empty_fixed));
+      Test.make ~name:"prob-vector"
+        (Staged.stage (fun () ->
+             Space.prob_vector (I.space ring64) some_event ~fixed:empty_fixed ~var:0));
+      Test.make ~name:"bigint-mul"
+        (Staged.stage
+           (let a = Bigint.pow (Bigint.of_int 3) 100 and b = Bigint.pow (Bigint.of_int 7) 90 in
+            fun () -> Bigint.mul a b));
+      Test.make ~name:"rat-add"
+        (Staged.stage
+           (let a = Rat.of_ints 355 113 and b = Rat.of_ints 22 7 in
+            fun () -> Rat.add a b));
+      Test.make ~name:"linial-color-rr128" (Staged.stage (fun () -> Linial.color rr_graph));
+      Test.make ~name:"edge-color-cycle256"
+        (Staged.stage (fun () -> Edge_coloring.color cycle_graph));
+      Test.make ~name:"dist-2hop-color-rr128"
+        (Staged.stage (fun () -> DC.two_hop_color (Net.create rr_graph)));
+      Test.make ~name:"square-graph" (Staged.stage (fun () -> Graph.square rr_graph));
+    ]
+
+(* T10/T11 and baselines beyond the paper *)
+let rank4_inst = Syn.random ~seed:1 ~n:16 ~rank:4 ~delta:2 ~arity:16 ()
+
+let test_extensions =
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"srep-r-solve-k4"
+        (Staged.stage (fun () -> Lll_core.Srep_r.solve ~targets:[| 1.2; 0.9; 1.1; 0.8 |] ()));
+      Test.make ~name:"fix-rankr-rank4"
+        (Staged.stage (fun () -> Lll_core.Fix_rankr.solve rank4_inst));
+      Test.make ~name:"cond-exp-ring64" (Staged.stage (fun () -> Lll_core.Cond_exp.solve ring64));
+      Test.make ~name:"shearer-ring12"
+        (Staged.stage
+           (let inst = Syn.ring ~seed:2 ~n:12 ~arity:4 () in
+            fun () -> Lll_core.Criteria.shearer_holds inst));
+      Test.make ~name:"luby-mis-rr128"
+        (Staged.stage (fun () -> Lll_local.Mis.luby ~seed:4 (Net.create rr_graph)));
+    ]
+
+(* ablation: value-selection policies of the fixers (DESIGN.md) *)
+let test_ablation =
+  Test.make_grouped ~name:"ablation-policies"
+    [
+      Test.make ~name:"fix2-min-score"
+        (Staged.stage (fun () -> F2.solve ~policy:F2.Min_score ring64));
+      Test.make ~name:"fix2-first-within-budget"
+        (Staged.stage (fun () -> F2.solve ~policy:F2.First_within_budget ring64));
+      Test.make ~name:"fix3-min-violation"
+        (Staged.stage (fun () -> F3.solve ~policy:F3.Min_violation rank3_inst));
+      Test.make ~name:"fix3-first-feasible"
+        (Staged.stage (fun () -> F3.solve ~policy:F3.First_feasible rank3_inst));
+      Test.make ~name:"fix3-exact-arithmetic"
+        (Staged.stage (fun () -> Lll_core.Fix_rank3_exact.solve rank3_inst));
+    ]
+
+(* analysis / lower-bound machinery *)
+let mt_log_inst = Syn.ring ~position:Syn.At_threshold ~seed:2 ~n:32 ~arity:4 ()
+let _, _, mt_log = MT.solve_sequential_log ~seed:4 mt_log_inst
+
+let test_analysis =
+  Test.make_grouped ~name:"analysis"
+    [
+      Test.make ~name:"witness-histogram"
+        (Staged.stage (fun () -> Lll_core.Witness.size_histogram mt_log_inst mt_log));
+      Test.make ~name:"transform-merge"
+        (Staged.stage (fun () -> Lll_core.Transform.merge_shared_variables ring64));
+      Test.make ~name:"shearer-ring14"
+        (Staged.stage
+           (let inst = Syn.ring ~seed:3 ~n:14 ~arity:4 () in
+            fun () -> Lll_core.Criteria.shearer_holds inst));
+      Test.make ~name:"shift-graph-chi-S52"
+        (Staged.stage (fun () -> Lll_graph.Shift_graph.chromatic_number ~m:5 ~k:2 ()));
+      Test.make ~name:"serial-roundtrip"
+        (Staged.stage (fun () -> Lll_core.Serial.of_string (Lll_core.Serial.to_string ring64)));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"lll"
+    [
+      test_f1; test_f2; test_t1; test_t2; test_t3; test_t4; test_t5; test_t6_t7; test_t8;
+      test_t9; test_substrates; test_ablation; test_extensions; test_analysis;
+    ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances all_tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let () =
+  let results = benchmark () in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan in
+        (name, ns) :: acc)
+      results []
+  in
+  let rows = List.sort compare rows in
+  Format.printf "%-45s %15s@." "benchmark" "ns/run";
+  Format.printf "%s@." (String.make 61 '-');
+  List.iter (fun (name, ns) -> Format.printf "%-45s %15.1f@." name ns) rows

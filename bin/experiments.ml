@@ -1,0 +1,608 @@
+(* Experiment harness: regenerates every figure and theorem-level claim of
+   the paper (see DESIGN.md section 3 for the index and EXPERIMENTS.md for
+   recorded outputs).
+
+     F1  Figure 1: the S_rep boundary surface + convexity/incurvedness
+     F2  Figure 2: the representable triple (1/4, 3/2, 1/10)
+     T1  Theorem 1.1: rank-2 fixing below the threshold, adversarial orders
+     T2  Theorem 1.3: rank-3 fixing below the threshold
+     T3  Corollary 1.2: LOCAL rounds vs n (rank 2) vs Moser-Tardos
+     T4  Corollary 1.4: LOCAL rounds vs n (rank 3)
+     T5  Sharpness at p = 2^-d (sinkless orientation)
+     T6  Application: hypergraph multi-orientation
+     T7  Application: weak splitting
+     T8  Criteria landscape
+     T9  Moser-Tardos baseline statistics + witness trees
+     T10 Conjecture 1.5: experimental rank-r fixing
+     T11 Existence vs distributed complexity (Shearer's exact region)
+     T12 Ablations (value-selection policies, MT selection rules)
+     T13 The Omega(log* n) lower bound on shift graphs
+
+   Usage: experiments [f1 f2 t1 ... t13]   (default: all)         *)
+
+module Rat = Lll_num.Rat
+module G = Lll_graph.Graph
+module Gen = Lll_graph.Generators
+module I = Lll_core.Instance
+module Crit = Lll_core.Criteria
+module Srep = Lll_core.Srep
+module Syn = Lll_core.Synthetic
+module F2 = Lll_core.Fix_rank2
+module F3 = Lll_core.Fix_rank3
+module MT = Lll_core.Moser_tardos
+module D = Lll_core.Distributed
+module V = Lll_core.Verify
+module Sink = Lll_apps.Sinkless
+module HO = Lll_apps.Hyper_orientation
+module WS = Lll_apps.Weak_splitting
+
+let section id title =
+  Format.printf "@.============================================================@.";
+  Format.printf "%s  %s@." (String.uppercase_ascii id) title;
+  Format.printf "============================================================@."
+
+let shuffled ~seed m =
+  let rng = Random.State.make [| seed |] in
+  let o = Array.init m (fun i -> i) in
+  Gen.shuffle rng o;
+  o
+
+(* ------------------------------------------------------------------ *)
+(* F1: the S_rep surface (Figure 1)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let f1 () =
+  section "f1" "Figure 1: the boundary surface f(a,b) of S_rep";
+  Format.printf "f(a,b) = 4 + (ab - 2a - 2b - sqrt(ab(4-a)(4-b)))/2 on a+b <= 4@.@.";
+  let steps = 8 in
+  Format.printf "%6s" "b\\a";
+  for i = 0 to steps do
+    Format.printf "%7.2f" (4. *. float_of_int i /. float_of_int steps)
+  done;
+  Format.printf "@.";
+  for j = 0 to steps do
+    let b = 4. *. float_of_int j /. float_of_int steps in
+    Format.printf "%6.2f" b;
+    for i = 0 to steps do
+      let a = 4. *. float_of_int i /. float_of_int steps in
+      if a +. b <= 4. +. 1e-9 then Format.printf "%7.3f" (Srep.f a (Float.min b (4. -. a)))
+      else Format.printf "%7s" "-"
+    done;
+    Format.printf "@."
+  done;
+  (* convexity (Lemma 3.6): Hessian positive definite on a fine grid *)
+  let grid = 200 in
+  let checked = ref 0 and positive = ref 0 in
+  for i = 1 to grid - 1 do
+    for j = 1 to grid - 1 do
+      let a = 4. *. float_of_int i /. float_of_int grid in
+      let b = 4. *. float_of_int j /. float_of_int grid in
+      if a +. b < 4. -. 1e-9 then begin
+        incr checked;
+        let faa, _, _ = Srep.hessian a b in
+        if faa > 0. && Srep.hessian_determinant a b > 0. then incr positive
+      end
+    done
+  done;
+  Format.printf "@.convexity (Lemma 3.6): Hessian positive definite at %d/%d grid points@."
+    !positive !checked;
+  (* incurvedness (Lemma 3.7): random segments with both endpoints outside *)
+  let rng = Random.State.make [| 2019 |] in
+  let segments = 20_000 and bad = ref 0 in
+  for _ = 1 to segments do
+    let p () = (Random.State.float rng 4., Random.State.float rng 4., Random.State.float rng 4.) in
+    let s = p () and s' = p () in
+    if (not (Srep.mem ~eps:0. s)) && not (Srep.mem ~eps:0. s') then
+      for i = 1 to 9 do
+        let q = float_of_int i /. 10. in
+        let (xa, ya, za) = s and (xb, yb, zb) = s' in
+        let m =
+          ( (q *. xa) +. ((1. -. q) *. xb),
+            (q *. ya) +. ((1. -. q) *. yb),
+            (q *. za) +. ((1. -. q) *. zb) )
+        in
+        if Srep.mem ~eps:(-1e-9) m then incr bad
+      done
+  done;
+  Format.printf
+    "incurvedness (Lemma 3.7): %d interior points of outside-outside segments fell into S_rep \
+     (expected 0) over %d segments@."
+    !bad segments
+
+(* ------------------------------------------------------------------ *)
+(* F2: Figure 2                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let f2 () =
+  section "f2" "Figure 2: the triple (1/4, 3/2, 1/10) is representable";
+  let t = (0.25, 1.5, 0.1) in
+  Format.printf "exact membership (rational, sqrt-free): %b@."
+    (Srep.mem_rat (Rat.of_ints 1 4, Rat.of_ints 3 2, Rat.of_ints 1 10));
+  let d = Srep.decompose t in
+  Format.printf "witness: a1=%.6f a2=%.6f b1=%.6f b3=%.6f c2=%.6f c3=%.6f@." d.a1 d.a2 d.b1
+    d.b3 d.c2 d.c3;
+  let a, b, c = Srep.products d in
+  Format.printf "products: a1*a2=%.6f (=1/4)  b1*b3=%.6f (=3/2)  c2*c3=%.6f (=1/10)@." a b c;
+  Format.printf "edge constraints: a1+b1=%.6f  a2+c2=%.6f  b3+c3=%.6f (all <= 2): %b@."
+    (d.a1 +. d.b1) (d.a2 +. d.c2) (d.b3 +. d.c3)
+    (Srep.is_valid_decomposition d)
+
+(* ------------------------------------------------------------------ *)
+(* T1 / T2: the fixers below the threshold                              *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () =
+  section "t1" "Theorem 1.1: rank-2 deterministic fixing below p = 2^-d";
+  Format.printf "%-28s %-8s %-10s %-12s %s@." "family" "d" "p*2^d" "success" "P* held";
+  let run_family name mk count =
+    let succ = ref 0 and pstar = ref 0 and ratio = ref Rat.zero in
+    for seed = 0 to count - 1 do
+      let inst = mk seed in
+      let rep = Crit.evaluate inst in
+      ratio := Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d;
+      let order = shuffled ~seed:(seed * 17) (I.num_vars inst) in
+      let a, t = F2.solve ~order inst in
+      if V.avoids_all inst a then incr succ;
+      if F2.pstar_holds t then incr pstar
+    done;
+    let inst0 = mk 0 in
+    Format.printf "%-28s %-8d %-10s %d/%-10d %d/%d@." name
+      (I.dependency_degree inst0)
+      (Rat.to_string !ratio) !succ count !pstar count
+  in
+  run_family "ring n=40 arity=4" (fun seed -> Syn.ring ~seed ~n:40 ~arity:4 ()) 20;
+  run_family "ring n=40 arity=8" (fun seed -> Syn.ring ~seed ~n:40 ~arity:8 ()) 10;
+  run_family "relaxed sinkless rr3 n=20"
+    (fun seed -> Sink.relaxed_instance (Gen.random_regular ~seed 20 3))
+    10;
+  run_family "relaxed sinkless rr4 n=20"
+    (fun seed -> Sink.relaxed_instance (Gen.random_regular ~seed 20 4))
+    10;
+  run_family "property B ternary 4-unif"
+    (fun seed -> Lll_apps.Property_b.relaxed_instance (Gen.random_regular_hypergraph ~seed 16 4 2))
+    10;
+  (* beyond random orders: an ACTIVE adversary hill-climbing on the
+     fixer's certificate bound *)
+  let module Adv = Lll_core.Adversary in
+  let worst = ref Rat.zero and all_ok = ref true in
+  for seed = 0 to 4 do
+    let inst = Syn.ring ~seed ~n:20 ~arity:4 () in
+    let attack = Adv.worst_order_rank2 ~seed ~steps:120 inst in
+    if Rat.gt attack.Adv.bound !worst then worst := attack.Adv.bound;
+    if not attack.Adv.succeeded then all_ok := false
+  done;
+  Format.printf
+    "@.active adversary (hill climbing on the certificate, 5 instances x 120 steps):@.";
+  Format.printf "  worst peak certificate reached: %s ~ %.3f (< 1), fixer always succeeded: %b@."
+    (Rat.to_string !worst) (Rat.to_float !worst) !all_ok;
+  Format.printf "@.expected: 100%% success, P* maintained throughout (paper: Theorem 1.1).@."
+
+let t2 () =
+  section "t2" "Theorem 1.3: rank-3 deterministic fixing below p = 2^-d";
+  Format.printf "%-30s %-6s %-10s %-12s %-10s %s@." "family" "d" "p*2^d" "success" "P* held"
+    "max S_rep violation";
+  let run_family name mk count =
+    let succ = ref 0 and pstar = ref 0 and viol = ref neg_infinity and ratio = ref Rat.zero in
+    let d = ref 0 in
+    for seed = 0 to count - 1 do
+      let inst = mk seed in
+      let rep = Crit.evaluate inst in
+      ratio := Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d;
+      d := rep.Crit.d;
+      let order = shuffled ~seed:(seed * 23) (I.num_vars inst) in
+      let a, t = F3.solve ~order inst in
+      if V.avoids_all inst a then incr succ;
+      if F3.pstar_holds t then incr pstar;
+      if F3.max_violation t > !viol then viol := F3.max_violation t
+    done;
+    Format.printf "%-30s %-6d %-10s %d/%-10d %d/%-8d %.2e@." name !d (Rat.to_string !ratio)
+      !succ count !pstar count !viol
+  in
+  run_family "random rank3 delta2 n=18"
+    (fun seed -> Syn.random ~seed ~n:18 ~rank:3 ~delta:2 ~arity:8 ())
+    15;
+  run_family "hyper-orientation delta3 n=15"
+    (fun seed -> HO.instance (Gen.random_regular_hypergraph ~seed 15 3 3))
+    8;
+  run_family "weak splitting 16c n=16"
+    (fun seed ->
+      WS.instance ~nv:16 (Gen.random_biregular_bipartite ~seed ~nv:16 ~nu:16 ~deg_u:3 ~deg_v:3))
+    8;
+  Format.printf
+    "@.expected: 100%% success, P* maintained, violations <= 0 up to float noise (Lemma 3.2).@."
+
+(* ------------------------------------------------------------------ *)
+(* T3 / T4: LOCAL round scaling                                         *)
+(* ------------------------------------------------------------------ *)
+
+let t3 () =
+  section "t3" "Corollary 1.2: LOCAL rounds vs n at fixed d (rank 2)";
+  Format.printf "%-8s %-10s %-10s %-10s %-14s %s@." "n" "coloring" "sweep" "total"
+    "MT rounds(avg3)" "solved";
+  List.iter
+    (fun n ->
+      let inst = Syn.ring ~seed:1 ~n ~arity:4 () in
+      let r = D.solve_rank2 inst in
+      let mt_rounds =
+        let total = ref 0 in
+        for seed = 0 to 2 do
+          let m = D.solve_moser_tardos ~seed inst in
+          total := !total + m.D.rounds
+        done;
+        float_of_int !total /. 3.
+      in
+      Format.printf "%-8d %-10d %-10d %-10d %-14.1f %b@." n r.D.coloring_rounds r.D.sweep_rounds
+        r.D.rounds mt_rounds r.D.ok)
+    [ 32; 64; 128; 256; 512; 1024; 2048 ];
+  Format.printf
+    "@.expected: deterministic rounds flat in n past the Linial fixpoint (O(d + log* n));@.";
+  Format.printf "MT rounds drift upward with log n.@."
+
+let t4 () =
+  section "t4" "Corollary 1.4: LOCAL rounds vs n at fixed d (rank 3)";
+  Format.printf "%-8s %-6s %-10s %-10s %-10s %s@." "n" "d" "coloring" "sweep" "total" "solved";
+  List.iter
+    (fun n ->
+      let h = Gen.random_regular_hypergraph ~seed:3 n 3 2 in
+      let inst = HO.instance h in
+      let r = D.solve_rank3 inst in
+      Format.printf "%-8d %-6d %-10d %-10d %-10d %b@." n (I.dependency_degree inst)
+        r.D.coloring_rounds r.D.sweep_rounds r.D.rounds r.D.ok)
+    [ 30; 60; 120; 240; 480; 960; 1920 ];
+  Format.printf
+    "@.expected: reduction rounds grow only logarithmically below the Linial fixpoint of the@.";
+  Format.printf
+    "square graph and plateau past it — O(d^2 + log* n) overall, versus Theta(n) for a@.";
+  Format.printf "naive class-by-class reduction.@."
+
+(* ------------------------------------------------------------------ *)
+(* T5: sharpness                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let t5 () =
+  section "t5" "Sharpness at p = 2^-d: sinkless orientation";
+  let g = Gen.random_regular ~seed:5 24 3 in
+  let at = Sink.instance g in
+  let rep = Crit.evaluate at in
+  Format.printf "classic sinkless orientation on a 3-regular graph:@.";
+  Format.printf "  p = %s, d = %d, p*2^d = %s@." (Rat.to_string rep.Crit.p) rep.Crit.d
+    (Rat.to_string (Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d));
+  Format.printf "  exponential criterion p < 2^-d: %s@."
+    (if List.assoc Crit.Exponential rep.Crit.satisfied then "holds" else "FAILS (exactly at)");
+  let victim = 7 in
+  let adv = Sink.adversarial_path_assignment g ~victim in
+  Format.printf "  adversarial fixing run: node %d becomes a sink: %b@." victim
+    (List.mem victim (V.occurring_events at adv));
+  let below = Sink.relaxed_instance g in
+  let rep_b = Crit.evaluate below in
+  Format.printf "@.ternary relaxation (edges may stay unoriented):@.";
+  Format.printf "  p = %s, p*2^d = %s, criterion: %s@." (Rat.to_string rep_b.Crit.p)
+    (Rat.to_string (Crit.threshold_ratio ~p:rep_b.Crit.p ~d:rep_b.Crit.d))
+    (if List.assoc Crit.Exponential rep_b.Crit.satisfied then "holds" else "fails");
+  let ok = ref 0 in
+  let orders = 20 in
+  for seed = 0 to orders - 1 do
+    let order = shuffled ~seed (I.num_vars below) in
+    let a, _ = F2.solve ~order below in
+    if V.avoids_all below a && Sink.is_sinkless g a then incr ok
+  done;
+  Format.printf "  deterministic fixing under %d adversarial orders: %d/%d sinkless@." orders !ok
+    orders;
+  Format.printf
+    "@.expected: the phase shift of the paper — guarantee breaks exactly AT the threshold,@.";
+  Format.printf "holds strictly below it.@."
+
+(* ------------------------------------------------------------------ *)
+(* T6 / T7: applications                                                *)
+(* ------------------------------------------------------------------ *)
+
+let t6 () =
+  section "t6" "Application: rank-3 hypergraph multi-orientation";
+  Format.printf "%-8s %-8s %-6s %-12s %-10s %-10s %-8s %s@." "nodes" "delta" "d" "p*2^d"
+    "seq ok" "dist ok" "rounds" "valid";
+  List.iter
+    (fun (n, delta) ->
+      let h = Gen.random_regular_hypergraph ~seed:11 n 3 delta in
+      let inst = HO.instance h in
+      let rep = Crit.evaluate inst in
+      let a, _ = F3.solve inst in
+      let r = D.solve_rank3 inst in
+      Format.printf "%-8d %-8d %-6d %-12.4f %-10b %-10b %-8d %b@." n delta rep.Crit.d
+        (Rat.to_float (Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d))
+        (V.avoids_all inst a) r.D.ok r.D.rounds
+        (HO.is_valid h r.D.assignment))
+    [ (12, 2); (24, 2); (15, 3); (30, 3) ];
+  Format.printf "@.expected: all instances below threshold and solved deterministically.@."
+
+let t7 () =
+  section "t7" "Application: relaxed weak splitting (see >= 2 colors)";
+  Format.printf "%-10s %-8s %-6s %-14s %-12s %s@." "colors" "deg_v" "d" "p*2^d" "criterion"
+    "solved+valid";
+  List.iter
+    (fun colors ->
+      let nv = 16 and nu = 16 in
+      let adj = Gen.random_biregular_bipartite ~seed:13 ~nv ~nu ~deg_u:3 ~deg_v:3 in
+      let params = { WS.colors; min_seen = 2 } in
+      let inst = WS.instance ~params ~nv adj in
+      let rep = Crit.evaluate inst in
+      let below = List.assoc Crit.Exponential rep.Crit.satisfied in
+      let solved =
+        if below then begin
+          let a, _ = F3.solve inst in
+          V.avoids_all inst a && WS.is_valid ~params ~nv adj a
+        end
+        else false
+      in
+      Format.printf "%-10d %-8d %-6d %-14s %-12s %s@." colors 3 rep.Crit.d
+        (Rat.to_string (Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d))
+        (if below then "holds" else "FAILS")
+        (if below then string_of_bool solved else "n/a (not attempted)"))
+    [ 4; 8; 16; 32 ];
+  Format.printf
+    "@.expected: 16 colors (the paper's parameters) is comfortably below the threshold;@.";
+  Format.printf "8 colors sits exactly AT it (p*2^d = 1) and is out of scope.@."
+
+(* ------------------------------------------------------------------ *)
+(* T8: criteria landscape                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t8 () =
+  section "t8" "Criteria landscape: which algorithm applies at p just below 2^-d";
+  Format.printf "%-6s %-14s %-12s %-12s %-12s %-12s@." "d" "p" "ep(d+1)<1" "epd^2<1" "pd^8<=1"
+    "p<2^-d";
+  for d = 2 to 10 do
+    (* p one notch below the threshold *)
+    let p = Rat.sub (Rat.pow2 (-d)) (Rat.pow2 (-(d + 10))) in
+    let h c = if Crit.holds c ~p ~d then "holds" else "-" in
+    Format.printf "%-6d %-14s %-12s %-12s %-12s %-12s@." d (Rat.to_string p)
+      (h Crit.Shattering) (h Crit.Polynomial_epd2) (h Crit.Polynomial_d8) (h Crit.Exponential)
+  done;
+  Format.printf
+    "@.expected: the exponential criterion implies the polynomial ones for all large d —@.";
+  Format.printf
+    "the paper's regime is the strong end of the spectrum, yet its algorithm is the@.";
+  Format.printf "only deterministic O(poly d + log* n) one.@."
+
+(* ------------------------------------------------------------------ *)
+(* T9: Moser-Tardos baseline                                            *)
+(* ------------------------------------------------------------------ *)
+
+let t9 () =
+  section "t9" "Moser-Tardos baseline statistics";
+  Format.printf "sequential resamplings on below-threshold rings (avg over 5 seeds):@.";
+  Format.printf "%-8s %-14s %-14s@." "n" "resamplings" "variables";
+  List.iter
+    (fun n ->
+      let inst = Syn.ring ~seed:2 ~n ~arity:4 () in
+      let total = ref 0 in
+      for seed = 0 to 4 do
+        let _, s = MT.solve_sequential ~seed inst in
+        total := !total + s.MT.resamplings
+      done;
+      (* [MT10]: expected total resamplings is O(m) under ep(d+1) < 1 *)
+      Format.printf "%-8d %-14.1f %-14d@." n (float_of_int !total /. 5.) (I.num_vars inst))
+    [ 32; 64; 128; 256 ];
+  Format.printf "@.parallel MT rounds on AT-threshold sinkless orientation (avg over 5 seeds):@.";
+  Format.printf "%-8s %-12s@." "n" "rounds";
+  List.iter
+    (fun n ->
+      let g = Gen.random_regular ~seed:3 n 3 in
+      let inst = Sink.instance g in
+      let total = ref 0 in
+      for seed = 0 to 4 do
+        let _, s = MT.solve_parallel ~seed inst in
+        total := !total + s.MT.rounds
+      done;
+      Format.printf "%-8d %-12.1f@." n (float_of_int !total /. 5.))
+    [ 16; 32; 64; 128; 256; 512 ];
+  Format.printf
+    "@.expected: parallel rounds grow (slowly) with n at the threshold, in contrast to the@.";
+  Format.printf "flat deterministic rounds of T3/T4 below it.@.";
+  (* witness tree size distribution: the MT analysis made visible *)
+  Format.printf "@.witness tree sizes over an at-threshold run (the [MT10] accounting):@.";
+  let inst = Syn.ring ~position:Syn.At_threshold ~seed:12 ~n:64 ~arity:4 () in
+  let module W = Lll_core.Witness in
+  let _, _, log = MT.solve_sequential_log ~seed:4 inst in
+  let hist = W.size_histogram inst log in
+  Format.printf "%-8s %s@." "size" "count";
+  List.iter (fun (sz, c) -> Format.printf "%-8d %d@." sz c) hist;
+  Format.printf
+    "expected: geometrically decaying counts — the empirical face of the MT convergence@.";
+  Format.printf "bound (each resampling is charged to a distinct witness tree).@."
+
+(* ------------------------------------------------------------------ *)
+(* T10: Conjecture 1.5 — experimental rank-r fixing                     *)
+(* ------------------------------------------------------------------ *)
+
+let t10 () =
+  section "t10" "Conjecture 1.5: experimental rank-r fixing (r >= 4, NO proven guarantee)";
+  Format.printf "%-28s %-4s %-4s %-12s %-10s %-12s %-12s %s@." "family" "r" "d" "p*2^d" "success"
+    "min slack" "infeasible" "P* held";
+  let module FR = Lll_core.Fix_rankr in
+  let run_family name mk count =
+    let succ = ref 0 and pstar = ref 0 and worst = ref infinity and infeas = ref 0 in
+    let ratio = ref Rat.zero and d = ref 0 and r = ref 0 in
+    for seed = 0 to count - 1 do
+      let inst = mk seed in
+      let rep = Crit.evaluate inst in
+      ratio := Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d;
+      d := rep.Crit.d;
+      r := rep.Crit.r;
+      let order = shuffled ~seed:(seed * 29) (I.num_vars inst) in
+      let a, t = FR.solve ~order inst in
+      if V.avoids_all inst a then incr succ;
+      if FR.pstar_holds t then incr pstar;
+      if FR.min_slack t < !worst then worst := FR.min_slack t;
+      infeas := !infeas + FR.infeasible_steps t
+    done;
+    Format.printf "%-28s %-4d %-4d %-12s %d/%-8d %-12.2e %-12d %d/%d@." name !r !d
+      (Rat.to_string !ratio) !succ count !worst !infeas !pstar count
+  in
+  run_family "rank3 delta2 arity8 n=18"
+    (fun seed -> Syn.random ~seed ~n:18 ~rank:3 ~delta:2 ~arity:8 ())
+    10;
+  run_family "rank4 delta2 arity16 n=16"
+    (fun seed -> Syn.random ~seed ~n:16 ~rank:4 ~delta:2 ~arity:16 ())
+    10;
+  run_family "rank5 delta2 arity32 n=20"
+    (fun seed -> Syn.random ~seed ~n:20 ~rank:5 ~delta:2 ~arity:32 ())
+    6;
+  Format.printf
+    "@.expected if Conjecture 1.5 holds: every step finds a representable value (min slack@.";
+  Format.printf
+    ">= 0 up to solver tolerance, zero infeasible steps) and all instances are solved,@.";
+  Format.printf "as the paper proves for r <= 3 and conjectures for all r.@."
+
+(* ------------------------------------------------------------------ *)
+(* T11: Shearer's exact region vs the distributed criteria              *)
+(* ------------------------------------------------------------------ *)
+
+let t11 () =
+  section "t11" "Existence vs distributed complexity: Shearer's exact region";
+  Format.printf
+    "Shearer's criterion characterises exactly when the LLL guarantees a solution EXISTS;@.";
+  Format.printf
+    "the paper shows that finding one FAST (deterministically, locally) needs p < 2^-d.@.@.";
+  Format.printf "%-34s %-10s %-12s %-14s %s@." "instance" "p*2^d" "in Shearer" "p < 2^-d"
+    "meaning";
+  let row name inst meaning =
+    let rep = Crit.evaluate inst in
+    Format.printf "%-34s %-10s %-12b %-14b %s@." name
+      (Rat.to_string (Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d))
+      (Crit.shearer_holds inst)
+      (List.assoc Crit.Exponential rep.Crit.satisfied)
+      meaning
+  in
+  row "ring n=12 (below)" (Syn.ring ~seed:1 ~n:12 ~arity:4 ()) "solvable + fast";
+  row "ring n=12 (at threshold)"
+    (Syn.ring ~position:Syn.At_threshold ~seed:1 ~n:12 ~arity:4 ())
+    "no fast guarantee";
+  row "sinkless orientation C5" (Sink.instance (Gen.cycle 5)) "exists, yet hard";
+  row "sinkless orientation C12" (Sink.instance (Gen.cycle 12)) "exists, yet hard";
+  row "relaxed sinkless C12" (Sink.relaxed_instance (Gen.cycle 12)) "solvable + fast";
+  let pb = Gen.random_regular_hypergraph ~seed:2 16 4 2 in
+  row "property B (binary, 4-unif)" (Lll_apps.Property_b.instance pb) "exists, yet hard";
+  row "property B (abstain color)" (Lll_apps.Property_b.relaxed_instance pb) "solvable + fast";
+  Format.printf
+    "@.expected: at-threshold sinkless orientation lies strictly INSIDE Shearer's region@.";
+  Format.printf
+    "(solutions exist — orient the cycle consistently) while failing the paper's@.";
+  Format.printf
+    "criterion: the threshold is about distributed COMPLEXITY, not existence.@."
+
+(* ------------------------------------------------------------------ *)
+(* T12: ablations — value-selection policies, MT selection rules        *)
+(* ------------------------------------------------------------------ *)
+
+let t12 () =
+  section "t12" "Ablations: value selection policies and MT selection rules";
+  Format.printf "rank-2 fixer policies on rings (20 seeds):@.";
+  Format.printf "%-26s %-12s %s@." "policy" "success" "worst headroom (budget - score)";
+  List.iter
+    (fun (policy, name) ->
+      let succ = ref 0 in
+      let worst = ref infinity in
+      for seed = 0 to 19 do
+        let inst = Syn.ring ~seed ~n:30 ~arity:4 () in
+        let a, t = F2.solve ~policy inst in
+        if V.avoids_all inst a then incr succ;
+        List.iter
+          (fun (s : F2.step) ->
+            let headroom = Rat.to_float (Rat.sub s.F2.budget s.F2.score) in
+            if headroom < !worst then worst := headroom)
+          (F2.steps t)
+      done;
+      Format.printf "%-26s %d/%-10d %.4f@." name !succ 20 !worst)
+    [ (F2.Min_score, "min-score"); (F2.First_within_budget, "first-within-budget") ];
+  Format.printf "@.rank-3 fixer policies on random rank-3 instances (10 seeds):@.";
+  Format.printf "%-26s %-12s %s@." "policy" "success" "max S_rep violation";
+  List.iter
+    (fun (policy, name) ->
+      let succ = ref 0 in
+      let worst = ref neg_infinity in
+      for seed = 0 to 9 do
+        let inst = Syn.random ~seed ~n:15 ~rank:3 ~delta:2 ~arity:8 () in
+        let a, t = F3.solve ~policy inst in
+        if V.avoids_all inst a then incr succ;
+        if F3.max_violation t > !worst then worst := F3.max_violation t
+      done;
+      Format.printf "%-26s %d/%-10d %.2e@." name !succ 10 !worst)
+    [ (F3.Min_violation, "min-violation"); (F3.First_feasible, "first-feasible") ];
+  Format.printf "@.Moser-Tardos selection rules on below-threshold rings (5 seeds each):@.";
+  Format.printf "%-8s %-22s %-22s@." "n" "id-minima rounds(avg)" "resample-all rounds(avg)";
+  List.iter
+    (fun n ->
+      let inst = Syn.ring ~seed:3 ~n ~arity:4 () in
+      let avg f =
+        let total = ref 0 in
+        for seed = 0 to 4 do
+          let _, (s : MT.stats) = f ~seed inst in
+          total := !total + s.MT.rounds
+        done;
+        float_of_int !total /. 5.
+      in
+      Format.printf "%-8d %-22.1f %-22.1f@." n
+        (avg (fun ~seed inst -> MT.solve_parallel ~seed inst))
+        (avg (fun ~seed inst -> MT.solve_parallel_all ~seed inst)))
+    [ 32; 128; 512 ];
+  Format.printf
+    "@.expected: all policies succeed (both are sound by the theorems); the MT variants@.";
+  Format.printf "differ only in constants on these instances.@."
+
+(* ------------------------------------------------------------------ *)
+(* T13: the Omega(log* n) side, concretely                              *)
+(* ------------------------------------------------------------------ *)
+
+let t13 () =
+  section "t13" "The Omega(log* n) lower bound, machine-checked on shift graphs";
+  Format.printf
+    "A t-round deterministic coloring algorithm on directed paths with ids from [m] is@.";
+  Format.printf
+    "exactly a proper coloring of the shift graph S(m, k) on k-id windows; its chromatic@.";
+  Format.printf
+    "number grows like an iterated logarithm of m — so o(log* n) rounds cannot color,@.";
+  Format.printf "making the paper's O(poly d + log* n) upper bounds optimal in n.@.@.";
+  let module SG = Lll_graph.Shift_graph in
+  Format.printf "%-8s %-10s %-14s@." "m" "window k" "chi(S(m,k)) (exact)";
+  List.iter
+    (fun (m, k) ->
+      match SG.chromatic_number ~budget:5_000_000 ~m ~k () with
+      | Some chi -> Format.printf "%-8d %-10d %d@." m k chi
+      | None -> Format.printf "%-8d %-10d (search budget exhausted)@." m k)
+    [ (3, 2); (4, 2); (5, 2); (6, 2); (4, 3); (5, 3) ];
+  (match SG.threshold_universe ~k:2 ~colors:3 ~max_m:8 () with
+  | Some m ->
+    Format.printf
+      "@.certified: with ids from a universe of size >= %d, NO single-window algorithm@." m;
+    Format.printf "3-colors directed paths — the concrete base case of the log* argument.@."
+  | None -> Format.printf "@.threshold search undecided within budget.@.");
+  Format.printf
+    "@.matching upper bound: Cole-Vishkin 3-colors rings in O(log* n) rounds (see the@.";
+  Format.printf "local_algorithms example: 8 rounds at n=10, 10 rounds at n=100000).@."
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("f1", f1); ("f2", f2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
+    ("t6", t6); ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11); ("t12", t12);
+    ("t13", t13);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> List.map String.lowercase_ascii ids
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id all with
+      | Some f -> f ()
+      | None ->
+        Format.printf "unknown experiment %S; available: %s@." id
+          (String.concat " " (List.map fst all));
+        exit 1)
+    requested

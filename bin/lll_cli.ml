@@ -1,0 +1,280 @@
+(* Command-line interface to the library.
+
+   Subcommands:
+     criteria  — build an instance family and print its criteria report
+     solve     — solve an instance with a chosen algorithm and verify
+     surface   — dump the Figure-1 surface f(a,b) as TSV
+     triple    — check/decompose a representable triple
+
+   Examples:
+     lll_cli criteria --family sinkless --n 30 --degree 3
+     lll_cli solve --family weak-splitting --n 16 --algo fix3
+     lll_cli solve --family ring --n 64 --algo dist2 --seed 7
+     lll_cli surface --steps 64 > surface.tsv
+     lll_cli triple 0.25 1.5 0.1                                   *)
+
+module Rat = Lll_num.Rat
+module Gen = Lll_graph.Generators
+module I = Lll_core.Instance
+module Crit = Lll_core.Criteria
+module Srep = Lll_core.Srep
+module Syn = Lll_core.Synthetic
+module F2 = Lll_core.Fix_rank2
+module F3 = Lll_core.Fix_rank3
+module MT = Lll_core.Moser_tardos
+module D = Lll_core.Distributed
+module V = Lll_core.Verify
+module Sink = Lll_apps.Sinkless
+module HO = Lll_apps.Hyper_orientation
+module WS = Lll_apps.Weak_splitting
+open Cmdliner
+
+(* ---- instance families ---- *)
+
+type family = Ring | Rank3 | Sinkless | Sinkless_relaxed | Hyper | Weak_splitting
+
+let family_conv =
+  let parse = function
+    | "ring" -> Ok Ring
+    | "rank3" -> Ok Rank3
+    | "sinkless" -> Ok Sinkless
+    | "sinkless-relaxed" -> Ok Sinkless_relaxed
+    | "hyper" -> Ok Hyper
+    | "weak-splitting" -> Ok Weak_splitting
+    | s -> Error (`Msg (Printf.sprintf "unknown family %S" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with
+      | Ring -> "ring"
+      | Rank3 -> "rank3"
+      | Sinkless -> "sinkless"
+      | Sinkless_relaxed -> "sinkless-relaxed"
+      | Hyper -> "hyper"
+      | Weak_splitting -> "weak-splitting")
+  in
+  Arg.conv (parse, print)
+
+let build_instance family ~n ~degree ~seed ~at_threshold =
+  let position = if at_threshold then Syn.At_threshold else Syn.Below_threshold in
+  match family with
+  | Ring -> Syn.ring ~position ~seed ~n ~arity:4 ()
+  | Rank3 -> Syn.random ~position ~seed ~n ~rank:3 ~delta:2 ~arity:8 ()
+  | Sinkless -> Sink.instance (Gen.random_regular ~seed n degree)
+  | Sinkless_relaxed -> Sink.relaxed_instance (Gen.random_regular ~seed n degree)
+  | Hyper -> HO.instance (Gen.random_regular_hypergraph ~seed n 3 degree)
+  | Weak_splitting ->
+    WS.instance ~nv:n (Gen.random_biregular_bipartite ~seed ~nv:n ~nu:n ~deg_u:3 ~deg_v:3)
+
+(* ---- shared args ---- *)
+
+let family_arg =
+  Arg.(value & opt family_conv Ring & info [ "family"; "f" ] ~docv:"FAMILY"
+         ~doc:"Instance family: ring, rank3, sinkless, sinkless-relaxed, hyper, weak-splitting.")
+
+let n_arg =
+  Arg.(value & opt int 30 & info [ "size"; "n" ] ~docv:"N" ~doc:"Instance size (events/nodes).")
+let degree_arg = Arg.(value & opt int 3 & info [ "degree"; "d" ] ~docv:"D" ~doc:"Structure degree.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let at_threshold_arg =
+  Arg.(value & flag & info [ "at-threshold" ] ~doc:"Place synthetic instances exactly at p = 2^-d.")
+
+let file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "file" ] ~docv:"PATH" ~doc:"Load the instance from a serialized file instead of generating one.")
+
+let get_instance file family ~n ~degree ~seed ~at_threshold =
+  match file with
+  | Some path -> Lll_core.Serial.load path
+  | None -> build_instance family ~n ~degree ~seed ~at_threshold
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let run family n degree seed at_threshold output =
+    let inst = build_instance family ~n ~degree ~seed ~at_threshold in
+    match output with
+    | Some path ->
+      Lll_core.Serial.save path inst;
+      Format.printf "wrote %a to %s@." I.pp inst path
+    | None -> print_string (Lll_core.Serial.to_string inst)
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "output"; "o" ] ~docv:"PATH" ~doc:"Write to a file instead of stdout.")
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate an instance family and serialize it.")
+    Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ output)
+
+(* ---- criteria ---- *)
+
+let criteria_cmd =
+  let run family n degree seed at_threshold file =
+    let inst = get_instance file family ~n ~degree ~seed ~at_threshold in
+    let rep = Crit.evaluate inst in
+    Format.printf "%a@.%a" I.pp inst Crit.pp_report rep;
+    Format.printf "recommended: %s@." (Crit.best_algorithm rep)
+  in
+  Cmd.v (Cmd.info "criteria" ~doc:"Print the criteria report of an instance family.")
+    Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg)
+
+(* ---- solve ---- *)
+
+type algo =
+  | Fix2
+  | Fix3
+  | Fix3_exact
+  | Fixr
+  | Dist2
+  | Dist3
+  | Distr
+  | Mt_seq
+  | Mt_par
+  | Union_bound
+
+let algo_conv =
+  let parse = function
+    | "fix2" -> Ok Fix2
+    | "fix3" -> Ok Fix3
+    | "fix3-exact" | "fix3x" -> Ok Fix3_exact
+    | "fixr" -> Ok Fixr
+    | "dist2" -> Ok Dist2
+    | "dist3" -> Ok Dist3
+    | "distr" -> Ok Distr
+    | "mt" | "mt-seq" -> Ok Mt_seq
+    | "mt-par" -> Ok Mt_par
+    | "union-bound" | "cond-exp" -> Ok Union_bound
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print fmt a =
+    Format.pp_print_string fmt
+      (match a with
+      | Fix2 -> "fix2"
+      | Fix3 -> "fix3"
+      | Fix3_exact -> "fix3-exact"
+      | Fixr -> "fixr"
+      | Dist2 -> "dist2"
+      | Dist3 -> "dist3"
+      | Distr -> "distr"
+      | Mt_seq -> "mt-seq"
+      | Mt_par -> "mt-par"
+      | Union_bound -> "union-bound")
+  in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  Arg.(value & opt algo_conv Fix3 & info [ "algo"; "a" ] ~docv:"ALGO"
+         ~doc:"Algorithm: fix2, fix3, fix3-exact, fixr, dist2, dist3, distr, mt-seq, mt-par, union-bound.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the fixing trace (fix2/fix3 only).")
+
+let solve_cmd =
+  let run family n degree seed at_threshold file algo trace =
+    let inst = get_instance file family ~n ~degree ~seed ~at_threshold in
+    Format.printf "%a@." I.pp inst;
+    let var_name vid = Lll_prob.Var.name (Lll_core.Instance.space inst |> fun sp -> Lll_prob.Space.var sp vid) in
+    let describe ok rounds extra =
+      Format.printf "solved: %b%s%s@." ok
+        (match rounds with Some r -> Printf.sprintf " in %d LOCAL rounds" r | None -> "")
+        extra;
+      if not ok then exit 1
+    in
+    (match algo with
+    | Fix2 ->
+      let a, t = F2.solve inst in
+      if trace then
+        List.iter
+          (fun (s : F2.step) ->
+            Format.printf "  fix %s := %d  (score %s <= budget %s)@." (var_name s.F2.var)
+              s.F2.value (Rat.to_string s.F2.score) (Rat.to_string s.F2.budget))
+          (F2.steps t);
+      describe (V.avoids_all inst a) None
+        (Printf.sprintf " (P*: %b)" (F2.pstar_holds t))
+    | Fix3 ->
+      let a, t = F3.solve inst in
+      if trace then
+        List.iter
+          (fun (s : F3.step) ->
+            Format.printf "  fix %s := %d  (S_rep violation %.2e)@." (var_name s.F3.var)
+              s.F3.value s.F3.violation)
+          (F3.steps t);
+      describe (V.avoids_all inst a) None
+        (Printf.sprintf " (P*: %b, max violation %.2e)" (F3.pstar_holds t) (F3.max_violation t))
+    | Fix3_exact ->
+      let a, t = Lll_core.Fix_rank3_exact.solve inst in
+      describe (V.avoids_all inst a) None
+        (Printf.sprintf " (P* EXACT: %b, fallbacks %d)"
+           (Lll_core.Fix_rank3_exact.pstar_holds_exact t)
+           (Lll_core.Fix_rank3_exact.fallbacks t))
+    | Fixr ->
+      let a, t = Lll_core.Fix_rankr.solve inst in
+      describe (V.avoids_all inst a) None
+        (Printf.sprintf " (min slack %.2e, %d infeasible steps)"
+           (Lll_core.Fix_rankr.min_slack t)
+           (Lll_core.Fix_rankr.infeasible_steps t))
+    | Union_bound ->
+      let a, phi = Lll_core.Cond_exp.solve inst in
+      describe (V.avoids_all inst a) None
+        (Printf.sprintf " (union-bound criterion %s, final phi = %s)"
+           (if Lll_core.Cond_exp.criterion_holds inst then "holds" else "FAILS")
+           (Rat.to_string phi))
+    | Distr ->
+      let r = D.solve_rankr inst in
+      describe r.D.ok (Some r.D.rounds)
+        (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
+    | Dist2 ->
+      let r = D.solve_rank2 inst in
+      describe r.D.ok (Some r.D.rounds)
+        (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
+    | Dist3 ->
+      let r = D.solve_rank3 inst in
+      describe r.D.ok (Some r.D.rounds)
+        (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
+    | Mt_seq ->
+      let a, s = MT.solve_sequential ~seed inst in
+      describe (V.avoids_all inst a) None (Printf.sprintf " (%d resamplings)" s.MT.resamplings)
+    | Mt_par ->
+      let a, s = MT.solve_parallel ~seed inst in
+      describe (V.avoids_all inst a) (Some s.MT.rounds) "")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve an instance with a chosen algorithm and verify exactly.")
+    Term.(
+      const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg
+      $ algo_arg $ trace_arg)
+
+(* ---- surface ---- *)
+
+let surface_cmd =
+  let run steps =
+    Format.printf "a\tb\tf@.";
+    List.iter (fun (a, b, c) -> Format.printf "%.6f\t%.6f\t%.6f@." a b c)
+      (Srep.surface_grid ~steps)
+  in
+  let steps = Arg.(value & opt int 32 & info [ "steps" ] ~docv:"K" ~doc:"Grid resolution.") in
+  Cmd.v (Cmd.info "surface" ~doc:"Dump the Figure-1 surface f(a,b) as TSV.")
+    Term.(const run $ steps)
+
+(* ---- triple ---- *)
+
+let triple_cmd =
+  let run a b c =
+    let t = (a, b, c) in
+    Format.printf "triple (%g, %g, %g)@." a b c;
+    Format.printf "representable: %b (violation %.3e)@." (Srep.mem t) (Srep.violation t);
+    if Srep.mem t then begin
+      let d = Srep.decompose t in
+      Format.printf "witness: a1=%.6f a2=%.6f b1=%.6f b3=%.6f c2=%.6f c3=%.6f@." d.a1 d.a2 d.b1
+        d.b3 d.c2 d.c3
+    end
+  in
+  let pos i name = Arg.(required & pos i (some float) None & info [] ~docv:name) in
+  Cmd.v
+    (Cmd.info "triple" ~doc:"Check and decompose a triple against S_rep (Definition 3.3).")
+    Term.(const run $ pos 0 "A" $ pos 1 "B" $ pos 2 "C")
+
+let () =
+  let doc = "Distributed Lovász Local Lemma at the sharp threshold (Brandt–Maus–Uitto, PODC'19)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "lll_cli" ~doc) [ gen_cmd; criteria_cmd; solve_cmd; surface_cmd; triple_cmd ]))

@@ -1,0 +1,54 @@
+(* Conjecture 1.5, experimentally.
+
+   The paper proves the sharp threshold for ranks 2 and 3 and conjectures
+   it for every rank r; the missing piece is the geometry of representable
+   r-tuples ("finding such an expression and using this knowledge to show
+   that the associated function is convex is the only challenge in
+   obtaining full generality").
+
+   This example runs the natural generalisation of the rank-3 process on
+   random rank-4 and rank-5 instances strictly below the threshold,
+   deciding representability of the clique target tuples numerically.
+   Every step's achieved slack is reported: a non-negative slack means
+   the step kept property P*, exactly what the conjecture predicts.
+
+   Run with: dune exec examples/conjecture_r.exe *)
+
+module Rat = Lll_num.Rat
+module I = Lll_core.Instance
+module Criteria = Lll_core.Criteria
+module Syn = Lll_core.Synthetic
+module FR = Lll_core.Fix_rankr
+module SR = Lll_core.Srep_r
+module Verify = Lll_core.Verify
+
+let () =
+  Format.printf "=== representable r-tuples, numerically ===@.";
+  List.iter
+    (fun (r, targets) ->
+      let sol = SR.solve ~targets () in
+      Format.printf "r=%d targets [%s]: representable=%b (min slack %+.3f)@." r
+        (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.2f") targets)))
+        (sol.SR.min_slack >= -1e-7) sol.SR.min_slack)
+    [
+      (3, [| 0.25; 1.5; 0.1 |]); (* the paper's Figure 2 triple *)
+      (4, [| 1.0; 1.0; 1.0; 1.0 |]);
+      (4, [| 4.0; 4.0; 4.0; 4.0 |]); (* too greedy: infeasible *)
+      (5, [| 1.2; 0.8; 1.1; 0.9; 1.0 |]);
+    ];
+
+  Format.printf "@.=== rank-4 and rank-5 fixing below the threshold ===@.";
+  Format.printf "%-10s %-6s %-10s %-10s %-12s %s@." "rank" "d" "p*2^d" "solved" "min slack"
+    "infeasible steps";
+  List.iter
+    (fun (rank, arity, n) ->
+      let inst = Syn.random ~seed:7 ~n ~rank ~delta:2 ~arity () in
+      let rep = Criteria.evaluate inst in
+      let a, t = FR.solve inst in
+      Format.printf "%-10d %-6d %-10s %-10b %-12.3f %d@." rank rep.Criteria.d
+        (Rat.to_string (Criteria.threshold_ratio ~p:rep.Criteria.p ~d:rep.Criteria.d))
+        (Verify.avoids_all inst a) (FR.min_slack t) (FR.infeasible_steps t))
+    [ (3, 8, 18); (4, 16, 16); (5, 32, 20) ];
+  Format.printf
+    "@.Every run finding only representable values (slack >= 0, no infeasible steps) is@.";
+  Format.printf "evidence for Conjecture 1.5 at that rank.@."

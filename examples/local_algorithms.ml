@@ -1,0 +1,71 @@
+(* A tour of the LOCAL-model substrate.
+
+   Everything the distributed LLL drivers stand on, exercised directly:
+   Cole-Vishkin 3-coloring of rings (the log* upper bound matching the
+   paper's Omega(log* n) lower bound), Linial's coloring via polynomials
+   over prime fields, Kuhn-Wattenhofer palette halving, distributed
+   2-hop coloring, Luby's MIS, and radius-k information gathering.
+
+   Run with: dune exec examples/local_algorithms.exe *)
+
+module Gen = Lll_graph.Generators
+module Graph = Lll_graph.Graph
+module Col = Lll_graph.Coloring
+module CV = Lll_graph.Cole_vishkin
+module Net = Lll_local.Network
+module RT = Lll_local.Runtime
+module DC = Lll_local.Dist_coloring
+module MIS = Lll_local.Mis
+
+let () =
+  Format.printf "=== Cole-Vishkin: 3-coloring rings in O(log* n) rounds ===@.";
+  Format.printf "%-10s %s@." "n" "rounds";
+  List.iter
+    (fun n ->
+      let _, rounds = CV.three_color_cycle n in
+      Format.printf "%-10d %d@." n rounds)
+    [ 10; 100; 1_000; 10_000; 100_000 ];
+  Format.printf "(the log* growth: nearly constant over four orders of magnitude)@.";
+
+  Format.printf "@.=== distributed (d+1)-coloring: Linial + Kuhn-Wattenhofer ===@.";
+  Format.printf "%-22s %-8s %-8s %s@." "graph" "dmax" "colors" "rounds";
+  List.iter
+    (fun (g, name) ->
+      let net = Net.create g in
+      let colors, rounds = DC.color net in
+      Format.printf "%-22s %-8d %-8d %d@." name (Graph.max_degree g)
+        (Col.num_colors colors) rounds;
+      assert (Col.is_proper g colors))
+    [
+      (Gen.cycle 512, "cycle 512");
+      (Gen.random_regular ~seed:1 128 4, "random 4-regular 128");
+      (Gen.grid 12 12, "grid 12x12");
+      (Gen.torus 8 8, "torus 8x8");
+    ];
+
+  Format.printf "@.=== distributed 2-hop coloring (Corollary 1.4's subroutine) ===@.";
+  let g = Gen.random_regular ~seed:2 96 3 in
+  let colors, rounds = DC.two_hop_color (Net.create g) in
+  Format.printf "random 3-regular 96: %d colors on the square, %d rounds, proper=%b@."
+    (Col.num_colors colors) rounds
+    (Col.is_proper (Graph.square g) colors);
+
+  Format.printf "@.=== Luby's MIS ===@.";
+  Format.printf "%-22s %-10s %-8s %s@." "graph" "MIS size" "rounds" "valid";
+  List.iter
+    (fun (g, name) ->
+      let in_mis, rounds = MIS.luby ~seed:11 (Net.create g) in
+      let size = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_mis in
+      Format.printf "%-22s %-10d %-8d %b@." name size rounds (MIS.is_mis g in_mis))
+    [
+      (Gen.cycle 200, "cycle 200");
+      (Gen.random_regular ~seed:3 100 5, "random 5-regular 100");
+      (Gen.complete 12, "K12");
+    ];
+
+  Format.printf "@.=== radius-k gathering (the generic LOCAL primitive) ===@.";
+  let g = Gen.grid 5 5 in
+  let net = Net.create g in
+  let balls, stats = RT.gather_balls net ~radius:2 ~value:(fun v -> v) in
+  Format.printf "5x5 grid, radius 2: node 12 sees %d nodes in %d rounds@."
+    (List.length balls.(12)) stats.RT.rounds

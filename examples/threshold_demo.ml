@@ -1,0 +1,76 @@
+(* The sharp threshold, end to end.
+
+   Sweep the bad-event probability of a fixed-structure instance across
+   p = 2^-d and watch the phase transition the paper proves:
+
+   - strictly below the threshold the deterministic fixing process
+     succeeds for EVERY variable order (we try several adversarial ones);
+   - exactly at the threshold the criterion fails, and an explicit
+     adversarial run of the same "increase <= 2 per edge" discipline
+     produces an occurring bad event (a sink, in sinkless-orientation
+     terms).
+
+   Run with: dune exec examples/threshold_demo.exe *)
+
+module Rat = Lll_num.Rat
+module Gen = Lll_graph.Generators
+module I = Lll_core.Instance
+module Criteria = Lll_core.Criteria
+module Syn = Lll_core.Synthetic
+module F2 = Lll_core.Fix_rank2
+module V = Lll_core.Verify
+module Sinkless = Lll_apps.Sinkless
+
+let shuffled ~seed m =
+  let rng = Random.State.make [| seed |] in
+  let o = Array.init m (fun i -> i) in
+  Gen.shuffle rng o;
+  o
+
+let () =
+  Format.printf "=== sweep: ring instances (d = 2) across the threshold ===@.";
+  Format.printf "%-16s %-12s %-10s %s@." "position" "p*2^d" "criterion" "fixer success (20 orders)";
+  List.iter
+    (fun (position, label) ->
+      let successes = ref 0 in
+      let ratio = ref Rat.zero in
+      for seed = 0 to 19 do
+        let inst = Syn.ring ~position ~seed ~n:24 ~arity:4 () in
+        let rep = Criteria.evaluate inst in
+        ratio := Criteria.threshold_ratio ~p:rep.p ~d:rep.d;
+        let order = shuffled ~seed:(seed * 31) (I.num_vars inst) in
+        let a, _ = F2.solve ~order inst in
+        if V.avoids_all inst a then incr successes
+      done;
+      let inst0 = Syn.ring ~position ~seed:0 ~n:24 ~arity:4 () in
+      let rep = Criteria.evaluate inst0 in
+      Format.printf "%-16s %-12s %-10s %d/20@." label
+        (Rat.to_string !ratio)
+        (if List.assoc Criteria.Exponential rep.satisfied then "holds" else "FAILS")
+        !successes)
+    [ (Syn.Below_threshold, "below (15/16)"); (Syn.At_threshold, "at (16/16)") ];
+
+  Format.printf "@.=== at the threshold the guarantee genuinely breaks ===@.";
+  let g = Gen.grid 5 5 in
+  let victim = 12 in
+  let a = Sinkless.adversarial_path_assignment g ~victim in
+  let inst = Sinkless.instance g in
+  Format.printf
+    "sinkless orientation on a 5x5 grid, adversary orients every edge toward node %d:@." victim;
+  Format.printf "  node %d became a sink: %b@." victim
+    (List.mem victim (V.occurring_events inst a));
+  Format.printf
+    "  (each adversarial step still respects the proof's 'Inc sum <= 2' discipline —@.";
+  Format.printf "   the final bound p * 2^d = 1 is achieved and is not < 1, so a bad event@.";
+  Format.printf "   occurs: the theorem's criterion p < 2^-d is tight.)@.";
+
+  Format.printf "@.=== below the threshold, the same discipline always wins ===@.";
+  let below = Sinkless.relaxed_instance g in
+  let ok = ref true in
+  for seed = 0 to 9 do
+    let order = shuffled ~seed (I.num_vars below) in
+    let a, _ = F2.solve ~order below in
+    if not (V.avoids_all below a && Sinkless.is_sinkless g a) then ok := false
+  done;
+  Format.printf "relaxed (ternary) sinkless orientation, 10 adversarial orders: all sinkless=%b@."
+    !ok

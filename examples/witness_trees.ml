@@ -1,0 +1,45 @@
+(* Inside the Moser-Tardos analysis: execution logs and witness trees.
+
+   Runs sequential MT on an at-threshold instance, reconstructs the
+   witness tree of the last resampling (the "explanation" the [MT10]
+   proof charges it to), pretty-prints it, and shows the size histogram
+   whose geometric decay is the convergence argument.
+
+   Run with: dune exec examples/witness_trees.exe *)
+
+module Syn = Lll_core.Synthetic
+module MT = Lll_core.Moser_tardos
+module W = Lll_core.Witness
+module I = Lll_core.Instance
+module V = Lll_core.Verify
+
+let rec print_tree indent t =
+  Format.printf "%s- event %d (depth %d)@." indent t.W.label t.W.depth;
+  List.iter (print_tree (indent ^ "  ")) t.W.children
+
+let () =
+  let inst = Syn.ring ~position:Syn.At_threshold ~seed:3 ~n:48 ~arity:4 () in
+  Format.printf "instance: %a (exactly AT the threshold, p*2^d = 1)@.@." I.pp inst;
+
+  let a, stats, log = MT.solve_sequential_log ~seed:8 inst in
+  Format.printf "sequential Moser-Tardos: solved=%b after %d resamplings@."
+    (V.avoids_all inst a) stats.MT.resamplings;
+  Format.printf "execution log (event ids): %s ...@.@."
+    (String.concat " "
+       (List.filteri (fun i _ -> i < 16) (List.map string_of_int (Array.to_list log))));
+
+  if Array.length log > 0 then begin
+    let t = Array.length log - 1 in
+    Format.printf "witness tree of the LAST resampling (step %d):@." t;
+    let tree = W.tree_of_log inst log t in
+    print_tree "  " tree;
+    Format.printf "size %d, height %d, well-formed: %b@.@." (W.size tree) (W.height tree)
+      (W.well_formed inst tree);
+
+    Format.printf "witness tree size histogram over the whole log:@.";
+    Format.printf "  %-8s %s@." "size" "count";
+    List.iter (fun (s, c) -> Format.printf "  %-8d %d@." s c) (W.size_histogram inst log);
+    Format.printf
+      "@.the geometric decay of these counts is exactly why Moser-Tardos terminates in@.";
+    Format.printf "O(m) expected resamplings under its criterion.@."
+  end

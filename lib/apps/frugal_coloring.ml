@@ -1,0 +1,60 @@
+(* Frugal hypergraph edge coloring — the weak-splitting relative the
+   paper points to ([Har18, Definition 2.5] via [BGK+19]).
+
+   Color the hyperedges of a rank-<=3 hypergraph with [colors] colors so
+   that every node sees each color at most [max_per_color] times among
+   its incident hyperedges. One uniform variable per hyperedge, affecting
+   its <= 3 member nodes: rank r <= 3, so Theorem 1.3 applies whenever the
+   exact criterion check passes (e.g. 16 colors, degree 3, at most 2 per
+   color; or 64 colors, degree 4, at most 2 per color). *)
+
+module Rat = Lll_num.Rat
+module Hypergraph = Lll_graph.Hypergraph
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+type params = { colors : int; max_per_color : int }
+
+let default_params = { colors = 16; max_per_color = 2 }
+
+(* some color occurs more than [max_per_color] times in [cols]? *)
+let overloaded ~max_per_color cols =
+  let sorted = List.sort compare cols in
+  let rec go current count = function
+    | [] -> false
+    | c :: rest ->
+      if c = current then count + 1 > max_per_color || go current (count + 1) rest
+      else go c 1 rest
+  in
+  match sorted with [] -> false | c :: rest -> go c 1 rest
+
+let instance ?(params = default_params) h =
+  if Hypergraph.rank h > 3 then invalid_arg "Frugal_coloring.instance: rank > 3";
+  if params.colors < 2 then invalid_arg "Frugal_coloring.instance: need >= 2 colors";
+  if params.max_per_color < 1 then invalid_arg "Frugal_coloring.instance: need max_per_color >= 1";
+  let vars =
+    Array.init (Hypergraph.m h) (fun he ->
+        Var.uniform ~id:he ~name:(Printf.sprintf "edge%d" he) params.colors)
+  in
+  let events =
+    Array.init (Hypergraph.n h) (fun v ->
+        let scope = Array.of_list (Hypergraph.incident h v) in
+        Event.make ~id:v ~name:(Printf.sprintf "overloaded@%d" v) ~scope (fun lookup ->
+            overloaded ~max_per_color:params.max_per_color
+              (List.map lookup (Array.to_list scope))))
+  in
+  Instance.create (Space.create vars) events
+
+let is_valid ?(params = default_params) h (a : Assignment.t) =
+  let ok = ref true in
+  for v = 0 to Hypergraph.n h - 1 do
+    let cols = List.map (fun he -> Assignment.value_exn a he) (Hypergraph.incident h v) in
+    if overloaded ~max_per_color:params.max_per_color cols then ok := false
+  done;
+  !ok
+
+let coloring h (a : Assignment.t) =
+  Array.init (Hypergraph.m h) (fun he -> Assignment.value_exn a he)

@@ -1,0 +1,19 @@
+(** Frugal hypergraph edge coloring (the [Har18] weak-splitting variant
+    the paper cites): every node sees each color at most
+    [max_per_color] times. Rank [r <= 3]. *)
+
+module Hypergraph = Lll_graph.Hypergraph
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+type params = { colors : int; max_per_color : int }
+
+val default_params : params
+(** 16 colors, at most 2 per color per node. *)
+
+val instance : ?params:params -> Hypergraph.t -> Instance.t
+(** @raise Invalid_argument on rank > 3 or degenerate parameters. *)
+
+val is_valid : ?params:params -> Hypergraph.t -> Assignment.t -> bool
+val coloring : Hypergraph.t -> Assignment.t -> int array
+val overloaded : max_per_color:int -> int list -> bool

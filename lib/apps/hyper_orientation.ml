@@ -1,0 +1,90 @@
+(* Hypergraph multi-orientation — the paper's rank-3 application.
+
+   Given a rank-3 hypergraph, compute THREE orientations of the hyperedges
+   (an orientation assigns each hyperedge a head among its members) such
+   that every node is a non-sink in at least two of the three orientations
+   (a node is a sink in orientation [i] if it is the head of all of its
+   hyperedges under orientation [i]).
+
+   As an LLL instance: one variable per hyperedge encoding the triple of
+   heads ([k^3] uniform values for a hyperedge of cardinality [k]); the
+   bad event at node [v] ("sink in >= 2 orientations") depends on [v]'s
+   incident hyperedges only. A variable affects exactly the members of its
+   hyperedge — at most 3 events, so the rank parameter is [r = 3]. For a
+   [delta]-regular rank-3 hypergraph the bad-event probability is
+   [3 q^2 (1-q) + q^3] with [q = 3^-delta], comfortably below [2^-d]
+   already for small [delta] (the harness checks the criterion exactly per
+   instance). *)
+
+module Rat = Lll_num.Rat
+module Hypergraph = Lll_graph.Hypergraph
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+let num_orientations = 3
+
+(* Decode a variable value into the member indices of the three heads. *)
+let heads_of_value ~card value =
+  let h1 = value mod card in
+  let h2 = value / card mod card in
+  let h3 = value / (card * card) mod card in
+  [| h1; h2; h3 |]
+
+(* Is node [v] the head of hyperedge [he] in orientation [i] under
+   [value]? *)
+let is_head h he value ~orientation v =
+  let members = Hypergraph.edge h he in
+  let card = Array.length members in
+  let heads = heads_of_value ~card value in
+  members.(heads.(orientation)) = v
+
+let sink_in h v lookup ~orientation =
+  let inc = Hypergraph.incident h v in
+  inc <> [] && List.for_all (fun he -> is_head h he (lookup he) ~orientation v) inc
+
+let bad_event h ~id v =
+  let scope = Array.of_list (Hypergraph.incident h v) in
+  Event.make ~id ~name:(Printf.sprintf "2sink@%d" v) ~scope (fun lookup ->
+      let sinks = ref 0 in
+      for i = 0 to num_orientations - 1 do
+        if sink_in h v lookup ~orientation:i then incr sinks
+      done;
+      !sinks >= 2)
+
+let instance h =
+  if Hypergraph.n h = 0 then invalid_arg "Hyper_orientation.instance: empty hypergraph";
+  if Hypergraph.rank h > 3 then invalid_arg "Hyper_orientation.instance: rank > 3";
+  let vars =
+    Array.init (Hypergraph.m h) (fun he ->
+        let card = Array.length (Hypergraph.edge h he) in
+        Var.uniform ~id:he ~name:(Printf.sprintf "heads%d" he) (card * card * card))
+  in
+  let events = Array.init (Hypergraph.n h) (fun v -> bad_event h ~id:v v) in
+  Instance.create (Space.create vars) events
+
+(* Combinatorial validity of a solution: every node with at least one
+   hyperedge is a non-sink in at least two of the three orientations. *)
+let is_valid h (a : Assignment.t) =
+  let ok = ref true in
+  for v = 0 to Hypergraph.n h - 1 do
+    if Hypergraph.incident h v <> [] then begin
+      let lookup he = Assignment.value_exn a he in
+      let sinks = ref 0 in
+      for i = 0 to num_orientations - 1 do
+        if sink_in h v lookup ~orientation:i then incr sinks
+      done;
+      if !sinks >= 2 then ok := false
+    end
+  done;
+  !ok
+
+(* Heads of each hyperedge in each orientation (for display). *)
+let decode h (a : Assignment.t) =
+  Array.init (Hypergraph.m h) (fun he ->
+      let members = Hypergraph.edge h he in
+      let card = Array.length members in
+      let heads = heads_of_value ~card (Assignment.value_exn a he) in
+      Array.map (fun idx -> members.(idx)) heads)

@@ -1,0 +1,25 @@
+(** Hypergraph multi-orientation (the paper's rank-3 application):
+    compute three orientations of a rank-3 hypergraph such that every
+    node is a non-sink in at least two of them. *)
+
+module Hypergraph = Lll_graph.Hypergraph
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+val num_orientations : int
+
+val instance : Hypergraph.t -> Instance.t
+(** One uniform variable per hyperedge encoding the triple of heads;
+    rank [r = 3]. @raise Invalid_argument on hypergraphs of rank > 3. *)
+
+val is_valid : Hypergraph.t -> Assignment.t -> bool
+(** Every (non-isolated) node is a non-sink in at least two
+    orientations. *)
+
+val decode : Hypergraph.t -> Assignment.t -> int array array
+(** [decode h a] maps each hyperedge to its three heads (node ids). *)
+
+val heads_of_value : card:int -> int -> int array
+(** Member indices of the three heads encoded by a variable value. *)
+
+val is_head : Hypergraph.t -> int -> int -> orientation:int -> int -> bool

@@ -1,0 +1,65 @@
+(* Property B — hypergraph 2-coloring, the original classic LLL
+   application — positioned against the paper's sharp threshold.
+
+   Color the NODES of a k-uniform hypergraph so that no hyperedge is
+   monochromatic. Here the roles are flipped relative to the orientation
+   applications: variables live on the hypergraph's nodes and bad events
+   on its hyperedges, so the LLL dependency graph has one node per
+   HYPEREDGE, and the rank r is the maximum node degree (a node's color
+   affects all hyperedges through it).
+
+   - Binary colors: a k-edge is monochromatic with probability
+     [2^(1-k)]. With node degree delta, the dependency degree is at most
+     [k*(delta-1)], and for linear structures (delta = 2) it is exactly
+     [k] in the worst case — so [p * 2^d = 2]: property B sits a factor
+     of TWO above the sharp threshold, for every k. Like sinkless
+     orientation, it is solvable (Moser-Tardos works under ep(d+1) < 1
+     for k >= 4) but outside the paper's deterministic regime.
+   - Ternary relaxation: allow an "abstain" color that breaks
+     monochromaticity; a k-edge is bad with probability [2 * 3^-k],
+     strictly below [2^-k] for every k >= 2 — inside the regime, so the
+     deterministic fixers apply whenever delta <= 3. *)
+
+module Rat = Lll_num.Rat
+module Hypergraph = Lll_graph.Hypergraph
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+(* colors 0 and 1 are real; [abstain] (value 2, ternary only) never makes
+   an edge monochromatic *)
+
+let mono_event h ~id ~colors:_ e =
+  let scope = Hypergraph.edge h e in
+  Event.make ~id ~name:(Printf.sprintf "mono@%d" e) ~scope (fun lookup ->
+      let c0 = lookup scope.(0) in
+      c0 < 2 && Array.for_all (fun v -> lookup v = c0) scope)
+
+let build ~colors h =
+  if Hypergraph.m h = 0 then invalid_arg "Property_b: no hyperedges";
+  let vars =
+    Array.init (Hypergraph.n h) (fun v ->
+        Var.uniform ~id:v ~name:(Printf.sprintf "node%d" v) colors)
+  in
+  let events = Array.init (Hypergraph.m h) (fun e -> mono_event h ~id:e ~colors e) in
+  Instance.create (Space.create vars) events
+
+let instance h = build ~colors:2 h
+(* the at/above-threshold classic *)
+
+let relaxed_instance h = build ~colors:3 h
+(* the below-threshold relaxation with an abstain color *)
+
+(* Combinatorial validity: no hyperedge has all members carrying the same
+   real (non-abstain) color. *)
+let is_proper h (a : Assignment.t) =
+  Array.for_all
+    (fun members ->
+      let c0 = Assignment.value_exn a members.(0) in
+      not (c0 < 2 && Array.for_all (fun v -> Assignment.value_exn a v = c0) members))
+    (Hypergraph.edges h)
+
+let coloring h (a : Assignment.t) =
+  Array.init (Hypergraph.n h) (fun v -> Assignment.value_exn a v)

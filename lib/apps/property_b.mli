@@ -1,0 +1,22 @@
+(** Property B (hypergraph 2-coloring), the original LLL application:
+    a factor of exactly two above the sharp threshold in its binary form
+    (for linear structures), strictly below it with an abstain color.
+    Variables live on hypergraph nodes, bad events on hyperedges; the
+    rank is the maximum node degree. *)
+
+module Hypergraph = Lll_graph.Hypergraph
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+val instance : Hypergraph.t -> Instance.t
+(** Binary colors: monochromatic-edge probability [2^(1-k)] —
+    above the threshold. *)
+
+val relaxed_instance : Hypergraph.t -> Instance.t
+(** Ternary (abstain allowed): probability [2*3^-k] — below the
+    threshold for [k >= 2]. *)
+
+val is_proper : Hypergraph.t -> Assignment.t -> bool
+(** No hyperedge has all members the same real color. *)
+
+val coloring : Hypergraph.t -> Assignment.t -> int array

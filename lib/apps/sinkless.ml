@@ -1,0 +1,102 @@
+(* Sinkless orientation — the paper's canonical problem sitting *exactly*
+   at the threshold [p = 2^-d].
+
+   Orient every edge of a graph so that no node has all of its incident
+   edges pointing at it. With uniformly random orientations, the bad event
+   at a degree-[delta] node has probability exactly [2^-delta]; on a
+   [d]-regular graph the dependency degree is [d] and [p = 2^-d]: the LLL
+   criterion [p < 2^-d] fails by the thinnest possible margin, and indeed
+   sinkless orientation carries the Omega(log log n) randomized /
+   Omega(log n) deterministic lower bounds cited by the paper.
+
+   The below-threshold relaxation [relaxed_instance] allows an edge to
+   remain unoriented (three uniform values); a node is bad only if all its
+   edges are oriented inward, which has probability [3^-delta < 2^-delta]:
+   strictly below the threshold, so Theorem 1.1 applies. *)
+
+module Rat = Lll_num.Rat
+module Graph = Lll_graph.Graph
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+(* Edge value conventions. Binary: 0 = points to the smaller endpoint,
+   1 = points to the larger. Ternary adds 2 = unoriented. *)
+
+type orientation = To_min | To_max | Unoriented
+
+let orientation_of_value = function
+  | 0 -> To_min
+  | 1 -> To_max
+  | 2 -> Unoriented
+  | _ -> invalid_arg "Sinkless.orientation_of_value"
+
+(* Does edge [e] of [g], valued [value], point at node [v]? *)
+let points_at g e value v =
+  let u, w = Graph.endpoints g e in
+  match orientation_of_value value with
+  | To_min -> v = u
+  | To_max -> v = w
+  | Unoriented -> false
+
+let sink_event g ~id v =
+  let scope = Array.of_list (Graph.incident_edges g v) in
+  Event.make ~id ~name:(Printf.sprintf "sink@%d" v) ~scope (fun lookup ->
+      Array.for_all (fun e -> points_at g e (lookup e) v) scope)
+
+(* The at-threshold instance: one uniform binary variable per edge. *)
+let instance g =
+  if Graph.n g = 0 then invalid_arg "Sinkless.instance: empty graph";
+  let vars =
+    Array.init (Graph.m g) (fun e -> Var.uniform ~id:e ~name:(Printf.sprintf "edge%d" e) 2)
+  in
+  let events = Array.init (Graph.n g) (fun v -> sink_event g ~id:v v) in
+  Instance.create (Space.create vars) events
+
+(* The strictly-below-threshold relaxation: one uniform ternary variable
+   per edge (value 2 = unoriented). *)
+let relaxed_instance g =
+  if Graph.n g = 0 then invalid_arg "Sinkless.relaxed_instance: empty graph";
+  let vars =
+    Array.init (Graph.m g) (fun e -> Var.uniform ~id:e ~name:(Printf.sprintf "edge%d" e) 3)
+  in
+  let events = Array.init (Graph.n g) (fun v -> sink_event g ~id:v v) in
+  Instance.create (Space.create vars) events
+
+(* Combinatorial validity: no node has all incident edges pointing at it.
+   (Isolated nodes are trivially sinkless here; in the classic problem
+   min-degree bounds are assumed by the instance construction.) *)
+let is_sinkless g (a : Assignment.t) =
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    let inc = Graph.incident_edges g v in
+    if inc <> [] && List.for_all (fun e -> points_at g e (Assignment.value_exn a e) v) inc then
+      ok := false
+  done;
+  !ok
+
+let orientations g (a : Assignment.t) =
+  Array.init (Graph.m g) (fun e -> orientation_of_value (Assignment.value_exn a e))
+
+(* The explicit adversarial run of the T5 experiment: within the exact
+   discipline of Theorem 1.1's proof (every step's Inc sum is at most 2),
+   orient a path's edges one by one toward its midpoint. At the threshold
+   [p = 2^-d] this produces a sink — witnessing that the theorem's
+   conclusion genuinely fails once [p * 2^d >= 1]. Returns the assignment
+   (on the at-threshold binary instance over [g]) and the victim node. *)
+let adversarial_path_assignment g ~victim =
+  let m = Graph.m g in
+  let a = Assignment.empty m in
+  let dist = Graph.bfs_dist g victim in
+  for e = 0 to m - 1 do
+    let u, w = Graph.endpoints g e in
+    (* orient toward the endpoint closer to the victim *)
+    let value =
+      if dist.(u) >= 0 && (dist.(w) < 0 || dist.(u) <= dist.(w)) then 0 (* to min = u *)
+      else 1
+    in
+    Assignment.set_inplace a e value
+  done;
+  a

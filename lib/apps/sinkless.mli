@@ -1,0 +1,33 @@
+(** Sinkless orientation: the canonical problem at the sharp threshold
+    [p = 2^-d], plus its strictly-below-threshold relaxation. *)
+
+module Graph = Lll_graph.Graph
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+type orientation = To_min | To_max | Unoriented
+
+val orientation_of_value : int -> orientation
+
+val instance : Graph.t -> Instance.t
+(** One uniform binary variable per edge; the bad event at node [v]
+    ("all edges point at [v]") has probability exactly [2^-deg(v)] —
+    at the threshold on regular graphs. Rank 2. *)
+
+val relaxed_instance : Graph.t -> Instance.t
+(** One uniform ternary variable per edge (third value = leave the edge
+    unoriented); bad-event probability [3^-deg(v)], strictly below the
+    threshold. Rank 2. *)
+
+val is_sinkless : Graph.t -> Assignment.t -> bool
+(** No node has all incident edges oriented at it. *)
+
+val points_at : Graph.t -> int -> int -> int -> bool
+(** [points_at g e value v]: edge [e] with value [value] points at [v]. *)
+
+val orientations : Graph.t -> Assignment.t -> orientation array
+
+val adversarial_path_assignment : Graph.t -> victim:int -> Assignment.t
+(** Orient every edge toward [victim] (by BFS distance): an explicit
+    adversarial run showing the fixing discipline's [2^d] bound is
+    achieved — and insufficient — exactly at the threshold. *)

@@ -1,0 +1,69 @@
+(* Relaxed weak splitting (the paper's second application).
+
+   Given a bipartite graph B = (V ∪ U, E), color the nodes of U with
+   [colors] colors so that every node of V sees at least [min_seen]
+   distinct colors among its U-neighbors. The paper's instantiation:
+   U-degrees at most 3 (so each U-node's color affects at most 3
+   constraints: rank [r <= 3]), 16 colors, [min_seen = 2].
+
+   The bad event at [v in V] is "v sees fewer than [min_seen] colors";
+   for [min_seen = 2] and [deg(v) = delta] its probability is
+   [colors^(1-delta)], which is strictly below [2^-d] (with
+   [d <= 2*delta]) as soon as [colors = 16] and [delta >= 3].
+
+   The bipartite structure is given as [adj_u]: for each U-node, the
+   array of its V-neighbors. *)
+
+module Rat = Lll_num.Rat
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+type params = { colors : int; min_seen : int }
+
+let default_params = { colors = 16; min_seen = 2 }
+
+let distinct_count l =
+  List.length (List.sort_uniq compare l)
+
+let instance ?(params = default_params) ~nv (adj_u : int array array) =
+  if params.colors < 2 then invalid_arg "Weak_splitting.instance: need >= 2 colors";
+  if params.min_seen < 1 || params.min_seen > params.colors then
+    invalid_arg "Weak_splitting.instance: bad min_seen";
+  let nu = Array.length adj_u in
+  (* V-node -> incident U-nodes *)
+  let nbrs_v = Array.make nv [] in
+  Array.iteri
+    (fun u vs ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= nv then invalid_arg "Weak_splitting.instance: V index out of range";
+          nbrs_v.(v) <- u :: nbrs_v.(v))
+        vs)
+    adj_u;
+  let vars =
+    Array.init nu (fun u -> Var.uniform ~id:u ~name:(Printf.sprintf "u%d" u) params.colors)
+  in
+  let events =
+    Array.init nv (fun v ->
+        let scope = Array.of_list (List.rev nbrs_v.(v)) in
+        Event.make ~id:v ~name:(Printf.sprintf "few-colors@%d" v) ~scope (fun lookup ->
+            distinct_count (List.map lookup (Array.to_list scope)) < params.min_seen))
+  in
+  Instance.create (Space.create vars) events
+
+(* Combinatorial validity: every V-node with at least [min_seen] distinct
+   *neighbors* sees at least [min_seen] distinct colors. (V-nodes of
+   degree < min_seen can never satisfy the constraint; instance builders
+   are expected to provide enough degree, as the paper's parameters do.) *)
+let is_valid ?(params = default_params) ~nv (adj_u : int array array) (a : Assignment.t) =
+  let nbrs_v = Array.make nv [] in
+  Array.iteri (fun u vs -> Array.iter (fun v -> nbrs_v.(v) <- u :: nbrs_v.(v)) vs) adj_u;
+  Array.for_all
+    (fun nbrs ->
+      nbrs = [] || distinct_count (List.map (fun u -> Assignment.value_exn a u) nbrs) >= params.min_seen)
+    nbrs_v
+
+let coloring (a : Assignment.t) nu = Array.init nu (fun u -> Assignment.value_exn a u)

@@ -1,0 +1,20 @@
+(** Relaxed weak splitting: color the U-side of a bipartite graph so that
+    every V-node sees at least [min_seen] distinct colors (paper's
+    instantiation: 16 colors, [min_seen = 2], U-degree at most 3). *)
+
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+
+type params = { colors : int; min_seen : int }
+
+val default_params : params
+(** 16 colors, at least 2 seen. *)
+
+val instance : ?params:params -> nv:int -> int array array -> Instance.t
+(** [instance ~nv adj_u]: [adj_u.(u)] lists the V-neighbors of U-node
+    [u]; rank equals the maximum U-degree. *)
+
+val is_valid : ?params:params -> nv:int -> int array array -> Assignment.t -> bool
+
+val coloring : Assignment.t -> int -> int array
+(** The U-side colors of a complete assignment. *)

@@ -1,0 +1,72 @@
+(* Cole–Vishkin 3-coloring of consistently oriented cycles.
+
+   Each node looks at its successor's color; writing both colors in binary,
+   the node finds the lowest bit position [i] where they differ and adopts
+   the color [2*i + (own bit at i)]. One such step maps a proper
+   [m]-coloring to a proper [2 * ceil(log2 m)]-coloring, so iterating
+   reaches 6 colors in [O(log* n)] rounds; three shift-and-recolor rounds
+   then remove colors 5, 4 and 3. *)
+
+(* lowest differing bit index between a and b (a <> b) *)
+let lowest_diff_bit a b =
+  let x = a lxor b in
+  let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
+  go 0 x
+
+let cv_step ~succ colors =
+  Array.mapi
+    (fun v c ->
+      let c' = colors.(succ v) in
+      let i = lowest_diff_bit c c' in
+      (2 * i) + ((c lsr i) land 1))
+    colors
+
+(* number of bits needed for colors 0..m-1 *)
+let bits m =
+  let rec go b = if 1 lsl b >= m then b else go (b + 1) in
+  go 1
+
+let is_proper_on_cycle ~succ colors = Array.for_all (fun v -> colors.(v) <> colors.(succ v)) (Array.init (Array.length colors) (fun i -> i))
+
+(* Reduce to at most 6 colors. *)
+let reduce_to_six ~succ colors =
+  let rec go colors m rounds =
+    if m <= 6 then (colors, rounds)
+    else begin
+      let colors = cv_step ~succ colors in
+      go colors (2 * bits m) (rounds + 1)
+    end
+  in
+  go colors (Array.fold_left (fun a c -> max a (c + 1)) 0 colors) 0
+
+(* One shift-and-recolor round: everyone adopts its successor's color
+   (making each class a "predecessor-free" set whose nodes see both
+   neighbors' colors distinct from any class member's), then the nodes of
+   class [cls] pick a free color in {0,1,2}. *)
+let drop_class ~succ ~pred colors cls =
+  let shifted = Array.mapi (fun v _ -> colors.(succ v)) colors in
+  Array.mapi
+    (fun v c ->
+      if c <> cls then c
+      else begin
+        let banned = [ shifted.(succ v); shifted.(pred v) ] in
+        let rec free k = if List.mem k banned then free (k + 1) else k in
+        free 0
+      end)
+    shifted
+
+(* 3-color the cycle [0 - 1 - ... - (n-1) - 0]. Returns the coloring and
+   the number of LOCAL rounds. *)
+let three_color_cycle n =
+  if n < 3 then invalid_arg "Cole_vishkin.three_color_cycle: n >= 3";
+  let succ v = (v + 1) mod n in
+  let pred v = (v + n - 1) mod n in
+  let colors = Array.init n (fun i -> i) in
+  let colors, r = reduce_to_six ~succ colors in
+  let colors = ref colors and rounds = ref r in
+  List.iter
+    (fun cls ->
+      colors := drop_class ~succ ~pred !colors cls;
+      rounds := !rounds + 2 (* one shift + one recolor round *))
+    [ 5; 4; 3 ];
+  (!colors, !rounds)

@@ -1,0 +1,21 @@
+(** Cole–Vishkin [O(log* n)]-round 3-coloring of oriented cycles — the
+    classic witness that the paper's [Ω(log* n)] lower bound is tight for
+    simple structures, and a self-contained sanity check for our LOCAL
+    round accounting. *)
+
+val lowest_diff_bit : int -> int -> int
+(** Index of the lowest set bit of [a lxor b]; the inputs must differ. *)
+
+val cv_step : succ:(int -> int) -> int array -> int array
+(** One bit-trick reduction step on a consistently oriented cycle given by
+    the successor function. *)
+
+val reduce_to_six : succ:(int -> int) -> int array -> int array * int
+(** Iterate {!cv_step} until at most 6 colors remain;
+    [(coloring, rounds)]. *)
+
+val three_color_cycle : int -> int array * int
+(** 3-coloring of the canonical [n]-cycle [(i, i+1 mod n)]; returns the
+    coloring and the LOCAL round count, which is [O(log* n)]. *)
+
+val is_proper_on_cycle : succ:(int -> int) -> int array -> bool

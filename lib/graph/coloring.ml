@@ -1,0 +1,179 @@
+(* Proper vertex colorings: checking, greedy construction, and the standard
+   one-color-class-per-round reduction to [max_degree + 1] colors that we
+   use after Linial's algorithm. *)
+
+type t = int array (* node -> color, colors are >= 0 *)
+
+let is_proper g (c : t) =
+  Array.length c = Graph.n g
+  && Graph.fold_edges (fun ok _ u v -> ok && c.(u) <> c.(v)) true g
+
+let num_colors (c : t) = Array.fold_left (fun acc x -> max acc (x + 1)) 0 c
+
+(* Smallest color not used by the neighbors of [v]. *)
+let smallest_free g (c : t) v =
+  let used = List.filter_map (fun u -> if c.(u) >= 0 then Some c.(u) else None) (Graph.neighbors g v) in
+  let used = List.sort_uniq compare used in
+  let rec go k = function
+    | u :: rest when u = k -> go (k + 1) rest
+    | u :: rest when u < k -> go k rest
+    | _ -> k
+  in
+  go 0 used
+
+let greedy ?order g =
+  let n = Graph.n g in
+  let order = match order with Some o -> o | None -> Array.init n (fun i -> i) in
+  if Array.length order <> n then invalid_arg "Coloring.greedy: order must list all nodes";
+  let c = Array.make n (-1) in
+  Array.iter (fun v -> c.(v) <- smallest_free g c v) order;
+  c
+
+(* Reduce a proper coloring to at most [max_degree g + 1] colors. Classes
+   [>= dmax+1] are eliminated one at a time, highest first; the nodes of a
+   class are pairwise non-adjacent, so each class costs one communication
+   round in the LOCAL model. Returns the new coloring and the number of
+   rounds spent. *)
+let reduce g (c : t) =
+  if not (is_proper g c) then invalid_arg "Coloring.reduce: input not proper";
+  let c = Array.copy c in
+  let dmax = Graph.max_degree g in
+  let target = dmax + 1 in
+  let top = num_colors c in
+  for cls = top - 1 downto target do
+    (* all nodes of class [cls] recolor simultaneously; they are an
+       independent set, so using the pre-round colors of neighbors is
+       exactly what a LOCAL round sees *)
+    let updates = ref [] in
+    Array.iteri
+      (fun v col ->
+        if col = cls then begin
+          (* some free color < target exists: at most dmax neighbors *)
+          updates := (v, smallest_free g c v) :: !updates
+        end)
+      c;
+    List.iter (fun (v, col) -> c.(v) <- col) !updates
+  done;
+  (c, max 0 (top - target))
+
+(* Kuhn–Wattenhofer style parallel color reduction: partition the color
+   space into blocks of [2*(dmax+1)] colors; within every block, the
+   [dmax+1] "high" colors are eliminated one offset per round (all blocks
+   in parallel — recolored nodes pick a free color inside their own
+   block's low window, and windows of distinct blocks are disjoint), then
+   colors are compacted block-by-block, halving the palette every
+   [dmax+1] rounds. Reaches [dmax+1] colors in O(dmax * log m) rounds
+   instead of the O(m) of {!reduce}. *)
+let kw_reduce g (c : t) =
+  if not (is_proper g c) then invalid_arg "Coloring.kw_reduce: input not proper";
+  let c = Array.copy c in
+  let dmax = Graph.max_degree g in
+  let w = dmax + 1 in
+  let rounds = ref 0 in
+  let m = ref (num_colors c) in
+  while !m > w do
+    let block_size = 2 * w in
+    (* eliminate high offsets j = 0 .. w-1, one round each *)
+    for j = 0 to w - 1 do
+      incr rounds;
+      let updates = ref [] in
+      Array.iteri
+        (fun v col ->
+          let base = col / block_size * block_size in
+          if col - base = w + j then begin
+            (* smallest free color in [base, base + w) *)
+            let used =
+              List.filter_map
+                (fun u -> if c.(u) >= base && c.(u) < base + w then Some c.(u) else None)
+                (Graph.neighbors g v)
+            in
+            let used = List.sort_uniq compare used in
+            let rec free k = function
+              | x :: rest when x = k -> free (k + 1) rest
+              | x :: rest when x < k -> free k rest
+              | _ -> k
+            in
+            updates := (v, free base used) :: !updates
+          end)
+        c;
+      List.iter (fun (v, col) -> c.(v) <- col) !updates
+    done;
+    (* compact: block b's low window maps to [b*w, b*w + w) — local
+       renaming, no communication *)
+    Array.iteri
+      (fun v col ->
+        let b = col / block_size in
+        c.(v) <- (b * w) + (col mod block_size))
+      c;
+    let m' = ((!m + block_size - 1) / block_size) * w in
+    assert (num_colors c <= m');
+    m := m'
+  done;
+  (c, !rounds)
+
+(* Exact c-colorability by backtracking with forward checking, visiting
+   nodes in descending-degree order; [budget] caps the number of search
+   nodes (None result = budget exhausted, undecided). Exponential in the
+   worst case — meant for the small, structured graphs of the lower-bound
+   experiments (shift graphs). *)
+let colorable_exn ?(budget = 10_000_000) g c =
+  let n = Graph.n g in
+  if n = 0 then Some (Some [||])
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+    let colors = Array.make n (-1) in
+    let steps = ref 0 in
+    let exception Out_of_budget in
+    let rec go i =
+      if i = n then true
+      else begin
+        incr steps;
+        if !steps > budget then raise Out_of_budget;
+        let v = order.(i) in
+        let used = Array.make c false in
+        List.iter (fun u -> if colors.(u) >= 0 then used.(colors.(u)) <- true) (Graph.neighbors g v);
+        let rec try_color k =
+          if k = c then false
+          else if used.(k) then try_color (k + 1)
+          else begin
+            colors.(v) <- k;
+            if go (i + 1) then true
+            else begin
+              colors.(v) <- -1;
+              try_color (k + 1)
+            end
+          end
+        in
+        try_color 0
+      end
+    in
+    try if go 0 then Some (Some (Array.copy colors)) else Some None
+    with Out_of_budget -> None
+  end
+
+let colorable ?budget g c =
+  match colorable_exn ?budget g c with
+  | Some (Some _) -> Some true
+  | Some None -> Some false
+  | None -> None
+
+(* Exact chromatic number (within the search budget): smallest [c] for
+   which the graph is [c]-colorable. [None] if the budget ran out before
+   a decision. *)
+let chromatic_number ?budget g =
+  let rec go c =
+    if c > Graph.n g then None
+    else
+      match colorable ?budget g c with
+      | Some true -> Some c
+      | Some false -> go (c + 1)
+      | None -> None
+  in
+  if Graph.n g = 0 then Some 0 else go 1
+
+let classes (c : t) =
+  let k = num_colors c in
+  let buckets = Array.make k [] in
+  Array.iteri (fun v col -> buckets.(col) <- v :: buckets.(col)) c;
+  Array.map List.rev buckets

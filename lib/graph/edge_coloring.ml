@@ -1,0 +1,38 @@
+(* Distributed-style edge coloring via the line graph.
+
+   A proper edge coloring of [g] is a proper vertex coloring of the line
+   graph [L(g)]; [L(g)] has maximum degree at most [2*(dmax-1)], so
+   Linial's pipeline yields at most [2*dmax - 1] colors in
+   [O(poly dmax + log* m)] rounds. This is our stand-in for the [PR01]
+   edge-coloring subroutine in Corollary 1.2. *)
+
+type t = int array (* edge id -> color *)
+
+let is_proper g (c : t) =
+  Array.length c = Graph.m g
+  &&
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    let cols = List.map (fun e -> c.(e)) (Graph.incident_edges g v) in
+    let sorted = List.sort compare cols in
+    let rec distinct = function
+      | a :: (b :: _ as rest) -> a <> b && distinct rest
+      | _ -> true
+    in
+    if not (distinct sorted) then ok := false
+  done;
+  !ok
+
+let num_colors (c : t) = Array.fold_left (fun acc x -> max acc (x + 1)) 0 c
+
+(* Edge coloring together with the LOCAL rounds charged. A simulated line
+   graph round costs one real round (edge endpoints coordinate, adjacent
+   edges share an endpoint). *)
+let color g =
+  if Graph.m g = 0 then ([||], 0)
+  else begin
+    let lg = Graph.line_graph g in
+    Linial.color lg
+  end
+
+let greedy g = Coloring.greedy (Graph.line_graph g)

@@ -1,0 +1,17 @@
+(** Proper edge colorings via the line graph; stand-in for the [PR01]
+    [O(d + log* n)]-round edge coloring used by Corollary 1.2. *)
+
+type t = int array
+(** Edge id to color. *)
+
+val is_proper : Graph.t -> t -> bool
+(** No two edges sharing an endpoint have the same color. *)
+
+val num_colors : t -> int
+
+val color : Graph.t -> t * int
+(** Linial pipeline on the line graph: at most [2*max_degree - 1] colors,
+    [(coloring, LOCAL rounds)]. *)
+
+val greedy : Graph.t -> t
+(** Sequential greedy edge coloring (for tests and baselines). *)

@@ -1,0 +1,56 @@
+(** Graph and hypergraph generators (deterministic families plus seeded
+    random models) for tests, examples and benchmarks. *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val path : int -> Graph.t
+val complete : int -> Graph.t
+val star : int -> Graph.t
+(** Node [0] connected to all others. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h] is the [w*h] grid. *)
+
+val torus : int -> int -> Graph.t
+(** 4-regular wraparound grid, [w, h >= 3]. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] is the [d]-dimensional hypercube on [2^d] nodes. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b]: sides [{0..a-1}] and [{a..a+b-1}]. *)
+
+val random_tree : seed:int -> int -> Graph.t
+(** Uniform random labelled tree (Prüfer sequence). *)
+
+val random_regular : seed:int -> int -> int -> Graph.t
+(** [random_regular ~seed n d]: simple [d]-regular graph via the
+    configuration model with retries. Requires [n*d] even, [1 <= d < n]. *)
+
+val gnm : seed:int -> int -> int -> Graph.t
+(** Uniform graph with exactly the given number of distinct edges. *)
+
+val random_bounded_degree : seed:int -> int -> int -> int -> Graph.t
+(** [random_bounded_degree ~seed n dmax m]: up to [m] random edges subject
+    to a hard maximum-degree cap [dmax]. *)
+
+val random_bipartite :
+  seed:int -> nv:int -> nu:int -> deg_u:int -> min_deg_v:int -> int array array
+(** Bipartite incidence for weak splitting: entry [u] lists the [deg_u]
+    distinct neighbors in [V = {0..nv-1}] of variable node [u]; retries
+    until every [v] has degree at least [min_deg_v]. *)
+
+val random_biregular_bipartite :
+  seed:int -> nv:int -> nu:int -> deg_u:int -> deg_v:int -> int array array
+(** Bipartite incidence with exact degrees on both sides (requires
+    [nu*deg_u = nv*deg_v]); entry [u] lists the distinct V-neighbors of
+    U-node [u], sorted. *)
+
+val random_regular_hypergraph : seed:int -> int -> int -> int -> Hypergraph.t
+(** [random_regular_hypergraph ~seed n k deg]: rank-[k] hypergraph, every
+    node in exactly [deg] hyperedges, all hyperedges distinct with [k]
+    distinct members. Requires [k | n*deg]. *)
+
+val shuffle : Random.State.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

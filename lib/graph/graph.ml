@@ -1,0 +1,198 @@
+(* Undirected simple graphs with integer nodes [0..n-1] and stable edge ids.
+
+   The adjacency structure stores, for every node, the list of
+   [(neighbor, edge id)] pairs; edge ids index into [edges], which stores
+   endpoints normalised as [(min, max)]. *)
+
+type t = {
+  n : int;
+  edges : (int * int) array;
+  adj : (int * int) list array; (* (neighbor, edge id) *)
+}
+
+let n g = g.n
+let m g = Array.length g.edges
+let edges g = g.edges
+let endpoints g e = g.edges.(e)
+let adj g v = g.adj.(v)
+let neighbors g v = List.map fst g.adj.(v)
+let incident_edges g v = List.map snd g.adj.(v)
+let degree g v = List.length g.adj.(v)
+
+let max_degree g =
+  let d = ref 0 in
+  for v = 0 to g.n - 1 do
+    d := max !d (degree g v)
+  done;
+  !d
+
+let other_endpoint g e v =
+  let u, w = g.edges.(e) in
+  if u = v then w else if w = v then u else invalid_arg "Graph.other_endpoint: not an endpoint"
+
+let create ~n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  let seen = Hashtbl.create (List.length edge_list) in
+  let norm (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: node out of range";
+    if u = v then invalid_arg "Graph.create: self-loop";
+    if u < v then (u, v) else (v, u)
+  in
+  let uniq =
+    List.filter
+      (fun e ->
+        let e = norm e in
+        if Hashtbl.mem seen e then false
+        else begin
+          Hashtbl.add seen e ();
+          true
+        end)
+      edge_list
+  in
+  let edges = Array.of_list (List.map norm uniq) in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i (u, v) ->
+      adj.(u) <- (v, i) :: adj.(u);
+      adj.(v) <- (u, i) :: adj.(v))
+    edges;
+  (* deterministic neighbor order *)
+  Array.iteri (fun v l -> adj.(v) <- List.sort compare l) adj;
+  { n; edges; adj }
+
+let mem_edge g u v = List.exists (fun (w, _) -> w = v) g.adj.(u)
+
+let find_edge g u v =
+  List.find_map (fun (w, e) -> if w = v then Some e else None) g.adj.(u)
+
+let find_edge_exn g u v =
+  match find_edge g u v with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Graph.find_edge_exn: no edge %d-%d" u v)
+
+let fold_edges f acc g =
+  let acc = ref acc in
+  Array.iteri (fun i (u, v) -> acc := f !acc i u v) g.edges;
+  !acc
+
+let iter_edges f g = Array.iteri (fun i (u, v) -> f i u v) g.edges
+
+(* Square graph: nodes at distance 1 or 2 become adjacent. A proper coloring
+   of [square g] is exactly a 2-hop coloring of [g]. *)
+let square g =
+  let es = ref [] in
+  for v = 0 to g.n - 1 do
+    let nbrs = neighbors g v in
+    List.iter (fun u -> if u > v then es := (v, u) :: !es) nbrs;
+    (* distance-2 pairs through v *)
+    let rec pairs = function
+      | [] -> ()
+      | u :: rest ->
+        List.iter (fun w -> if u <> w then es := ((min u w), (max u w)) :: !es) rest;
+        pairs rest
+    in
+    pairs nbrs
+  done;
+  create ~n:g.n !es
+
+(* Line graph: one node per edge of [g]; two nodes adjacent iff the edges
+   share an endpoint. Returns the line graph; its node [i] is edge [i] of
+   [g]. *)
+let line_graph g =
+  let es = ref [] in
+  for v = 0 to g.n - 1 do
+    let ids = incident_edges g v in
+    let rec pairs = function
+      | [] -> ()
+      | e :: rest -> List.iter (fun e' -> es := ((min e e'), (max e e')) :: !es) rest; pairs rest
+    in
+    pairs ids
+  done;
+  create ~n:(m g) !es
+
+let bfs_dist g src =
+  let dist = Array.make g.n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun (u, _) ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u q
+        end)
+      g.adj.(v)
+  done;
+  dist
+
+let connected_components g =
+  let comp = Array.make g.n (-1) in
+  let c = ref 0 in
+  for v = 0 to g.n - 1 do
+    if comp.(v) < 0 then begin
+      let q = Queue.create () in
+      comp.(v) <- !c;
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let x = Queue.pop q in
+        List.iter
+          (fun (u, _) ->
+            if comp.(u) < 0 then begin
+              comp.(u) <- !c;
+              Queue.add u q
+            end)
+          g.adj.(x)
+      done;
+      incr c
+    end
+  done;
+  (!c, comp)
+
+let is_connected g = g.n <= 1 || fst (connected_components g) = 1
+
+(* Girth by BFS from every node; O(n*m), fine for test-sized graphs.
+   Returns [None] for forests. *)
+let girth g =
+  let best = ref max_int in
+  for src = 0 to g.n - 1 do
+    let dist = Array.make g.n (-1) in
+    let parent_edge = Array.make g.n (-1) in
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src q;
+    let continue = ref true in
+    while !continue && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun (u, e) ->
+          if e <> parent_edge.(v) then begin
+            if dist.(u) < 0 then begin
+              dist.(u) <- dist.(v) + 1;
+              parent_edge.(u) <- e;
+              Queue.add u q
+            end
+            else begin
+              (* cycle through src of length <= dist v + dist u + 1 *)
+              let len = dist.(v) + dist.(u) + 1 in
+              if len < !best then best := len
+            end
+          end)
+        g.adj.(v);
+      if dist.(v) * 2 > !best then continue := false
+    done
+  done;
+  if !best = max_int then None else Some !best
+
+let to_dot g =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "graph g {\n";
+  for v = 0 to g.n - 1 do
+    Buffer.add_string b (Printf.sprintf "  %d;\n" v)
+  done;
+  Array.iter (fun (u, v) -> Buffer.add_string b (Printf.sprintf "  %d -- %d;\n" u v)) g.edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let pp fmt g = Format.fprintf fmt "graph(n=%d, m=%d)" g.n (m g)

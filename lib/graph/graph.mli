@@ -1,0 +1,67 @@
+(** Undirected simple graphs with nodes [0..n-1] and stable edge ids.
+
+    The dependency graphs of LLL instances, line graphs used for edge
+    coloring, and graph squares used for 2-hop coloring are all values of
+    this type. *)
+
+type t
+
+val create : n:int -> (int * int) list -> t
+(** [create ~n edges] builds a graph on nodes [0..n-1]. Duplicate edges are
+    dropped; self-loops and out-of-range endpoints raise
+    [Invalid_argument]. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val edges : t -> (int * int) array
+(** [edges g] maps each edge id to its endpoints [(u, v)] with [u < v]. *)
+
+val endpoints : t -> int -> int * int
+val other_endpoint : t -> int -> int -> int
+(** [other_endpoint g e v] is the endpoint of edge [e] different from [v]. *)
+
+val adj : t -> int -> (int * int) list
+(** [(neighbor, edge id)] pairs, sorted. *)
+
+val neighbors : t -> int -> int list
+val incident_edges : t -> int -> int list
+val degree : t -> int -> int
+val max_degree : t -> int
+val mem_edge : t -> int -> int -> bool
+
+val find_edge : t -> int -> int -> int option
+(** Edge id between two nodes, if adjacent. *)
+
+val find_edge_exn : t -> int -> int -> int
+
+val fold_edges : ('a -> int -> int -> int -> 'a) -> 'a -> t -> 'a
+(** [fold_edges f acc g] folds [f acc edge_id u v] over all edges. *)
+
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+
+val square : t -> t
+(** [square g] connects all pairs of nodes at distance 1 or 2 in [g]; a
+    proper coloring of [square g] is a 2-hop coloring of [g]
+    (Corollary 1.4 of the paper). *)
+
+val line_graph : t -> t
+(** Node [i] of [line_graph g] is edge [i] of [g]; nodes are adjacent iff
+    the edges share an endpoint. *)
+
+val bfs_dist : t -> int -> int array
+(** Distances from a source; [-1] for unreachable nodes. *)
+
+val connected_components : t -> int * int array
+(** [(count, component index per node)]. *)
+
+val is_connected : t -> bool
+
+val girth : t -> int option
+(** Length of a shortest cycle, or [None] for forests. [O(n*m)]. *)
+
+val to_dot : t -> string
+val pp : Format.formatter -> t -> unit

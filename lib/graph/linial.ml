@@ -1,0 +1,86 @@
+(* Linial's iterated color reduction.
+
+   One round maps a proper [m]-coloring to a proper [q^2]-coloring where
+   [q] is a prime chosen so that [q > t * max_degree] and [q^(t+1) >= m]
+   for some degree bound [t]: each node interprets its color as a
+   polynomial of degree at most [t] over F_q (base-[q] digits as
+   coefficients) and picks an evaluation point [a] at which its polynomial
+   differs from the polynomials of all neighbors — two distinct degree-[t]
+   polynomials agree on at most [t] points, so at most [t * Delta < q]
+   points are forbidden. The new color is the pair [(a, p(a))].
+
+   Iterating reaches a fixed point of [O((Delta log Delta)^2)] colors after
+   [O(log* m)] rounds; a final greedy class-by-class reduction
+   ({!Coloring.reduce}) brings this down to [Delta + 1]. This replaces the
+   [FHK16]/[PR01] subroutines cited by the paper with the same
+   [O(poly Delta + log* n)] round structure (see DESIGN.md). *)
+
+(* Integer power saturating at [limit] (never overflows). *)
+let pow_sat ~limit b e =
+  let rec go acc e = if e = 0 then acc else if acc > limit / b then limit else go (acc * b) (e - 1) in
+  go 1 e
+
+(* Choose [(q, t)] minimising the resulting color count [q^2], subject to
+   [q] prime, [q > t * dmax], [q^(t+1) >= m]. *)
+let choose_params ~dmax ~m =
+  let dmax = max dmax 1 in
+  let best = ref None in
+  for t = 1 to 60 do
+    (* smallest prime q with q > t*dmax and q^(t+1) >= m *)
+    let rec search q =
+      let q = Primes.next_prime q in
+      if pow_sat ~limit:max_int q (t + 1) >= m then q else search (q + 1)
+    in
+    let q = search ((t * dmax) + 1) in
+    match !best with
+    | Some (q', _) when q' <= q -> ()
+    | _ -> best := Some (q, t)
+  done;
+  match !best with Some r -> r | None -> assert false
+
+(* One reduction round. [colors] must be a proper coloring with
+   [num_colors <= m]. Returns the new coloring (over at most [q^2]
+   colors). *)
+let one_round g ~m colors =
+  let dmax = Graph.max_degree g in
+  let q, t = choose_params ~dmax ~m in
+  let n = Graph.n g in
+  let polys = Array.init n (fun v -> Primes.digits ~base:q ~len:(t + 1) colors.(v)) in
+  let next = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let nbrs = Graph.neighbors g v in
+    let rec find a =
+      if a >= q then invalid_arg "Linial.one_round: no free evaluation point (improper input?)"
+      else if
+        List.for_all (fun u -> Primes.poly_eval q polys.(v) a <> Primes.poly_eval q polys.(u) a) nbrs
+      then a
+      else find (a + 1)
+    in
+    let a = find 0 in
+    next.(v) <- (a * q) + Primes.poly_eval q polys.(v) a
+  done;
+  (next, q * q)
+
+(* Iterate [one_round] until the color count stops decreasing; returns the
+   final coloring and the number of rounds used. Starting from the trivial
+   identity coloring this takes [O(log* n)] rounds. *)
+let reduce_to_fixpoint g ~m colors =
+  let rec go colors m rounds =
+    let next, m' = one_round g ~m colors in
+    if m' >= m then (colors, m, rounds) else go next m' (rounds + 1)
+  in
+  go colors m 0
+
+(* Full pipeline: identity coloring -> Linial fixpoint -> Kuhn-Wattenhofer
+   block reduction to [max_degree + 1] colors. Returns the coloring and
+   the total LOCAL round count: O(log* n) Linial rounds plus
+   O(max_degree * log(fixpoint)) reduction rounds. *)
+let color g =
+  let n = Graph.n g in
+  if n = 0 then ([||], 0)
+  else begin
+    let ids = Array.init n (fun i -> i) in
+    let c, _, r1 = reduce_to_fixpoint g ~m:n ids in
+    let c', r2 = Coloring.kw_reduce g c in
+    (c', r1 + r2)
+  end

@@ -1,0 +1,23 @@
+(** Linial's [log*]-round color reduction via polynomials over prime
+    fields, plus a full pipeline producing a [(max_degree + 1)]-coloring.
+
+    Used as our stand-in for the [PR01]/[FHK16] coloring subroutines the
+    paper cites: same [O(poly d + log* n)] round structure (DESIGN.md
+    documents the substitution). *)
+
+val choose_params : dmax:int -> m:int -> int * int
+(** [(q, t)] with [q] prime, [q > t*dmax], [q^(t+1) >= m], minimising
+    [q^2]. *)
+
+val one_round : Graph.t -> m:int -> int array -> int array * int
+(** Map a proper [<= m]-coloring to a proper coloring with at most the
+    returned number of colors (one LOCAL round). *)
+
+val reduce_to_fixpoint : Graph.t -> m:int -> int array -> int array * int * int
+(** Iterate {!one_round} until no further progress:
+    [(coloring, colors, rounds)]. *)
+
+val color : Graph.t -> int array * int
+(** Identity coloring, Linial fixpoint, then {!Coloring.reduce}: a proper
+    [(max_degree + 1)]-coloring together with the total number of LOCAL
+    rounds charged. *)

@@ -1,0 +1,113 @@
+(* Textual graph and hypergraph serialization.
+
+   Graphs use the DIMACS edge-list convention (with 0-based vertices and
+   a "p edge <n> <m>" header); hypergraphs use an analogous "p hyper"
+   header with one "h <k> <v_1> ... <v_k>" line per hyperedge. Comments
+   start with 'c'. Round trips preserve the structures exactly up to
+   edge order (tested). *)
+
+exception Parse_error of { line : int; message : string }
+
+let parse_fail line message = raise (Parse_error { line; message })
+
+(* ---- graphs ---- *)
+
+let graph_to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p edge %d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges (fun _ u v -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v)) g;
+  Buffer.contents buf
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let graph_of_string s =
+  let n = ref (-1) in
+  let edges = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> 'c' then begin
+        match tokens line with
+        | [ "p"; "edge"; nn; _m ] -> (
+          match int_of_string_opt nn with
+          | Some v -> n := v
+          | None -> parse_fail lineno "bad node count")
+        | [ "e"; u; v ] -> (
+          match (int_of_string_opt u, int_of_string_opt v) with
+          | Some u, Some v -> edges := (u, v) :: !edges
+          | _ -> parse_fail lineno "bad edge")
+        | _ -> parse_fail lineno (Printf.sprintf "unrecognised line %S" line)
+      end)
+    (String.split_on_char '\n' s);
+  if !n < 0 then parse_fail 0 "missing 'p edge' header";
+  Graph.create ~n:!n (List.rev !edges)
+
+let save_graph path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (graph_to_string g))
+
+let load_graph path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> graph_of_string (In_channel.input_all ic))
+
+(* ---- hypergraphs ---- *)
+
+let hypergraph_to_string h =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p hyper %d %d\n" (Hypergraph.n h) (Hypergraph.m h));
+  Array.iter
+    (fun members ->
+      Buffer.add_string buf (Printf.sprintf "h %d" (Array.length members));
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v)) members;
+      Buffer.add_char buf '\n')
+    (Hypergraph.edges h);
+  Buffer.contents buf
+
+let hypergraph_of_string s =
+  let n = ref (-1) in
+  let edges = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> 'c' then begin
+        match tokens line with
+        | [ "p"; "hyper"; nn; _m ] -> (
+          match int_of_string_opt nn with
+          | Some v -> n := v
+          | None -> parse_fail lineno "bad node count")
+        | "h" :: k :: members -> (
+          match int_of_string_opt k with
+          | Some k when List.length members = k ->
+            let members =
+              List.map
+                (fun t ->
+                  match int_of_string_opt t with
+                  | Some v -> v
+                  | None -> parse_fail lineno "bad member")
+                members
+            in
+            edges := members :: !edges
+          | _ -> parse_fail lineno "bad hyperedge arity")
+        | _ -> parse_fail lineno (Printf.sprintf "unrecognised line %S" line)
+      end)
+    (String.split_on_char '\n' s);
+  if !n < 0 then parse_fail 0 "missing 'p hyper' header";
+  Hypergraph.create ~n:!n (List.rev !edges)
+
+let save_hypergraph path h =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (hypergraph_to_string h))
+
+let load_hypergraph path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> hypergraph_of_string (In_channel.input_all ic))

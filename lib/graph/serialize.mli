@@ -1,0 +1,16 @@
+(** DIMACS-style textual serialization of graphs and hypergraphs
+    (0-based vertices, 'c' comment lines). *)
+
+exception Parse_error of { line : int; message : string }
+
+val graph_to_string : Graph.t -> string
+val graph_of_string : string -> Graph.t
+(** @raise Parse_error on malformed input. *)
+
+val save_graph : string -> Graph.t -> unit
+val load_graph : string -> Graph.t
+
+val hypergraph_to_string : Hypergraph.t -> string
+val hypergraph_of_string : string -> Hypergraph.t
+val save_hypergraph : string -> Hypergraph.t -> unit
+val load_hypergraph : string -> Hypergraph.t

@@ -1,0 +1,102 @@
+(* Shift graphs — the combinatorial core of the Omega(log* n) lower bound
+   the paper builds on.
+
+   The shift graph S(m, k) has one node per ordered k-tuple of DISTINCT
+   ids from {0..m-1}, with an edge between (a_1, ..., a_k) and
+   (a_2, ..., a_k, b) whenever the result is again a tuple of distinct
+   ids. A t-round deterministic algorithm coloring directed paths/rings
+   with ids from [m] is exactly a proper coloring of S(m, 2t+1) — every
+   node's output is a function of its (2t+1)-id view, and adjacent views
+   overlap in a shift. The chromatic number of shift graphs famously
+   grows like an iterated logarithm of m, which is precisely why
+   o(log* n)-round coloring is impossible and why the paper's
+   O(poly d + log* n) upper bounds are optimal in n.
+
+   We materialise S(m, k) as an ordinary {!Graph.t} (small m only: the
+   graph has m!/(m-k)! nodes) so the exact chromatic-number search of
+   {!Coloring} can certify concrete instances of the lower bound. *)
+
+(* rank/unrank ordered k-tuples of distinct elements of [m] *)
+let num_tuples m k =
+  let rec go acc i = if i = 0 then acc else go (acc * (m - i + 1)) (i - 1) in
+  go 1 k
+
+(* the tuple is encoded by successive choices among the remaining ids *)
+let rank ~m tuple =
+  let k = Array.length tuple in
+  let used = Array.make m false in
+  let r = ref 0 in
+  for i = 0 to k - 1 do
+    (* position of tuple.(i) among unused ids *)
+    let p = ref 0 in
+    for x = 0 to tuple.(i) - 1 do
+      if not used.(x) then incr p
+    done;
+    r := (!r * (m - i)) + !p;
+    used.(tuple.(i)) <- true
+  done;
+  !r
+
+let unrank ~m ~k r =
+  let used = Array.make m false in
+  let tuple = Array.make k 0 in
+  (* peel positions from most significant *)
+  let divisors = Array.make k 1 in
+  for i = 0 to k - 1 do
+    divisors.(i) <- m - i
+  done;
+  let weights = Array.make k 1 in
+  for i = k - 2 downto 0 do
+    weights.(i) <- weights.(i + 1) * divisors.(i + 1)
+  done;
+  let r = ref r in
+  for i = 0 to k - 1 do
+    let p = !r / weights.(i) in
+    r := !r mod weights.(i);
+    (* p-th unused id *)
+    let count = ref (-1) in
+    let x = ref (-1) in
+    while !count < p do
+      incr x;
+      if not used.(!x) then incr count
+    done;
+    tuple.(i) <- !x;
+    used.(!x) <- true
+  done;
+  tuple
+
+let build ~m ~k =
+  if k < 1 || m < k then invalid_arg "Shift_graph.build: need 1 <= k <= m";
+  let n = num_tuples m k in
+  let edges = ref [] in
+  for r = 0 to n - 1 do
+    let t = unrank ~m ~k r in
+    (* successor windows (t_2, ..., t_k, b): on a path, any k+1
+       consecutive ids are pairwise distinct, so b avoids the whole
+       current window *)
+    for b = 0 to m - 1 do
+      if not (Array.exists (fun x -> x = b) t) then begin
+        let succ = Array.init k (fun i -> if i = k - 1 then b else t.(i + 1)) in
+        let r' = rank ~m succ in
+        if r <> r' then edges := (min r r', max r r') :: !edges
+      end
+    done
+  done;
+  Graph.create ~n !edges
+
+(* Chromatic number of S(m, k) within a search budget. *)
+let chromatic_number ?budget ~m ~k () = Coloring.chromatic_number ?budget (build ~m ~k)
+
+(* Smallest universe size for which no [colors]-coloring algorithm with
+   view size [k] exists (i.e. chi(S(m,k)) > colors), scanning m upward;
+   [None] if undecided within [max_m]/budget. *)
+let threshold_universe ?budget ~k ~colors ~max_m () =
+  let rec go m =
+    if m > max_m then None
+    else
+      match Coloring.colorable ?budget (build ~m ~k) colors with
+      | Some false -> Some m
+      | Some true -> go (m + 1)
+      | None -> None
+  in
+  go (k + 1)

@@ -1,0 +1,25 @@
+(** Shift graphs [S(m, k)]: ordered k-tuples of distinct ids from
+    [{0..m-1}], adjacent under window shifts. A t-round deterministic
+    path/ring coloring algorithm with ids from [m] IS a proper coloring
+    of [S(m, 2t+1)]; the iterated-logarithm growth of their chromatic
+    numbers is the [Omega(log* n)] lower bound the paper builds on. *)
+
+val num_tuples : int -> int -> int
+(** [m! / (m-k)!]. *)
+
+val rank : m:int -> int array -> int
+(** Bijective encoding of a distinct k-tuple into [0 .. num_tuples-1]. *)
+
+val unrank : m:int -> k:int -> int -> int array
+
+val build : m:int -> k:int -> Graph.t
+(** Materialise [S(m, k)] ([num_tuples m k] nodes — small [m] only). *)
+
+val chromatic_number : ?budget:int -> m:int -> k:int -> unit -> int option
+(** Exact chromatic number of [S(m,k)] within the search budget. *)
+
+val threshold_universe :
+  ?budget:int -> k:int -> colors:int -> max_m:int -> unit -> int option
+(** Smallest [m] for which NO [colors]-coloring of [S(m, k)] exists —
+    i.e. the id-universe size at which every (k-window)-round algorithm
+    provably fails; [None] if undecided up to [max_m]. *)

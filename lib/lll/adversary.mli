@@ -1,0 +1,23 @@
+(** An active adversary against the fixers' order-obliviousness: hill
+    climbing over variable orders to maximise the fixer's own certified
+    bound. Below the threshold the bound provably stays below 1 — this
+    module lets the experiments confirm it under attack, not just under
+    random orders. *)
+
+module Rat = Lll_num.Rat
+
+val final_bound_rank2 : Instance.t -> int array -> Rat.t
+(** Exact certificate of a rank-2 run under the given order:
+    [max_v Pr[E_v] * prod phi_e^v]. *)
+
+val peak_bound_rank2 : Instance.t -> int array -> Rat.t
+(** The peak of the certificate over the whole run — the closest
+    approach to 1; strictly below 1 for every order when [p < 2^-d]. *)
+
+type attack = {
+  order : int array;
+  bound : Rat.t;  (** Largest peak certificate the search found. *)
+  succeeded : bool;  (** The fixer still avoided all events under it. *)
+}
+
+val worst_order_rank2 : ?seed:int -> ?steps:int -> Instance.t -> attack

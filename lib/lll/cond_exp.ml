@@ -1,0 +1,70 @@
+(* Derandomization by conditional expectations under the UNION-BOUND
+   criterion — the baseline the paper's introduction contrasts the LLL
+   against.
+
+   If the bad events satisfy the global condition [sum_i Pr[E_i] < 1],
+   the method of conditional expectations fixes the variables one at a
+   time, each time choosing a value that does not increase the estimator
+   [Phi(theta) = sum_i Pr[E_i | theta]] (such a value exists since the
+   expectation of [Phi] over a variable's values equals the current
+   [Phi]). When everything is fixed, [Phi < 1] forces every summand —
+   now 0 or 1 — to be 0.
+
+   Unlike the paper's fixers this is inherently GLOBAL: the criterion
+   degrades with [n], and fixing one variable requires comparing sums
+   over all events it affects against a global budget. It exists here as
+   the classic contrast: union bound = global, LLL = local. The
+   estimator is exact (rationals). *)
+
+module Rat = Lll_num.Rat
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+
+let criterion_holds instance =
+  Rat.lt (Rat.sum (Array.to_list (Instance.initial_probs instance))) Rat.one
+
+(* Fix all variables; returns the assignment and the final estimator.
+   Succeeds (all events avoided) whenever the union-bound criterion
+   holds; with it violated the result may contain occurring events —
+   callers must verify. *)
+let solve ?order instance =
+  let space = Instance.space instance in
+  let m = Instance.num_vars instance in
+  let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
+  let assignment = Assignment.empty m in
+  (* cached Pr[E_i | theta], exact *)
+  let probs = Array.copy (Instance.initial_probs instance) in
+  Array.iter
+    (fun vid ->
+      let evs = Instance.events_of_var instance vid in
+      let arity = Lll_prob.Var.arity (Space.var space vid) in
+      if Array.length evs = 0 then Assignment.set_inplace assignment vid 0
+      else begin
+        let vectors =
+          Array.map
+            (fun ev ->
+              let after, before =
+                Space.prob_vector space (Instance.event instance ev) ~fixed:assignment ~var:vid
+              in
+              assert (Rat.equal before probs.(ev));
+              after)
+            evs
+        in
+        (* choose the value minimising the local contribution to Phi *)
+        let contribution y =
+          Rat.sum (Array.to_list (Array.map (fun after -> after.(y)) vectors))
+        in
+        let best = ref None in
+        for y = 0 to arity - 1 do
+          let c = contribution y in
+          match !best with
+          | Some (_, c') when Rat.leq c' c -> ()
+          | _ -> best := Some (y, c)
+        done;
+        let y, _ = Option.get !best in
+        Assignment.set_inplace assignment vid y;
+        Array.iteri (fun i ev -> probs.(ev) <- vectors.(i).(y)) evs
+      end)
+    order;
+  let phi = Rat.sum (Array.to_list probs) in
+  (assignment, phi)

@@ -1,0 +1,16 @@
+(** Conditional-expectations derandomization under the union-bound
+    criterion [sum_i Pr[E_i] < 1] — the global baseline the paper's
+    introduction contrasts the (local) LLL against. Exact rational
+    estimator. *)
+
+module Rat = Lll_num.Rat
+module Assignment = Lll_prob.Assignment
+
+val criterion_holds : Instance.t -> bool
+(** Exact check of [sum_i Pr[E_i] < 1]. *)
+
+val solve : ?order:int array -> Instance.t -> Assignment.t * Rat.t
+(** Fix every variable without ever increasing the estimator
+    [Phi = sum_i Pr[E_i | theta]]; returns the assignment and the final
+    (exact) [Phi]. If {!criterion_holds}, the assignment provably avoids
+    all bad events. *)

@@ -1,0 +1,128 @@
+(* LLL criteria from the paper's "criteria vs. time" landscape (Section 1).
+
+   All checks are exact rational comparisons. Where the mathematical
+   constant [e] appears we use a rational upper bound, so a criterion
+   reported as satisfied is guaranteed to hold. *)
+
+module Rat = Lll_num.Rat
+
+(* 2.718281828459046 > e = 2.7182818284590452... *)
+let e_upper = Rat.of_string "2718281828459046/1000000000000000"
+
+type criterion =
+  | Shattering (* e * p * (d+1) < 1 — Moser–Tardos [MT10], O(log^2 n) *)
+  | Polynomial_epd2 (* e * p * d^2 < 1 — Chung–Pettie–Su [CPS17] *)
+  | Polynomial_d8 (* p * d^8 <= 1 — Ghaffari–Harris–Kuhn [GHK18] flavour *)
+  | Exponential (* p < 2^-d — this paper's threshold criterion *)
+
+let all = [ Shattering; Polynomial_epd2; Polynomial_d8; Exponential ]
+
+let name = function
+  | Shattering -> "ep(d+1) < 1"
+  | Polynomial_epd2 -> "epd^2 < 1"
+  | Polynomial_d8 -> "pd^8 <= 1"
+  | Exponential -> "p < 2^-d"
+
+let holds criterion ~p ~d =
+  if Rat.sign p < 0 || d < 0 then invalid_arg "Criteria.holds: need p >= 0, d >= 0";
+  match criterion with
+  | Shattering -> Rat.lt (Rat.mul e_upper (Rat.mul p (Rat.of_int (d + 1)))) Rat.one
+  | Polynomial_epd2 -> Rat.lt (Rat.mul e_upper (Rat.mul p (Rat.of_int (d * d)))) Rat.one
+  | Polynomial_d8 -> Rat.leq (Rat.mul p (Rat.pow (Rat.of_int d) 8)) Rat.one
+  | Exponential -> Rat.lt p (Rat.pow2 (-d))
+
+(* Distance to the exponential threshold: [p * 2^d]; the paper's phase
+   transition sits at value exactly 1. *)
+let threshold_ratio ~p ~d = Rat.mul p (Rat.pow2 d)
+
+(* The general asymmetric LLL condition [EL74]: given x_i in (0,1) per
+   event, require Pr[E_i] <= x_i * prod_{j ~ i} (1 - x_j). Exact. *)
+let asymmetric_holds instance ~x =
+  let g = Instance.dep_graph instance in
+  let n = Instance.num_events instance in
+  if Array.length x <> n then invalid_arg "Criteria.asymmetric_holds: |x| mismatch";
+  Array.iter
+    (fun xi ->
+      if Rat.sign xi <= 0 || Rat.geq xi Rat.one then
+        invalid_arg "Criteria.asymmetric_holds: need 0 < x_i < 1")
+    x;
+  let probs = Instance.initial_probs instance in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let bound =
+      List.fold_left
+        (fun acc j -> Rat.mul acc (Rat.sub Rat.one x.(j)))
+        x.(i)
+        (Lll_graph.Graph.neighbors g i)
+    in
+    if Rat.gt probs.(i) bound then ok := false
+  done;
+  !ok
+
+(* Default weights x_i = 1/(d+1): makes the asymmetric condition
+   essentially the symmetric shattering criterion. *)
+let asymmetric_default_x instance =
+  let d = Instance.dependency_degree instance in
+  Array.make (Instance.num_events instance) (Rat.of_ints 1 (d + 1))
+
+(* Shearer's exact criterion [Shearer 1985]: the probability vector p is
+   in the LLL-feasible region for dependency graph G iff the alternating
+   independence polynomial
+
+     Q(H) = sum over independent S of H of (-1)^|S| prod_{i in S} p_i
+
+   is strictly positive for EVERY induced subgraph H of G. We evaluate Q
+   on all 2^n node subsets with the classic recurrence
+   Q(M) = Q(M - v) - p_v * Q(M \ N[v]) (v the lowest node of M), exactly,
+   in O(2^n) rational operations — exponential by nature, intended for
+   small instances (n <= ~20). This is the outer boundary every LLL
+   criterion (including the paper's p < 2^-d) lies strictly inside. *)
+let shearer_holds instance =
+  let g = Instance.dep_graph instance in
+  let n = Instance.num_events instance in
+  if n > 20 then invalid_arg "Criteria.shearer_holds: too many events (exponential check)";
+  let probs = Instance.initial_probs instance in
+  let closed_nbhd =
+    Array.init n (fun v ->
+        List.fold_left (fun acc u -> acc lor (1 lsl u)) (1 lsl v) (Lll_graph.Graph.neighbors g v))
+  in
+  let q = Array.make (1 lsl n) Rat.one in
+  let ok = ref true in
+  for mask = 1 to (1 lsl n) - 1 do
+    (* lowest set bit *)
+    let v =
+      let rec go i = if mask land (1 lsl i) <> 0 then i else go (i + 1) in
+      go 0
+    in
+    let without_v = mask land lnot (1 lsl v) in
+    let without_nbhd = mask land lnot closed_nbhd.(v) in
+    q.(mask) <- Rat.sub q.(without_v) (Rat.mul probs.(v) q.(without_nbhd));
+    if Rat.sign q.(mask) <= 0 then ok := false
+  done;
+  !ok
+
+type report = { p : Rat.t; d : int; r : int; satisfied : (criterion * bool) list }
+
+let evaluate instance =
+  let p = Instance.max_prob instance in
+  let d = Instance.dependency_degree instance in
+  let r = Instance.rank instance in
+  { p; d; r; satisfied = List.map (fun c -> (c, holds c ~p ~d)) all }
+
+(* Which algorithm of the landscape applies, preferring the fastest. *)
+let best_algorithm report =
+  let ok c = List.assoc c report.satisfied in
+  if ok Exponential && report.r <= 3 then
+    Printf.sprintf "deterministic fixing, O(d^%d + log* n) rounds (this paper)"
+      (if report.r <= 2 then 1 else 2)
+  else if ok Polynomial_d8 then "GHK18 randomized, 2^o(sqrt(log log n)) rounds"
+  else if ok Polynomial_epd2 then "CPS17 randomized, O(log_{1/epd^2} n) rounds"
+  else if ok Shattering then "Moser-Tardos randomized, O(log^2 n) rounds"
+  else "no criterion satisfied; LLL may not apply"
+
+let pp_report fmt report =
+  Format.fprintf fmt "p=%s d=%d r=%d p*2^d=%s@." (Rat.to_string report.p) report.d report.r
+    (Rat.to_string (threshold_ratio ~p:report.p ~d:report.d));
+  List.iter
+    (fun (c, b) -> Format.fprintf fmt "  %-12s : %s@." (name c) (if b then "holds" else "fails"))
+    report.satisfied

@@ -1,0 +1,40 @@
+(** Exact checkers for the LLL criteria appearing in the paper's
+    complexity landscape. *)
+
+module Rat = Lll_num.Rat
+
+type criterion =
+  | Shattering  (** [ep(d+1) < 1] — Moser–Tardos. *)
+  | Polynomial_epd2  (** [epd^2 < 1] — Chung–Pettie–Su. *)
+  | Polynomial_d8  (** [pd^8 <= 1] — Ghaffari–Harris–Kuhn flavour. *)
+  | Exponential  (** [p < 2^-d] — this paper's threshold criterion. *)
+
+val all : criterion list
+val name : criterion -> string
+
+val holds : criterion -> p:Rat.t -> d:int -> bool
+(** Exact; uses a rational upper bound for [e], so [true] is always
+    sound. *)
+
+val threshold_ratio : p:Rat.t -> d:int -> Rat.t
+(** [p * 2^d]; the sharp threshold sits at exactly 1. *)
+
+val asymmetric_holds : Instance.t -> x:Rat.t array -> bool
+(** The general (asymmetric) LLL condition of Erdős–Lovász:
+    [Pr[E_i] <= x_i * prod_{j ~ i} (1 - x_j)], checked exactly.
+    @raise Invalid_argument unless every [x_i] is in (0,1). *)
+
+val asymmetric_default_x : Instance.t -> Rat.t array
+(** The standard choice [x_i = 1/(d+1)]. *)
+
+val shearer_holds : Instance.t -> bool
+(** Shearer's exact characterisation of the LLL-feasible region
+    (alternating independence polynomial positive on every induced
+    subgraph), evaluated exactly in [O(2^n)] — small instances only.
+    @raise Invalid_argument beyond 20 events. *)
+
+type report = { p : Rat.t; d : int; r : int; satisfied : (criterion * bool) list }
+
+val evaluate : Instance.t -> report
+val best_algorithm : report -> string
+val pp_report : Format.formatter -> report -> unit

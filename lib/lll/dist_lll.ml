@@ -1,0 +1,285 @@
+(* A genuinely message-passing distributed LLL solver (Corollary 1.4).
+
+   [Distributed.solve_rank3] executes the paper's schedule but drives a
+   sequential fixer, only *accounting* rounds. This module runs the whole
+   algorithm as a LOCAL protocol on the runtime: every node is an event
+   of the instance; what a node knows, it learned from messages (here:
+   full-information rounds, which LOCAL permits since messages are
+   unbounded).
+
+   Node state:
+   - the values of all fixed variables it has heard of;
+   - versioned copies of the potential [phi] for the dependency edges it
+     cares about (its own incident edges and edges between its
+     neighbors — the clique edges of its variables);
+   - its 2-hop color, computed distributedly beforehand.
+
+   Knowledge spreads by gossip: each round a node merges its neighbors'
+   states, keeping the freshest version of each phi entry and the union
+   of fixed values. A node that fixes a variable needs radius-2-fresh
+   information (the conditional probability of a neighboring event
+   depends on variables owned inside that event's own neighborhood), so
+   the schedule allots THREE rounds per color class: fix, then two
+   propagation rounds. Total: O(d^2 + log* n) rounds, the corollary's
+   bound with our coloring substitution.
+
+   Determinism: class-c owners act on disjoint events and disjoint phi
+   edges (they are >= 3 apart), and each performs exactly the float
+   operations of the sequential rank-3 fixer, in the same per-variable
+   order — so the final assignment must agree BIT FOR BIT with
+   [Distributed.solve_rank3] (the test suite asserts this). *)
+
+module Rat = Lll_num.Rat
+module Graph = Lll_graph.Graph
+module Network = Lll_local.Network
+module Runtime = Lll_local.Runtime
+module Dist_coloring = Lll_local.Dist_coloring
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+
+module IntMap = Map.Make (Int)
+
+type state = {
+  color : int;
+  known : int IntMap.t; (* variable id -> fixed value *)
+  phi : ((float * float) * int) IntMap.t; (* edge id -> ((side min, side max), version) *)
+}
+
+(* merge neighbor knowledge: union of fixed values, freshest phi *)
+let merge s s' =
+  {
+    s with
+    known = IntMap.union (fun _ a _ -> Some a) s.known s'.known;
+    phi =
+      IntMap.union
+        (fun _ ((_, v1) as a) ((_, v2) as b) -> Some (if v1 >= v2 then a else b))
+        s.phi s'.phi;
+  }
+
+let phi_side g e v ((lo, hi), _) =
+  let u, _ = Graph.endpoints g e in
+  if v = u then lo else hi
+
+(* Fix one variable exactly as Fix_rank3 does, against local knowledge.
+   Returns the chosen value and the phi updates (edge -> both sides). *)
+let fix_one instance g st ~version vid =
+  let space = Instance.space instance in
+  let arity = Lll_prob.Var.arity (Space.var space vid) in
+  let fixed = Assignment.empty (Instance.num_vars instance) in
+  IntMap.iter (fun v x -> Assignment.set_inplace fixed v x) st.known;
+  let get_phi e v = phi_side g e v (IntMap.find e st.phi) in
+  let vector ev =
+    let after, before =
+      Space.prob_vector space (Instance.event instance ev) ~fixed ~var:vid
+    in
+    let incs =
+      Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
+    in
+    incs
+  in
+  match Array.to_list (Instance.events_of_var instance vid) with
+  | [] -> (0, [])
+  | [ u ] ->
+    let incs = vector u in
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      match !best with
+      | Some (_, i') when Rat.leq i' incs.(y) -> ()
+      | _ -> best := Some (y, incs.(y))
+    done;
+    (fst (Option.get !best), [])
+  | [ u; v ] ->
+    let e = Graph.find_edge_exn g u v in
+    let s = get_phi e u and w = get_phi e v in
+    let incs_u = vector u and incs_v = vector v in
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      let score = (Rat.to_float incs_u.(y) *. s) +. (Rat.to_float incs_v.(y) *. w) in
+      match !best with
+      | Some (_, score') when score' <= score -> ()
+      | _ -> best := Some (y, score)
+    done;
+    let y, _ = Option.get !best in
+    let up_u = Rat.to_float incs_u.(y) *. s and up_v = Rat.to_float incs_v.(y) *. w in
+    let u0, _ = Graph.endpoints g e in
+    let pair = if u = u0 then (up_u, up_v) else (up_v, up_u) in
+    (y, [ (e, (pair, version)) ])
+  | [ u; v; w ] ->
+    let e = Graph.find_edge_exn g u v in
+    let e' = Graph.find_edge_exn g u w in
+    let e'' = Graph.find_edge_exn g v w in
+    let a = get_phi e u *. get_phi e' u in
+    let b = get_phi e v *. get_phi e'' v in
+    let c = get_phi e' w *. get_phi e'' w in
+    let incs_u = vector u and incs_v = vector v and incs_w = vector w in
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      let triple =
+        ( Rat.to_float incs_u.(y) *. a,
+          Rat.to_float incs_v.(y) *. b,
+          Rat.to_float incs_w.(y) *. c )
+      in
+      let viol = Srep.violation triple in
+      match !best with
+      | Some (_, _, viol') when viol' <= viol -> ()
+      | _ -> best := Some (y, triple, viol)
+    done;
+    let y, triple, _ = Option.get !best in
+    let d = Srep.decompose triple in
+    let pair edge ~at ~value_at ~other ~value_other =
+      let u0, _ = Graph.endpoints g edge in
+      if at = u0 then (value_at, value_other)
+      else begin
+        assert (other = u0);
+        (value_other, value_at)
+      end
+    in
+    ( y,
+      [
+        (e, (pair e ~at:u ~value_at:d.Srep.a1 ~other:v ~value_other:d.Srep.b1, version));
+        (e', (pair e' ~at:u ~value_at:d.Srep.a2 ~other:w ~value_other:d.Srep.c2, version));
+        (e'', (pair e'' ~at:v ~value_at:d.Srep.b3 ~other:w ~value_other:d.Srep.c3, version));
+      ] )
+  | _ -> invalid_arg "Dist_lll: rank > 3"
+
+type result = {
+  assignment : Assignment.t;
+  ok : bool;
+  rounds : int;
+  coloring_rounds : int;
+  sweep_rounds : int;
+  colors : int;
+}
+
+(* The generic gossiping sweep: [classes] color classes, three rounds per
+   class (fix + two propagation rounds for radius-2 freshness);
+   [duty me cls] lists the variables node [me] must fix in class [cls],
+   in order. Returns the merged assignment and the sweep round count. *)
+let run_sweep instance g net ~classes ~duty =
+  let init v =
+    let phi =
+      let mine = Graph.incident_edges g v in
+      let nbrs = Graph.neighbors g v in
+      let between =
+        List.concat_map
+          (fun u -> List.filter_map (fun w -> if u < w then Graph.find_edge g u w else None) nbrs)
+          nbrs
+      in
+      List.fold_left (fun acc e -> IntMap.add e ((1.0, 1.0), 0) acc) IntMap.empty (mine @ between)
+    in
+    { color = 0; known = IntMap.empty; phi }
+  in
+  let total_rounds = 3 * classes in
+  let step ~round ~me s nbrs =
+    let s = List.fold_left (fun acc (_, s') -> merge acc s') s nbrs in
+    let cls = round / 3 and phase = round mod 3 in
+    let s =
+      if phase = 0 then
+        List.fold_left
+          (fun st vid ->
+            if IntMap.mem vid st.known then st
+            else begin
+              let value, phi_updates = fix_one instance g st ~version:(cls + 1) vid in
+              {
+                st with
+                known = IntMap.add vid value st.known;
+                phi =
+                  List.fold_left (fun acc (e, entry) -> IntMap.add e entry acc) st.phi phi_updates;
+              }
+            end)
+          s (duty ~me ~cls)
+      else s
+    in
+    (s, round + 1 >= total_rounds)
+  in
+  if total_rounds = 0 then (Assignment.empty (Instance.num_vars instance), 0)
+  else begin
+    let states, stats = Runtime.run_full_info net ~init ~step in
+    let assignment = Assignment.empty (Instance.num_vars instance) in
+    Array.iter
+      (fun s -> IntMap.iter (fun vid value -> Assignment.set_inplace assignment vid value) s.known)
+      states;
+    (assignment, stats.Runtime.rounds)
+  end
+
+(* Corollary 1.2 as a message-passing protocol: edge-color the dependency
+   graph (variables of rank 2 live on its edges; the smaller endpoint of
+   an edge fixes its variables in the edge's class round). Rank <= 1
+   variables are fixed by their event in an extra leading class. *)
+let solve_rank2 instance =
+  if Instance.rank instance > 2 then invalid_arg "Dist_lll.solve_rank2: instance has rank > 2";
+  let g = Instance.dep_graph instance in
+  let n = Graph.n g in
+  if n = 0 then
+    {
+      assignment = Assignment.empty (Instance.num_vars instance);
+      ok = true;
+      rounds = 0;
+      coloring_rounds = 0;
+      sweep_rounds = 0;
+      colors = 0;
+    }
+  else begin
+    let net = Network.create g in
+    let lg = Graph.line_graph g in
+    let ecolors, coloring_rounds =
+      if Graph.m g = 0 then ([||], 0) else Dist_coloring.color (Network.create lg)
+    in
+    let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 ecolors in
+    (* duty: class 0 = rank <= 1 variables at their owner; class 1+c =
+       edge color class c at each edge's smaller endpoint *)
+    let small = Array.make n [] in
+    let by_edge_owner = Array.make n [] in
+    let free = ref [] in
+    for vid = Instance.num_vars instance - 1 downto 0 do
+      match Array.to_list (Instance.events_of_var instance vid) with
+      | [] -> free := vid :: !free
+      | [ u ] -> small.(u) <- vid :: small.(u)
+      | [ u; v ] ->
+        let e = Graph.find_edge_exn g u v in
+        by_edge_owner.(min u v) <- (ecolors.(e), vid) :: by_edge_owner.(min u v)
+      | _ -> assert false
+    done;
+    let duty ~me ~cls =
+      if cls = 0 then small.(me)
+      else List.filter_map (fun (c, vid) -> if c = cls - 1 then Some vid else None) by_edge_owner.(me)
+    in
+    let assignment, sweep_rounds = run_sweep instance g net ~classes:(colors + 1) ~duty in
+    List.iter (fun vid -> Assignment.set_inplace assignment vid 0) !free;
+    let ok = Assignment.is_complete assignment && Verify.avoids_all instance assignment in
+    { assignment; ok; rounds = coloring_rounds + sweep_rounds; coloring_rounds; sweep_rounds; colors }
+  end
+
+let solve instance =
+  if Instance.rank instance > 3 then invalid_arg "Dist_lll.solve: instance has rank > 3";
+  let g = Instance.dep_graph instance in
+  let n = Graph.n g in
+  if n = 0 then
+    {
+      assignment = Assignment.empty (Instance.num_vars instance);
+      ok = true;
+      rounds = 0;
+      coloring_rounds = 0;
+      sweep_rounds = 0;
+      colors = 0;
+    }
+  else begin
+    let net = Network.create g in
+    (* phase 1: distributed 2-hop coloring *)
+    let vcolors, coloring_rounds = Dist_coloring.two_hop_color net in
+    let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 vcolors in
+    (* ownership: a variable belongs to its smallest event *)
+    let owned = Array.make n [] in
+    let free_vars = ref [] in
+    for vid = Instance.num_vars instance - 1 downto 0 do
+      match Instance.events_of_var instance vid with
+      | [||] -> free_vars := vid :: !free_vars
+      | evs -> owned.(evs.(0)) <- vid :: owned.(evs.(0))
+    done;
+    (* phase 2: the gossiping sweep, three rounds per class *)
+    let duty ~me ~cls = if vcolors.(me) = cls then owned.(me) else [] in
+    let assignment, sweep_rounds = run_sweep instance g net ~classes:colors ~duty in
+    List.iter (fun vid -> Assignment.set_inplace assignment vid 0) !free_vars;
+    let ok = Assignment.is_complete assignment && Verify.avoids_all instance assignment in
+    { assignment; ok; rounds = coloring_rounds + sweep_rounds; coloring_rounds; sweep_rounds; colors }
+  end

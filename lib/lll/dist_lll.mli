@@ -1,0 +1,29 @@
+(** A genuinely message-passing distributed LLL solver (Corollary 1.4):
+    the full protocol — 2-hop coloring, per-class fixing, gossip of fixed
+    values and of the [phi] potential — runs on the LOCAL runtime; nodes
+    act only on knowledge received in messages.
+
+    Produces bit-for-bit the same assignment as the schedule-accounting
+    driver {!Distributed.solve_rank3} (asserted by the test suite), at
+    three communication rounds per color class (fix + two propagation
+    rounds for radius-2 freshness). *)
+
+module Assignment = Lll_prob.Assignment
+
+type result = {
+  assignment : Assignment.t;
+  ok : bool;
+  rounds : int;
+  coloring_rounds : int;
+  sweep_rounds : int;
+  colors : int;
+}
+
+val solve : Instance.t -> result
+(** The Corollary 1.4 protocol (2-hop coloring schedule).
+    @raise Invalid_argument if the instance has rank [> 3]. *)
+
+val solve_rank2 : Instance.t -> result
+(** The Corollary 1.2 protocol: edge-coloring schedule, the smaller
+    endpoint of each dependency edge fixes the edge's variables.
+    @raise Invalid_argument if the instance has rank [> 2]. *)

@@ -1,0 +1,154 @@
+(* Distributed LLL solvers with LOCAL round accounting.
+
+   - [solve_rank2] implements Corollary 1.2: edge-color the dependency
+     graph (variables of rank 2 live on its edges), then sweep the color
+     classes, fixing all variables of a class in one round. Edges of the
+     same color share no endpoint, hence no event; Theorem 1.1 works for
+     any order, so the parallel sweep is sound.
+   - [solve_rank3] implements Corollary 1.4: 2-hop color the dependency
+     graph (one proper coloring of its square), then sweep the classes;
+     in its class round a node fixes all of its not-yet-fixed variables.
+     Nodes at distance >= 3 own variables with disjoint event sets, so
+     simultaneous fixing is again sound.
+
+   The fixing steps themselves are executed by the sequential engines
+   (Theorem 1.1 / Theorem 1.3 hold for arbitrary orders); the round count
+   is what the LOCAL schedule above would cost: coloring rounds plus one
+   round per color class (plus one round for variables affecting at most
+   one event, which all nodes fix independently up front). *)
+
+module Graph = Lll_graph.Graph
+module Network = Lll_local.Network
+module Dist_coloring = Lll_local.Dist_coloring
+module Assignment = Lll_prob.Assignment
+
+type result = {
+  assignment : Assignment.t;
+  ok : bool; (* exact verification *)
+  rounds : int;
+  coloring_rounds : int;
+  sweep_rounds : int;
+  colors : int;
+}
+
+(* Variables grouped by the dependency edge they live on (rank 2), plus
+   the rank <= 1 leftovers. *)
+let vars_by_edge instance =
+  let g = Instance.dep_graph instance in
+  let by_edge = Array.make (Graph.m g) [] in
+  let small = ref [] in
+  for vid = Instance.num_vars instance - 1 downto 0 do
+    match Array.to_list (Instance.events_of_var instance vid) with
+    | [ u; v ] ->
+      let e = Graph.find_edge_exn g u v in
+      by_edge.(e) <- vid :: by_edge.(e)
+    | _ -> small := vid :: !small
+  done;
+  (by_edge, !small)
+
+let solve_rank2 instance =
+  let g = Instance.dep_graph instance in
+  let lg = Graph.line_graph g in
+  let ecolors, coloring_rounds =
+    if Graph.m g = 0 then ([||], 0) else Dist_coloring.color (Network.create lg)
+  in
+  let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 ecolors in
+  let by_edge, small = vars_by_edge instance in
+  let fixer = Fix_rank2.create instance in
+  (* round 0: every node fixes its rank <= 1 variables *)
+  List.iter (fun vid -> Fix_rank2.fix_var fixer vid) small;
+  (* one round per edge-color class *)
+  for c = 0 to colors - 1 do
+    Array.iteri
+      (fun e vars -> if ecolors.(e) = c then List.iter (fun vid -> Fix_rank2.fix_var fixer vid) vars)
+      by_edge
+  done;
+  let assignment = Fix_rank2.assignment fixer in
+  let sweep_rounds = colors + if small = [] then 0 else 1 in
+  {
+    assignment;
+    ok = Verify.avoids_all instance assignment;
+    rounds = coloring_rounds + sweep_rounds;
+    coloring_rounds;
+    sweep_rounds;
+    colors;
+  }
+
+(* Each variable is owned by its smallest event; a node's class round
+   fixes all its owned variables. *)
+let vars_by_owner instance =
+  let by_owner = Array.make (Instance.num_events instance) [] in
+  let free = ref [] in
+  for vid = Instance.num_vars instance - 1 downto 0 do
+    match Instance.events_of_var instance vid with
+    | [||] -> free := vid :: !free
+    | evs -> by_owner.(evs.(0)) <- vid :: by_owner.(evs.(0))
+  done;
+  (by_owner, !free)
+
+let solve_rank3 instance =
+  let g = Instance.dep_graph instance in
+  let vcolors, coloring_rounds =
+    if Graph.n g = 0 then ([||], 0) else Dist_coloring.two_hop_color (Network.create g)
+  in
+  let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 vcolors in
+  let by_owner, free = vars_by_owner instance in
+  let fixer = Fix_rank3.create instance in
+  List.iter (fun vid -> Fix_rank3.fix_var fixer vid) free;
+  for c = 0 to colors - 1 do
+    Array.iteri
+      (fun v vars -> if vcolors.(v) = c then List.iter (fun vid -> Fix_rank3.fix_var fixer vid) vars)
+      by_owner
+  done;
+  let assignment = Fix_rank3.assignment fixer in
+  let sweep_rounds = colors + if free = [] then 0 else 1 in
+  {
+    assignment;
+    ok = Verify.avoids_all instance assignment;
+    rounds = coloring_rounds + sweep_rounds;
+    coloring_rounds;
+    sweep_rounds;
+    colors;
+  }
+
+(* The same 2-hop schedule drives the EXPERIMENTAL rank-r fixer: a
+   variable's events are pairwise adjacent, so they all lie in the closed
+   neighborhood of its owner, and owners of the same 2-hop color class
+   are at distance >= 3 — their variables share no event, for any rank. *)
+let solve_rankr instance =
+  let g = Instance.dep_graph instance in
+  let vcolors, coloring_rounds =
+    if Graph.n g = 0 then ([||], 0) else Dist_coloring.two_hop_color (Network.create g)
+  in
+  let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 vcolors in
+  let by_owner, free = vars_by_owner instance in
+  let fixer = Fix_rankr.create instance in
+  List.iter (fun vid -> Fix_rankr.fix_var fixer vid) free;
+  for c = 0 to colors - 1 do
+    Array.iteri
+      (fun v vars -> if vcolors.(v) = c then List.iter (fun vid -> Fix_rankr.fix_var fixer vid) vars)
+      by_owner
+  done;
+  let assignment = Fix_rankr.assignment fixer in
+  let sweep_rounds = colors + if free = [] then 0 else 1 in
+  {
+    assignment;
+    ok = Verify.avoids_all instance assignment;
+    rounds = coloring_rounds + sweep_rounds;
+    coloring_rounds;
+    sweep_rounds;
+    colors;
+  }
+
+(* Distributed parallel Moser–Tardos for comparison: its LOCAL round count
+   is the number of resampling rounds (each costs O(1) real rounds). *)
+let solve_moser_tardos ?max_rounds ~seed instance =
+  let assignment, stats = Moser_tardos.solve_parallel ?max_rounds ~seed instance in
+  {
+    assignment;
+    ok = Verify.avoids_all instance assignment;
+    rounds = stats.rounds;
+    coloring_rounds = 0;
+    sweep_rounds = stats.rounds;
+    colors = 0;
+  }

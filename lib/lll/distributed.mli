@@ -1,0 +1,31 @@
+(** Distributed LLL solvers with LOCAL round accounting: Corollary 1.2
+    (rank 2, edge coloring) and Corollary 1.4 (rank 3, 2-hop coloring),
+    plus a distributed Moser–Tardos baseline. *)
+
+module Assignment = Lll_prob.Assignment
+
+type result = {
+  assignment : Assignment.t;
+  ok : bool;  (** Exact verification outcome. *)
+  rounds : int;  (** Total LOCAL rounds: coloring + sweep. *)
+  coloring_rounds : int;
+  sweep_rounds : int;
+  colors : int;
+}
+
+val solve_rank2 : Instance.t -> result
+(** Corollary 1.2: [O(d + log* n)]-style schedule (edge coloring via the
+    Linial pipeline, then one round per color class). Requires rank
+    [<= 2]. *)
+
+val solve_rank3 : Instance.t -> result
+(** Corollary 1.4: [O(d^2 + log* n)]-style schedule (2-hop coloring, then
+    one round per class). Requires rank [<= 3]. *)
+
+val solve_rankr : Instance.t -> result
+(** The Corollary 1.4 schedule driving the experimental rank-r fixer
+    ({!Fix_rankr}); sound scheduling for any rank, heuristic feasibility
+    for rank [>= 4]. *)
+
+val solve_moser_tardos : ?max_rounds:int -> seed:int -> Instance.t -> result
+(** Parallel Moser–Tardos; [rounds] is its resampling-round count. *)

@@ -1,0 +1,192 @@
+(* The sequential deterministic fixing process of Theorem 1.1 (and its
+   weighted generalisation from Section 3.1), for instances where every
+   variable affects at most two events.
+
+   All bookkeeping is exact: probabilities, [Inc] ratios and the potential
+   [phi] on edge-endpoints are rationals. The process fixes variables in
+   an arbitrary (adversary-chosen) order; for each variable on a
+   dependency edge [e = {u, v}] it picks a value [y] minimising
+
+     Inc(u, y) * phi_e^u + Inc(v, y) * phi_e^v ,
+
+   which by linearity of expectation is at most [phi_e^u + phi_e^v <= 2]
+   for some value. After all variables are fixed, every bad event has
+   conditional probability at most [p * 2^d < 1], hence 0. *)
+
+module Rat = Lll_num.Rat
+module Graph = Lll_graph.Graph
+module Space = Lll_prob.Space
+module Event = Lll_prob.Event
+module Assignment = Lll_prob.Assignment
+
+type step = {
+  var : int;
+  value : int;
+  incs : (int * Rat.t) list; (* (event id, Inc) for the chosen value *)
+  score : Rat.t; (* weighted inc sum for the chosen value *)
+  budget : Rat.t; (* phi_e^u + phi_e^v before the step (the score bound) *)
+}
+
+(* Value-selection policy. [Min_score] picks the value minimising the
+   phi-weighted Inc sum; [First_within_budget] picks the smallest value
+   whose score is within the budget (the proof of Theorem 1.1 only needs
+   existence, so any within-budget choice is sound). Exposed for the
+   ablation benchmarks. *)
+type policy = Min_score | First_within_budget
+
+type t = {
+  policy : policy;
+  instance : Instance.t;
+  assignment : Assignment.t;
+  phi : Rat.t array array; (* edge id -> [| side of min endpoint; side of max |] *)
+  initial_probs : Rat.t array;
+  probs : Rat.t array; (* cached Pr[E_v | current assignment], kept exact *)
+  mutable steps : step list;
+}
+
+let create ?(policy = Min_score) instance =
+  if Instance.rank instance > 2 then invalid_arg "Fix_rank2.create: instance has rank > 2";
+  let g = Instance.dep_graph instance in
+  let initial_probs = Instance.initial_probs instance in
+  {
+    policy;
+    instance;
+    assignment = Assignment.empty (Instance.num_vars instance);
+    phi = Array.init (Graph.m g) (fun _ -> [| Rat.one; Rat.one |]);
+    initial_probs;
+    probs = Array.copy initial_probs;
+    steps = [];
+  }
+
+let assignment t = t.assignment
+let steps t = List.rev t.steps
+let instance t = t.instance
+
+let side g e v =
+  let u, _ = Graph.endpoints g e in
+  if v = u then 0 else 1
+
+let phi t e v = t.phi.(e).(side (Instance.dep_graph t.instance) e v)
+let set_phi t e v x = t.phi.(e).(side (Instance.dep_graph t.instance) e v) <- x
+
+(* All conditional probabilities of event [ev] for the candidate values
+   of [var], plus the Inc ratios against the cached current probability.
+   One scope enumeration per event (see Space.prob_vector). *)
+let inc_vector t ev ~var =
+  let after, before =
+    Space.prob_vector (Instance.space t.instance) (Instance.event t.instance ev)
+      ~fixed:t.assignment ~var
+  in
+  (* the cache must agree with the freshly computed denominator *)
+  assert (Rat.equal before t.probs.(ev));
+  let incs =
+    Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
+  in
+  (after, incs)
+
+(* Fix one (currently unfixed) variable. The chosen value minimises the
+   phi-weighted sum of Inc ratios over the (at most two) affected
+   events. *)
+let fix_var t vid =
+  if Assignment.is_fixed t.assignment vid then invalid_arg "Fix_rank2.fix_var: already fixed";
+  let space = Instance.space t.instance in
+  let arity = Lll_prob.Var.arity (Space.var space vid) in
+  let evs = Instance.events_of_var t.instance vid in
+  let g = Instance.dep_graph t.instance in
+  match Array.to_list evs with
+  | [] ->
+    Assignment.set_inplace t.assignment vid 0;
+    t.steps <- { var = vid; value = 0; incs = []; score = Rat.zero; budget = Rat.zero } :: t.steps
+  | [ u ] ->
+    (* rank 1: some value has Inc <= 1 *)
+    let after_u, incs_u = inc_vector t u ~var:vid in
+    let pick_min () =
+      let best = ref None in
+      for y = 0 to arity - 1 do
+        let i = incs_u.(y) in
+        match !best with
+        | Some (_, i') when Rat.leq i' i -> ()
+        | _ -> best := Some (y, i)
+      done;
+      Option.get !best
+    in
+    let y, i =
+      match t.policy with
+      | Min_score -> pick_min ()
+      | First_within_budget ->
+        let rec first y = if Rat.leq incs_u.(y) Rat.one then (y, incs_u.(y)) else first (y + 1) in
+        first 0
+    in
+    Assignment.set_inplace t.assignment vid y;
+    t.probs.(u) <- after_u.(y);
+    t.steps <- { var = vid; value = y; incs = [ (u, i) ]; score = i; budget = Rat.one } :: t.steps
+  | [ u; v ] ->
+    let e = Graph.find_edge_exn g u v in
+    let s = phi t e u and w = phi t e v in
+    let after_u, incs_u = inc_vector t u ~var:vid in
+    let after_v, incs_v = inc_vector t v ~var:vid in
+    let score_of y = Rat.add (Rat.mul incs_u.(y) s) (Rat.mul incs_v.(y) w) in
+    let pick_min () =
+      let best = ref None in
+      for y = 0 to arity - 1 do
+        let score = score_of y in
+        match !best with
+        | Some (_, score') when Rat.leq score' score -> ()
+        | _ -> best := Some (y, score)
+      done;
+      Option.get !best
+    in
+    let y, score =
+      match t.policy with
+      | Min_score -> pick_min ()
+      | First_within_budget ->
+        let budget = Rat.add s w in
+        let rec first y =
+          if Rat.leq (score_of y) budget then (y, score_of y) else first (y + 1)
+        in
+        first 0
+    in
+    let iu = incs_u.(y) and iv = incs_v.(y) in
+    let budget = Rat.add s w in
+    (* Theorem 1.1 / Section 3.1 (weighted form): the minimum is within
+       budget. This is a mathematical invariant, not an input check. *)
+    assert (Rat.leq score budget);
+    Assignment.set_inplace t.assignment vid y;
+    t.probs.(u) <- after_u.(y);
+    t.probs.(v) <- after_v.(y);
+    set_phi t e u (Rat.mul iu s);
+    set_phi t e v (Rat.mul iv w);
+    t.steps <- { var = vid; value = y; incs = [ (u, iu); (v, iv) ]; score; budget } :: t.steps
+  | _ -> assert false
+
+(* Property P* specialised to rank 2 (exact): every edge's phi values sum
+   to at most 2, and every event's conditional probability is bounded by
+   its initial probability times the product of its phi values. *)
+let pstar_holds t =
+  let g = Instance.dep_graph t.instance in
+  let edges_ok =
+    Array.for_all (fun pair -> Rat.leq (Rat.add pair.(0) pair.(1)) Rat.two) t.phi
+  in
+  edges_ok
+  && Array.for_all
+       (fun e ->
+         let v = Event.id e in
+         let bound =
+           List.fold_left
+             (fun acc eid -> Rat.mul acc (phi t eid v))
+             t.initial_probs.(v)
+             (Graph.incident_edges g v)
+         in
+         Rat.leq (Space.prob (Instance.space t.instance) e ~fixed:t.assignment) bound)
+       (Instance.events t.instance)
+
+let run ?policy ?order instance =
+  let t = create ?policy instance in
+  let m = Instance.num_vars instance in
+  let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
+  Array.iter (fun vid -> fix_var t vid) order;
+  t
+
+let solve ?policy ?order instance =
+  let t = run ?policy ?order instance in
+  (assignment t, t)

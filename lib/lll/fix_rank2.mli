@@ -1,0 +1,46 @@
+(** Theorem 1.1: deterministic sequential fixing for instances in which
+    every variable affects at most two events, under [p < 2^-d].
+
+    Exact rational bookkeeping throughout; the variable order is
+    arbitrary (adversary-chosen). *)
+
+module Rat = Lll_num.Rat
+module Assignment = Lll_prob.Assignment
+
+type step = {
+  var : int;
+  value : int;
+  incs : (int * Rat.t) list;  (** [(event, Inc(event, value))] for the chosen value. *)
+  score : Rat.t;  (** The phi-weighted Inc sum of the chosen value. *)
+  budget : Rat.t;  (** The bound the score provably respects. *)
+}
+
+type t
+
+type policy = Min_score | First_within_budget
+(** Value selection: the minimiser of the weighted Inc sum, or the first
+    value within the proof's budget (both sound; see the ablation
+    benchmarks). Default [Min_score]. *)
+
+val create : ?policy:policy -> Instance.t -> t
+(** @raise Invalid_argument if the instance has rank [> 2]. *)
+
+val fix_var : t -> int -> unit
+(** Deterministically fix one unfixed variable (Theorem 1.1 step). *)
+
+val run : ?policy:policy -> ?order:int array -> Instance.t -> t
+(** Fix all variables in the given order (identity by default). *)
+
+val solve : ?policy:policy -> ?order:int array -> Instance.t -> Assignment.t * t
+
+val assignment : t -> Assignment.t
+val steps : t -> step list
+val instance : t -> Instance.t
+
+val phi : t -> int -> int -> Rat.t
+(** [phi t e v]: the potential on edge [e] at endpoint [v]. *)
+
+val pstar_holds : t -> bool
+(** Exact check of property [P*] (rank-2 form): edge sums at most 2 and
+    every event's conditional probability bounded by its initial
+    probability times its phi product. *)

@@ -1,0 +1,259 @@
+(* The sequential deterministic fixing process of Theorem 1.3: variables
+   may affect up to three events, the criterion is [p * 2^d < 1].
+
+   The process maintains property P* (Definition 3.1): a potential
+   [phi_e^v in [0,2]] for every edge-endpoint of the dependency graph with
+   [phi_e^u + phi_e^v <= 2] on each edge, such that every event's
+   conditional probability is bounded by its initial probability times the
+   product of its incident phi values.
+
+   To fix a rank-3 variable on events {u, v, w} (pairwise adjacent via
+   edges e = {u,v}, e' = {u,w}, e'' = {v,w}), form the representable
+   triple (a, b, c) = (phi_e^u phi_e'^u, phi_e^v phi_e''^v,
+   phi_e'^w phi_e''^w); the Variable Fixing Lemma (Lemma 3.2) — powered
+   by the incurvedness of S_rep (Lemma 3.7) and the impossibility of all
+   values being "evil" (Lemma 3.9) — guarantees a value y whose scaled
+   triple (Inc(u,y)*a, Inc(v,y)*b, Inc(w,y)*c) is again in S_rep. We pick
+   the value minimising the S_rep violation and write the constructive
+   decomposition (proof of Lemma 3.5) back into phi.
+
+   Inc ratios are exact rationals; only the phi potential uses floats
+   (its optimal updates are irrational). Final solutions are always
+   validated exactly against the event predicates (see Verify). *)
+
+module Rat = Lll_num.Rat
+module Graph = Lll_graph.Graph
+module Space = Lll_prob.Space
+module Event = Lll_prob.Event
+module Assignment = Lll_prob.Assignment
+
+type step = {
+  var : int;
+  value : int;
+  incs : (int * Rat.t) list;
+  violation : float; (* S_rep violation of the chosen scaled triple *)
+}
+
+(* Value-selection policy: the S_rep-violation minimiser, or the first
+   value whose scaled triple is (numerically) representable — Lemma 3.2
+   guarantees one exists, so both are sound. For the ablation bench. *)
+type policy = Min_violation | First_feasible
+
+type t = {
+  policy : policy;
+  instance : Instance.t;
+  assignment : Assignment.t;
+  phi : float array array; (* edge id -> [| side of min endpoint; side of max |] *)
+  initial_probs : Rat.t array;
+  probs : Rat.t array; (* cached Pr[E_v | current assignment], kept exact *)
+  mutable steps : step list;
+  mutable max_violation : float;
+}
+
+let create ?(policy = Min_violation) instance =
+  if Instance.rank instance > 3 then invalid_arg "Fix_rank3.create: instance has rank > 3";
+  let g = Instance.dep_graph instance in
+  let initial_probs = Instance.initial_probs instance in
+  {
+    policy;
+    instance;
+    assignment = Assignment.empty (Instance.num_vars instance);
+    phi = Array.init (Graph.m g) (fun _ -> [| 1.0; 1.0 |]);
+    initial_probs;
+    probs = Array.copy initial_probs;
+    steps = [];
+    max_violation = neg_infinity;
+  }
+
+let assignment t = t.assignment
+let steps t = List.rev t.steps
+let instance t = t.instance
+let max_violation t = t.max_violation
+
+let side g e v =
+  let u, _ = Graph.endpoints g e in
+  if v = u then 0 else 1
+
+let phi t e v = t.phi.(e).(side (Instance.dep_graph t.instance) e v)
+let set_phi t e v x = t.phi.(e).(side (Instance.dep_graph t.instance) e v) <- x
+
+(* All conditional probabilities of event [ev] for the candidate values
+   of [var], plus the exact Inc ratios against the cached current
+   probability. One scope enumeration per event. *)
+let inc_vector t ev ~var =
+  let after, before =
+    Space.prob_vector (Instance.space t.instance) (Instance.event t.instance ev)
+      ~fixed:t.assignment ~var
+  in
+  assert (Rat.equal before t.probs.(ev));
+  let incs =
+    Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
+  in
+  (after, incs)
+
+let record t step =
+  t.steps <- step :: t.steps;
+  if step.violation > t.max_violation then t.max_violation <- step.violation
+
+(* Fix a rank-2 variable: the weighted rank-2 statement of Section 3.1
+   (linearity of expectation gives a value with
+   [Inc_u * phi_e^u + Inc_v * phi_e^v <= phi_e^u + phi_e^v <= 2]). *)
+let fix_rank2_var t vid u v ~arity =
+  let g = Instance.dep_graph t.instance in
+  let e = Graph.find_edge_exn g u v in
+  let s = phi t e u and w = phi t e v in
+  let after_u, incs_u = inc_vector t u ~var:vid in
+  let after_v, incs_v = inc_vector t v ~var:vid in
+  let score_of y = (Rat.to_float incs_u.(y) *. s) +. (Rat.to_float incs_v.(y) *. w) in
+  let pick_min () =
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      let score = score_of y in
+      match !best with
+      | Some (_, score') when score' <= score -> ()
+      | _ -> best := Some (y, score)
+    done;
+    Option.get !best
+  in
+  let y, score =
+    match t.policy with
+    | Min_violation -> pick_min ()
+    | First_feasible ->
+      let rec first y =
+        if y >= arity then pick_min ()
+        else if score_of y <= s +. w +. 1e-9 then (y, score_of y)
+        else first (y + 1)
+      in
+      first 0
+  in
+  let iu = incs_u.(y) and iv = incs_v.(y) in
+  Assignment.set_inplace t.assignment vid y;
+  t.probs.(u) <- after_u.(y);
+  t.probs.(v) <- after_v.(y);
+  set_phi t e u (Rat.to_float iu *. s);
+  set_phi t e v (Rat.to_float iv *. w);
+  record t { var = vid; value = y; incs = [ (u, iu); (v, iv) ]; violation = score -. (s +. w) }
+
+(* Fix a rank-3 variable via the Variable Fixing Lemma. *)
+let fix_rank3_var t vid u v w ~arity =
+  let g = Instance.dep_graph t.instance in
+  let e = Graph.find_edge_exn g u v in
+  let e' = Graph.find_edge_exn g u w in
+  let e'' = Graph.find_edge_exn g v w in
+  let a = phi t e u *. phi t e' u in
+  let b = phi t e v *. phi t e'' v in
+  let c = phi t e' w *. phi t e'' w in
+  let after_u, incs_u = inc_vector t u ~var:vid in
+  let after_v, incs_v = inc_vector t v ~var:vid in
+  let after_w, incs_w = inc_vector t w ~var:vid in
+  let triple_of y =
+    ( Rat.to_float incs_u.(y) *. a,
+      Rat.to_float incs_v.(y) *. b,
+      Rat.to_float incs_w.(y) *. c )
+  in
+  let pick_min () =
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      let triple = triple_of y in
+      let viol = Srep.violation triple in
+      match !best with
+      | Some (_, _, viol') when viol' <= viol -> ()
+      | _ -> best := Some (y, triple, viol)
+    done;
+    Option.get !best
+  in
+  let y, triple, viol =
+    match t.policy with
+    | Min_violation -> pick_min ()
+    | First_feasible ->
+      (* first numerically representable value; fall back to the
+         minimiser if float noise leaves none *)
+      let rec first y =
+        if y >= arity then pick_min ()
+        else begin
+          let triple = triple_of y in
+          let viol = Srep.violation triple in
+          if viol <= 1e-9 then (y, triple, viol) else first (y + 1)
+        end
+      in
+      first 0
+  in
+  let iu = incs_u.(y) and iv = incs_v.(y) and iw = incs_w.(y) in
+  (* Lemma 3.2: some value is not evil, i.e. the minimum violation is
+     non-positive (up to float rounding, which [Srep.decompose] clamps). *)
+  let d = Srep.decompose triple in
+  Assignment.set_inplace t.assignment vid y;
+  t.probs.(u) <- after_u.(y);
+  t.probs.(v) <- after_v.(y);
+  t.probs.(w) <- after_w.(y);
+  set_phi t e u d.a1;
+  set_phi t e' u d.a2;
+  set_phi t e v d.b1;
+  set_phi t e'' v d.b3;
+  set_phi t e' w d.c2;
+  set_phi t e'' w d.c3;
+  record t { var = vid; value = y; incs = [ (u, iu); (v, iv); (w, iw) ]; violation = viol }
+
+let fix_var t vid =
+  if Assignment.is_fixed t.assignment vid then invalid_arg "Fix_rank3.fix_var: already fixed";
+  let space = Instance.space t.instance in
+  let arity = Lll_prob.Var.arity (Space.var space vid) in
+  match Array.to_list (Instance.events_of_var t.instance vid) with
+  | [] ->
+    Assignment.set_inplace t.assignment vid 0;
+    record t { var = vid; value = 0; incs = []; violation = neg_infinity }
+  | [ u ] ->
+    let after_u, incs_u = inc_vector t u ~var:vid in
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      let i = incs_u.(y) in
+      match !best with
+      | Some (_, i') when Rat.leq i' i -> ()
+      | _ -> best := Some (y, i)
+    done;
+    let y, i = Option.get !best in
+    Assignment.set_inplace t.assignment vid y;
+    t.probs.(u) <- after_u.(y);
+    record t
+      { var = vid; value = y; incs = [ (u, i) ]; violation = Rat.to_float i -. 1.0 }
+  | [ u; v ] -> fix_rank2_var t vid u v ~arity
+  | [ u; v; w ] -> fix_rank3_var t vid u v w ~arity
+  | _ -> assert false
+
+(* Property P* (Definition 3.1), with a float tolerance on the phi side:
+   (1) phi values in [0,2] summing to <= 2 per edge, and (2) every event's
+   exact conditional probability bounded by its initial probability times
+   its phi product. *)
+let pstar_holds ?(eps = 1e-6) t =
+  let g = Instance.dep_graph t.instance in
+  let edges_ok =
+    Array.for_all
+      (fun pair ->
+        pair.(0) >= -.eps && pair.(1) >= -.eps && pair.(0) <= 2. +. eps && pair.(1) <= 2. +. eps
+        && pair.(0) +. pair.(1) <= 2. +. eps)
+      t.phi
+  in
+  edges_ok
+  && Array.for_all
+       (fun e ->
+         let v = Event.id e in
+         let bound =
+           List.fold_left
+             (fun acc eid -> acc *. phi t eid v)
+             (Rat.to_float t.initial_probs.(v))
+             (Graph.incident_edges g v)
+         in
+         Rat.to_float (Space.prob (Instance.space t.instance) e ~fixed:t.assignment)
+         <= bound +. eps)
+       (Instance.events t.instance)
+
+let run ?policy ?order instance =
+  let t = create ?policy instance in
+  let m = Instance.num_vars instance in
+  let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
+  Array.iter (fun vid -> fix_var t vid) order;
+  t
+
+let solve ?policy ?order instance =
+  let t = run ?policy ?order instance in
+  (assignment t, t)

@@ -1,0 +1,50 @@
+(** Theorem 1.3: deterministic sequential fixing for instances in which
+    every variable affects at most three events, under [p < 2^-d], via the
+    representable-triples machinery of Section 3.
+
+    [Inc] ratios are exact; the [phi] potential uses floats (its optimal
+    updates are irrational). Accepted solutions must always be validated
+    with {!Verify} (exact), which the high-level drivers do. *)
+
+module Rat = Lll_num.Rat
+module Assignment = Lll_prob.Assignment
+
+type step = {
+  var : int;
+  value : int;
+  incs : (int * Rat.t) list;
+  violation : float;
+      (** [S_rep] violation of the chosen scaled triple; Lemma 3.2
+          guarantees this is non-positive up to float rounding. *)
+}
+
+type t
+
+type policy = Min_violation | First_feasible
+(** Value selection: the S_rep-violation minimiser, or the first value
+    whose scaled triple is representable (Lemma 3.2 guarantees existence).
+    Default [Min_violation]. *)
+
+val create : ?policy:policy -> Instance.t -> t
+(** @raise Invalid_argument if the instance has rank [> 3]. *)
+
+val fix_var : t -> int -> unit
+(** Fix one unfixed variable (the Variable Fixing Lemma step). *)
+
+val run : ?policy:policy -> ?order:int array -> Instance.t -> t
+val solve : ?policy:policy -> ?order:int array -> Instance.t -> Assignment.t * t
+
+val assignment : t -> Assignment.t
+val steps : t -> step list
+val instance : t -> Instance.t
+
+val phi : t -> int -> int -> float
+(** [phi t e v]: potential on edge [e] at endpoint [v]. *)
+
+val max_violation : t -> float
+(** Largest [S_rep] violation over all steps so far ([neg_infinity] if no
+    step involved a choice); should never exceed float noise. *)
+
+val pstar_holds : ?eps:float -> t -> bool
+(** Property P* of Definition 3.1 (phi side with float tolerance, event
+    probabilities exact). *)

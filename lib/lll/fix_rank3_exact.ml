@@ -1,0 +1,284 @@
+(* An EXACT-arithmetic variant of the rank-3 fixing process.
+
+   {!Fix_rank3} keeps the potential phi in floats because the optimal
+   decomposition of Lemma 3.5 involves a square root (the critical point
+   x1). This module keeps EVERYTHING rational:
+
+   - candidate values are accepted by the square-root-free exact
+     membership test {!Srep.mem_rat};
+   - the decomposition searches for a DYADIC RATIONAL split x near the
+     float optimum such that the representability constraint
+       c * x * (2 - x) <= (2x - a) * (2(2 - x) - b)
+     holds exactly (both sides rational). Such an x exists whenever the
+     triple is strictly inside S_rep; exactly-on-the-boundary triples
+     may admit only the irrational split, in which case this fixer falls
+     back to the value minimising the float violation and records that
+     exactness was lost (it never happens on the below-threshold families
+     of the test suite).
+
+   The payoff: property P* holds EXACTLY (no epsilon) after every step,
+   so the final "probability < 1 hence 0" conclusion is a theorem about
+   the actual execution, not about a float approximation of it. *)
+
+module Rat = Lll_num.Rat
+module Bigint = Lll_num.Bigint
+module Graph = Lll_graph.Graph
+module Space = Lll_prob.Space
+module Event = Lll_prob.Event
+module Assignment = Lll_prob.Assignment
+
+type t = {
+  instance : Instance.t;
+  assignment : Assignment.t;
+  phi : Rat.t array array; (* edge id -> [| side min; side max |] *)
+  initial_probs : Rat.t array;
+  probs : Rat.t array;
+  mutable fallbacks : int; (* steps where no exact decomposition was found *)
+}
+
+let create instance =
+  if Instance.rank instance > 3 then invalid_arg "Fix_rank3_exact.create: instance has rank > 3";
+  let g = Instance.dep_graph instance in
+  let initial_probs = Instance.initial_probs instance in
+  {
+    instance;
+    assignment = Assignment.empty (Instance.num_vars instance);
+    phi = Array.init (Graph.m g) (fun _ -> [| Rat.one; Rat.one |]);
+    initial_probs;
+    probs = Array.copy initial_probs;
+    fallbacks = 0;
+  }
+
+let assignment t = t.assignment
+let instance t = t.instance
+let fallbacks t = t.fallbacks
+
+let side g e v =
+  let u, _ = Graph.endpoints g e in
+  if v = u then 0 else 1
+
+let phi t e v = t.phi.(e).(side (Instance.dep_graph t.instance) e v)
+let set_phi t e v x = t.phi.(e).(side (Instance.dep_graph t.instance) e v) <- x
+
+let inc_vector t ev ~var =
+  let after, before =
+    Space.prob_vector (Instance.space t.instance) (Instance.event t.instance ev)
+      ~fixed:t.assignment ~var
+  in
+  assert (Rat.equal before t.probs.(ev));
+  (after, Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after)
+
+(* exact representability condition for split x (in [a/2, 2-b/2]):
+   c * x * (2-x) <= (2x - a) * (2(2-x) - b) *)
+let split_ok ~a ~b ~c x =
+  let open Rat in
+  let two_minus_x = sub two x in
+  geq x (div a two) && geq two_minus_x (div b two)
+  && leq (mul c (mul x two_minus_x)) (mul (sub (mul two x) a) (sub (mul two two_minus_x) b))
+
+(* dyadic rational nearest to the float, denominator 2^40 *)
+let dyadic_of_float x =
+  let scale = 1 lsl 40 in
+  let n = int_of_float (Float.round (x *. float_of_int scale)) in
+  Rat.of_ints (max 1 (min (2 * scale) n)) scale
+
+(* Exact decomposition of a rational triple in S_rep; None when only the
+   irrational boundary split would work. *)
+let decompose_rat (a, b, c) =
+  let open Rat in
+  if sign a < 0 || sign b < 0 || sign c < 0 then None
+  else if is_zero a && is_zero b then Some (zero, zero, zero, zero, two, div c two)
+  else if is_zero a then
+    (* c <= 4 - b guaranteed by membership *)
+    Some (zero, zero, two, div b two, two, div c two)
+  else if is_zero b then Some (two, div a two, zero, zero, div c two, two)
+  else if is_zero c then begin
+    (* c = 0: any exact split in [a/2, 2 - b/2] works; when a + b = 4 the
+       interval degenerates to the single rational point a/2 *)
+    let four = of_int 4 in
+    if gt (add a b) four then None
+    else begin
+      let x = if equal (add a b) four then div a two else div (add a (sub four b)) (of_int 4) in
+      if split_ok ~a ~b ~c x then begin
+        let a1 = x and a2 = div a x in
+        let b1 = sub two x in
+        let b3 = div b b1 in
+        Some (a1, a2, b1, b3, zero, sub two b3)
+      end
+      else None
+    end
+  end
+  else begin
+    (* search dyadic splits near the float optimum, plus the exact
+       rational boundary candidates *)
+    let xf = Srep.best_x ~a:(to_float a) ~b:(to_float b) in
+    let base = dyadic_of_float xf in
+    let step = of_ints 1 (1 lsl 20) in
+    let in_range x = sign x > 0 && lt x two in
+    let boundary_candidates =
+      List.filter (fun x -> in_range x && split_ok ~a ~b ~c x)
+        [ div a two; sub two (div b two); div (add (div a two) (sub two (div b two))) two ]
+    in
+    let rec search k =
+      if k > 64 then None
+      else begin
+        let delta = mul (of_int ((k + 1) / 2)) step in
+        let x = if k mod 2 = 0 then add base delta else sub base delta in
+        if in_range x && split_ok ~a ~b ~c x then Some x else search (k + 1)
+      end
+    in
+    let found = match boundary_candidates with x :: _ -> Some x | [] -> search 0 in
+    match found with
+    | None -> None
+    | Some x ->
+      let a1 = x and a2 = div a x in
+      let b1 = sub two x in
+      let b3 = div b b1 in
+      let c3 = sub two b3 in
+      let c2 = if is_zero c3 then zero else div c c3 in
+      Some (a1, a2, b1, b3, c2, c3)
+  end
+
+let fix_rank2_var t vid u v ~arity =
+  let g = Instance.dep_graph t.instance in
+  let e = Graph.find_edge_exn g u v in
+  let s = phi t e u and w = phi t e v in
+  let after_u, incs_u = inc_vector t u ~var:vid in
+  let after_v, incs_v = inc_vector t v ~var:vid in
+  let best = ref None in
+  for y = 0 to arity - 1 do
+    let score = Rat.add (Rat.mul incs_u.(y) s) (Rat.mul incs_v.(y) w) in
+    match !best with
+    | Some (_, score') when Rat.leq score' score -> ()
+    | _ -> best := Some (y, score)
+  done;
+  let y, score = Option.get !best in
+  assert (Rat.leq score (Rat.add s w));
+  Assignment.set_inplace t.assignment vid y;
+  t.probs.(u) <- after_u.(y);
+  t.probs.(v) <- after_v.(y);
+  set_phi t e u (Rat.mul incs_u.(y) s);
+  set_phi t e v (Rat.mul incs_v.(y) w)
+
+let fix_rank3_var t vid u v w ~arity =
+  let g = Instance.dep_graph t.instance in
+  let e = Graph.find_edge_exn g u v in
+  let e' = Graph.find_edge_exn g u w in
+  let e'' = Graph.find_edge_exn g v w in
+  let a = Rat.mul (phi t e u) (phi t e' u) in
+  let b = Rat.mul (phi t e v) (phi t e'' v) in
+  let c = Rat.mul (phi t e' w) (phi t e'' w) in
+  let after_u, incs_u = inc_vector t u ~var:vid in
+  let after_v, incs_v = inc_vector t v ~var:vid in
+  let after_w, incs_w = inc_vector t w ~var:vid in
+  let triple_of y = (Rat.mul incs_u.(y) a, Rat.mul incs_v.(y) b, Rat.mul incs_w.(y) c) in
+  (* exact-first: a value whose scaled triple is exactly representable
+     AND admits an exact dyadic decomposition *)
+  let chosen = ref None in
+  (try
+     for y = 0 to arity - 1 do
+       let triple = triple_of y in
+       if Srep.mem_rat triple then begin
+         match decompose_rat triple with
+         | Some d ->
+           chosen := Some (y, d);
+           raise Exit
+         | None -> ()
+       end
+     done
+   with Exit -> ());
+  match !chosen with
+  | Some (y, (a1, a2, b1, b3, c2, c3)) ->
+    Assignment.set_inplace t.assignment vid y;
+    t.probs.(u) <- after_u.(y);
+    t.probs.(v) <- after_v.(y);
+    t.probs.(w) <- after_w.(y);
+    set_phi t e u a1;
+    set_phi t e' u a2;
+    set_phi t e v b1;
+    set_phi t e'' v b3;
+    set_phi t e' w c2;
+    set_phi t e'' w c3
+  | None ->
+    (* fallback: float-minimising choice, dyadic-rounded potential;
+       exactness is lost for this step (counted) *)
+    t.fallbacks <- t.fallbacks + 1;
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      let ta, tb, tc = triple_of y in
+      let viol = Srep.violation (Rat.to_float ta, Rat.to_float tb, Rat.to_float tc) in
+      match !best with
+      | Some (_, viol') when viol' <= viol -> ()
+      | _ -> best := Some (y, viol)
+    done;
+    let y, _ = Option.get !best in
+    let ta, tb, tc = triple_of y in
+    let d = Srep.decompose (Rat.to_float ta, Rat.to_float tb, Rat.to_float tc) in
+    Assignment.set_inplace t.assignment vid y;
+    t.probs.(u) <- after_u.(y);
+    t.probs.(v) <- after_v.(y);
+    t.probs.(w) <- after_w.(y);
+    (* round each side DOWN so the edge-sum constraints stay exact *)
+    let down x = Rat.of_ints (int_of_float (Float.max 0. x *. float_of_int (1 lsl 40))) (1 lsl 40) in
+    set_phi t e u (down d.Srep.a1);
+    set_phi t e' u (down d.Srep.a2);
+    set_phi t e v (down d.Srep.b1);
+    set_phi t e'' v (down d.Srep.b3);
+    set_phi t e' w (down d.Srep.c2);
+    set_phi t e'' w (down d.Srep.c3)
+
+let fix_var t vid =
+  if Assignment.is_fixed t.assignment vid then
+    invalid_arg "Fix_rank3_exact.fix_var: already fixed";
+  let space = Instance.space t.instance in
+  let arity = Lll_prob.Var.arity (Space.var space vid) in
+  match Array.to_list (Instance.events_of_var t.instance vid) with
+  | [] -> Assignment.set_inplace t.assignment vid 0
+  | [ u ] ->
+    let after_u, incs_u = inc_vector t u ~var:vid in
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      match !best with
+      | Some (_, i') when Rat.leq i' incs_u.(y) -> ()
+      | _ -> best := Some (y, incs_u.(y))
+    done;
+    let y, _ = Option.get !best in
+    Assignment.set_inplace t.assignment vid y;
+    t.probs.(u) <- after_u.(y)
+  | [ u; v ] -> fix_rank2_var t vid u v ~arity
+  | [ u; v; w ] -> fix_rank3_var t vid u v w ~arity
+  | _ -> assert false
+
+(* Property P*, checked EXACTLY — no epsilon anywhere. *)
+let pstar_holds_exact t =
+  let g = Instance.dep_graph t.instance in
+  let edges_ok =
+    Array.for_all
+      (fun pair ->
+        Rat.sign pair.(0) >= 0 && Rat.sign pair.(1) >= 0
+        && Rat.leq (Rat.add pair.(0) pair.(1)) Rat.two)
+      t.phi
+  in
+  edges_ok
+  && Array.for_all
+       (fun e ->
+         let v = Event.id e in
+         let bound =
+           List.fold_left
+             (fun acc eid -> Rat.mul acc (phi t eid v))
+             t.initial_probs.(v)
+             (Graph.incident_edges g v)
+         in
+         Rat.leq (Space.prob (Instance.space t.instance) e ~fixed:t.assignment) bound)
+       (Instance.events t.instance)
+
+let run ?order instance =
+  let t = create instance in
+  let m = Instance.num_vars instance in
+  let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
+  Array.iter (fun vid -> fix_var t vid) order;
+  t
+
+let solve ?order instance =
+  let t = run ?order instance in
+  (assignment t, t)

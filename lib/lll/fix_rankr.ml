@@ -1,0 +1,221 @@
+(* EXPERIMENTAL rank-r fixing — a computational exploration of
+   Conjecture 1.5.
+
+   The paper proves the threshold criterion [p < 2^-d] suffices for
+   deterministic fixing when variables affect at most 2 (Theorem 1.1) or
+   3 (Theorem 1.3) events, and conjectures the same for every rank r.
+   This module runs the natural generalisation of the rank-3 process:
+
+   - the potential phi lives on dependency-graph edge-endpoints exactly
+     as in Definition 3.1;
+   - to fix a rank-k variable (k >= 3) on events C = {v_1, ..., v_k}
+     (pairwise adjacent), we form, for each candidate value y, the
+     target tuple  t_i = Inc(v_i, y) * prod_{e in K_C, e ∋ v_i} phi_e^{v_i}
+     and ask the numeric clique solver ({!Srep_r}) whether it is
+     representable; the first feasible value is chosen (falling back to
+     the largest-slack value) and the solver's witness potential is
+     written back into phi.
+
+   For k <= 2 the exact weighted rank-2 argument applies and a good
+   value provably exists. For k = 3, Lemma 3.2 guarantees feasibility
+   (up to solver tolerance); for k >= 4 there is NO proven guarantee —
+   the experiment harness (T10) measures how often feasibility holds in
+   practice, as evidence for/against Conjecture 1.5. Regardless of the
+   bookkeeping, produced assignments are only ever accepted after exact
+   verification. *)
+
+module Rat = Lll_num.Rat
+module Graph = Lll_graph.Graph
+module Space = Lll_prob.Space
+module Event = Lll_prob.Event
+module Assignment = Lll_prob.Assignment
+
+type step = {
+  var : int;
+  value : int;
+  incs : (int * Rat.t) list;
+  slack : float; (* achieved min slack; >= 0 means the step kept P* *)
+}
+
+type t = {
+  instance : Instance.t;
+  assignment : Assignment.t;
+  phi : float array array;
+  initial_probs : Rat.t array;
+  probs : Rat.t array;
+  mutable steps : step list;
+  mutable min_slack : float; (* worst slack over all clique steps *)
+  mutable infeasible_steps : int;
+}
+
+let create instance =
+  let g = Instance.dep_graph instance in
+  let initial_probs = Instance.initial_probs instance in
+  {
+    instance;
+    assignment = Assignment.empty (Instance.num_vars instance);
+    phi = Array.init (Graph.m g) (fun _ -> [| 1.0; 1.0 |]);
+    initial_probs;
+    probs = Array.copy initial_probs;
+    steps = [];
+    min_slack = infinity;
+    infeasible_steps = 0;
+  }
+
+let assignment t = t.assignment
+let steps t = List.rev t.steps
+let instance t = t.instance
+let min_slack t = t.min_slack
+let infeasible_steps t = t.infeasible_steps
+
+let side g e v =
+  let u, _ = Graph.endpoints g e in
+  if v = u then 0 else 1
+
+let phi t e v = t.phi.(e).(side (Instance.dep_graph t.instance) e v)
+let set_phi t e v x = t.phi.(e).(side (Instance.dep_graph t.instance) e v) <- x
+
+let inc_vector t ev ~var =
+  let after, before =
+    Space.prob_vector (Instance.space t.instance) (Instance.event t.instance ev)
+      ~fixed:t.assignment ~var
+  in
+  assert (Rat.equal before t.probs.(ev));
+  let incs =
+    Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
+  in
+  (after, incs)
+
+let record t step =
+  t.steps <- step :: t.steps;
+  if step.slack < t.min_slack then t.min_slack <- step.slack;
+  if step.slack < -1e-7 then t.infeasible_steps <- t.infeasible_steps + 1
+
+(* rank <= 2: the exact argument of Theorem 1.1 / Section 3.1 *)
+let fix_small t vid evs ~arity =
+  let g = Instance.dep_graph t.instance in
+  match evs with
+  | [] ->
+    Assignment.set_inplace t.assignment vid 0;
+    record t { var = vid; value = 0; incs = []; slack = infinity }
+  | [ u ] ->
+    let after_u, incs_u = inc_vector t u ~var:vid in
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      let i = incs_u.(y) in
+      match !best with
+      | Some (_, i') when Rat.leq i' i -> ()
+      | _ -> best := Some (y, i)
+    done;
+    let y, i = Option.get !best in
+    Assignment.set_inplace t.assignment vid y;
+    t.probs.(u) <- after_u.(y);
+    record t { var = vid; value = y; incs = [ (u, i) ]; slack = -.(Rat.to_float i -. 1.0) }
+  | [ u; v ] ->
+    let e = Graph.find_edge_exn g u v in
+    let s = phi t e u and w = phi t e v in
+    let after_u, incs_u = inc_vector t u ~var:vid in
+    let after_v, incs_v = inc_vector t v ~var:vid in
+    let best = ref None in
+    for y = 0 to arity - 1 do
+      let score = (Rat.to_float incs_u.(y) *. s) +. (Rat.to_float incs_v.(y) *. w) in
+      match !best with
+      | Some (_, score') when score' <= score -> ()
+      | _ -> best := Some (y, score)
+    done;
+    let y, score = Option.get !best in
+    Assignment.set_inplace t.assignment vid y;
+    t.probs.(u) <- after_u.(y);
+    t.probs.(v) <- after_v.(y);
+    set_phi t e u (Rat.to_float incs_u.(y) *. s);
+    set_phi t e v (Rat.to_float incs_v.(y) *. w);
+    record t
+      { var = vid; value = y; incs = [ (u, incs_u.(y)); (v, incs_v.(y)) ];
+        slack = s +. w -. score }
+  | _ -> assert false
+
+(* rank >= 3: clique targets + numeric representability *)
+let fix_clique t vid evs ~arity =
+  let g = Instance.dep_graph t.instance in
+  let c = Array.of_list evs in
+  let k = Array.length c in
+  let clique = Srep_r.clique_edges k in
+  (* dependency-graph edge ids of the clique *)
+  let dep_edge = Array.map (fun (i, j) -> Graph.find_edge_exn g c.(i) c.(j)) clique in
+  (* current clique-product of phi at each event *)
+  let base = Array.make k 1.0 in
+  Array.iteri
+    (fun idx (i, j) ->
+      base.(i) <- base.(i) *. phi t dep_edge.(idx) c.(i);
+      base.(j) <- base.(j) *. phi t dep_edge.(idx) c.(j))
+    clique;
+  let vectors = Array.map (fun v -> inc_vector t v ~var:vid) c in
+  let targets_of y =
+    Array.mapi (fun i (_, incs) -> Rat.to_float incs.(y) *. base.(i)) vectors
+  in
+  (* first feasible value, else the largest-slack one *)
+  let best = ref None in
+  (try
+     for y = 0 to arity - 1 do
+       let sol = Srep_r.solve ~targets:(targets_of y) () in
+       (match !best with
+       | Some (_, _, slack') when slack' >= sol.Srep_r.min_slack -> ()
+       | _ -> best := Some (y, sol, sol.Srep_r.min_slack));
+       if sol.Srep_r.min_slack >= 0. then raise Exit
+     done
+   with Exit -> ());
+  let y, sol, slack = Option.get !best in
+  Assignment.set_inplace t.assignment vid y;
+  Array.iteri (fun i v -> t.probs.(v) <- fst vectors.(i) |> fun a -> a.(y)) c;
+  Array.iteri
+    (fun idx (i, j, pi, pj) ->
+      ignore (i, j);
+      let ci, cj = clique.(idx) in
+      set_phi t dep_edge.(idx) c.(ci) pi;
+      set_phi t dep_edge.(idx) c.(cj) pj)
+    sol.Srep_r.psi;
+  record t
+    { var = vid; value = y;
+      incs = Array.to_list (Array.mapi (fun i v -> (v, (snd vectors.(i)).(y))) c);
+      slack }
+
+let fix_var t vid =
+  if Assignment.is_fixed t.assignment vid then invalid_arg "Fix_rankr.fix_var: already fixed";
+  let space = Instance.space t.instance in
+  let arity = Lll_prob.Var.arity (Space.var space vid) in
+  match Array.to_list (Instance.events_of_var t.instance vid) with
+  | ([] | [ _ ] | [ _; _ ]) as evs -> fix_small t vid evs ~arity
+  | evs -> fix_clique t vid evs ~arity
+
+let pstar_holds ?(eps = 1e-6) t =
+  let g = Instance.dep_graph t.instance in
+  let edges_ok =
+    Array.for_all
+      (fun pair ->
+        pair.(0) >= -.eps && pair.(1) >= -.eps && pair.(0) +. pair.(1) <= 2. +. eps)
+      t.phi
+  in
+  edges_ok
+  && Array.for_all
+       (fun e ->
+         let v = Event.id e in
+         let bound =
+           List.fold_left
+             (fun acc eid -> acc *. phi t eid v)
+             (Rat.to_float t.initial_probs.(v))
+             (Graph.incident_edges g v)
+         in
+         Rat.to_float (Space.prob (Instance.space t.instance) e ~fixed:t.assignment)
+         <= bound +. eps)
+       (Instance.events t.instance)
+
+let run ?order instance =
+  let t = create instance in
+  let m = Instance.num_vars instance in
+  let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
+  Array.iter (fun vid -> fix_var t vid) order;
+  t
+
+let solve ?order instance =
+  let t = run ?order instance in
+  (assignment t, t)

@@ -1,0 +1,47 @@
+(** LLL instances: a product space, bad events, and the derived dependency
+    graph [G] and variable hypergraph [H] of the paper. *)
+
+module Rat = Lll_num.Rat
+module Graph = Lll_graph.Graph
+module Hypergraph = Lll_graph.Hypergraph
+module Space = Lll_prob.Space
+module Event = Lll_prob.Event
+
+type t
+
+val create : Space.t -> Event.t array -> t
+(** Event ids must equal their index; scopes must lie inside the space. *)
+
+val space : t -> Space.t
+val events : t -> Event.t array
+val event : t -> int -> Event.t
+val num_events : t -> int
+val num_vars : t -> int
+
+val dep_graph : t -> Graph.t
+(** Dependency graph: events sharing a variable are adjacent. *)
+
+val hypergraph : t -> Hypergraph.t
+(** One hyperedge per variable affecting at least one event. *)
+
+val events_of_var : t -> int -> int array
+(** Sorted ids of the events depending on a variable. *)
+
+val hyperedge_of_var : t -> int -> int option
+
+val rank : t -> int
+(** The paper's [r]: the maximum number of events any variable affects. *)
+
+val dependency_degree : t -> int
+(** The paper's [d]: the maximum number of other events an event shares a
+    variable with. *)
+
+val max_prob : t -> Rat.t
+(** The paper's [p]: the largest initial bad-event probability (exact). *)
+
+val initial_probs : t -> Rat.t array
+
+val to_dot : t -> string
+(** Graphviz rendering of the dependency graph (event names as labels). *)
+
+val pp : Format.formatter -> t -> unit

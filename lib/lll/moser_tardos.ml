@@ -1,0 +1,150 @@
+(* Moser–Tardos resampling [MT10] — the randomized baseline the paper
+   compares against across the threshold.
+
+   - [solve_sequential]: sample everything, then repeatedly resample the
+     variables of some occurring bad event; under [ep(d+1) < 1] the
+     expected number of resamplings is at most [m / (e*p*(d+1))^-1 - 1]
+     flavoured (we only record the count).
+   - [solve_parallel]: the standard distributed variant — in each round
+     every occurring event that is a local id-minimum among occurring
+     dependency neighbors resamples its variables (such events are
+     pairwise non-adjacent, hence share no variables). One such round
+     costs O(1) LOCAL rounds; the round count is the distributed
+     complexity, which is O(log n) w.h.p. under the shattering
+     criterion. *)
+
+module Graph = Lll_graph.Graph
+module Space = Lll_prob.Space
+module Event = Lll_prob.Event
+module Assignment = Lll_prob.Assignment
+
+exception Budget_exhausted of { resamplings : int }
+
+type stats = { resamplings : int; rounds : int }
+
+let occurring instance a =
+  Array.to_list (Instance.events instance)
+  |> List.filter (fun e -> Event.holds e a)
+
+(* Sequential resampling with an execution log: the sequence of resampled
+   event ids, in order — the raw material of the witness-tree analysis
+   ([MT10], see {!Witness}). *)
+let solve_sequential_log ?(max_resamplings = 1_000_000) ~seed instance =
+  let rng = Random.State.make [| seed |] in
+  let space = Instance.space instance in
+  let a = ref (Space.sample_unfixed space rng (Assignment.empty (Instance.num_vars instance))) in
+  let count = ref 0 in
+  let log = ref [] in
+  let rec loop () =
+    match occurring instance !a with
+    | [] -> ()
+    | bad :: _ ->
+      if !count >= max_resamplings then raise (Budget_exhausted { resamplings = !count });
+      incr count;
+      log := Event.id bad :: !log;
+      a := Space.resample space rng !a (Array.to_list (Event.scope bad));
+      loop ()
+  in
+  loop ();
+  (!a, { resamplings = !count; rounds = !count }, Array.of_list (List.rev !log))
+
+let solve_sequential ?max_resamplings ~seed instance =
+  let a, stats, _ = solve_sequential_log ?max_resamplings ~seed instance in
+  (a, stats)
+
+(* CPS-flavoured variant [CPS17]: local minima under FRESH RANDOM
+   priorities each round (instead of ids) resample — the symmetry
+   breaking Chung-Pettie-Su use to improve the round bound. *)
+let solve_parallel_random_priority ?(max_rounds = 100_000) ~seed instance =
+  let rng = Random.State.make [| seed |] in
+  let space = Instance.space instance in
+  let g = Instance.dep_graph instance in
+  let a = ref (Space.sample_unfixed space rng (Assignment.empty (Instance.num_vars instance))) in
+  let rounds = ref 0 in
+  let resamplings = ref 0 in
+  let rec loop () =
+    let bad = occurring instance !a in
+    if bad <> [] then begin
+      if !rounds >= max_rounds then raise (Budget_exhausted { resamplings = !resamplings });
+      incr rounds;
+      let prio = Array.init (Instance.num_events instance) (fun _ -> Random.State.float rng 1.0) in
+      let is_bad = Array.make (Instance.num_events instance) false in
+      List.iter (fun e -> is_bad.(Event.id e) <- true) bad;
+      let selected =
+        List.filter
+          (fun e ->
+            let id = Event.id e in
+            List.for_all
+              (fun u -> (not is_bad.(u)) || prio.(u) > prio.(id))
+              (Graph.neighbors g id))
+          bad
+      in
+      let vars =
+        List.concat_map (fun e -> Array.to_list (Event.scope e)) selected
+      in
+      resamplings := !resamplings + List.length selected;
+      a := Space.resample space rng !a vars;
+      loop ()
+    end
+  in
+  loop ();
+  (!a, { resamplings = !resamplings; rounds = !rounds })
+
+(* The aggressive variant: EVERY occurring event resamples each round
+   (overlapping scopes are resampled once). Converges under stronger
+   criteria; included as an ablation of the independent-set selection. *)
+let solve_parallel_all ?(max_rounds = 100_000) ~seed instance =
+  let rng = Random.State.make [| seed |] in
+  let space = Instance.space instance in
+  let a = ref (Space.sample_unfixed space rng (Assignment.empty (Instance.num_vars instance))) in
+  let rounds = ref 0 in
+  let resamplings = ref 0 in
+  let rec loop () =
+    let bad = occurring instance !a in
+    if bad <> [] then begin
+      if !rounds >= max_rounds then raise (Budget_exhausted { resamplings = !resamplings });
+      incr rounds;
+      resamplings := !resamplings + List.length bad;
+      let vars =
+        List.sort_uniq compare
+          (List.concat_map (fun e -> Array.to_list (Event.scope e)) bad)
+      in
+      a := Space.resample space rng !a vars;
+      loop ()
+    end
+  in
+  loop ();
+  (!a, { resamplings = !resamplings; rounds = !rounds })
+
+let solve_parallel ?(max_rounds = 100_000) ~seed instance =
+  let rng = Random.State.make [| seed |] in
+  let space = Instance.space instance in
+  let g = Instance.dep_graph instance in
+  let a = ref (Space.sample_unfixed space rng (Assignment.empty (Instance.num_vars instance))) in
+  let rounds = ref 0 in
+  let resamplings = ref 0 in
+  let rec loop () =
+    let bad = occurring instance !a in
+    if bad <> [] then begin
+      if !rounds >= max_rounds then raise (Budget_exhausted { resamplings = !resamplings });
+      incr rounds;
+      let bad_ids = List.map Event.id bad in
+      let is_bad = Array.make (Instance.num_events instance) false in
+      List.iter (fun id -> is_bad.(id) <- true) bad_ids;
+      (* local minima among occurring events: an independent set in the
+         dependency graph, so their scopes are disjoint *)
+      let selected =
+        List.filter
+          (fun id -> List.for_all (fun u -> (not is_bad.(u)) || u > id) (Graph.neighbors g id))
+          bad_ids
+      in
+      let vars =
+        List.concat_map (fun id -> Array.to_list (Event.scope (Instance.event instance id))) selected
+      in
+      resamplings := !resamplings + List.length selected;
+      a := Space.resample space rng !a vars;
+      loop ()
+    end
+  in
+  loop ();
+  (!a, { resamplings = !resamplings; rounds = !rounds })

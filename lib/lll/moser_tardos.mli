@@ -1,0 +1,34 @@
+(** Moser–Tardos resampling baselines (sequential and the standard
+    parallel/distributed variant). *)
+
+module Assignment = Lll_prob.Assignment
+
+exception Budget_exhausted of { resamplings : int }
+
+type stats = { resamplings : int; rounds : int }
+
+val solve_sequential :
+  ?max_resamplings:int -> seed:int -> Instance.t -> Assignment.t * stats
+(** Resample the scope of the first occurring bad event until none occurs.
+    @raise Budget_exhausted when the cap is hit. *)
+
+val solve_sequential_log :
+  ?max_resamplings:int -> seed:int -> Instance.t -> Assignment.t * stats * int array
+(** Like {!solve_sequential}, also returning the execution log (resampled
+    event ids in order) consumed by {!Witness}. *)
+
+val solve_parallel : ?max_rounds:int -> seed:int -> Instance.t -> Assignment.t * stats
+(** Each round, occurring events that are id-minimal among their occurring
+    dependency neighbors resample simultaneously; [rounds] is the
+    distributed round count (O(log n) w.h.p. under [ep(d+1) < 1]). *)
+
+val solve_parallel_random_priority :
+  ?max_rounds:int -> seed:int -> Instance.t -> Assignment.t * stats
+(** The Chung–Pettie–Su-flavoured selection: fresh random priorities
+    per round instead of ids. *)
+
+val solve_parallel_all :
+  ?max_rounds:int -> seed:int -> Instance.t -> Assignment.t * stats
+(** Ablation: ALL occurring events resample each round (shared variables
+    once). Needs stronger criteria to converge in theory; compare rounds
+    against {!solve_parallel}. *)

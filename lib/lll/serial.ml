@@ -1,0 +1,186 @@
+(* Textual serialization of LLL instances.
+
+   Events are closures, so a generic dump enumerates each event's truth
+   table over its scope (exact: the table IS the event). This is intended
+   for the bounded scopes of LLL instances (the format guards against
+   accidentally exploding tables). Distributions are written as exact
+   rationals ("n" or "n/d").
+
+   Format (line oriented, '#' comments and blank lines allowed):
+
+     lll-instance v1
+     vars <count>
+     var <id> <name> <arity> <p_0> <p_1> ... <p_{arity-1}>
+     events <count>
+     event <id> <name> <scope size> <v_1> ... <v_k> <bad count>
+     bad <x_1> ... <x_k>          (one line per bad tuple, scope order)
+
+   Round trips exactly: probabilities, scopes and bad sets are preserved
+   verbatim (tested). *)
+
+module Rat = Lll_num.Rat
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+
+let max_table = 1 lsl 20
+
+exception Parse_error of { line : int; message : string }
+
+let parse_fail line message = raise (Parse_error { line; message })
+
+(* Enumerate the bad tuples of an event by brute force over its scope. *)
+let bad_tuples space event =
+  let scope = Event.scope event in
+  let arities = Array.map (fun v -> Var.arity (Space.var space v)) scope in
+  let total = Array.fold_left (fun acc a -> acc * a) 1 arities in
+  if total > max_table then
+    invalid_arg
+      (Printf.sprintf "Serial: event %s has a %d-entry table (limit %d)" (Event.name event)
+         total max_table);
+  let k = Array.length scope in
+  let tuple = Array.make k 0 in
+  let acc = ref [] in
+  let lookup vid =
+    let rec find j = if scope.(j) = vid then tuple.(j) else find (j + 1) in
+    find 0
+  in
+  let rec go i =
+    if i = k then begin
+      if Event.pred_holds event lookup then acc := Array.to_list (Array.copy tuple) :: !acc
+    end
+    else
+      for x = 0 to arities.(i) - 1 do
+        tuple.(i) <- x;
+        go (i + 1)
+      done
+  in
+  go 0;
+  List.rev !acc
+
+(* ---- emitting ---- *)
+
+(* names are single tokens in the format *)
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' then '_' else c) name
+
+let emit out instance =
+  let space = Instance.space instance in
+  let pf fmt = Printf.ksprintf out fmt in
+  pf "lll-instance v1\n";
+  pf "vars %d\n" (Instance.num_vars instance);
+  Array.iter
+    (fun v ->
+      pf "var %d %s %d" (Var.id v) (sanitize (Var.name v)) (Var.arity v);
+      Array.iter (fun q -> pf " %s" (Rat.to_string q)) (Var.probs v);
+      pf "\n")
+    (Space.vars space);
+  pf "events %d\n" (Instance.num_events instance);
+  Array.iter
+    (fun e ->
+      let scope = Event.scope e in
+      let bad = bad_tuples space e in
+      pf "event %d %s %d" (Event.id e) (sanitize (Event.name e)) (Array.length scope);
+      Array.iter (fun v -> pf " %d" v) scope;
+      pf " %d\n" (List.length bad);
+      List.iter
+        (fun tuple ->
+          pf "bad";
+          List.iter (fun x -> pf " %d" x) tuple;
+          pf "\n")
+        bad)
+    (Instance.events instance)
+
+let to_string instance =
+  let buf = Buffer.create 4096 in
+  emit (Buffer.add_string buf) instance;
+  Buffer.contents buf
+
+let write_instance oc instance = emit (output_string oc) instance
+
+let save path instance =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_instance oc instance)
+
+(* ---- parsing ---- *)
+
+let tokens_of_line line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* Parse from a numbered stream of non-empty, non-comment lines. *)
+let parse_lines lines =
+  let lines = ref lines in
+  let lineno = ref 0 in
+  let next_line () =
+    let rec go () =
+      match !lines with
+      | [] -> parse_fail !lineno "unexpected end of input"
+      | l :: rest ->
+        incr lineno;
+        lines := rest;
+        let l = String.trim l in
+        if l = "" || l.[0] = '#' then go () else l
+    in
+    go ()
+  in
+  let expect_int tok =
+    match int_of_string_opt tok with
+    | Some i -> i
+    | None -> parse_fail !lineno (Printf.sprintf "expected integer, got %S" tok)
+  in
+  (match next_line () with
+  | "lll-instance v1" -> ()
+  | l -> parse_fail !lineno (Printf.sprintf "bad header %S" l));
+  let nvars =
+    match tokens_of_line (next_line ()) with
+    | [ "vars"; n ] -> expect_int n
+    | _ -> parse_fail !lineno "expected 'vars <count>'"
+  in
+  let vars =
+    Array.init nvars (fun i ->
+        match tokens_of_line (next_line ()) with
+        | "var" :: id :: name :: arity :: probs ->
+          let id = expect_int id in
+          if id <> i then parse_fail !lineno "variable ids must be consecutive";
+          let arity = expect_int arity in
+          if List.length probs <> arity then parse_fail !lineno "wrong number of probabilities";
+          let probs = Array.of_list (List.map Rat.of_string probs) in
+          Var.make ~id ~name probs
+        | _ -> parse_fail !lineno "expected 'var ...'")
+  in
+  let nevents =
+    match tokens_of_line (next_line ()) with
+    | [ "events"; n ] -> expect_int n
+    | _ -> parse_fail !lineno "expected 'events <count>'"
+  in
+  let events =
+    Array.init nevents (fun i ->
+        match tokens_of_line (next_line ()) with
+        | "event" :: id :: name :: k :: rest ->
+          let id = expect_int id in
+          if id <> i then parse_fail !lineno "event ids must be consecutive";
+          let k = expect_int k in
+          if List.length rest <> k + 1 then parse_fail !lineno "bad event line";
+          let scope =
+            Array.of_list (List.map expect_int (List.filteri (fun j _ -> j < k) rest))
+          in
+          let nbad = expect_int (List.nth rest k) in
+          let bad =
+            List.init nbad (fun _ ->
+                match tokens_of_line (next_line ()) with
+                | "bad" :: xs ->
+                  if List.length xs <> k then parse_fail !lineno "bad tuple arity";
+                  List.map expect_int xs
+                | _ -> parse_fail !lineno "expected 'bad ...'")
+          in
+          Event.of_bad_set ~id ~name ~scope bad
+        | _ -> parse_fail !lineno "expected 'event ...'")
+  in
+  Instance.create (Space.create vars) events
+
+let of_string s = parse_lines (String.split_on_char '\n' s)
+
+let read_instance ic = of_string (In_channel.input_all ic)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_instance ic)

@@ -1,0 +1,22 @@
+(** Textual serialization of LLL instances (exact: truth tables over
+    event scopes, rational distributions). See the format description in
+    the implementation; round trips preserve probabilities, scopes and
+    bad sets verbatim. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Instance.t -> string
+(** @raise Invalid_argument if an event's scope table exceeds [2^20]
+    entries. *)
+
+val of_string : string -> Instance.t
+(** @raise Parse_error on malformed input. *)
+
+val save : string -> Instance.t -> unit
+val load : string -> Instance.t
+val write_instance : out_channel -> Instance.t -> unit
+val read_instance : in_channel -> Instance.t
+
+val bad_tuples : Lll_prob.Space.t -> Lll_prob.Event.t -> int list list
+(** The value tuples (in scope order) on which the event occurs —
+    enumerated exactly. *)

@@ -1,0 +1,166 @@
+(* Representable triples (Definition 3.3) and the geometry of Section 3.2.
+
+   A triple [(a, b, c)] of non-negative reals is representable if it can be
+   written as products [a = a1*a2], [b = b1*b3], [c = c2*c3] of values in
+   [0, 2] satisfying the three edge constraints [a1 + b1 <= 2],
+   [a2 + c2 <= 2], [b3 + c3 <= 2]. Lemma 3.5 characterises the set
+   [S_rep] as [{ (a,b,c) | a + b <= 4, c <= f(a,b) }] with
+
+     f(a,b) = 4 + (ab - 2a - 2b - sqrt(ab(4-a)(4-b))) / 2,
+
+   and Lemma 3.6 shows [f] is convex, which makes [S_rep] "incurved"
+   (Lemma 3.7) — the property that powers the Variable Fixing Lemma. *)
+
+module Rat = Lll_num.Rat
+
+(* ------------------------------------------------------------------ *)
+(* The boundary surface f                                              *)
+(* ------------------------------------------------------------------ *)
+
+let f a b =
+  if a < 0. || b < 0. || a +. b > 4. +. 1e-9 then invalid_arg "Srep.f: need a,b >= 0, a+b <= 4";
+  let disc = Float.max 0. (a *. b *. (4. -. a) *. (4. -. b)) in
+  4. +. (0.5 *. ((a *. b) -. (2. *. a) -. (2. *. b) -. sqrt disc))
+
+(* Violation of the Lemma 3.5 constraints: non-positive iff (a,b,c) is in
+   S_rep (up to rounding). Used by the fixer to pick the least-bad value;
+   Lemma 3.2 guarantees some value has violation <= 0. *)
+let violation (a, b, c) =
+  if a < 0. || b < 0. || c < 0. then infinity
+  else if a +. b > 4. then Float.max (a +. b -. 4.) (c -. 4.)
+  else c -. f a b
+
+let mem ?(eps = 1e-9) t = violation t <= eps
+
+(* ------------------------------------------------------------------ *)
+(* Exact membership on rationals                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* c <= f(a,b)  <=>  s := 8 + ab - 2a - 2b - 2c >= 0  and
+   s^2 >= ab(4-a)(4-b): square-root-free, hence decidable exactly. *)
+let mem_rat (a, b, c) =
+  let open Rat in
+  let four = of_int 4 in
+  sign a >= 0 && sign b >= 0 && sign c >= 0
+  && leq (add a b) four
+  &&
+  let s =
+    sub (add (of_int 8) (mul a b)) (add (add (mul two a) (mul two b)) (mul two c))
+  in
+  let k = mul (mul a b) (mul (sub four a) (sub four b)) in
+  sign s >= 0 && geq (mul s s) k
+
+(* ------------------------------------------------------------------ *)
+(* Constructive decomposition (proof of Lemma 3.5)                     *)
+(* ------------------------------------------------------------------ *)
+
+type decomposition = { a1 : float; a2 : float; b1 : float; b3 : float; c2 : float; c3 : float }
+
+let products d = (d.a1 *. d.a2, d.b1 *. d.b3, d.c2 *. d.c3)
+
+let is_valid_decomposition ?(eps = 1e-9) d =
+  let in_range x = x >= -.eps && x <= 2. +. eps in
+  in_range d.a1 && in_range d.a2 && in_range d.b1 && in_range d.b3 && in_range d.c2
+  && in_range d.c3
+  && d.a1 +. d.b1 <= 2. +. eps
+  && d.a2 +. d.c2 <= 2. +. eps
+  && d.b3 +. d.c3 <= 2. +. eps
+
+let clamp lo hi x = Float.min hi (Float.max lo x)
+
+(* c(x) = (2 - a/x)(2 - b/(2-x)) — the maximal c representable with
+   [a1 = x] fixed (proof of Lemma 3.5). Unimodal on [a/2, 2 - b/2]. *)
+let c_of_x ~a ~b x =
+  if x <= 0. || x >= 2. then 0.
+  else begin
+    let c2 = 2. -. (a /. x) and c3 = 2. -. (b /. (2. -. x)) in
+    if c2 < 0. || c3 < 0. then 0. else c2 *. c3
+  end
+
+(* Maximise the unimodal [c_of_x] by ternary search; robust for all
+   [a, b > 0] including the [a = b] degeneracy of the closed-form critical
+   point x1. *)
+let best_x ~a ~b =
+  let lo = ref (a /. 2.) and hi = ref (2. -. (b /. 2.)) in
+  if !lo > !hi then begin
+    let mid = 0.5 *. (!lo +. !hi) in
+    lo := mid;
+    hi := mid
+  end;
+  for _ = 1 to 200 do
+    let m1 = !lo +. ((!hi -. !lo) /. 3.) and m2 = !hi -. ((!hi -. !lo) /. 3.) in
+    if c_of_x ~a ~b m1 < c_of_x ~a ~b m2 then lo := m1 else hi := m2
+  done;
+  0.5 *. (!lo +. !hi)
+
+(* Decompose a triple of S_rep into witness values. Accepts small
+   positive violations (float noise) by clamping [c] to the attainable
+   maximum. The returned products are [(a, b, min c (f a b))] up to float
+   rounding. *)
+let decompose (a, b, c) =
+  let a = clamp 0. 4. a and b = clamp 0. 4. b and c = clamp 0. 4. c in
+  let b = Float.min b (4. -. a) in
+  if a = 0. && b = 0. then { a1 = 0.; a2 = 0.; b1 = 0.; b3 = 0.; c2 = 2.; c3 = c /. 2. }
+  else if a = 0. then
+    (* c <= f(0,b) = 4 - b; pick c3 = c/2 <= 2 - b/2 *)
+    { a1 = 0.; a2 = 0.; b1 = 2.; b3 = b /. 2.; c2 = 2.; c3 = clamp 0. 2. (c /. 2.) }
+  else if b = 0. then { a1 = 2.; a2 = a /. 2.; b1 = 0.; b3 = 0.; c2 = clamp 0. 2. (c /. 2.); c3 = 2. }
+  else begin
+    let x = best_x ~a ~b in
+    let x = clamp 1e-12 (2. -. 1e-12) x in
+    let a1 = x in
+    let a2 = clamp 0. 2. (a /. x) in
+    let b1 = 2. -. x in
+    let b3 = clamp 0. 2. (b /. (2. -. x)) in
+    let c2max = Float.max 0. (2. -. a2) and c3 = Float.max 0. (2. -. b3) in
+    let cmax = c2max *. c3 in
+    let c = Float.min c cmax in
+    let c2 = if cmax > 0. then c2max *. (c /. cmax) else 0. in
+    { a1; a2; b1; b3; c2; c3 }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hessian of f (appendix, proof of Lemma 3.6) — for the convexity      *)
+(* experiment (F1) and property tests                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* On the open domain {a, b > 0, a + b < 4}. *)
+let hessian a b =
+  if a <= 0. || b <= 0. || a +. b >= 4. then invalid_arg "Srep.hessian: open domain only";
+  let aa = a *. (4. -. a) and bb = b *. (4. -. b) in
+  let faa = 2. /. aa *. sqrt (bb /. aa) in
+  let fbb = 2. /. bb *. sqrt (aa /. bb) in
+  let fab = 0.5 -. ((2. -. a) *. (2. -. b) /. (2. *. sqrt (aa *. bb))) in
+  (faa, fab, fbb)
+
+let hessian_determinant a b =
+  let faa, fab, fbb = hessian a b in
+  (faa *. fbb) -. (fab *. fab)
+
+(* Grid of the S_rep boundary surface for the Figure 1 reproduction:
+   [(a, b, f a b)] over the triangle [a + b <= 4]. *)
+let surface_grid ~steps =
+  let pts = ref [] in
+  for i = 0 to steps do
+    for j = 0 to steps do
+      let a = 4. *. float_of_int i /. float_of_int steps in
+      let b = 4. *. float_of_int j /. float_of_int steps in
+      if a +. b <= 4. +. 1e-12 then pts := (a, b, f a (Float.min b (4. -. a))) :: !pts
+    done
+  done;
+  List.rev !pts
+
+(* ------------------------------------------------------------------ *)
+(* Random representable triples (for property tests)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sampling witness values directly guarantees representability. *)
+let random_representable rng =
+  let r2 () = Random.State.float rng 2.0 in
+  let a1 = r2 () in
+  let b1 = Random.State.float rng (2.0 -. a1) in
+  let a2 = r2 () in
+  let c2 = Random.State.float rng (2.0 -. a2) in
+  let b3 = r2 () in
+  let c3 = Random.State.float rng (2.0 -. b3) in
+  (a1 *. a2, b1 *. b3, c2 *. c3)

@@ -1,0 +1,50 @@
+(** Representable triples (Definition 3.3), the boundary surface [f] of
+    Lemma 3.5, and the constructive decomposition used by the rank-3
+    fixer. *)
+
+module Rat = Lll_num.Rat
+
+val f : float -> float -> float
+(** [f a b = 4 + (ab - 2a - 2b - sqrt(ab(4-a)(4-b)))/2] for
+    [a, b >= 0], [a + b <= 4] (Lemma 3.5). *)
+
+val violation : float * float * float -> float
+(** Non-positive iff the triple lies in [S_rep] (up to rounding); the
+    rank-3 fixer picks the value minimising this. *)
+
+val mem : ?eps:float -> float * float * float -> bool
+
+val mem_rat : Rat.t * Rat.t * Rat.t -> bool
+(** Exact membership: [c <= f(a,b)] rewritten square-root-free as
+    [s >= 0 && s^2 >= ab(4-a)(4-b)] with [s = 8 + ab - 2a - 2b - 2c]. *)
+
+type decomposition = { a1 : float; a2 : float; b1 : float; b3 : float; c2 : float; c3 : float }
+(** Witness values of Definition 3.3: [a = a1*a2], [b = b1*b3],
+    [c = c2*c3], with [a1+b1 <= 2], [a2+c2 <= 2], [b3+c3 <= 2]. *)
+
+val products : decomposition -> float * float * float
+val is_valid_decomposition : ?eps:float -> decomposition -> bool
+
+val decompose : float * float * float -> decomposition
+(** Constructive proof of Lemma 3.5: decompose a triple of [S_rep]
+    (small positive float violations are clamped). *)
+
+val c_of_x : a:float -> b:float -> float -> float
+(** [(2 - a/x)(2 - b/(2-x))]: the largest [c] representable with
+    [a1 = x]. *)
+
+val best_x : a:float -> b:float -> float
+(** Maximiser of {!c_of_x} on [[a/2, 2-b/2]] (ternary search). *)
+
+val hessian : float -> float -> float * float * float
+(** [(f_aa, f_ab, f_bb)] from the appendix's closed forms; open domain
+    [a, b > 0], [a + b < 4]. *)
+
+val hessian_determinant : float -> float -> float
+
+val surface_grid : steps:int -> (float * float * float) list
+(** Samples of the Figure 1 surface over the triangle [a + b <= 4]. *)
+
+val random_representable : Random.State.t -> float * float * float
+(** A uniformly-sampled witness decomposition's products — guaranteed
+    representable. *)

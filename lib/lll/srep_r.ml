@@ -1,0 +1,121 @@
+(* Representable r-tuples — the geometry behind Conjecture 1.5.
+
+   For rank r, the analogue of Definition 3.3 lives on the clique K_r: a
+   tuple (t_1, ..., t_r) of non-negative reals is representable if there
+   are values psi_e^i in [0,2] on the edge-endpoints of K_r with
+   psi_e^i + psi_e^j <= 2 on every edge {i,j} and
+   prod_{e ∋ i} psi_e^i >= t_i for every node i.
+
+   For r = 3 this is exactly S_rep (Lemma 3.5 gives a closed form); the
+   paper leaves r >= 4 open ("finding such an expression ... is the only
+   challenge in obtaining full generality"). This module provides a
+   numeric feasibility solver used by the experimental rank-r fixer:
+
+   - WLOG every edge uses its full budget: psi_e^i = 2*alpha_e and
+     psi_e^j = 2*(1 - alpha_e) for a split alpha_e in [0,1] (raising
+     either side never hurts the product lower bounds);
+   - in log space the slack of node i,
+       slack_i = sum_{e ∋ i} ln(psi_e^i) - ln(t_i),
+     is concave in alpha, so maximising the minimum slack is a concave
+     max-min problem over a box of dimension r(r-1)/2 (= 3, 6, 10 for
+     r = 3, 4, 5);
+   - we solve it by coordinate balancing (each edge update equalises the
+     slacks of its two endpoints in closed form — a Sinkhorn-style
+     sweep) followed by local perturbation polishing. The result is
+     validated against the exact r = 3 characterisation in the test
+     suite.
+
+   A tuple is accepted as representable when the achieved min slack is
+   >= -eps; the fixer treats the achieved psi as its new potential. *)
+
+let clique_edges r =
+  let es = ref [] in
+  for i = 0 to r - 1 do
+    for j = i + 1 to r - 1 do
+      es := (i, j) :: !es
+    done
+  done;
+  Array.of_list (List.rev !es)
+
+type solution = {
+  min_slack : float;
+      (* min over nodes of ln(product) - ln(target); >= 0 means feasible *)
+  psi : (int * int * float * float) array;
+      (* (i, j, psi at i, psi at j) for each clique edge *)
+}
+
+let alpha_min = 1e-9
+
+(* slack of node i under splits [alpha], minus log-target [lt.(i)];
+   infinite when the target is 0 *)
+let slacks ~edges ~lt alpha r =
+  let s = Array.make r 0.0 in
+  Array.iteri
+    (fun k (i, j) ->
+      s.(i) <- s.(i) +. log (2. *. Float.max alpha_min alpha.(k));
+      s.(j) <- s.(j) +. log (2. *. Float.max alpha_min (1. -. alpha.(k))))
+    edges;
+  Array.mapi (fun i si -> if lt.(i) = neg_infinity then infinity else si -. lt.(i)) s
+
+let min_slack ~edges ~lt alpha r =
+  Array.fold_left Float.min infinity (slacks ~edges ~lt alpha r)
+
+(* Maximise the minimum slack over the splits. *)
+let solve ?(sweeps = 300) ~targets () =
+  let r = Array.length targets in
+  if r < 2 then invalid_arg "Srep_r.solve: need r >= 2";
+  Array.iter (fun t -> if t < 0. then invalid_arg "Srep_r.solve: negative target") targets;
+  let edges = clique_edges r in
+  let ne = Array.length edges in
+  let lt = Array.map (fun t -> if t = 0. then neg_infinity else log t) targets in
+  let alpha = Array.make ne 0.5 in
+  (* coordinate balancing: set each split so the two endpoint slacks are
+     equal (the closed-form optimum of the local two-slack min) *)
+  for _ = 1 to sweeps do
+    Array.iteri
+      (fun k (i, j) ->
+        let s = slacks ~edges ~lt alpha r in
+        let ai = s.(i) -. log (2. *. Float.max alpha_min alpha.(k)) in
+        let aj = s.(j) -. log (2. *. Float.max alpha_min (1. -. alpha.(k))) in
+        let a' =
+          if ai = infinity && aj = infinity then 0.5
+          else if ai = infinity then alpha_min (* node i unconstrained: favour j *)
+          else if aj = infinity then 1. -. alpha_min
+          else begin
+            (* balance: ai + ln(2a) = aj + ln(2(1-a)) *)
+            let z = exp (aj -. ai) in
+            z /. (1. +. z)
+          end
+        in
+        alpha.(k) <- Float.min (1. -. alpha_min) (Float.max alpha_min a'))
+      edges
+  done;
+  (* perturbation polishing for the nonsmooth max-min *)
+  let best = Array.copy alpha in
+  let best_val = ref (min_slack ~edges ~lt best r) in
+  let rng = Random.State.make [| 0x5eed; r |] in
+  let step = ref 0.05 in
+  for _ = 1 to 400 do
+    let cand = Array.map (fun a -> Float.min (1. -. alpha_min)
+                              (Float.max alpha_min (a +. ((Random.State.float rng 2. -. 1.) *. !step))))
+        best
+    in
+    let v = min_slack ~edges ~lt cand r in
+    if v > !best_val then begin
+      best_val := v;
+      Array.blit cand 0 best 0 ne
+    end
+    else step := Float.max 1e-4 (!step *. 0.98)
+  done;
+  let psi =
+    Array.mapi
+      (fun k (i, j) -> (i, j, 2. *. best.(k), 2. *. (1. -. best.(k))))
+      edges
+  in
+  { min_slack = !best_val; psi }
+
+let representable ?(eps = 1e-7) targets =
+  (solve ~targets ()).min_slack >= -.eps
+
+(* Feasibility margin: positive slack means strictly inside. *)
+let margin targets = (solve ~targets ()).min_slack

@@ -1,0 +1,29 @@
+(** Representable r-tuples on clique potentials — the numeric geometry
+    behind the experimental rank-r fixer ({!Fix_rankr}) exploring the
+    paper's Conjecture 1.5.
+
+    For [r = 3] this coincides with {!Srep} (validated in the tests);
+    for [r >= 4] no closed form is known (the paper's open problem), so
+    feasibility is decided by a concave max-min solver over the edge
+    splits of [K_r]. *)
+
+val clique_edges : int -> (int * int) array
+(** The [r*(r-1)/2] edges of [K_r], pairs [(i, j)] with [i < j]. *)
+
+type solution = {
+  min_slack : float;
+      (** [min_i (ln prod_i - ln t_i)]; [>= 0] iff the achieved potential
+          dominates every target. *)
+  psi : (int * int * float * float) array;
+      (** Witness potential per clique edge: [(i, j, psi_e^i, psi_e^j)]
+          with [psi_e^i + psi_e^j = 2]. *)
+}
+
+val solve : ?sweeps:int -> targets:float array -> unit -> solution
+(** Maximise the minimum slack (coordinate balancing + polishing).
+    Targets must be non-negative; a zero target makes its node
+    unconstrained. *)
+
+val representable : ?eps:float -> float array -> bool
+val margin : float array -> float
+(** The achieved min slack. *)

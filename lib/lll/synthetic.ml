@@ -1,0 +1,94 @@
+(* Synthetic LLL instance families parameterised by their position
+   relative to the sharp threshold [p = 2^-d].
+
+   Structure: a random [delta]-regular rank-[r] hypergraph provides the
+   event/variable incidence (one event per node, one variable per
+   hyperedge, arity [arity], uniform). Each event's bad set is a seeded
+   random subset of the joint value tuples of its scope; its probability
+   is exactly [|bad| / arity^delta], so we can place instances exactly
+   below, at, or above the threshold by choosing the bad-set size.
+
+   These are the workloads of experiments T1/T2 (success of the
+   deterministic fixers strictly below the threshold under adversarial
+   orders) and of the round-scaling experiments T3/T4. *)
+
+module Rat = Lll_num.Rat
+module Generators = Lll_graph.Generators
+module Hypergraph = Lll_graph.Hypergraph
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+
+type position = Below_threshold | At_threshold
+
+(* All value tuples of [k] variables with the given arity, as lists. *)
+let rec all_tuples ~arity k =
+  if k = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun rest -> List.init arity (fun v -> v :: rest))
+      (all_tuples ~arity (k - 1))
+
+(* Dependency degree of node [v] in the hypergraph structure: the number
+   of *other* nodes sharing a hyperedge with it. *)
+let dep_degree h v =
+  let nbrs = Hashtbl.create 8 in
+  List.iter
+    (fun he -> Array.iter (fun u -> if u <> v then Hashtbl.replace nbrs u ()) (Hypergraph.edge h he))
+    (Hypergraph.incident h v);
+  Hashtbl.length nbrs
+
+(* Bad-set size for an event with [total] scope tuples so that
+   [p = size/total] sits exactly at, or strictly below, [2^-d].
+   Requires [total] divisible by [2^d] for a nonzero size. *)
+let bad_size ~position ~total ~d =
+  let at = total / (1 lsl d) in
+  match position with
+  | At_threshold -> at
+  | Below_threshold -> max 0 (at - 1)
+
+let instance_of_hypergraph ?(position = Below_threshold) ~seed ~arity h =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let nv = Hypergraph.m h in
+  let vars = Array.init nv (fun i -> Var.uniform ~id:i ~name:(Printf.sprintf "x%d" i) arity) in
+  (* use the global max dependency degree so p is uniform across events *)
+  let d =
+    let m = ref 0 in
+    for v = 0 to Hypergraph.n h - 1 do
+      m := max !m (dep_degree h v)
+    done;
+    !m
+  in
+  let events =
+    Array.init (Hypergraph.n h) (fun v ->
+        let scope = Array.of_list (Hypergraph.incident h v) in
+        let k = Array.length scope in
+        let total =
+          let rec pow acc i = if i = 0 then acc else pow (acc * arity) (i - 1) in
+          pow 1 k
+        in
+        let size = bad_size ~position ~total ~d in
+        let tuples = Array.of_list (all_tuples ~arity k) in
+        Generators.shuffle rng tuples;
+        let bad = Array.to_list (Array.sub tuples 0 (min size (Array.length tuples))) in
+        Event.of_bad_set ~id:v ~name:(Printf.sprintf "bad%d" v) ~scope bad)
+  in
+  Instance.create (Space.create vars) events
+
+(* Random rank-[r], [delta]-regular instance on [n] events. The dependency
+   degree is at most [delta * (r - 1)]; arity must satisfy
+   [2^d | arity^delta] for the threshold placement to be exact, which we
+   enforce by using a power of two. *)
+let random ?(position = Below_threshold) ~seed ~n ~rank ~delta ~arity () =
+  if arity land (arity - 1) <> 0 then invalid_arg "Synthetic.random: arity must be a power of 2";
+  let h = Generators.random_regular_hypergraph ~seed n rank delta in
+  instance_of_hypergraph ~position ~seed ~arity h
+
+(* A ring-of-events instance: event [i] shares one variable with each of
+   its two ring neighbors (rank 2, d = 2). Useful for clean round-scaling
+   experiments at fixed [d]. *)
+let ring ?(position = Below_threshold) ~seed ~n ~arity () =
+  if arity land (arity - 1) <> 0 then invalid_arg "Synthetic.ring: arity must be a power of 2";
+  if n < 3 then invalid_arg "Synthetic.ring: n >= 3";
+  let h = Hypergraph.create ~n (List.init n (fun i -> [ i; (i + 1) mod n ])) in
+  instance_of_hypergraph ~position ~seed ~arity h

@@ -1,0 +1,32 @@
+(** Synthetic LLL instance families placed exactly below or at the sharp
+    threshold [p = 2^-d] (workloads for experiments T1–T4). *)
+
+module Hypergraph = Lll_graph.Hypergraph
+
+type position = Below_threshold | At_threshold
+
+val random :
+  ?position:position ->
+  seed:int ->
+  n:int ->
+  rank:int ->
+  delta:int ->
+  arity:int ->
+  unit ->
+  Instance.t
+(** [n] events on a random [delta]-regular rank-[rank] hypergraph
+    structure; uniform variables of the given power-of-two arity; each
+    event's bad set is random of exact probability [2^-d] ([At_threshold])
+    or the largest value strictly below ([Below_threshold]), where [d] is
+    the instance's maximum dependency degree. *)
+
+val ring : ?position:position -> seed:int -> n:int -> arity:int -> unit -> Instance.t
+(** Rank-2 ring: event [i] shares a variable with events [i±1]; [d = 2].
+    Clean family for round-scaling experiments at fixed [d]. *)
+
+val instance_of_hypergraph :
+  ?position:position -> seed:int -> arity:int -> Hypergraph.t -> Instance.t
+(** Build the synthetic instance on an explicit hypergraph structure. *)
+
+val all_tuples : arity:int -> int -> int list list
+val dep_degree : Hypergraph.t -> int -> int

@@ -1,0 +1,120 @@
+(* Instance transformations.
+
+   The paper's footnote 3: "In principle, the number of variables could
+   be larger. However, it is straightforward to reformulate the instance
+   in a way that combines variables affecting the same r events." This
+   module implements exactly that reformulation: all variables whose sets
+   of dependent events coincide are merged into one product variable
+   (mixed-radix encoding, probabilities multiplied — legitimate since the
+   originals are independent). Merging never changes any event's
+   distribution, the dependency graph, or [d]; it can only reduce the
+   variable count, and it makes the "one variable per hyperedge"
+   normal form of Sections 2-3 available for arbitrary inputs.
+
+   [decode] maps an assignment of the merged instance back to the
+   original variables (tested to preserve event outcomes exactly). *)
+
+module Rat = Lll_num.Rat
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+module Assignment = Lll_prob.Assignment
+
+type merged = {
+  instance : Instance.t;
+  groups : int array array; (* new var id -> original var ids (sorted) *)
+  group_of : int array; (* original var id -> new var id *)
+  arities : int array array; (* new var id -> original arities, group order *)
+}
+
+let max_merged_arity = 1 lsl 20
+
+let merge_shared_variables original =
+  let n_orig = Instance.num_vars original in
+  let space = Instance.space original in
+  (* group variables by their (sorted) event sets *)
+  let tbl = Hashtbl.create n_orig in
+  for vid = 0 to n_orig - 1 do
+    let key = Array.to_list (Instance.events_of_var original vid) in
+    Hashtbl.replace tbl key (vid :: (try Hashtbl.find tbl key with Not_found -> []))
+  done;
+  let groups =
+    Hashtbl.fold (fun _ vids acc -> Array.of_list (List.rev vids) :: acc) tbl []
+    |> List.sort compare |> Array.of_list
+  in
+  let group_of = Array.make n_orig (-1) in
+  Array.iteri (fun gid vids -> Array.iter (fun v -> group_of.(v) <- gid) vids) groups;
+  (* mixed-radix encoding of each group *)
+  let arities = Array.map (fun vids -> Array.map (fun v -> Var.arity (Space.var space v)) vids) groups in
+  let group_arity gid = Array.fold_left ( * ) 1 arities.(gid) in
+  Array.iteri
+    (fun gid _ ->
+      if group_arity gid > max_merged_arity then
+        invalid_arg "Transform.merge_shared_variables: merged arity too large")
+    groups;
+  (* decode a merged value into the group's original values *)
+  let decode_value gid value =
+    let vids = groups.(gid) in
+    let ars = arities.(gid) in
+    let out = Array.make (Array.length vids) 0 in
+    let v = ref value in
+    Array.iteri
+      (fun i _ ->
+        out.(i) <- !v mod ars.(i);
+        v := !v / ars.(i))
+      vids;
+    out
+  in
+  let vars =
+    Array.mapi
+      (fun gid vids ->
+        let k = group_arity gid in
+        let probs =
+          Array.init k (fun value ->
+              let vals = decode_value gid value in
+              let p = ref Rat.one in
+              Array.iteri
+                (fun i _ -> p := Rat.mul !p (Var.prob (Space.var space vids.(i)) vals.(i)))
+                vids;
+              !p)
+        in
+        let name = String.concat "+" (Array.to_list (Array.map (fun v -> Var.name (Space.var space v)) vids)) in
+        Var.make ~id:gid ~name probs)
+      groups
+  in
+  (* events: same predicates, scopes renamed to group ids, lookups decoded *)
+  let events =
+    Array.map
+      (fun e ->
+        let scope_orig = Event.scope e in
+        let scope = Array.of_list (List.sort_uniq compare (Array.to_list (Array.map (fun v -> group_of.(v)) scope_orig))) in
+        Event.make ~id:(Event.id e) ~name:(Event.name e) ~scope (fun lookup ->
+            Event.pred_holds e (fun orig_vid ->
+                let gid = group_of.(orig_vid) in
+                let vals = decode_value gid (lookup gid) in
+                (* position of orig_vid within its group *)
+                let rec pos i = if groups.(gid).(i) = orig_vid then i else pos (i + 1) in
+                vals.(pos 0))))
+      (Instance.events original)
+  in
+  let instance = Instance.create (Space.create vars) events in
+  { instance; groups; group_of; arities }
+
+(* Translate a merged assignment back to the original variables
+   (mixed-radix decoding, least significant = first group member). *)
+let decode merged (a : Assignment.t) =
+  let n_orig = Array.length merged.group_of in
+  let out = Assignment.empty n_orig in
+  Array.iteri
+    (fun gid vids ->
+      match Assignment.get a gid with
+      | None -> ()
+      | Some value ->
+        let v = ref value in
+        Array.iteri
+          (fun i orig ->
+            Assignment.set_inplace out orig (!v mod merged.arities.(gid).(i));
+            v := !v / merged.arities.(gid).(i))
+          vids)
+    merged.groups;
+  out

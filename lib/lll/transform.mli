@@ -1,0 +1,22 @@
+(** Instance transformations — the paper's footnote-3 reformulation:
+    merge all variables affecting the same event set into one product
+    variable (mixed radix, probabilities multiplied), yielding the
+    "one variable per hyperedge" normal form of Sections 2–3 without
+    changing any event's distribution, the dependency graph, or [d]. *)
+
+module Assignment = Lll_prob.Assignment
+
+type merged = {
+  instance : Instance.t;  (** The reformulated instance. *)
+  groups : int array array;  (** Merged var id to original var ids. *)
+  group_of : int array;  (** Original var id to merged var id. *)
+  arities : int array array;  (** Original arities per group. *)
+}
+
+val merge_shared_variables : Instance.t -> merged
+(** @raise Invalid_argument if a merged variable would exceed [2^20]
+    values. *)
+
+val decode : merged -> Assignment.t -> Assignment.t
+(** Map a (possibly partial) merged assignment back to the original
+    variables; event outcomes are preserved exactly (tested). *)

@@ -1,0 +1,26 @@
+(* Exact verification of LLL solutions.
+
+   Whatever numeric route produced an assignment (exact rank-2 fixing,
+   float-assisted rank-3 fixing, randomized resampling), acceptance is
+   decided here by evaluating every bad-event predicate on the completed
+   assignment — no floating point involved. *)
+
+module Event = Lll_prob.Event
+module Assignment = Lll_prob.Assignment
+
+let occurring_events instance (a : Assignment.t) =
+  Array.to_list (Instance.events instance)
+  |> List.filter_map (fun e -> if Event.holds e a then Some (Event.id e) else None)
+
+let avoids_all instance (a : Assignment.t) =
+  if not (Assignment.is_complete a) then invalid_arg "Verify.avoids_all: incomplete assignment";
+  Array.for_all (fun e -> not (Event.holds e a)) (Instance.events instance)
+
+let first_violated instance (a : Assignment.t) =
+  Array.find_opt (fun e -> Event.holds e a) (Instance.events instance) |> Option.map Event.id
+
+type result = { ok : bool; violated : int list }
+
+let check instance a =
+  let violated = occurring_events instance a in
+  { ok = violated = []; violated }

@@ -1,0 +1,14 @@
+(** Exact, float-free verification that an assignment avoids all bad
+    events. *)
+
+module Assignment = Lll_prob.Assignment
+
+val avoids_all : Instance.t -> Assignment.t -> bool
+(** @raise Invalid_argument if the assignment is incomplete. *)
+
+val occurring_events : Instance.t -> Assignment.t -> int list
+val first_violated : Instance.t -> Assignment.t -> int option
+
+type result = { ok : bool; violated : int list }
+
+val check : Instance.t -> Assignment.t -> result

@@ -1,0 +1,90 @@
+(* Witness trees — the accounting device of the Moser-Tardos analysis
+   [MT10].
+
+   Given the execution log (the sequence of resampled bad events), the
+   witness tree of step [t] explains WHY that resampling happened: its
+   root is the event resampled at [t]; scanning the log backwards, each
+   earlier resampling whose event lies in the inclusive dependency
+   neighborhood of some tree node is attached below the DEEPEST such
+   node. The MT theorem charges each resampling to a distinct witness
+   tree and bounds the expected number of trees of size [s] by a
+   geometrically decaying term under ep(d+1) < 1 — which is why the
+   algorithm terminates in O(m) expected resamplings.
+
+   This module reconstructs witness trees exactly from a log, exposes
+   their structural invariants (tested), and aggregates the size
+   histogram that the experiment harness prints: its geometric decay is
+   the empirical face of the MT convergence proof. *)
+
+module Graph = Lll_graph.Graph
+
+type tree = { label : int; depth : int; children : tree list }
+
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 t.children
+
+let rec height t = 1 + List.fold_left (fun acc c -> max acc (height c)) 0 t.children
+
+(* inclusive dependency neighborhood *)
+let inclusive_nbhd g v = v :: Graph.neighbors g v
+
+(* Build the witness tree of log step [t] (0-based). O(t * tree size). *)
+let tree_of_log instance log t =
+  if t < 0 || t >= Array.length log then invalid_arg "Witness.tree_of_log: step out of range";
+  let g = Instance.dep_graph instance in
+  (* mutable scaffolding: nodes with parent links, then reconstruct *)
+  let nodes = ref [ (0, log.(t), -1) ] in (* (index, label, parent index) *)
+  let depth = Hashtbl.create 16 in
+  Hashtbl.replace depth 0 0;
+  let next = ref 1 in
+  for s = t - 1 downto 0 do
+    let ev = log.(s) in
+    (* deepest node whose label's inclusive neighborhood contains ev *)
+    let best = ref None in
+    List.iter
+      (fun (idx, label, _) ->
+        if List.mem ev (inclusive_nbhd g label) then begin
+          let d = Hashtbl.find depth idx in
+          match !best with
+          | Some (_, d') when d' >= d -> ()
+          | _ -> best := Some (idx, d)
+        end)
+      !nodes;
+    match !best with
+    | None -> ()
+    | Some (parent, d) ->
+      let idx = !next in
+      incr next;
+      nodes := (idx, ev, parent) :: !nodes;
+      Hashtbl.replace depth idx (d + 1)
+  done;
+  (* assemble the immutable tree *)
+  let children_of = Hashtbl.create 16 in
+  List.iter
+    (fun (idx, label, parent) ->
+      if parent >= 0 then
+        Hashtbl.replace children_of parent
+          ((idx, label) :: (try Hashtbl.find children_of parent with Not_found -> [])))
+    (List.rev !nodes);
+  let rec build idx label d =
+    let kids = try Hashtbl.find children_of idx with Not_found -> [] in
+    { label; depth = d; children = List.map (fun (i, l) -> build i l (d + 1)) kids }
+  in
+  build 0 log.(t) 0
+
+(* Structural validity per the MT definition: every child's label lies in
+   the inclusive neighborhood of its parent's label. *)
+let rec well_formed instance t =
+  let g = Instance.dep_graph instance in
+  List.for_all
+    (fun c -> List.mem c.label (inclusive_nbhd g t.label) && well_formed instance c)
+    t.children
+
+(* Histogram of witness tree sizes over every step of a log. *)
+let size_histogram instance log =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun t _ ->
+      let s = size (tree_of_log instance log t) in
+      Hashtbl.replace tbl s (1 + try Hashtbl.find tbl s with Not_found -> 0))
+    log;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

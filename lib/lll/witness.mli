@@ -1,0 +1,22 @@
+(** Witness trees from the Moser–Tardos analysis [MT10], reconstructed
+    exactly from an execution log
+    ({!Moser_tardos.solve_sequential_log}). *)
+
+type tree = { label : int; depth : int; children : tree list }
+
+val tree_of_log : Instance.t -> int array -> int -> tree
+(** The witness tree of log step [t]: root labelled [log.(t)], earlier
+    resamplings attached below the deepest node whose label's inclusive
+    dependency neighborhood contains them.
+    @raise Invalid_argument when [t] is out of range. *)
+
+val size : tree -> int
+val height : tree -> int
+
+val well_formed : Instance.t -> tree -> bool
+(** Every child's label lies in the inclusive neighborhood of its
+    parent's. *)
+
+val size_histogram : Instance.t -> int array -> (int * int) list
+(** [(size, count)] pairs over all steps of the log — the empirical face
+    of the MT geometric-decay bound. *)

@@ -1,0 +1,88 @@
+(* Luby's randomized maximal independent set in the LOCAL model.
+
+   A classic O(log n)-round randomized symmetry-breaking primitive; here
+   both as additional coverage for the runtime and as a reference point
+   for the paper's discussion of derandomization (weak splitting is
+   P-SLOCAL-complete precisely because problems like MIS reduce to it).
+
+   Each phase costs two communication rounds: (1) every active node draws
+   a random priority and compares with its active neighbors' priorities —
+   strict local minima join the MIS; (2) nodes adjacent to fresh MIS
+   members retire. Randomness is derived deterministically from
+   [seed, node id, phase], so runs are reproducible and the simulated
+   exchange stays honest. *)
+
+module Graph = Lll_graph.Graph
+
+type status = Active | In_mis | Out
+
+type state = { status : status; priority : float }
+
+let priority ~seed ~id ~phase =
+  let rng = Random.State.make [| seed; id; phase |] in
+  Random.State.float rng 1.0
+
+let luby ?(max_rounds = 10_000) ~seed net =
+  let step ~round ~me s nbrs =
+    let phase = round / 2 in
+    if round mod 2 = 0 then begin
+      (* draw priorities (statuses of neighbors reflect last phase) *)
+      match s.status with
+      | Active -> ({ s with priority = priority ~seed ~id:(Network.id net me) ~phase }, false)
+      | _ -> (s, false)
+    end
+    else begin
+      let s' =
+        match s.status with
+        | Active ->
+          (* retire FIRST if a neighbor already made it into the MIS —
+             otherwise a node could join next to a fresh MIS member *)
+          if List.exists (fun (_, n) -> n.status = In_mis) nbrs then { s with status = Out }
+          else begin
+            let active_nbrs = List.filter (fun (_, n) -> n.status = Active) nbrs in
+            if List.for_all (fun (_, n) -> s.priority < n.priority) active_nbrs then
+              { s with status = In_mis }
+            else s
+          end
+        | _ -> s
+      in
+      (* halting: a node is done when it has decided and (for Out nodes)
+         its decision is stable; staying one extra phase is harmless and
+         keeps the rule simple: halt when self and all neighbors are
+         decided *)
+      let decided n = n.status <> Active in
+      (s', decided s' && List.for_all (fun (_, n) -> decided n) nbrs)
+    end
+  in
+  let states, stats =
+    Runtime.run_full_info ~max_rounds net
+      ~init:(fun _ -> { status = Active; priority = 0. })
+      ~step
+  in
+  (Array.map (fun s -> s.status = In_mis) states, stats.Runtime.rounds)
+
+(* Sequential greedy MIS (baseline and test oracle). *)
+let greedy g =
+  let n = Graph.n g in
+  let in_mis = Array.make n false in
+  let blocked = Array.make n false in
+  for v = 0 to n - 1 do
+    if not blocked.(v) then begin
+      in_mis.(v) <- true;
+      List.iter (fun u -> blocked.(u) <- true) (Graph.neighbors g v);
+      blocked.(v) <- true
+    end
+  done;
+  in_mis
+
+(* Validity: independent and maximal. *)
+let is_mis g in_mis =
+  let independent =
+    Graph.fold_edges (fun ok _ u v -> ok && not (in_mis.(u) && in_mis.(v))) true g
+  in
+  let maximal =
+    Array.for_all Fun.id
+      (Array.init (Graph.n g) (fun v ->
+           in_mis.(v) || List.exists (fun u -> in_mis.(u)) (Graph.neighbors g v)))
+  in
+  independent && maximal

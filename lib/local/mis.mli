@@ -1,0 +1,14 @@
+(** Maximal independent sets: Luby's randomized LOCAL algorithm plus a
+    sequential oracle. *)
+
+module Graph = Lll_graph.Graph
+
+val luby : ?max_rounds:int -> seed:int -> Network.t -> bool array * int
+(** [(in_mis, rounds)]; O(log n) rounds w.h.p. Randomness is a
+    deterministic function of [(seed, node id, phase)]. *)
+
+val greedy : Graph.t -> bool array
+(** Sequential greedy MIS in id order. *)
+
+val is_mis : Graph.t -> bool array -> bool
+(** Independent and maximal (dominating). *)

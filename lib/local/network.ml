@@ -1,0 +1,38 @@
+(* A communication network for the LOCAL model: an undirected graph whose
+   nodes carry globally unique identifiers. Identifiers are what symmetry-
+   breaking algorithms (Linial, Cole–Vishkin) consume; they default to the
+   node index but can be an arbitrary injective labelling to model
+   adversarial id assignments. *)
+
+module Graph = Lll_graph.Graph
+module Generators = Lll_graph.Generators
+
+type t = { graph : Graph.t; ids : int array }
+
+let create ?ids graph =
+  let n = Graph.n graph in
+  let ids = match ids with Some a -> Array.copy a | None -> Array.init n (fun i -> i) in
+  if Array.length ids <> n then invalid_arg "Network.create: ids length mismatch";
+  let tbl = Hashtbl.create n in
+  Array.iter
+    (fun id ->
+      if Hashtbl.mem tbl id then invalid_arg "Network.create: duplicate id";
+      Hashtbl.add tbl id ())
+    ids;
+  { graph; ids }
+
+let graph t = t.graph
+let n t = Graph.n t.graph
+let id t v = t.ids.(v)
+let ids t = Array.copy t.ids
+let neighbors t v = Graph.neighbors t.graph v
+let degree t v = Graph.degree t.graph v
+let max_degree t = Graph.max_degree t.graph
+
+(* Network with ids permuted by a seeded shuffle — an "adversarial"
+   relabelling for testing id-dependence of algorithms. *)
+let with_shuffled_ids ~seed t =
+  let rng = Random.State.make [| seed |] in
+  let ids = Array.copy t.ids in
+  Generators.shuffle rng ids;
+  { t with ids }

@@ -1,0 +1,20 @@
+(** LOCAL-model communication networks: a graph plus unique node
+    identifiers. *)
+
+module Graph = Lll_graph.Graph
+
+type t
+
+val create : ?ids:int array -> Graph.t -> t
+(** Defaults to identity ids; duplicate ids raise [Invalid_argument]. *)
+
+val graph : t -> Graph.t
+val n : t -> int
+val id : t -> int -> int
+val ids : t -> int array
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+val max_degree : t -> int
+
+val with_shuffled_ids : seed:int -> t -> t
+(** Same topology with a seeded random permutation of the ids. *)

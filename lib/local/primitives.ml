@@ -1,0 +1,79 @@
+(* Classic LOCAL/distributed primitives on the runtime: leader election
+   by extremum flooding and BFS spanning-tree construction. Not used by
+   the LLL algorithms themselves (which are the point of this library),
+   but standard substrate any distributed-algorithms toolkit ships, and
+   additional exercise for the runtime semantics. *)
+
+module Graph = Lll_graph.Graph
+
+(* Elect the minimum id by flooding for [diameter_bound] rounds (LOCAL
+   standard: n is a safe bound). Every node ends up knowing the leader's
+   id; the leader knows it is the leader. *)
+let elect_leader ?(diameter_bound = max_int) net =
+  let n = Network.n net in
+  let bound = if diameter_bound = max_int then max 1 n else max 1 diameter_bound in
+  let states, stats =
+    Runtime.run_full_info net
+      ~init:(fun v -> Network.id net v)
+      ~step:(fun ~round ~me:_ s nbrs ->
+        let s = List.fold_left (fun acc (_, x) -> min acc x) s nbrs in
+        (s, round + 1 >= bound))
+  in
+  (states, stats.Runtime.rounds)
+
+(* BFS spanning tree rooted at [root]: each node learns its distance and
+   a parent (the smallest-id neighbor strictly closer to the root).
+   Returns (parent array, -1 for root/unreachable; dist array). *)
+type bfs_state = { dist : int; parent : int }
+
+let bfs_tree ?(max_rounds = Runtime.default_max_rounds) net ~root =
+  let n = Network.n net in
+  let bound = max 1 n in
+  let states, stats =
+    Runtime.run_full_info ~max_rounds net
+      ~init:(fun v -> if v = root then { dist = 0; parent = -1 } else { dist = max_int; parent = -1 })
+      ~step:(fun ~round ~me:_ s nbrs ->
+        let s =
+          if s.dist < max_int then s
+          else begin
+            (* adopt the smallest-id neighbor that already has a distance *)
+            let candidates =
+              List.filter_map
+                (fun (u, s') -> if s'.dist < max_int then Some (u, s'.dist) else None)
+                nbrs
+            in
+            match candidates with
+            | [] -> s
+            | (u0, d0) :: rest ->
+              let u, d =
+                List.fold_left
+                  (fun (bu, bd) (u, d) -> if d < bd || (d = bd && u < bu) then (u, d) else (bu, bd))
+                  (u0, d0) rest
+              in
+              { dist = d + 1; parent = u }
+          end
+        in
+        (s, round + 1 >= bound))
+  in
+  ( Array.map (fun s -> s.parent) states,
+    Array.map (fun s -> if s.dist = max_int then -1 else s.dist) states,
+    stats.Runtime.rounds )
+
+(* Validity: parents form a tree reaching the root along decreasing
+   distances; distances agree with BFS. *)
+let is_bfs_tree g ~root parents dists =
+  let expected = Graph.bfs_dist g root in
+  let ok = ref (dists.(root) = 0 && parents.(root) = -1) in
+  for v = 0 to Graph.n g - 1 do
+    if expected.(v) < 0 then ok := !ok && dists.(v) = -1
+    else begin
+      ok := !ok && dists.(v) = expected.(v);
+      if v <> root then
+        ok :=
+          !ok
+          && parents.(v) >= 0
+          && Graph.mem_edge g v parents.(v)
+          && expected.(parents.(v)) = expected.(v) - 1
+    end
+  done;
+  !ok

@@ -1,0 +1,14 @@
+(** Classic LOCAL primitives: leader election and BFS spanning trees. *)
+
+module Graph = Lll_graph.Graph
+
+val elect_leader : ?diameter_bound:int -> Network.t -> int array * int
+(** Minimum-id flooding; returns each node's view of the leader id and
+    the round count (defaults to [n] rounds, a safe diameter bound). *)
+
+val bfs_tree :
+  ?max_rounds:int -> Network.t -> root:int -> int array * int array * int
+(** [(parents, dists, rounds)]: parent is [-1] for the root and for
+    unreachable nodes (whose dist is also [-1]). *)
+
+val is_bfs_tree : Graph.t -> root:int -> int array -> int array -> bool

@@ -1,0 +1,39 @@
+(** Synchronous LOCAL-model execution engine with round accounting. *)
+
+exception Round_limit_exceeded of int
+
+type ('s, 'm) step_result = { state : 's; send : (int * 'm) list; halt : bool }
+
+type stats = { rounds : int; messages : int }
+
+val default_max_rounds : int
+
+val run :
+  ?max_rounds:int ->
+  Network.t ->
+  init:(int -> 's) ->
+  step:(round:int -> me:int -> 's -> (int * 'm) list -> ('s, 'm) step_result) ->
+  's array * stats
+(** Message-passing interface. Each round, every non-halted node consumes
+    the messages addressed to it in the previous round ([(sender, msg)]
+    pairs) and produces a new state, outgoing messages ([(neighbor, msg)]),
+    and a halt flag. Sending to a non-neighbor raises [Invalid_argument];
+    exceeding [max_rounds] raises {!Round_limit_exceeded}. *)
+
+val run_full_info :
+  ?max_rounds:int ->
+  Network.t ->
+  init:(int -> 's) ->
+  step:(round:int -> me:int -> 's -> (int * 's) list -> 's * bool) ->
+  's array * stats
+(** Full-information rounds: each step sees the previous-round states of
+    all neighbors — equivalent to LOCAL because messages are unbounded. *)
+
+val gather_balls :
+  ?max_rounds:int ->
+  Network.t ->
+  radius:int ->
+  value:(int -> 'a) ->
+  (int * 'a) list array * stats
+(** Flood for [radius] rounds so each node learns the [(node, value)]
+    pairs in its radius-[radius] ball. *)

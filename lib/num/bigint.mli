@@ -1,0 +1,66 @@
+(** Arbitrary-precision signed integers.
+
+    A small, dependency-free bignum sufficient for exact probability
+    bookkeeping in LLL instances (products of event probabilities have
+    denominators far beyond 63 bits). Sign-magnitude representation with
+    base-[10^9] limbs. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+val of_string : string -> t
+(** [of_string s] parses an optionally signed decimal integer.
+    @raise Invalid_argument on malformed input. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some i] iff [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_zero : t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: [divmod x y = (q, r)] with [x = q*y + r] and [r]
+    having the sign of [x] (like OCaml's [/] and [mod]).
+    @raise Invalid_argument if [y] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: the remainder is always non-negative. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor of the absolute values; [gcd 0 0 = 0]. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val gt : t -> t -> bool
+val geq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+val num_digits : t -> int
+(** Number of decimal digits of the magnitude (at least 1). *)

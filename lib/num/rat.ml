@@ -1,0 +1,88 @@
+(* Exact rational numbers over [Bigint].
+
+   Invariant: [den] is strictly positive and [gcd (abs num) den = 1];
+   zero is represented as [0/1]. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make_raw num den = { num; den }
+
+let make num den =
+  if Bigint.is_zero den then invalid_arg "Rat.make: zero denominator";
+  if Bigint.is_zero num then make_raw Bigint.zero Bigint.one
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then make_raw num den
+    else make_raw (Bigint.div num g) (Bigint.div den g)
+  end
+
+let zero = make_raw Bigint.zero Bigint.one
+let one = make_raw Bigint.one Bigint.one
+let two = make_raw Bigint.two Bigint.one
+let minus_one = make_raw Bigint.minus_one Bigint.one
+
+let of_bigint n = make_raw n Bigint.one
+let of_int i = of_bigint (Bigint.of_int i)
+let of_ints num den = make (Bigint.of_int num) (Bigint.of_int den)
+
+let num x = x.num
+let den x = x.den
+let is_zero x = Bigint.is_zero x.num
+let sign x = Bigint.sign x.num
+
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = { x with num = Bigint.abs x.num }
+
+let add x y =
+  make (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
+
+let sub x y =
+  make (Bigint.sub (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
+
+let mul x y = make (Bigint.mul x.num y.num) (Bigint.mul x.den y.den)
+
+let inv x =
+  if is_zero x then invalid_arg "Rat.inv: zero";
+  make x.den x.num
+
+let div x y =
+  if is_zero y then invalid_arg "Rat.div: division by zero";
+  make (Bigint.mul x.num y.den) (Bigint.mul x.den y.num)
+
+let compare x y = Bigint.compare (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)
+let equal x y = Bigint.equal x.num y.num && Bigint.equal x.den y.den
+let lt x y = compare x y < 0
+let leq x y = compare x y <= 0
+let gt x y = compare x y > 0
+let geq x y = compare x y >= 0
+let min x y = if leq x y then x else y
+let max x y = if geq x y then x else y
+
+let pow x n =
+  if n >= 0 then make_raw (Bigint.pow x.num n) (Bigint.pow x.den n)
+  else begin
+    if is_zero x then invalid_arg "Rat.pow: zero to negative power";
+    make (Bigint.pow x.den (-n)) (Bigint.pow x.num (-n))
+  end
+
+let sum = List.fold_left add zero
+let product = List.fold_left mul one
+
+let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+
+let to_string x =
+  if Bigint.equal x.den Bigint.one then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+    make (Bigint.of_string (String.sub s 0 i)) (Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+let hash x = Hashtbl.hash (Bigint.hash x.num, Bigint.hash x.den)
+
+(* 2^-e as a rational, e >= 0 *)
+let pow2 e = if e >= 0 then of_bigint (Bigint.pow Bigint.two e) else make_raw Bigint.one (Bigint.pow Bigint.two (-e))

@@ -1,0 +1,44 @@
+(* Partial assignments of values to variables, indexed by variable id.
+   [None] means "not yet fixed". The fixers of the paper extend a partial
+   assignment one variable at a time and never revisit a fixed variable. *)
+
+type t = int option array
+
+let empty n : t = Array.make n None
+
+let copy (t : t) : t = Array.copy t
+
+let get (t : t) id = t.(id)
+
+let value_exn (t : t) id =
+  match t.(id) with Some v -> v | None -> invalid_arg "Assignment.value_exn: variable not fixed"
+
+let is_fixed (t : t) id = t.(id) <> None
+
+let set (t : t) id v : t =
+  let t = Array.copy t in
+  t.(id) <- Some v;
+  t
+
+let set_inplace (t : t) id v = t.(id) <- Some v
+
+let num_fixed (t : t) = Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0 t
+
+let is_complete (t : t) = Array.for_all (fun o -> o <> None) t
+
+let of_list n l : t =
+  let t = empty n in
+  List.iter (fun (id, v) -> t.(id) <- Some v) l;
+  t
+
+let to_list (t : t) =
+  let acc = ref [] in
+  Array.iteri (fun id o -> match o with Some v -> acc := (id, v) :: !acc | None -> ()) t;
+  List.rev !acc
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "{";
+  Array.iteri
+    (fun id o -> match o with Some v -> Format.fprintf fmt " x%d=%d" id v | None -> ())
+    t;
+  Format.fprintf fmt " }"

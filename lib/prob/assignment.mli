@@ -1,0 +1,19 @@
+(** Partial assignments of values to variables (indexed by variable id). *)
+
+type t = int option array
+
+val empty : int -> t
+val copy : t -> t
+val get : t -> int -> int option
+val value_exn : t -> int -> int
+val is_fixed : t -> int -> bool
+
+val set : t -> int -> int -> t
+(** Functional update (copies). *)
+
+val set_inplace : t -> int -> int -> unit
+val num_fixed : t -> int
+val is_complete : t -> bool
+val of_list : int -> (int * int) list -> t
+val to_list : t -> (int * int) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+(* Product probability spaces and exact conditional probabilities.
+
+   A space is a family of independent discrete variables (ids must equal
+   their index). Probabilities of events conditioned on a partial
+   assignment are computed exactly, by enumerating the joint values of the
+   event's *unfixed* scope variables — the scopes of LLL events are small
+   (bounded by a function of [d] and [r]), so this is cheap and exact. *)
+
+module Rat = Lll_num.Rat
+
+type t = { vars : Var.t array }
+
+let create vars =
+  Array.iteri
+    (fun i v ->
+      if Var.id v <> i then invalid_arg "Space.create: variable id must equal its index")
+    vars;
+  { vars }
+
+let num_vars t = Array.length t.vars
+let var t id = t.vars.(id)
+let vars t = t.vars
+
+(* Enumerate the assignments of the unfixed scope variables of [e],
+   folding [f acc weight lookup] over each joint value, where [weight] is
+   the joint probability and [lookup] resolves every scope variable. *)
+let fold_scope_assignments t e (fixed : Assignment.t) f acc =
+  let scope = Event.scope e in
+  let unfixed = Array.of_list (List.filter (fun id -> not (Assignment.is_fixed fixed id)) (Array.to_list scope)) in
+  let current = Hashtbl.create (Array.length scope) in
+  Array.iter
+    (fun id -> match Assignment.get fixed id with Some v -> Hashtbl.replace current id v | None -> ())
+    scope;
+  let lookup id =
+    match Hashtbl.find_opt current id with
+    | Some v -> v
+    | None -> invalid_arg "Space.fold_scope_assignments: lookup outside scope"
+  in
+  let rec go i weight acc =
+    if i = Array.length unfixed then f acc weight lookup
+    else begin
+      let id = unfixed.(i) in
+      let v = t.vars.(id) in
+      let acc = ref acc in
+      for value = 0 to Var.arity v - 1 do
+        Hashtbl.replace current id value;
+        acc := go (i + 1) (Rat.mul weight (Var.prob v value)) !acc
+      done;
+      Hashtbl.remove current id;
+      !acc
+    end
+  in
+  go 0 Rat.one acc
+
+(* Exact Pr[e | fixed]: sum of joint probabilities of unfixed-scope values
+   on which the predicate holds. The fixed variables outside the scope are
+   irrelevant; fixed scope variables are substituted. *)
+let prob t e ~(fixed : Assignment.t) =
+  fold_scope_assignments t e fixed
+    (fun acc weight lookup -> if Event.pred_holds e lookup then Rat.add acc weight else acc)
+    Rat.zero
+
+(* All conditional probabilities of [e] after additionally fixing [var],
+   in ONE enumeration of the unfixed scope: bucket each joint tuple's
+   weight by its value of [var], then divide bucket [y] by [Pr[var = y]].
+   Returns [(per-value conditionals, Pr[e | fixed])]. The fixers use this
+   to evaluate all candidate values of a variable at the cost of a single
+   scope enumeration. *)
+let prob_vector t e ~(fixed : Assignment.t) ~var =
+  if Assignment.is_fixed fixed var then invalid_arg "Space.prob_vector: var already fixed";
+  let v = t.vars.(var) in
+  let k = Var.arity v in
+  if not (Event.depends_on e var) then begin
+    let p = prob t e ~fixed in
+    (Array.make k p, p)
+  end
+  else begin
+    let buckets = Array.make k Rat.zero in
+    let () =
+      fold_scope_assignments t e fixed
+        (fun () weight lookup ->
+          if Event.pred_holds e lookup then begin
+            let y = lookup var in
+            buckets.(y) <- Rat.add buckets.(y) weight
+          end)
+        ()
+    in
+    let before = Array.fold_left Rat.add Rat.zero buckets in
+    (Array.mapi (fun y w -> Rat.div w (Var.prob v y)) buckets, before)
+  end
+
+(* The paper's Inc(t, y): ratio of the conditional probability of [e] after
+   additionally fixing [var := value] to the one before. By the paper's
+   convention, [Inc = 0] when the denominator is zero. *)
+let inc t e ~(fixed : Assignment.t) ~var ~value =
+  let before = prob t e ~fixed in
+  if Rat.is_zero before then Rat.zero
+  else begin
+    let after = prob t e ~fixed:(Assignment.set fixed var value) in
+    Rat.div after before
+  end
+
+(* Sample values for all unfixed variables (floats suffice here — sampling
+   is only used by randomized baselines, never by correctness checks). *)
+let sample_unfixed t rng (fixed : Assignment.t) =
+  let a = Assignment.copy fixed in
+  Array.iteri
+    (fun id v ->
+      if not (Assignment.is_fixed a id) then begin
+        let r = Random.State.float rng 1.0 in
+        let k = Var.arity v in
+        let rec pick i acc =
+          if i = k - 1 then i
+          else begin
+            let acc = acc +. Rat.to_float (Var.prob v i) in
+            if r < acc then i else pick (i + 1) acc
+          end
+        in
+        Assignment.set_inplace a id (pick 0 0.0)
+      end)
+    t.vars;
+  a
+
+let resample t rng (a : Assignment.t) ids =
+  let a = Assignment.copy a in
+  List.iter
+    (fun id ->
+      let v = t.vars.(id) in
+      let r = Random.State.float rng 1.0 in
+      let k = Var.arity v in
+      let rec pick i acc =
+        if i = k - 1 then i
+        else begin
+          let acc = acc +. Rat.to_float (Var.prob v i) in
+          if r < acc then i else pick (i + 1) acc
+        end
+      in
+      Assignment.set_inplace a id (pick 0 0.0))
+    ids;
+  a

@@ -1,0 +1,40 @@
+(** Product probability spaces with exact conditional probabilities.
+
+    The space of an LLL instance: independent discrete variables; event
+    probabilities conditioned on a partial assignment are computed exactly
+    (rationals) by enumerating the unfixed scope variables. *)
+
+module Rat = Lll_num.Rat
+
+type t
+
+val create : Var.t array -> t
+(** Variable ids must equal their array index. *)
+
+val num_vars : t -> int
+val var : t -> int -> Var.t
+val vars : t -> Var.t array
+
+val prob : t -> Event.t -> fixed:Assignment.t -> Rat.t
+(** Exact [Pr[e | fixed]]. *)
+
+val prob_vector : t -> Event.t -> fixed:Assignment.t -> var:int -> Rat.t array * Rat.t
+(** [(after, before)]: [after.(y) = Pr[e | fixed, var=y]] for every value
+    [y] of [var], and [before = Pr[e | fixed]], computed in a single
+    enumeration of the unfixed scope. [var] must be unfixed. *)
+
+val inc : t -> Event.t -> fixed:Assignment.t -> var:int -> value:int -> Rat.t
+(** The paper's [Inc(e, value)]:
+    [Pr[e | fixed, var=value] / Pr[e | fixed]], or [0] when
+    [Pr[e | fixed] = 0]. *)
+
+val fold_scope_assignments :
+  t -> Event.t -> Assignment.t -> ('a -> Rat.t -> (int -> int) -> 'a) -> 'a -> 'a
+(** Fold over the joint values of the unfixed scope variables of an event;
+    the callback receives the joint probability and a scope lookup. *)
+
+val sample_unfixed : t -> Random.State.t -> Assignment.t -> Assignment.t
+(** Randomly complete a partial assignment (used by Moser–Tardos). *)
+
+val resample : t -> Random.State.t -> Assignment.t -> int list -> Assignment.t
+(** Resample exactly the listed variables. *)

@@ -1,0 +1,409 @@
+(* Tests for the application layer: sinkless orientation, hypergraph
+   multi-orientation and weak splitting. *)
+
+module R = Lll_num.Rat
+module G = Lll_graph.Graph
+module Gen = Lll_graph.Generators
+module HG = Lll_graph.Hypergraph
+module A = Lll_prob.Assignment
+module I = Lll_core.Instance
+module Crit = Lll_core.Criteria
+module F2 = Lll_core.Fix_rank2
+module F3 = Lll_core.Fix_rank3
+module MT = Lll_core.Moser_tardos
+module D = Lll_core.Distributed
+module V = Lll_core.Verify
+module Sink = Lll_apps.Sinkless
+module HO = Lll_apps.Hyper_orientation
+module WS = Lll_apps.Weak_splitting
+
+let rat = Alcotest.testable R.pp R.equal
+
+(* ------------------------------------------------------------------ *)
+(* Sinkless orientation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sinkless_at_threshold_probability () =
+  let g = Gen.random_regular ~seed:1 12 3 in
+  let inst = Sink.instance g in
+  Alcotest.check rat "p = 2^-3" (R.pow2 (-3)) (I.max_prob inst);
+  Alcotest.(check int) "d = 3" 3 (I.dependency_degree inst);
+  Alcotest.(check int) "rank 2" 2 (I.rank inst);
+  let rep = Crit.evaluate inst in
+  Alcotest.(check bool) "exponential criterion FAILS at threshold" false
+    (List.assoc Crit.Exponential rep.Crit.satisfied);
+  Alcotest.check rat "ratio exactly 1" R.one
+    (Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d)
+
+let test_sinkless_relaxed_below_threshold () =
+  let g = Gen.random_regular ~seed:1 12 3 in
+  let inst = Sink.relaxed_instance g in
+  Alcotest.check rat "p = 3^-3" (R.of_ints 1 27) (I.max_prob inst);
+  let rep = Crit.evaluate inst in
+  Alcotest.(check bool) "below threshold" true
+    (List.assoc Crit.Exponential rep.Crit.satisfied)
+
+let test_sinkless_relaxed_solvable_everywhere () =
+  List.iter
+    (fun (g, name) ->
+      let inst = Sink.relaxed_instance g in
+      let a, _ = F2.solve inst in
+      Alcotest.(check bool) (name ^ " fixer") true (V.avoids_all inst a);
+      Alcotest.(check bool) (name ^ " sinkless") true (Sink.is_sinkless g a);
+      let r = D.solve_rank2 inst in
+      Alcotest.(check bool) (name ^ " distributed") true r.D.ok)
+    [
+      (Gen.cycle 17, "odd cycle");
+      (Gen.random_regular ~seed:2 16 4, "rr4");
+      (Gen.torus 4 4, "torus");
+      (Gen.complete 6, "K6");
+    ]
+
+let test_sinkless_points_at () =
+  let g = Gen.path 3 in
+  (* edge 0 = (0,1), edge 1 = (1,2) *)
+  Alcotest.(check bool) "to min" true (Sink.points_at g 0 0 0);
+  Alcotest.(check bool) "not to max" false (Sink.points_at g 0 0 1);
+  Alcotest.(check bool) "to max" true (Sink.points_at g 0 1 1);
+  Alcotest.(check bool) "unoriented" false (Sink.points_at g 0 2 0)
+
+let test_sinkless_checker () =
+  let g = Gen.path 3 in
+  (* both edges point at node 1 -> node 1 is a sink *)
+  let a = A.of_list 2 [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "sink detected" false (Sink.is_sinkless g a);
+  (* a 3-path can NEVER be sinkless: some node always ends up a sink *)
+  let ok = ref false in
+  for v0 = 0 to 1 do
+    for v1 = 0 to 1 do
+      if Sink.is_sinkless g (A.of_list 2 [ (0, v0); (1, v1) ]) then ok := true
+    done
+  done;
+  Alcotest.(check bool) "paths unsolvable" false !ok;
+  (* a cyclically oriented cycle has no sink *)
+  let c = Gen.cycle 3 in
+  (* edge ids of cycle 3: 0=(0,1), 1=(1,2), 2=(0,2); orient 0->1->2->0 *)
+  let a = A.of_list 3 [ (0, 1) (* 0->1 *); (1, 1) (* 1->2 *); (2, 0) (* 2->0 *) ] in
+  Alcotest.(check bool) "cycle no sink" true (Sink.is_sinkless c a)
+
+let test_adversarial_assignment_creates_sink () =
+  (* the T5 witness: orienting everything toward a victim node makes it a
+     sink, showing the fixing discipline's bound is tight at p = 2^-d *)
+  List.iter
+    (fun (g, victim, name) ->
+      let a = Sink.adversarial_path_assignment g ~victim in
+      Alcotest.(check bool) (name ^ " complete") true (A.is_complete a);
+      Alcotest.(check bool) (name ^ " sink created") false (Sink.is_sinkless g a);
+      let inst = Sink.instance g in
+      Alcotest.(check bool)
+        (name ^ " the victim's bad event occurs")
+        true
+        (List.mem victim (V.occurring_events inst a)))
+    [ (Gen.path 7, 3, "path"); (Gen.cycle 9, 0, "cycle"); (Gen.grid 4 4, 5, "grid") ]
+
+let test_sinkless_orientations_decode () =
+  let g = Gen.path 3 in
+  let a = A.of_list 2 [ (0, 0); (1, 2) ] in
+  let o = Sink.orientations g a in
+  Alcotest.(check bool) "decode" true (o = [| Sink.To_min; Sink.Unoriented |])
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraph multi-orientation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_hyper_orientation_criterion () =
+  let h = Gen.random_regular_hypergraph ~seed:5 18 3 3 in
+  let inst = HO.instance h in
+  Alcotest.(check int) "rank" 3 (I.rank inst);
+  let rep = Crit.evaluate inst in
+  Alcotest.(check bool) "below threshold" true
+    (List.assoc Crit.Exponential rep.Crit.satisfied);
+  (* delta-regular rank-3: p = 3q^2(1-q) + q^3, q = 3^-delta *)
+  let q = R.of_ints 1 27 in
+  let expected =
+    R.add
+      (R.mul (R.of_int 3) (R.mul (R.mul q q) (R.sub R.one q)))
+      (R.mul q (R.mul q q))
+  in
+  Alcotest.check rat "closed-form p" expected rep.Crit.p
+
+let test_hyper_orientation_solved () =
+  for seed = 0 to 3 do
+    let h = Gen.random_regular_hypergraph ~seed 15 3 3 in
+    let inst = HO.instance h in
+    let a, t = F3.solve inst in
+    Alcotest.(check bool) (Printf.sprintf "seed %d avoids" seed) true (V.avoids_all inst a);
+    Alcotest.(check bool) (Printf.sprintf "seed %d valid" seed) true (HO.is_valid h a);
+    Alcotest.(check bool) (Printf.sprintf "seed %d pstar" seed) true (F3.pstar_holds t)
+  done
+
+let test_hyper_orientation_distributed () =
+  let h = Gen.random_regular_hypergraph ~seed:9 15 3 3 in
+  let inst = HO.instance h in
+  let r = D.solve_rank3 inst in
+  Alcotest.(check bool) "distributed ok" true r.D.ok;
+  Alcotest.(check bool) "valid orientations" true (HO.is_valid h r.D.assignment)
+
+let test_heads_encoding () =
+  let heads = HO.heads_of_value ~card:3 (2 + (3 * 1) + (9 * 0)) in
+  Alcotest.(check (array int)) "decode" [| 2; 1; 0 |] heads;
+  (* encoding covers all 27 values bijectively *)
+  let seen = Hashtbl.create 27 in
+  for v = 0 to 26 do
+    Hashtbl.replace seen (Array.to_list (HO.heads_of_value ~card:3 v)) ()
+  done;
+  Alcotest.(check int) "bijective" 27 (Hashtbl.length seen)
+
+let test_hyper_orientation_checker () =
+  (* a 2-edge, rank-2-ish... use a tiny rank-3 hypergraph: one edge {0,1,2} *)
+  let h = HG.create ~n:3 [ [ 0; 1; 2 ] ] in
+  (* heads all = member 0 (node 0): node 0 is a sink in all 3 orientations *)
+  let a = A.of_list 1 [ (0, 0) ] in
+  Alcotest.(check bool) "triple sink invalid" false (HO.is_valid h a);
+  (* heads 0,1,2: node 0 sink only in orientation 0 *)
+  let v = 0 + (3 * 1) + (9 * 2) in
+  let a = A.of_list 1 [ (0, v) ] in
+  Alcotest.(check bool) "spread heads valid" true (HO.is_valid h a)
+
+let test_hyper_orientation_rejects_rank4 () =
+  let h = HG.create ~n:4 [ [ 0; 1; 2; 3 ] ] in
+  Alcotest.check_raises "rank4" (Invalid_argument "Hyper_orientation.instance: rank > 3")
+    (fun () -> ignore (HO.instance h))
+
+(* ------------------------------------------------------------------ *)
+(* Weak splitting                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_weak_splitting_criterion () =
+  let adj = Gen.random_biregular_bipartite ~seed:13 ~nv:20 ~nu:20 ~deg_u:3 ~deg_v:3 in
+  let inst = WS.instance ~nv:20 adj in
+  Alcotest.(check int) "rank" 3 (I.rank inst);
+  let rep = Crit.evaluate inst in
+  (* p = 16^(1-3) = 1/256 *)
+  Alcotest.check rat "p" (R.of_ints 1 256) rep.Crit.p;
+  Alcotest.(check bool) "below threshold" true
+    (List.assoc Crit.Exponential rep.Crit.satisfied)
+
+let test_weak_splitting_solved () =
+  for seed = 0 to 3 do
+    let adj = Gen.random_biregular_bipartite ~seed ~nv:16 ~nu:16 ~deg_u:3 ~deg_v:3 in
+    let inst = WS.instance ~nv:16 adj in
+    let a, _ = F3.solve inst in
+    Alcotest.(check bool) (Printf.sprintf "seed %d avoids" seed) true (V.avoids_all inst a);
+    Alcotest.(check bool) (Printf.sprintf "seed %d valid" seed) true (WS.is_valid ~nv:16 adj a)
+  done
+
+let test_weak_splitting_distributed () =
+  let adj = Gen.random_biregular_bipartite ~seed:17 ~nv:16 ~nu:16 ~deg_u:3 ~deg_v:3 in
+  let inst = WS.instance ~nv:16 adj in
+  let r = D.solve_rank3 inst in
+  Alcotest.(check bool) "ok" true r.D.ok;
+  Alcotest.(check bool) "valid" true (WS.is_valid ~nv:16 adj r.D.assignment)
+
+let test_weak_splitting_checker () =
+  let adj = [| [| 0 |]; [| 0 |] |] in
+  (* v0 sees u0,u1; same color -> invalid, different -> valid *)
+  Alcotest.(check bool) "monochromatic" false
+    (WS.is_valid ~nv:1 adj (A.of_list 2 [ (0, 3); (1, 3) ]));
+  Alcotest.(check bool) "bichromatic" true
+    (WS.is_valid ~nv:1 adj (A.of_list 2 [ (0, 3); (1, 4) ]))
+
+let test_weak_splitting_custom_params () =
+  (* 4 colors, see >= 2; deg_v = 4 so p = 4^(1-4) = 1/64 < 2^-d? d <= 8;
+     2^-8 = 1/256 > 1/64 FAILS -> need more colors; use 32 colors:
+     p = 32^-3 = 1/32768 < 2^-8. *)
+  let params = { WS.colors = 32; min_seen = 2 } in
+  let adj = Gen.random_biregular_bipartite ~seed:19 ~nv:12 ~nu:16 ~deg_u:3 ~deg_v:4 in
+  let inst = WS.instance ~params ~nv:12 adj in
+  let rep = Crit.evaluate inst in
+  Alcotest.(check bool) "below" true (List.assoc Crit.Exponential rep.Crit.satisfied);
+  let a, _ = F3.solve inst in
+  Alcotest.(check bool) "valid" true (WS.is_valid ~params ~nv:12 adj a)
+
+let test_weak_splitting_rejects () =
+  Alcotest.check_raises "colors" (Invalid_argument "Weak_splitting.instance: need >= 2 colors")
+    (fun () -> ignore (WS.instance ~params:{ WS.colors = 1; min_seen = 1 } ~nv:1 [| [| 0 |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Frugal coloring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module FC = Lll_apps.Frugal_coloring
+
+let test_frugal_overloaded () =
+  Alcotest.(check bool) "triple" true (FC.overloaded ~max_per_color:2 [ 5; 5; 5 ]);
+  Alcotest.(check bool) "pair ok" false (FC.overloaded ~max_per_color:2 [ 5; 5; 7 ]);
+  Alcotest.(check bool) "empty" false (FC.overloaded ~max_per_color:1 []);
+  Alcotest.(check bool) "strict" true (FC.overloaded ~max_per_color:1 [ 3; 3 ])
+
+let test_frugal_criterion_and_solve () =
+  (* degree-3 rank-3 hypergraph, 16 colors, <= 2 per color: the bad event
+     is "all three incident edges share a color": p = 16^-2 *)
+  let h = Gen.random_regular_hypergraph ~seed:3 15 3 3 in
+  let inst = FC.instance h in
+  let rep = Crit.evaluate inst in
+  Alcotest.check rat "p" (R.of_ints 1 256) rep.Crit.p;
+  Alcotest.(check bool) "below threshold" true
+    (List.assoc Crit.Exponential rep.Crit.satisfied);
+  let a, t = F3.solve inst in
+  Alcotest.(check bool) "avoids" true (V.avoids_all inst a);
+  Alcotest.(check bool) "valid frugal coloring" true (FC.is_valid h a);
+  Alcotest.(check bool) "pstar" true (F3.pstar_holds t)
+
+let test_frugal_small_palette () =
+  (* non-power-of-two palette: 10 colors, degree 3, <= 2 per color:
+     p = 10^-2 < 2^-6 *)
+  let h = Gen.random_regular_hypergraph ~seed:5 12 3 3 in
+  let params = { FC.colors = 10; max_per_color = 2 } in
+  let inst = FC.instance ~params h in
+  let rep = Crit.evaluate inst in
+  Alcotest.check rat "p = 1/100" (R.of_ints 1 100) rep.Crit.p;
+  Alcotest.(check bool) "below threshold" true
+    (List.assoc Crit.Exponential rep.Crit.satisfied);
+  let a, _ = F3.solve inst in
+  Alcotest.(check bool) "valid" true (FC.is_valid ~params h a)
+
+let test_frugal_rejects () =
+  let h = Lll_graph.Hypergraph.create ~n:4 [ [ 0; 1; 2; 3 ] ] in
+  Alcotest.check_raises "rank" (Invalid_argument "Frugal_coloring.instance: rank > 3") (fun () ->
+      ignore (FC.instance h))
+
+(* ------------------------------------------------------------------ *)
+(* Property B                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module PB = Lll_apps.Property_b
+
+let test_property_b_above_threshold () =
+  (* 4-uniform, 2-regular (linear-ish): p = 2^-3, d <= 4 -> p*2^d = 2 *)
+  let h = Gen.random_regular_hypergraph ~seed:2 16 4 2 in
+  let inst = PB.instance h in
+  Alcotest.check rat "p = 1/8" (R.of_ints 1 8) (I.max_prob inst);
+  let rep = Crit.evaluate inst in
+  Alcotest.(check bool) "above the threshold" false
+    (List.assoc Crit.Exponential rep.Crit.satisfied);
+  (* ... but Moser-Tardos solves it *)
+  let a, _ = MT.solve_parallel ~seed:3 inst in
+  Alcotest.(check bool) "MT proper" true (PB.is_proper h a)
+
+let test_property_b_relaxed_below () =
+  let h = Gen.random_regular_hypergraph ~seed:2 16 4 2 in
+  let inst = PB.relaxed_instance h in
+  Alcotest.check rat "p = 2/81" (R.of_ints 2 81) (I.max_prob inst);
+  let rep = Crit.evaluate inst in
+  Alcotest.(check bool) "below the threshold" true
+    (List.assoc Crit.Exponential rep.Crit.satisfied);
+  Alcotest.(check bool) "rank = node degree" true (I.rank inst = 2);
+  let a, t = F2.solve inst in
+  Alcotest.(check bool) "fixer solves" true (V.avoids_all inst a);
+  Alcotest.(check bool) "proper coloring" true (PB.is_proper h a);
+  Alcotest.(check bool) "pstar" true (F2.pstar_holds t)
+
+let test_property_b_degree3 () =
+  (* node degree 3 -> rank 3: needs the rank-3 fixer; k = 5 keeps p low
+     enough: p = 2*3^-5 = 2/243, d <= 5*2 = 10 ... too tight? check
+     exactly and only solve when the criterion holds *)
+  let h = Gen.random_regular_hypergraph ~seed:4 15 5 3 in
+  let inst = PB.relaxed_instance h in
+  Alcotest.(check int) "rank 3" 3 (I.rank inst);
+  let rep = Crit.evaluate inst in
+  if List.assoc Crit.Exponential rep.Crit.satisfied then begin
+    let a, _ = F3.solve inst in
+    Alcotest.(check bool) "solved" true (PB.is_proper h a)
+  end
+  else begin
+    (* still solvable by MT under its criterion *)
+    let a, _ = MT.solve_parallel ~seed:5 inst in
+    Alcotest.(check bool) "MT solved" true (PB.is_proper h a)
+  end
+
+let test_property_b_checker () =
+  let h = HG.create ~n:3 [ [ 0; 1; 2 ] ] in
+  Alcotest.(check bool) "mono bad" false (PB.is_proper h (A.of_list 3 [ (0, 1); (1, 1); (2, 1) ]));
+  Alcotest.(check bool) "bichromatic ok" true
+    (PB.is_proper h (A.of_list 3 [ (0, 1); (1, 0); (2, 1) ]));
+  Alcotest.(check bool) "abstain breaks mono" true
+    (PB.is_proper h (A.of_list 3 [ (0, 2); (1, 2); (2, 2) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-application properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let app_props =
+  [
+    prop "relaxed sinkless always below threshold and solvable" 10
+      (QCheck.make QCheck.Gen.(pair (int_range 0 1000) (int_range 4 10)))
+      (fun (seed, half_n) ->
+        let g = Gen.random_regular ~seed (2 * half_n) 3 in
+        let inst = Sink.relaxed_instance g in
+        let rep = Crit.evaluate inst in
+        List.assoc Crit.Exponential rep.Crit.satisfied
+        &&
+        let a, _ = F2.solve inst in
+        V.avoids_all inst a && Sink.is_sinkless g a);
+    prop "MT also solves relaxed sinkless" 10
+      (QCheck.make QCheck.Gen.(int_range 0 1000))
+      (fun seed ->
+        let g = Gen.random_regular ~seed 14 3 in
+        let inst = Sink.relaxed_instance g in
+        let a, _ = MT.solve_parallel ~seed:(seed + 1) inst in
+        Sink.is_sinkless g a);
+    prop "weak splitting solutions valid across seeds" 8
+      (QCheck.make QCheck.Gen.(int_range 0 1000))
+      (fun seed ->
+        let adj = Gen.random_biregular_bipartite ~seed ~nv:12 ~nu:12 ~deg_u:3 ~deg_v:3 in
+        let inst = WS.instance ~nv:12 adj in
+        let a, _ = F3.solve inst in
+        WS.is_valid ~nv:12 adj a);
+  ]
+
+let () =
+  Alcotest.run "lll_apps"
+    [
+      ( "sinkless",
+        [
+          Alcotest.test_case "at-threshold probability" `Quick test_sinkless_at_threshold_probability;
+          Alcotest.test_case "relaxed below threshold" `Quick test_sinkless_relaxed_below_threshold;
+          Alcotest.test_case "relaxed solvable" `Quick test_sinkless_relaxed_solvable_everywhere;
+          Alcotest.test_case "points_at" `Quick test_sinkless_points_at;
+          Alcotest.test_case "checker" `Quick test_sinkless_checker;
+          Alcotest.test_case "adversarial sink (T5 witness)" `Quick
+            test_adversarial_assignment_creates_sink;
+          Alcotest.test_case "orientation decode" `Quick test_sinkless_orientations_decode;
+        ] );
+      ( "hyper-orientation",
+        [
+          Alcotest.test_case "criterion" `Quick test_hyper_orientation_criterion;
+          Alcotest.test_case "solved by rank-3 fixer" `Quick test_hyper_orientation_solved;
+          Alcotest.test_case "distributed" `Quick test_hyper_orientation_distributed;
+          Alcotest.test_case "heads encoding" `Quick test_heads_encoding;
+          Alcotest.test_case "checker" `Quick test_hyper_orientation_checker;
+          Alcotest.test_case "rejects rank 4" `Quick test_hyper_orientation_rejects_rank4;
+        ] );
+      ( "weak-splitting",
+        [
+          Alcotest.test_case "criterion" `Quick test_weak_splitting_criterion;
+          Alcotest.test_case "solved by rank-3 fixer" `Quick test_weak_splitting_solved;
+          Alcotest.test_case "distributed" `Quick test_weak_splitting_distributed;
+          Alcotest.test_case "checker" `Quick test_weak_splitting_checker;
+          Alcotest.test_case "custom params" `Quick test_weak_splitting_custom_params;
+          Alcotest.test_case "rejects" `Quick test_weak_splitting_rejects;
+        ] );
+      ( "property-b",
+        [
+          Alcotest.test_case "binary is above threshold" `Quick test_property_b_above_threshold;
+          Alcotest.test_case "ternary is below" `Quick test_property_b_relaxed_below;
+          Alcotest.test_case "degree 3 / rank 3" `Quick test_property_b_degree3;
+          Alcotest.test_case "checker" `Quick test_property_b_checker;
+        ] );
+      ( "frugal-coloring",
+        [
+          Alcotest.test_case "overloaded predicate" `Quick test_frugal_overloaded;
+          Alcotest.test_case "criterion + solve" `Quick test_frugal_criterion_and_solve;
+          Alcotest.test_case "small non-power-of-two palette" `Quick test_frugal_small_palette;
+          Alcotest.test_case "rejects rank 4" `Quick test_frugal_rejects;
+        ] );
+      ("properties", app_props);
+    ]

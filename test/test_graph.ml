@@ -1,0 +1,647 @@
+(* Tests for the graph substrate: graphs, hypergraphs, generators and the
+   coloring algorithms. *)
+
+module G = Lll_graph.Graph
+module H = Lll_graph.Hypergraph
+module Gen = Lll_graph.Generators
+module Col = Lll_graph.Coloring
+module Lin = Lll_graph.Linial
+module CV = Lll_graph.Cole_vishkin
+module EC = Lll_graph.Edge_coloring
+module P = Lll_graph.Primes
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_dedup () =
+  let g = G.create ~n:3 [ (0, 1); (1, 0); (1, 2) ] in
+  Alcotest.(check int) "m" 2 (G.m g);
+  Alcotest.(check int) "deg 1" 2 (G.degree g 1)
+
+let test_create_rejects () =
+  Alcotest.check_raises "self-loop" (Invalid_argument "Graph.create: self-loop") (fun () ->
+      ignore (G.create ~n:2 [ (1, 1) ]));
+  Alcotest.check_raises "range" (Invalid_argument "Graph.create: node out of range") (fun () ->
+      ignore (G.create ~n:2 [ (0, 2) ]))
+
+let test_endpoints_normalised () =
+  let g = G.create ~n:4 [ (3, 1) ] in
+  Alcotest.(check (pair int int)) "sorted" (1, 3) (G.endpoints g 0);
+  Alcotest.(check int) "other" 3 (G.other_endpoint g 0 1);
+  Alcotest.(check int) "other'" 1 (G.other_endpoint g 0 3)
+
+let test_find_edge () =
+  let g = Gen.cycle 5 in
+  (match G.find_edge g 0 1 with
+  | Some e ->
+    let u, v = G.endpoints g e in
+    Alcotest.(check (pair int int)) "endpoints" (0, 1) (u, v)
+  | None -> Alcotest.fail "edge 0-1 missing");
+  Alcotest.(check bool) "non-adjacent" true (G.find_edge g 0 2 = None)
+
+let test_square () =
+  let g = Gen.path 5 in
+  let sq = G.square g in
+  Alcotest.(check bool) "dist1" true (G.mem_edge sq 0 1);
+  Alcotest.(check bool) "dist2" true (G.mem_edge sq 0 2);
+  Alcotest.(check bool) "dist3 absent" false (G.mem_edge sq 0 3);
+  Alcotest.(check int) "max degree" 4 (G.max_degree sq)
+
+let test_line_graph () =
+  let g = Gen.star 5 in
+  (* line graph of a star is complete on its edges *)
+  let lg = G.line_graph g in
+  Alcotest.(check int) "nodes" (G.m g) (G.n lg);
+  Alcotest.(check int) "complete" (4 * 3 / 2) (G.m lg)
+
+let test_bfs () =
+  let g = Gen.path 6 in
+  let d = G.bfs_dist g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4; 5 |] d
+
+let test_components () =
+  let g = G.create ~n:5 [ (0, 1); (2, 3) ] in
+  let count, comp = G.connected_components g in
+  Alcotest.(check int) "count" 3 count;
+  Alcotest.(check bool) "same comp" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "diff comp" true (comp.(0) <> comp.(2));
+  Alcotest.(check bool) "connected" false (G.is_connected g);
+  Alcotest.(check bool) "cycle connected" true (G.is_connected (Gen.cycle 7))
+
+let test_girth () =
+  Alcotest.(check (option int)) "cycle" (Some 7) (G.girth (Gen.cycle 7));
+  Alcotest.(check (option int)) "tree" None (G.girth (Gen.path 9));
+  Alcotest.(check (option int)) "complete" (Some 3) (G.girth (Gen.complete 5));
+  Alcotest.(check (option int)) "grid" (Some 4) (G.girth (Gen.grid 3 3));
+  Alcotest.(check (option int)) "hypercube" (Some 4) (G.girth (Gen.hypercube 4))
+
+let test_to_dot () =
+  let g = Gen.path 3 in
+  let dot = G.to_dot g in
+  Alcotest.(check bool) "header" true (String.length dot > 0 && String.sub dot 0 7 = "graph g");
+  Alcotest.(check bool) "edge listed" true
+    (let re = "0 -- 1" in
+     let rec contains i =
+       i + String.length re <= String.length dot
+       && (String.sub dot i (String.length re) = re || contains (i + 1))
+     in
+     contains 0)
+
+let test_other_endpoint_rejects () =
+  let g = Gen.path 3 in
+  (try
+     ignore (G.other_endpoint g 0 2);
+     Alcotest.fail "no error"
+   with Invalid_argument _ -> ())
+
+let test_empty_graph () =
+  let g = G.create ~n:0 [] in
+  Alcotest.(check int) "n" 0 (G.n g);
+  Alcotest.(check int) "components" 0 (fst (G.connected_components g));
+  Alcotest.(check bool) "connected (vacuous)" true (G.is_connected g);
+  Alcotest.(check int) "max degree" 0 (G.max_degree g)
+
+let test_line_graph_of_cycle () =
+  (* the line graph of a cycle is a cycle of the same length *)
+  let g = Gen.cycle 8 in
+  let lg = G.line_graph g in
+  Alcotest.(check int) "n" 8 (G.n lg);
+  Alcotest.(check int) "m" 8 (G.m lg);
+  Alcotest.(check int) "2-regular" 2 (G.max_degree lg);
+  Alcotest.(check (option int)) "girth" (Some 8) (G.girth lg)
+
+let test_square_of_cycle () =
+  let g = Gen.cycle 8 in
+  let sq = G.square g in
+  Alcotest.(check int) "4-regular" 4 (G.max_degree sq);
+  Alcotest.(check int) "m doubled" 16 (G.m sq)
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraphs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hypergraph_basics () =
+  let h = H.create ~n:5 [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 4 ] ] in
+  Alcotest.(check int) "rank" 3 (H.rank h);
+  Alcotest.(check int) "deg 2" 2 (H.degree h 2);
+  Alcotest.(check (list int)) "incident 2" [ 0; 1 ] (H.incident h 2);
+  let pg = H.primal_graph h in
+  Alcotest.(check bool) "0-1" true (G.mem_edge pg 0 1);
+  Alcotest.(check bool) "2-3" true (G.mem_edge pg 2 3);
+  Alcotest.(check bool) "0-3 absent" false (G.mem_edge pg 0 3);
+  Alcotest.(check int) "isolated" 0 (G.degree pg 4)
+
+let test_hypergraph_to_dot () =
+  let h = H.create ~n:3 [ [ 0; 1; 2 ] ] in
+  let dot = H.to_dot h in
+  Alcotest.(check bool) "has box node" true
+    (let re = "shape=box" in
+     let rec contains i =
+       i + String.length re <= String.length dot
+       && (String.sub dot i (String.length re) = re || contains (i + 1))
+     in
+     contains 0)
+
+let test_hypergraph_rejects () =
+  Alcotest.check_raises "empty edge" (Invalid_argument "Hypergraph.create: empty hyperedge")
+    (fun () -> ignore (H.create ~n:2 [ [] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_shapes () =
+  let g = Gen.cycle 9 in
+  Alcotest.(check int) "cycle m" 9 (G.m g);
+  Alcotest.(check int) "cycle deg" 2 (G.max_degree g);
+  let g = Gen.torus 4 5 in
+  Alcotest.(check int) "torus m" 40 (G.m g);
+  Alcotest.(check bool) "torus 4-regular" true
+    (List.for_all (fun v -> G.degree g v = 4) (List.init (G.n g) (fun i -> i)));
+  let g = Gen.grid 4 3 in
+  Alcotest.(check int) "grid m" ((3 * 3) + (2 * 4)) (G.m g);
+  let g = Gen.hypercube 5 in
+  Alcotest.(check int) "hypercube n" 32 (G.n g);
+  Alcotest.(check bool) "hypercube 5-regular" true
+    (List.for_all (fun v -> G.degree g v = 5) (List.init 32 (fun i -> i)))
+
+let test_complete_bipartite () =
+  let g = Gen.complete_bipartite 3 4 in
+  Alcotest.(check int) "m" 12 (G.m g);
+  Alcotest.(check (option int)) "girth 4" (Some 4) (G.girth g);
+  Alcotest.(check bool) "bipartite structure" true
+    (G.fold_edges (fun ok _ u v -> ok && ((u < 3) <> (v < 3))) true g)
+
+let test_random_tree () =
+  for seed = 0 to 5 do
+    let n = 2 + (seed * 7) in
+    let g = Gen.random_tree ~seed n in
+    Alcotest.(check int) "m = n-1" (n - 1) (G.m g);
+    Alcotest.(check bool) "connected" true (G.is_connected g);
+    Alcotest.(check (option int)) "acyclic" None (G.girth g)
+  done;
+  Alcotest.(check int) "singleton" 0 (G.m (Gen.random_tree ~seed:0 1))
+
+let test_random_regular () =
+  let g = Gen.random_regular ~seed:3 50 4 in
+  Alcotest.(check int) "n" 50 (G.n g);
+  Alcotest.(check bool) "regular" true
+    (List.for_all (fun v -> G.degree g v = 4) (List.init 50 (fun i -> i)));
+  (* determinism *)
+  let g' = Gen.random_regular ~seed:3 50 4 in
+  Alcotest.(check bool) "deterministic" true (G.edges g = G.edges g')
+
+let test_random_regular_rejects () =
+  Alcotest.check_raises "odd" (Invalid_argument "Generators.random_regular: n*d must be even")
+    (fun () -> ignore (Gen.random_regular ~seed:0 5 3))
+
+let test_gnm () =
+  let g = Gen.gnm ~seed:1 30 40 in
+  Alcotest.(check int) "m" 40 (G.m g)
+
+let test_bounded_degree () =
+  let g = Gen.random_bounded_degree ~seed:5 40 3 50 in
+  Alcotest.(check bool) "cap" true (G.max_degree g <= 3)
+
+let test_biregular () =
+  let adj = Gen.random_biregular_bipartite ~seed:9 ~nv:20 ~nu:20 ~deg_u:3 ~deg_v:3 in
+  Alcotest.(check int) "nu" 20 (Array.length adj);
+  Array.iter
+    (fun row ->
+      Alcotest.(check int) "deg_u" 3 (Array.length row);
+      Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare (Array.to_list row))))
+    adj;
+  let deg_v = Array.make 20 0 in
+  Array.iter (Array.iter (fun v -> deg_v.(v) <- deg_v.(v) + 1)) adj;
+  Array.iter (fun d -> Alcotest.(check int) "deg_v" 3 d) deg_v
+
+let test_regular_hypergraph () =
+  let h = Gen.random_regular_hypergraph ~seed:11 18 3 4 in
+  Alcotest.(check int) "rank" 3 (H.rank h);
+  Alcotest.(check int) "m" (18 * 4 / 3) (H.m h);
+  for v = 0 to 17 do
+    Alcotest.(check int) "deg" 4 (H.degree h v)
+  done
+
+let test_hypergraph_rank2_primal () =
+  (* a rank-2 hypergraph's primal graph has exactly its edges *)
+  let h = H.create ~n:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ] in
+  let pg = H.primal_graph h in
+  Alcotest.(check int) "m" 3 (G.m pg);
+  Alcotest.(check int) "rank" 2 (H.rank h)
+
+let test_hypergraph_duplicate_members () =
+  let h = H.create ~n:3 [ [ 0; 1; 1; 0; 2 ] ] in
+  Alcotest.(check (array int)) "dedup" [| 0; 1; 2 |] (H.edge h 0);
+  Alcotest.(check int) "rank" 3 (H.rank h)
+
+(* ------------------------------------------------------------------ *)
+(* Coloring                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_greedy_proper () =
+  let g = Gen.random_regular ~seed:2 60 5 in
+  let c = Col.greedy g in
+  Alcotest.(check bool) "proper" true (Col.is_proper g c);
+  Alcotest.(check bool) "at most d+1" true (Col.num_colors c <= 6)
+
+let test_reduce () =
+  let g = Gen.random_regular ~seed:7 40 4 in
+  let ids = Array.init 40 (fun i -> i) in
+  let c, rounds = Col.reduce g ids in
+  Alcotest.(check bool) "proper" true (Col.is_proper g c);
+  Alcotest.(check bool) "d+1 colors" true (Col.num_colors c <= 5);
+  Alcotest.(check int) "rounds" (40 - 5) rounds
+
+let test_reduce_rejects_improper () =
+  let g = Gen.cycle 4 in
+  Alcotest.check_raises "improper" (Invalid_argument "Coloring.reduce: input not proper")
+    (fun () -> ignore (Col.reduce g (Array.make 4 0)))
+
+let test_classes () =
+  let cls = Col.classes [| 0; 1; 0; 2 |] in
+  Alcotest.(check (list int)) "class 0" [ 0; 2 ] cls.(0);
+  Alcotest.(check (list int)) "class 2" [ 3 ] cls.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Primes and Linial                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_primes () =
+  Alcotest.(check bool) "2" true (P.is_prime 2);
+  Alcotest.(check bool) "1" false (P.is_prime 1);
+  Alcotest.(check bool) "97" true (P.is_prime 97);
+  Alcotest.(check bool) "91" false (P.is_prime 91);
+  Alcotest.(check int) "next 90" 97 (P.next_prime 90);
+  Alcotest.(check int) "next of prime" 13 (P.next_prime 13);
+  Alcotest.(check int) "next 0" 2 (P.next_prime 0)
+
+let test_poly_eval () =
+  (* 3 + 2x + x^2 at x=4 over F_7: 3 + 8 + 16 = 27 = 6 mod 7 *)
+  Alcotest.(check int) "horner" 6 (P.poly_eval 7 [| 3; 2; 1 |] 4);
+  Alcotest.(check (array int)) "digits" [| 2; 4; 1 |] (P.digits ~base:5 ~len:3 47)
+
+let test_choose_params () =
+  let q, t = Lin.choose_params ~dmax:4 ~m:100 in
+  Alcotest.(check bool) "prime" true (P.is_prime q);
+  Alcotest.(check bool) "q > t*d" true (q > t * 4);
+  Alcotest.(check bool) "covers" true (float_of_int q ** float_of_int (t + 1) >= 100.)
+
+let test_linial_one_round () =
+  let g = Gen.random_regular ~seed:4 64 3 in
+  let ids = Array.init 64 (fun i -> i) in
+  let c, bound = Lin.one_round g ~m:64 ids in
+  Alcotest.(check bool) "proper" true (Col.is_proper g c);
+  Alcotest.(check bool) "bounded" true (Array.for_all (fun x -> x >= 0 && x < bound) c)
+
+let test_linial_pipeline () =
+  List.iter
+    (fun (g, name) ->
+      let c, rounds = Lin.color g in
+      Alcotest.(check bool) (name ^ " proper") true (Col.is_proper g c);
+      Alcotest.(check bool)
+        (name ^ " colors <= d+1")
+        true
+        (Col.num_colors c <= G.max_degree g + 1);
+      (* K_{d+1} already has d+1 colors from the ids, costing 0 rounds *)
+      Alcotest.(check bool) (name ^ " rounds >= 0") true (rounds >= 0))
+    [
+      (Gen.cycle 100, "cycle100");
+      (Gen.random_regular ~seed:8 80 4, "rr80");
+      (Gen.grid 8 8, "grid");
+      (Gen.complete 6, "K6");
+    ]
+
+let test_linial_logstar_scaling () =
+  (* Linial-phase round count grows extremely slowly with n *)
+  let rounds_of n =
+    let g = Gen.cycle n in
+    let ids = Array.init n (fun i -> i) in
+    let _, _, r = Lin.reduce_to_fixpoint g ~m:n ids in
+    r
+  in
+  let r1 = rounds_of 64 and r2 = rounds_of 4096 in
+  Alcotest.(check bool) "slow growth" true (r2 - r1 <= 2);
+  Alcotest.(check bool) "nontrivial" true (r1 >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Cole–Vishkin                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_cv_step_preserves_properness () =
+  for n = 3 to 40 do
+    let succ v = (v + 1) mod n in
+    let colors = Array.init n (fun i -> i) in
+    let colors' = CV.cv_step ~succ colors in
+    Alcotest.(check bool)
+      (Printf.sprintf "proper n=%d" n)
+      true
+      (CV.is_proper_on_cycle ~succ colors')
+  done
+
+let test_cv_three_colors () =
+  List.iter
+    (fun n ->
+      let c, rounds = CV.three_color_cycle n in
+      let succ v = (v + 1) mod n in
+      Alcotest.(check bool)
+        (Printf.sprintf "proper n=%d" n)
+        true
+        (CV.is_proper_on_cycle ~succ c);
+      Alcotest.(check bool) "3 colors" true (Array.for_all (fun x -> x >= 0 && x < 3) c);
+      Alcotest.(check bool) "rounds small" true (rounds <= 20))
+    [ 3; 4; 5; 10; 100; 1000; 10000 ]
+
+let test_cv_logstar () =
+  let _, r_small = CV.three_color_cycle 16 in
+  let _, r_big = CV.three_color_cycle 65536 in
+  Alcotest.(check bool) "log* growth" true (r_big - r_small <= 3)
+
+let test_lowest_diff_bit () =
+  Alcotest.(check int) "bit 0" 0 (CV.lowest_diff_bit 2 3);
+  Alcotest.(check int) "bit 2" 2 (CV.lowest_diff_bit 8 12)
+
+(* ------------------------------------------------------------------ *)
+(* Edge coloring                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_edge_coloring () =
+  List.iter
+    (fun (g, name) ->
+      let c, _rounds = EC.color g in
+      Alcotest.(check bool) (name ^ " proper") true (EC.is_proper g c);
+      Alcotest.(check bool)
+        (name ^ " 2d-1 colors")
+        true
+        (EC.num_colors c <= max 1 ((2 * G.max_degree g) - 1)))
+    [
+      (Gen.cycle 50, "cycle");
+      (Gen.random_regular ~seed:13 40 4, "rr40");
+      (Gen.star 8, "star");
+      (Gen.grid 5 5, "grid");
+    ]
+
+let test_edge_coloring_greedy () =
+  let g = Gen.random_regular ~seed:17 30 5 in
+  Alcotest.(check bool) "greedy proper" true (EC.is_proper g (EC.greedy g))
+
+(* ------------------------------------------------------------------ *)
+(* Exact colorability and shift graphs (the log* lower bound)            *)
+(* ------------------------------------------------------------------ *)
+
+module SG = Lll_graph.Shift_graph
+
+let test_chromatic_number_basics () =
+  Alcotest.(check (option int)) "empty" (Some 0) (Col.chromatic_number (G.create ~n:0 []));
+  Alcotest.(check (option int)) "edgeless" (Some 1) (Col.chromatic_number (G.create ~n:5 []));
+  Alcotest.(check (option int)) "K4" (Some 4) (Col.chromatic_number (Gen.complete 4));
+  Alcotest.(check (option int)) "C5" (Some 3) (Col.chromatic_number (Gen.cycle 5));
+  Alcotest.(check (option int)) "C6" (Some 2) (Col.chromatic_number (Gen.cycle 6));
+  Alcotest.(check (option int)) "grid bipartite" (Some 2) (Col.chromatic_number (Gen.grid 4 4));
+  Alcotest.(check (option int)) "petersen-ish bipartite" (Some 2)
+    (Col.chromatic_number (Gen.complete_bipartite 3 5))
+
+let test_colorable_budget () =
+  (* an absurdly small budget must come back undecided *)
+  Alcotest.(check (option bool)) "undecided" None
+    (Col.colorable ~budget:1 (Gen.random_regular ~seed:1 30 4) 3)
+
+let test_shift_rank_unrank () =
+  let m = 6 and k = 3 in
+  for r = 0 to SG.num_tuples m k - 1 do
+    let t = SG.unrank ~m ~k r in
+    Alcotest.(check int) "roundtrip" r (SG.rank ~m t);
+    Alcotest.(check int) "distinct" k (List.length (List.sort_uniq compare (Array.to_list t)))
+  done
+
+let test_shift_graph_structure () =
+  let g = SG.build ~m:4 ~k:2 in
+  Alcotest.(check int) "nodes" 12 (G.n g);
+  (* (0,1) ~ (1,2): shares the shifted window *)
+  let r01 = SG.rank ~m:4 [| 0; 1 |] and r12 = SG.rank ~m:4 [| 1; 2 |] in
+  Alcotest.(check bool) "shift edge" true (G.mem_edge g r01 r12);
+  (* (0,1) and (2,3) share nothing: no edge *)
+  let r23 = SG.rank ~m:4 [| 2; 3 |] in
+  Alcotest.(check bool) "no edge" false (G.mem_edge g r01 r23)
+
+let test_shift_chromatic_numbers () =
+  (* exact, certified by exhaustive search: the iterated-log growth that
+     underlies the Omega(log* n) lower bound *)
+  List.iter
+    (fun (m, k, chi) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "chi(S(%d,%d))" m k)
+        (Some chi)
+        (SG.chromatic_number ~m ~k ()))
+    [ (2, 2, 1); (3, 2, 3); (4, 2, 3); (5, 2, 4); (6, 2, 4); (4, 3, 2); (5, 3, 3) ]
+
+let test_shift_threshold_universe () =
+  (* no 3-coloring of pairs once ids come from a universe of >= 5:
+     a concrete, machine-checked instance of the lower bound *)
+  Alcotest.(check (option int)) "threshold" (Some 5)
+    (SG.threshold_universe ~k:2 ~colors:3 ~max_m:8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Ser = Lll_graph.Serialize
+
+let graphs_equal a b = G.n a = G.n b && G.edges a = G.edges b
+
+let test_graph_serialization () =
+  List.iter
+    (fun g ->
+      let g' = Ser.graph_of_string (Ser.graph_to_string g) in
+      Alcotest.(check bool) "roundtrip" true (graphs_equal g g'))
+    [ Gen.cycle 7; Gen.random_regular ~seed:1 20 3; G.create ~n:5 []; Gen.grid 3 4 ]
+
+let test_graph_serialization_comments () =
+  let s = "c a comment
+" ^ Ser.graph_to_string (Gen.cycle 5) ^ "
+c trailing
+" in
+  Alcotest.(check bool) "comments ok" true (graphs_equal (Gen.cycle 5) (Ser.graph_of_string s))
+
+let test_graph_serialization_rejects () =
+  (try
+     ignore (Ser.graph_of_string "e 0 1
+");
+     Alcotest.fail "missing header accepted"
+   with Ser.Parse_error _ -> ());
+  (try
+     ignore (Ser.graph_of_string "p edge 3 1
+e 0 x
+");
+     Alcotest.fail "bad edge accepted"
+   with Ser.Parse_error _ -> ())
+
+let test_hypergraph_serialization () =
+  let h = Gen.random_regular_hypergraph ~seed:2 12 3 2 in
+  let h' = Ser.hypergraph_of_string (Ser.hypergraph_to_string h) in
+  Alcotest.(check int) "n" (H.n h) (H.n h');
+  Alcotest.(check bool) "edges" true (H.edges h = H.edges h')
+
+let test_serialization_files () =
+  let g = Gen.torus 4 4 in
+  let path = Filename.temp_file "lll_graph" ".col" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ser.save_graph path g;
+      Alcotest.(check bool) "file roundtrip" true (graphs_equal g (Ser.load_graph path)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let arb_graph =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 40 in
+      let* m = int_range 0 (min 80 (n * (n - 1) / 2)) in
+      let* seed = int_range 0 10_000 in
+      return (Gen.gnm ~seed n m))
+  in
+  QCheck.make ~print:(fun g -> Printf.sprintf "graph(n=%d,m=%d)" (G.n g) (G.m g)) gen
+
+let graph_props =
+  [
+    prop "degree sum = 2m" 200 arb_graph (fun g ->
+        let sum = List.fold_left (fun acc v -> acc + G.degree g v) 0 (List.init (G.n g) Fun.id) in
+        sum = 2 * G.m g);
+    prop "greedy proper, <= d+1 colors" 200 arb_graph (fun g ->
+        let c = Col.greedy g in
+        Col.is_proper g c && Col.num_colors c <= G.max_degree g + 1);
+    prop "linial pipeline proper" 50 arb_graph (fun g ->
+        let c, _ = Lin.color g in
+        Col.is_proper g c && Col.num_colors c <= G.max_degree g + 1);
+    prop "square contains graph" 100 arb_graph (fun g ->
+        G.fold_edges (fun ok _ u v -> ok && G.mem_edge (G.square g) u v) true g);
+    prop "square edges are dist <= 2" 50 arb_graph (fun g ->
+        let sq = G.square g in
+        G.fold_edges (fun ok _ u v -> ok && (G.bfs_dist g u).(v) <= 2 && (G.bfs_dist g u).(v) >= 1)
+          true sq);
+    prop "line graph degree" 50 arb_graph (fun g ->
+        let lg = G.line_graph g in
+        G.fold_edges
+          (fun ok e u v -> ok && G.degree lg e = G.degree g u + G.degree g v - 2)
+          true g);
+    prop "kw_reduce proper and small" 100 arb_graph (fun g ->
+        QCheck.assume (G.n g > 0);
+        let ids = Array.init (G.n g) (fun i -> i) in
+        let c, rounds = Col.kw_reduce g ids in
+        Col.is_proper g c
+        && Col.num_colors c <= G.max_degree g + 1
+        && rounds <= (G.max_degree g + 1) * (1 + int_of_float (ceil (log (float_of_int (max 2 (G.n g))) /. log 2.))));
+    prop "kw_reduce matches reduce colors" 50 arb_graph (fun g ->
+        QCheck.assume (G.n g > 0);
+        let ids = Array.init (G.n g) (fun i -> i) in
+        let c1, _ = Col.kw_reduce g ids in
+        let c2, _ = Col.reduce g ids in
+        Col.is_proper g c1 && Col.is_proper g c2
+        && Col.num_colors c1 <= G.max_degree g + 1
+        && Col.num_colors c2 <= G.max_degree g + 1);
+    prop "edge coloring proper" 50 arb_graph (fun g ->
+        QCheck.assume (G.m g > 0);
+        let c, _ = EC.color g in
+        EC.is_proper g c);
+    prop "bfs triangle inequality" 50 arb_graph (fun g ->
+        G.fold_edges
+          (fun ok _ u v ->
+            let du = G.bfs_dist g u in
+            ok && abs (du.(v) - du.(u)) <= 1)
+          true g);
+  ]
+
+let () =
+  Alcotest.run "lll_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "create dedup" `Quick test_create_dedup;
+          Alcotest.test_case "create rejects" `Quick test_create_rejects;
+          Alcotest.test_case "endpoints normalised" `Quick test_endpoints_normalised;
+          Alcotest.test_case "find_edge" `Quick test_find_edge;
+          Alcotest.test_case "square" `Quick test_square;
+          Alcotest.test_case "line graph" `Quick test_line_graph;
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "girth" `Quick test_girth;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+          Alcotest.test_case "other_endpoint rejects" `Quick test_other_endpoint_rejects;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "line graph of cycle" `Quick test_line_graph_of_cycle;
+          Alcotest.test_case "square of cycle" `Quick test_square_of_cycle;
+        ] );
+      ( "hypergraph",
+        [
+          Alcotest.test_case "basics" `Quick test_hypergraph_basics;
+          Alcotest.test_case "rejects" `Quick test_hypergraph_rejects;
+          Alcotest.test_case "to_dot" `Quick test_hypergraph_to_dot;
+          Alcotest.test_case "rank-2 primal" `Quick test_hypergraph_rank2_primal;
+          Alcotest.test_case "duplicate members" `Quick test_hypergraph_duplicate_members;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generator_shapes;
+          Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+          Alcotest.test_case "random tree" `Quick test_random_tree;
+          Alcotest.test_case "random regular" `Quick test_random_regular;
+          Alcotest.test_case "random regular rejects" `Quick test_random_regular_rejects;
+          Alcotest.test_case "gnm" `Quick test_gnm;
+          Alcotest.test_case "bounded degree" `Quick test_bounded_degree;
+          Alcotest.test_case "biregular bipartite" `Quick test_biregular;
+          Alcotest.test_case "regular hypergraph" `Quick test_regular_hypergraph;
+        ] );
+      ( "coloring",
+        [
+          Alcotest.test_case "greedy proper" `Quick test_greedy_proper;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "reduce rejects improper" `Quick test_reduce_rejects_improper;
+          Alcotest.test_case "classes" `Quick test_classes;
+        ] );
+      ( "linial",
+        [
+          Alcotest.test_case "primes" `Quick test_primes;
+          Alcotest.test_case "poly eval" `Quick test_poly_eval;
+          Alcotest.test_case "choose params" `Quick test_choose_params;
+          Alcotest.test_case "one round" `Quick test_linial_one_round;
+          Alcotest.test_case "pipeline" `Quick test_linial_pipeline;
+          Alcotest.test_case "log* scaling" `Quick test_linial_logstar_scaling;
+        ] );
+      ( "cole-vishkin",
+        [
+          Alcotest.test_case "cv step preserves properness" `Quick
+            test_cv_step_preserves_properness;
+          Alcotest.test_case "three colors" `Quick test_cv_three_colors;
+          Alcotest.test_case "log* rounds" `Quick test_cv_logstar;
+          Alcotest.test_case "lowest diff bit" `Quick test_lowest_diff_bit;
+        ] );
+      ( "edge-coloring",
+        [
+          Alcotest.test_case "linial pipeline" `Quick test_edge_coloring;
+          Alcotest.test_case "greedy" `Quick test_edge_coloring_greedy;
+        ] );
+      ( "shift-graphs",
+        [
+          Alcotest.test_case "chromatic number basics" `Quick test_chromatic_number_basics;
+          Alcotest.test_case "budget undecided" `Quick test_colorable_budget;
+          Alcotest.test_case "rank/unrank bijection" `Quick test_shift_rank_unrank;
+          Alcotest.test_case "structure" `Quick test_shift_graph_structure;
+          Alcotest.test_case "chromatic numbers (certified)" `Quick test_shift_chromatic_numbers;
+          Alcotest.test_case "threshold universe" `Quick test_shift_threshold_universe;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "graph roundtrip" `Quick test_graph_serialization;
+          Alcotest.test_case "comments" `Quick test_graph_serialization_comments;
+          Alcotest.test_case "rejects garbage" `Quick test_graph_serialization_rejects;
+          Alcotest.test_case "hypergraph roundtrip" `Quick test_hypergraph_serialization;
+          Alcotest.test_case "file roundtrip" `Quick test_serialization_files;
+        ] );
+      ("properties", graph_props);
+    ]

@@ -1,0 +1,324 @@
+(* Tests for the LOCAL-model simulator and the distributed coloring
+   programs. *)
+
+module G = Lll_graph.Graph
+module Gen = Lll_graph.Generators
+module Col = Lll_graph.Coloring
+module Net = Lll_local.Network
+module RT = Lll_local.Runtime
+module DC = Lll_local.Dist_coloring
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_network_basics () =
+  let net = Net.create (Gen.cycle 5) in
+  Alcotest.(check int) "n" 5 (Net.n net);
+  Alcotest.(check int) "id" 3 (Net.id net 3);
+  Alcotest.(check (list int)) "neighbors" [ 1; 4 ] (Net.neighbors net 0);
+  Alcotest.(check int) "max degree" 2 (Net.max_degree net)
+
+let test_network_duplicate_ids () =
+  Alcotest.check_raises "dup" (Invalid_argument "Network.create: duplicate id") (fun () ->
+      ignore (Net.create ~ids:[| 1; 1; 2 |] (Gen.cycle 3)))
+
+let test_shuffled_ids () =
+  let net = Net.create (Gen.cycle 8) in
+  let net' = Net.with_shuffled_ids ~seed:3 net in
+  let sorted a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a
+  in
+  Alcotest.(check (array int)) "permutation" (sorted (Net.ids net)) (sorted (Net.ids net'))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: message passing                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A silent protocol that halts after [k] rounds costs exactly [k]
+   rounds. *)
+let test_run_flood_max () =
+  let net = Net.create (Gen.path 6) in
+  let states, stats =
+    RT.run net
+      ~init:(fun v -> v)
+      ~step:(fun ~round ~me:_ s (_ : (int * unit) list) ->
+        { RT.state = s; send = []; halt = round + 1 >= 5 })
+  in
+  Alcotest.(check int) "rounds" 5 stats.RT.rounds;
+  Alcotest.(check int) "state kept" 0 states.(0)
+
+let test_run_messages () =
+  let g = Gen.path 4 in
+  let net = Net.create g in
+  (* each node repeatedly forwards the max value it has seen *)
+  let states, stats =
+    RT.run net
+      ~init:(fun v -> v)
+      ~step:(fun ~round ~me s inbox ->
+        let s = List.fold_left (fun acc (_, m) -> max acc m) s inbox in
+        {
+          RT.state = s;
+          send = List.map (fun u -> (u, s)) (Net.neighbors net me);
+          halt = round + 1 >= 4;
+        })
+  in
+  (* value 3 needs three forwarding hops to reach node 0 *)
+  Alcotest.(check (array int)) "max flooded" [| 3; 3; 3; 3 |] states;
+  Alcotest.(check bool) "messages counted" true (stats.RT.messages > 0)
+
+let test_run_rejects_non_neighbor () =
+  let net = Net.create (Gen.path 3) in
+  Alcotest.check_raises "non-neighbor" (Invalid_argument "Runtime.run: message to non-neighbor")
+    (fun () ->
+      ignore
+        (RT.run net
+           ~init:(fun _ -> ())
+           ~step:(fun ~round:_ ~me:_ () _ -> { RT.state = (); send = [ (2, ()) ]; halt = true })))
+
+let test_round_limit () =
+  let net = Net.create (Gen.path 3) in
+  (try
+     ignore
+       (RT.run ~max_rounds:5 net
+          ~init:(fun _ -> ())
+          ~step:(fun ~round:_ ~me:_ () _ -> { RT.state = (); send = []; halt = false }));
+     Alcotest.fail "no limit"
+   with RT.Round_limit_exceeded 5 -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: full information                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_info_snapshot_semantics () =
+  (* all nodes simultaneously adopt max(self, neighbors); on a path the
+     max value spreads one hop per round — this checks that updates use
+     the previous-round snapshot, not in-round values *)
+  let g = Gen.path 5 in
+  let net = Net.create g in
+  let states, _ =
+    RT.run_full_info net
+      ~init:(fun v -> if v = 0 then 100 else v)
+      ~step:(fun ~round ~me:_ s nbrs ->
+        let s = List.fold_left (fun acc (_, x) -> max acc x) s nbrs in
+        (s, round + 1 >= 1))
+  in
+  (* after ONE synchronous round each node holds the max of its closed
+     1-ball w.r.t. the initial values — nothing propagates further *)
+  Alcotest.(check (array int)) "one hop only" [| 100; 100; 3; 4; 4 |] states
+
+let test_gather_balls () =
+  let g = Gen.cycle 6 in
+  let net = Net.create g in
+  let balls, stats = RT.gather_balls net ~radius:2 ~value:(fun v -> v * 10) in
+  Alcotest.(check int) "rounds" 2 stats.RT.rounds;
+  let ball0 = List.map fst balls.(0) in
+  Alcotest.(check (list int)) "ball of 0" [ 0; 1; 2; 4; 5 ] ball0;
+  Alcotest.(check bool) "values carried" true (List.mem (2, 20) balls.(0));
+  let balls0, stats0 = RT.gather_balls net ~radius:0 ~value:(fun v -> v) in
+  Alcotest.(check int) "radius 0 rounds" 0 stats0.RT.rounds;
+  Alcotest.(check (list (pair int int))) "radius 0 ball" [ (3, 3) ] balls0.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed coloring                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dist_coloring_proper () =
+  List.iter
+    (fun (g, name) ->
+      let net = Net.create g in
+      let c, rounds = DC.color net in
+      Alcotest.(check bool) (name ^ " proper") true (Col.is_proper g c);
+      Alcotest.(check bool)
+        (name ^ " <= d+1 colors")
+        true
+        (Col.num_colors c <= G.max_degree g + 1);
+      Alcotest.(check bool) (name ^ " rounds >= 0") true (rounds >= 0))
+    [
+      (Gen.cycle 64, "cycle64");
+      (Gen.random_regular ~seed:21 60 4, "rr60");
+      (Gen.grid 7 7, "grid");
+      (Gen.star 9, "star");
+    ]
+
+let test_dist_coloring_shuffled_ids () =
+  let g = Gen.random_regular ~seed:23 40 3 in
+  let net = Net.with_shuffled_ids ~seed:99 (Net.create g) in
+  let c, _ = DC.color net in
+  Alcotest.(check bool) "proper under adversarial ids" true (Col.is_proper g c)
+
+let test_dist_matches_pure_structure () =
+  (* distributed and pure pipelines both end with <= dmax+1 colors *)
+  let g = Gen.random_regular ~seed:31 50 4 in
+  let c_pure, _ = Lll_graph.Linial.color g in
+  let c_dist, _ = DC.color (Net.create g) in
+  Alcotest.(check bool) "both proper" true (Col.is_proper g c_pure && Col.is_proper g c_dist);
+  Alcotest.(check bool) "both small" true (Col.num_colors c_pure <= 5 && Col.num_colors c_dist <= 5)
+
+let test_two_hop_coloring () =
+  let g = Gen.random_regular ~seed:37 48 3 in
+  let net = Net.create g in
+  let c, rounds = DC.two_hop_color net in
+  Alcotest.(check bool) "proper on square" true (Col.is_proper (G.square g) c);
+  Alcotest.(check bool)
+    "<= d^2+1 colors"
+    true
+    (Col.num_colors c <= (G.max_degree (G.square g)) + 1);
+  Alcotest.(check bool) "rounds even" true (rounds mod 2 = 0)
+
+let test_dist_coloring_logstar_scaling () =
+  let rounds_of n =
+    let net = Net.create (Gen.cycle n) in
+    snd (DC.color net)
+  in
+  (* past the Linial fixpoint, rounds are flat in n for fixed degree *)
+  let r1 = rounds_of 512 and r2 = rounds_of 4096 in
+  Alcotest.(check bool) "flat in n" true (abs (r2 - r1) <= 2)
+
+let test_schedule_consistency () =
+  let sched = DC.schedule ~dmax:3 ~m:10_000 in
+  Alcotest.(check bool) "descends" true
+    (let rec desc m = function
+       | [] -> true
+       | (_, _, m') :: rest -> m' < m && desc m' rest
+     in
+     desc 10_000 sched)
+
+let test_gather_beyond_diameter () =
+  let g = Gen.path 4 in
+  let net = Net.create g in
+  let balls, _ = RT.gather_balls net ~radius:10 ~value:(fun v -> v) in
+  Array.iter
+    (fun ball -> Alcotest.(check int) "whole graph" 4 (List.length ball))
+    balls
+
+let test_single_node_network () =
+  let net = Net.create (Lll_graph.Graph.create ~n:1 []) in
+  let states, stats =
+    RT.run_full_info net ~init:(fun _ -> 42) ~step:(fun ~round:_ ~me:_ s _ -> (s + 1, true))
+  in
+  Alcotest.(check int) "one round" 1 stats.RT.rounds;
+  Alcotest.(check (array int)) "stepped" [| 43 |] states
+
+module MIS = Lll_local.Mis
+
+let test_luby_valid () =
+  List.iter
+    (fun (g, name) ->
+      let net = Net.create g in
+      let in_mis, rounds = MIS.luby ~seed:42 net in
+      Alcotest.(check bool) (name ^ " valid MIS") true (MIS.is_mis g in_mis);
+      Alcotest.(check bool) (name ^ " rounds positive") true (rounds > 0))
+    [
+      (Gen.cycle 40, "cycle");
+      (Gen.random_regular ~seed:3 50 4, "rr50");
+      (Gen.complete 8, "K8");
+      (Gen.star 10, "star");
+      (Gen.grid 6 6, "grid");
+    ]
+
+let test_luby_deterministic () =
+  let g = Gen.random_regular ~seed:5 30 3 in
+  let m1, r1 = MIS.luby ~seed:7 (Net.create g) in
+  let m2, r2 = MIS.luby ~seed:7 (Net.create g) in
+  Alcotest.(check bool) "same set" true (m1 = m2);
+  Alcotest.(check int) "same rounds" r1 r2
+
+let test_luby_logarithmic () =
+  let rounds n = snd (MIS.luby ~seed:1 (Net.create (Gen.cycle n))) in
+  Alcotest.(check bool) "grows slowly" true (rounds 2048 <= rounds 64 + 14)
+
+let test_luby_single_node () =
+  let net = Net.create (Lll_graph.Graph.create ~n:1 []) in
+  let in_mis, _ = MIS.luby ~seed:1 net in
+  Alcotest.(check bool) "lonely node joins" true in_mis.(0)
+
+let test_greedy_mis () =
+  List.iter
+    (fun g -> Alcotest.(check bool) "greedy valid" true (MIS.is_mis g (MIS.greedy g)))
+    [ Gen.cycle 9; Gen.complete 5; Gen.grid 4 4; Gen.random_regular ~seed:2 20 3 ]
+
+let test_is_mis_rejects () =
+  let g = Gen.path 3 in
+  Alcotest.(check bool) "not independent" false (MIS.is_mis g [| true; true; false |]);
+  Alcotest.(check bool) "not maximal" false (MIS.is_mis g [| false; false; false |]);
+  Alcotest.(check bool) "valid" true (MIS.is_mis g [| true; false; true |])
+
+module Prim = Lll_local.Primitives
+
+let test_leader_election () =
+  let g = Gen.random_regular ~seed:7 30 3 in
+  let net = Net.with_shuffled_ids ~seed:5 (Net.create g) in
+  let leaders, rounds = Prim.elect_leader net in
+  let expected = Array.fold_left min max_int (Net.ids net) in
+  Array.iter (fun l -> Alcotest.(check int) "agrees" expected l) leaders;
+  Alcotest.(check bool) "rounds bounded" true (rounds <= 30)
+
+let test_bfs_tree () =
+  List.iter
+    (fun (g, name) ->
+      let net = Net.create g in
+      let parents, dists, _ = Prim.bfs_tree net ~root:0 in
+      Alcotest.(check bool) (name ^ " valid") true (Prim.is_bfs_tree g ~root:0 parents dists))
+    [
+      (Gen.path 10, "path");
+      (Gen.cycle 9, "cycle");
+      (Gen.grid 5 4, "grid");
+      (Gen.random_tree ~seed:3 15, "tree");
+      (Lll_graph.Graph.create ~n:4 [ (0, 1) ], "disconnected");
+    ]
+
+let test_bfs_tree_unreachable () =
+  let g = Lll_graph.Graph.create ~n:3 [ (0, 1) ] in
+  let net = Net.create g in
+  let parents, dists, _ = Prim.bfs_tree net ~root:0 in
+  Alcotest.(check int) "unreachable dist" (-1) dists.(2);
+  Alcotest.(check int) "unreachable parent" (-1) parents.(2)
+
+let () =
+  Alcotest.run "lll_local"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "basics" `Quick test_network_basics;
+          Alcotest.test_case "duplicate ids" `Quick test_network_duplicate_ids;
+          Alcotest.test_case "shuffled ids" `Quick test_shuffled_ids;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "halting rounds" `Quick test_run_flood_max;
+          Alcotest.test_case "message flood" `Quick test_run_messages;
+          Alcotest.test_case "rejects non-neighbor" `Quick test_run_rejects_non_neighbor;
+          Alcotest.test_case "round limit" `Quick test_round_limit;
+          Alcotest.test_case "full-info snapshot semantics" `Quick test_full_info_snapshot_semantics;
+          Alcotest.test_case "gather balls" `Quick test_gather_balls;
+          Alcotest.test_case "gather beyond diameter" `Quick test_gather_beyond_diameter;
+          Alcotest.test_case "single node" `Quick test_single_node_network;
+        ] );
+      ( "mis",
+        [
+          Alcotest.test_case "luby valid" `Quick test_luby_valid;
+          Alcotest.test_case "luby deterministic" `Quick test_luby_deterministic;
+          Alcotest.test_case "luby round growth" `Slow test_luby_logarithmic;
+          Alcotest.test_case "single node" `Quick test_luby_single_node;
+          Alcotest.test_case "greedy oracle" `Quick test_greedy_mis;
+          Alcotest.test_case "checker rejects" `Quick test_is_mis_rejects;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "leader election" `Quick test_leader_election;
+          Alcotest.test_case "bfs tree" `Quick test_bfs_tree;
+          Alcotest.test_case "bfs unreachable" `Quick test_bfs_tree_unreachable;
+        ] );
+      ( "dist-coloring",
+        [
+          Alcotest.test_case "proper" `Quick test_dist_coloring_proper;
+          Alcotest.test_case "adversarial ids" `Quick test_dist_coloring_shuffled_ids;
+          Alcotest.test_case "matches pure pipeline" `Quick test_dist_matches_pure_structure;
+          Alcotest.test_case "two-hop" `Quick test_two_hop_coloring;
+          Alcotest.test_case "log* scaling" `Slow test_dist_coloring_logstar_scaling;
+          Alcotest.test_case "schedule descends" `Quick test_schedule_consistency;
+        ] );
+    ]
