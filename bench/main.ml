@@ -18,6 +18,8 @@ module Linial = Lll_graph.Linial
 module Edge_coloring = Lll_graph.Edge_coloring
 module Net = Lll_local.Network
 module DC = Lll_local.Dist_coloring
+module RT = Lll_local.Runtime
+module Par = Lll_local.Par
 module Space = Lll_prob.Space
 module Assignment = Lll_prob.Assignment
 module I = Lll_core.Instance
@@ -185,6 +187,48 @@ let test_ablation =
         (Staged.stage (fun () -> Lll_core.Fix_rank3_exact.solve rank3_inst));
     ]
 
+(* runtime-par: domain-parallel round throughput on a >= 10^5-node graph.
+   The interesting comparison is 1 domain (the sequential reference
+   engine; no domain ever spawned) against the machine's recommended
+   domain count — on a multicore host the N-domain rows must come out
+   strictly faster. On a single-core host (recommended = 1) we still
+   exercise the fork-join path with 2 domains, expecting parity-to-slower
+   numbers, which keeps the overhead visible in BENCH history too. *)
+let par_net = Net.create (Gen.random_regular ~seed:7 100_000 4)
+let par_domains = max 2 (Par.recommended ())
+
+let par_flood domains () =
+  RT.run_full_info ~domains par_net
+    ~init:(fun v -> v)
+    ~step:(fun ~round ~me:_ s nbrs ->
+      (List.fold_left (fun acc (_, x) -> max acc x) s nbrs, round + 1 >= 3))
+
+let par_echo domains () =
+  (* message-passing: every node floods its running maximum for 2 rounds
+     (4 * 10^5 messages per round through the delivery merge) *)
+  RT.run ~domains par_net
+    ~init:(fun v -> v)
+    ~step:(fun ~round ~me s inbox ->
+      let s = List.fold_left (fun acc (_, m) -> max acc m) s inbox in
+      {
+        RT.state = s;
+        send = List.map (fun u -> (u, s)) (Net.neighbors par_net me);
+        halt = round + 1 >= 2;
+      })
+
+let test_runtime_par =
+  Test.make_grouped ~name:"runtime-par"
+    [
+      Test.make ~name:"flood3-rr1e5-domains1" (Staged.stage (fun () -> par_flood 1 ()));
+      Test.make
+        ~name:(Printf.sprintf "flood3-rr1e5-domains%d" par_domains)
+        (Staged.stage (fun () -> par_flood par_domains ()));
+      Test.make ~name:"echo2-rr1e5-domains1" (Staged.stage (fun () -> par_echo 1 ()));
+      Test.make
+        ~name:(Printf.sprintf "echo2-rr1e5-domains%d" par_domains)
+        (Staged.stage (fun () -> par_echo par_domains ()));
+    ]
+
 (* analysis / lower-bound machinery *)
 let mt_log_inst = Syn.ring ~position:Syn.At_threshold ~seed:2 ~n:32 ~arity:4 ()
 let _, _, mt_log = MT.solve_sequential_log ~seed:4 mt_log_inst
@@ -210,7 +254,7 @@ let all_tests =
   Test.make_grouped ~name:"lll"
     [
       test_f1; test_f2; test_t1; test_t2; test_t3; test_t4; test_t5; test_t6_t7; test_t8;
-      test_t9; test_substrates; test_ablation; test_extensions; test_analysis;
+      test_t9; test_substrates; test_ablation; test_extensions; test_runtime_par; test_analysis;
     ]
 
 let benchmark () =

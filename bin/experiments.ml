@@ -581,6 +581,65 @@ let t13 () =
   Format.printf "local_algorithms example: 8 rounds at n=10, 10 rounds at n=100000).@."
 
 (* ------------------------------------------------------------------ *)
+(* T14: the domain-parallel runtime and its round-level metrics         *)
+(* ------------------------------------------------------------------ *)
+
+let t14 () =
+  section "t14" "Domain-parallel LOCAL runtime + round-level metrics";
+  let module Net = Lll_local.Network in
+  let module RT = Lll_local.Runtime in
+  let module Par = Lll_local.Par in
+  let module M = Lll_local.Metrics in
+  Format.printf "machine: %d recommended domain(s); runtime default %d@.@." (Par.recommended ())
+    (Par.default_domains ());
+  (* per-round metrics of a full message-passing rank-3 solve *)
+  let inst = HO.instance (Gen.random_regular_hypergraph ~seed:3 30 3 2) in
+  let sink = M.buffer () in
+  let r = Lll_core.Dist_lll.solve ~metrics:sink inst in
+  let recs = M.records sink in
+  Format.printf "message-passing rank-3 solve: ok=%b, %d LOCAL rounds, %d round records@.@."
+    r.Lll_core.Dist_lll.ok r.Lll_core.Dist_lll.rounds (List.length recs);
+  let phases = List.sort_uniq compare (List.map (fun rc -> rc.M.phase) recs) in
+  Format.printf "%-18s %-8s %-12s %-14s %s@." "phase" "rounds" "wall_ms" "mean stepped" "final halted";
+  List.iter
+    (fun p ->
+      let of_p = List.filter (fun rc -> rc.M.phase = p) recs in
+      let k = List.length of_p in
+      let stepped = List.fold_left (fun acc rc -> acc + rc.M.stepped) 0 of_p in
+      let last = List.nth of_p (k - 1) in
+      Format.printf "%-18s %-8d %-12.2f %-14.1f %.3f@." p k
+        (float_of_int (M.total_wall_ns of_p) /. 1e6)
+        (float_of_int stepped /. float_of_int k)
+        last.M.halted_fraction)
+    phases;
+  Format.printf "@.JSON dump (the lll_cli --metrics format), first rounds of each phase:@.";
+  let first_of p = List.find (fun rc -> rc.M.phase = p) recs in
+  print_string (M.to_json (List.map first_of phases));
+  (* 1-domain vs N-domain round throughput on a large flood workload *)
+  let n = 60_000 in
+  let net = Net.create (Gen.random_regular ~seed:7 n 4) in
+  let flood domains =
+    let t0 = M.now_ns () in
+    let _, stats =
+      RT.run_full_info ~domains net ~init:(fun v -> v)
+        ~step:(fun ~round ~me:_ s nbrs ->
+          (List.fold_left (fun acc (_, x) -> max acc x) s nbrs, round + 1 >= 4))
+    in
+    (stats.RT.rounds, float_of_int (M.now_ns () - t0) /. 1e6)
+  in
+  let domains_n = max 2 (Par.recommended ()) in
+  let r1, ms1 = flood 1 in
+  let rn, msn = flood domains_n in
+  Format.printf "@.flood on a %d-node 4-regular graph (%d rounds):@." n r1;
+  Format.printf "  1 domain : %8.2f ms@." ms1;
+  Format.printf "  %d domains: %8.2f ms  (speedup %.2fx; > 1 requires a multicore host)@."
+    domains_n msn (ms1 /. msn);
+  ignore rn;
+  Format.printf
+    "@.expected: identical results for any domain count (asserted by the differential@.";
+  Format.printf "suite in test/test_runtime_par.ml); speedup tracks the physical core count.@."
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -588,7 +647,7 @@ let all : (string * (unit -> unit)) list =
   [
     ("f1", f1); ("f2", f2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("t6", t6); ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11); ("t12", t12);
-    ("t13", t13);
+    ("t13", t13); ("t14", t14);
   ]
 
 let () =

@@ -129,6 +129,8 @@ type algo =
   | Dist2
   | Dist3
   | Distr
+  | Mp2
+  | Mp3
   | Mt_seq
   | Mt_par
   | Union_bound
@@ -142,6 +144,8 @@ let algo_conv =
     | "dist2" -> Ok Dist2
     | "dist3" -> Ok Dist3
     | "distr" -> Ok Distr
+    | "mp2" -> Ok Mp2
+    | "mp3" -> Ok Mp3
     | "mt" | "mt-seq" -> Ok Mt_seq
     | "mt-par" -> Ok Mt_par
     | "union-bound" | "cond-exp" -> Ok Union_bound
@@ -157,6 +161,8 @@ let algo_conv =
       | Dist2 -> "dist2"
       | Dist3 -> "dist3"
       | Distr -> "distr"
+      | Mp2 -> "mp2"
+      | Mp3 -> "mp3"
       | Mt_seq -> "mt-seq"
       | Mt_par -> "mt-par"
       | Union_bound -> "union-bound")
@@ -165,14 +171,42 @@ let algo_conv =
 
 let algo_arg =
   Arg.(value & opt algo_conv Fix3 & info [ "algo"; "a" ] ~docv:"ALGO"
-         ~doc:"Algorithm: fix2, fix3, fix3-exact, fixr, dist2, dist3, distr, mt-seq, mt-par, union-bound.")
+         ~doc:"Algorithm: fix2, fix3, fix3-exact, fixr, dist2, dist3, distr, mp2, mp3 \
+               (message-passing protocols on the LOCAL runtime), mt-seq, mt-par, union-bound.")
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the fixing trace (fix2/fix3 only).")
 
+let domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ] ~docv:"K"
+           ~doc:"Number of OCaml domains for the LOCAL runtime (default: the machine's \
+                 recommended domain count; 1 forces the sequential engine).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"PATH"
+           ~doc:"Write per-round runtime metrics (wall time, messages, nodes stepped, halted \
+                 fraction, state-size proxy) as JSON to PATH. Distributed algorithms only.")
+
 let solve_cmd =
-  let run family n degree seed at_threshold file algo trace =
+  let run family n degree seed at_threshold file algo trace domains metrics_path =
     let inst = get_instance file family ~n ~degree ~seed ~at_threshold in
+    let metrics =
+      match metrics_path with Some _ -> Lll_local.Metrics.buffer () | None -> Lll_local.Metrics.disabled
+    in
+    let dump_metrics () =
+      match metrics_path with
+      | None -> ()
+      | Some path ->
+        let recs = Lll_local.Metrics.records metrics in
+        Lll_local.Metrics.write_json path recs;
+        Format.printf "metrics: %d round records (%d messages, %.2f ms) -> %s@."
+          (List.length recs)
+          (Lll_local.Metrics.total_messages recs)
+          (float_of_int (Lll_local.Metrics.total_wall_ns recs) /. 1e6)
+          path
+    in
     Format.printf "%a@." I.pp inst;
     let var_name vid = Lll_prob.Var.name (Lll_core.Instance.space inst |> fun sp -> Lll_prob.Space.var sp vid) in
     let describe ok rounds extra =
@@ -221,17 +255,32 @@ let solve_cmd =
            (if Lll_core.Cond_exp.criterion_holds inst then "holds" else "FAILS")
            (Rat.to_string phi))
     | Distr ->
-      let r = D.solve_rankr inst in
+      let r = D.solve_rankr ?domains ~metrics inst in
+      dump_metrics ();
       describe r.D.ok (Some r.D.rounds)
         (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
     | Dist2 ->
-      let r = D.solve_rank2 inst in
+      let r = D.solve_rank2 ?domains ~metrics inst in
+      dump_metrics ();
       describe r.D.ok (Some r.D.rounds)
         (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
     | Dist3 ->
-      let r = D.solve_rank3 inst in
+      let r = D.solve_rank3 ?domains ~metrics inst in
+      dump_metrics ();
       describe r.D.ok (Some r.D.rounds)
         (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
+    | Mp2 ->
+      let r = Lll_core.Dist_lll.solve_rank2 ?domains ~metrics inst in
+      dump_metrics ();
+      describe r.Lll_core.Dist_lll.ok (Some r.Lll_core.Dist_lll.rounds)
+        (Printf.sprintf " (coloring %d + sweep %d)" r.Lll_core.Dist_lll.coloring_rounds
+           r.Lll_core.Dist_lll.sweep_rounds)
+    | Mp3 ->
+      let r = Lll_core.Dist_lll.solve ?domains ~metrics inst in
+      dump_metrics ();
+      describe r.Lll_core.Dist_lll.ok (Some r.Lll_core.Dist_lll.rounds)
+        (Printf.sprintf " (coloring %d + sweep %d)" r.Lll_core.Dist_lll.coloring_rounds
+           r.Lll_core.Dist_lll.sweep_rounds)
     | Mt_seq ->
       let a, s = MT.solve_sequential ~seed inst in
       describe (V.avoids_all inst a) None (Printf.sprintf " (%d resamplings)" s.MT.resamplings)
@@ -243,7 +292,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve an instance with a chosen algorithm and verify exactly.")
     Term.(
       const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg
-      $ algo_arg $ trace_arg)
+      $ algo_arg $ trace_arg $ domains_arg $ metrics_arg)
 
 (* ---- surface ---- *)
 

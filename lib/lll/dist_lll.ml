@@ -34,6 +34,7 @@ module Graph = Lll_graph.Graph
 module Network = Lll_local.Network
 module Runtime = Lll_local.Runtime
 module Dist_coloring = Lll_local.Dist_coloring
+module Metrics = Lll_local.Metrics
 module Space = Lll_prob.Space
 module Assignment = Lll_prob.Assignment
 
@@ -155,7 +156,7 @@ type result = {
    class (fix + two propagation rounds for radius-2 freshness);
    [duty me cls] lists the variables node [me] must fix in class [cls],
    in order. Returns the merged assignment and the sweep round count. *)
-let run_sweep instance g net ~classes ~duty =
+let run_sweep ?domains ?(metrics = Metrics.disabled) instance g net ~classes ~duty =
   let init v =
     let phi =
       let mine = Graph.incident_edges g v in
@@ -194,7 +195,8 @@ let run_sweep instance g net ~classes ~duty =
   in
   if total_rounds = 0 then (Assignment.empty (Instance.num_vars instance), 0)
   else begin
-    let states, stats = Runtime.run_full_info net ~init ~step in
+    Metrics.set_phase metrics "sweep";
+    let states, stats = Runtime.run_full_info ?domains ~metrics net ~init ~step in
     let assignment = Assignment.empty (Instance.num_vars instance) in
     Array.iter
       (fun s -> IntMap.iter (fun vid value -> Assignment.set_inplace assignment vid value) s.known)
@@ -206,7 +208,7 @@ let run_sweep instance g net ~classes ~duty =
    graph (variables of rank 2 live on its edges; the smaller endpoint of
    an edge fixes its variables in the edge's class round). Rank <= 1
    variables are fixed by their event in an extra leading class. *)
-let solve_rank2 instance =
+let solve_rank2 ?domains ?(metrics = Metrics.disabled) instance =
   if Instance.rank instance > 2 then invalid_arg "Dist_lll.solve_rank2: instance has rank > 2";
   let g = Instance.dep_graph instance in
   let n = Graph.n g in
@@ -222,8 +224,9 @@ let solve_rank2 instance =
   else begin
     let net = Network.create g in
     let lg = Graph.line_graph g in
+    Metrics.set_phase metrics "edge-coloring";
     let ecolors, coloring_rounds =
-      if Graph.m g = 0 then ([||], 0) else Dist_coloring.color (Network.create lg)
+      if Graph.m g = 0 then ([||], 0) else Dist_coloring.color ?domains ~metrics (Network.create lg)
     in
     let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 ecolors in
     (* duty: class 0 = rank <= 1 variables at their owner; class 1+c =
@@ -244,13 +247,13 @@ let solve_rank2 instance =
       if cls = 0 then small.(me)
       else List.filter_map (fun (c, vid) -> if c = cls - 1 then Some vid else None) by_edge_owner.(me)
     in
-    let assignment, sweep_rounds = run_sweep instance g net ~classes:(colors + 1) ~duty in
+    let assignment, sweep_rounds = run_sweep ?domains ~metrics instance g net ~classes:(colors + 1) ~duty in
     List.iter (fun vid -> Assignment.set_inplace assignment vid 0) !free;
     let ok = Assignment.is_complete assignment && Verify.avoids_all instance assignment in
     { assignment; ok; rounds = coloring_rounds + sweep_rounds; coloring_rounds; sweep_rounds; colors }
   end
 
-let solve instance =
+let solve ?domains ?(metrics = Metrics.disabled) instance =
   if Instance.rank instance > 3 then invalid_arg "Dist_lll.solve: instance has rank > 3";
   let g = Instance.dep_graph instance in
   let n = Graph.n g in
@@ -266,7 +269,8 @@ let solve instance =
   else begin
     let net = Network.create g in
     (* phase 1: distributed 2-hop coloring *)
-    let vcolors, coloring_rounds = Dist_coloring.two_hop_color net in
+    Metrics.set_phase metrics "two-hop-coloring";
+    let vcolors, coloring_rounds = Dist_coloring.two_hop_color ?domains ~metrics net in
     let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 vcolors in
     (* ownership: a variable belongs to its smallest event *)
     let owned = Array.make n [] in
@@ -278,7 +282,7 @@ let solve instance =
     done;
     (* phase 2: the gossiping sweep, three rounds per class *)
     let duty ~me ~cls = if vcolors.(me) = cls then owned.(me) else [] in
-    let assignment, sweep_rounds = run_sweep instance g net ~classes:colors ~duty in
+    let assignment, sweep_rounds = run_sweep ?domains ~metrics instance g net ~classes:colors ~duty in
     List.iter (fun vid -> Assignment.set_inplace assignment vid 0) !free_vars;
     let ok = Assignment.is_complete assignment && Verify.avoids_all instance assignment in
     { assignment; ok; rounds = coloring_rounds + sweep_rounds; coloring_rounds; sweep_rounds; colors }

@@ -19,11 +19,13 @@ type result = {
   colors : int;
 }
 
-val solve : Instance.t -> result
-(** The Corollary 1.4 protocol (2-hop coloring schedule).
+val solve : ?domains:int -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> result
+(** The Corollary 1.4 protocol (2-hop coloring schedule). [domains] and
+    [metrics] are forwarded to the LOCAL runtime for both the coloring
+    and the gossip sweep.
     @raise Invalid_argument if the instance has rank [> 3]. *)
 
-val solve_rank2 : Instance.t -> result
+val solve_rank2 : ?domains:int -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> result
 (** The Corollary 1.2 protocol: edge-coloring schedule, the smaller
     endpoint of each dependency edge fixes the edge's variables.
     @raise Invalid_argument if the instance has rank [> 2]. *)

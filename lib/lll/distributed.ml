@@ -20,6 +20,7 @@
 module Graph = Lll_graph.Graph
 module Network = Lll_local.Network
 module Dist_coloring = Lll_local.Dist_coloring
+module Metrics = Lll_local.Metrics
 module Assignment = Lll_prob.Assignment
 
 type result = {
@@ -46,11 +47,12 @@ let vars_by_edge instance =
   done;
   (by_edge, !small)
 
-let solve_rank2 instance =
+let solve_rank2 ?domains ?(metrics = Metrics.disabled) instance =
   let g = Instance.dep_graph instance in
   let lg = Graph.line_graph g in
+  Metrics.set_phase metrics "edge-coloring";
   let ecolors, coloring_rounds =
-    if Graph.m g = 0 then ([||], 0) else Dist_coloring.color (Network.create lg)
+    if Graph.m g = 0 then ([||], 0) else Dist_coloring.color ?domains ~metrics (Network.create lg)
   in
   let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 ecolors in
   let by_edge, small = vars_by_edge instance in
@@ -86,10 +88,12 @@ let vars_by_owner instance =
   done;
   (by_owner, !free)
 
-let solve_rank3 instance =
+let solve_rank3 ?domains ?(metrics = Metrics.disabled) instance =
   let g = Instance.dep_graph instance in
+  Metrics.set_phase metrics "two-hop-coloring";
   let vcolors, coloring_rounds =
-    if Graph.n g = 0 then ([||], 0) else Dist_coloring.two_hop_color (Network.create g)
+    if Graph.n g = 0 then ([||], 0)
+    else Dist_coloring.two_hop_color ?domains ~metrics (Network.create g)
   in
   let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 vcolors in
   let by_owner, free = vars_by_owner instance in
@@ -115,10 +119,12 @@ let solve_rank3 instance =
    variable's events are pairwise adjacent, so they all lie in the closed
    neighborhood of its owner, and owners of the same 2-hop color class
    are at distance >= 3 — their variables share no event, for any rank. *)
-let solve_rankr instance =
+let solve_rankr ?domains ?(metrics = Metrics.disabled) instance =
   let g = Instance.dep_graph instance in
+  Metrics.set_phase metrics "two-hop-coloring";
   let vcolors, coloring_rounds =
-    if Graph.n g = 0 then ([||], 0) else Dist_coloring.two_hop_color (Network.create g)
+    if Graph.n g = 0 then ([||], 0)
+    else Dist_coloring.two_hop_color ?domains ~metrics (Network.create g)
   in
   let colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 vcolors in
   let by_owner, free = vars_by_owner instance in

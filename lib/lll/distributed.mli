@@ -13,16 +13,16 @@ type result = {
   colors : int;
 }
 
-val solve_rank2 : Instance.t -> result
+val solve_rank2 : ?domains:int -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> result
 (** Corollary 1.2: [O(d + log* n)]-style schedule (edge coloring via the
     Linial pipeline, then one round per color class). Requires rank
-    [<= 2]. *)
+    [<= 2]. [domains]/[metrics] drive the coloring phase's runtime. *)
 
-val solve_rank3 : Instance.t -> result
+val solve_rank3 : ?domains:int -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> result
 (** Corollary 1.4: [O(d^2 + log* n)]-style schedule (2-hop coloring, then
     one round per class). Requires rank [<= 3]. *)
 
-val solve_rankr : Instance.t -> result
+val solve_rankr : ?domains:int -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> result
 (** The Corollary 1.4 schedule driving the experimental rank-r fixer
     ({!Fix_rankr}); sound scheduling for any rank, heuristic feasibility
     for rank [>= 4]. *)

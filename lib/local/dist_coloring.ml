@@ -52,7 +52,7 @@ let kw_schedule ~dmax ~m =
    halving phase). Initial colors are the node ids (assumed < id_bound).
    Returns the coloring and the LOCAL round count, which is
    O(log* id_bound + dmax * log(dmax)) past the Linial fixpoint. *)
-let color ?(id_bound = max_int) net =
+let color ?(id_bound = max_int) ?domains ?(metrics = Metrics.disabled) net =
   let g = Network.graph net in
   let n = Graph.n g in
   if n = 0 then ([||], 0)
@@ -110,8 +110,8 @@ let color ?(id_bound = max_int) net =
     in
     if total = 0 then (Array.init n (fun v -> Network.id net v), 0)
     else begin
-      let states, stats = Runtime.run_full_info net ~init ~step in
-      (Array.map (fun s -> s.color) states, stats.rounds)
+      let states, stats = Runtime.run_full_info ?domains ~metrics net ~init ~step in
+      (Array.map (fun s -> s.color) states, stats.Runtime.rounds)
     end
   end
 
@@ -120,9 +120,9 @@ let color ?(id_bound = max_int) net =
    simulated by two real rounds, which we account for. This is our
    substitute for the [FHK16] conflict-coloring subroutine of
    Corollary 1.4 (see DESIGN.md). *)
-let two_hop_color net =
+let two_hop_color ?domains ?(metrics = Metrics.disabled) net =
   let g = Network.graph net in
   let sq = Graph.square g in
   let net_sq = Network.create ~ids:(Network.ids net) sq in
-  let coloring, rounds_sq = color net_sq in
+  let coloring, rounds_sq = color ?domains ~metrics net_sq in
   (coloring, 2 * rounds_sq)

@@ -15,11 +15,12 @@ val kw_schedule : dmax:int -> m:int -> int list
 (** Palette sizes at the start of each Kuhn–Wattenhofer halving phase
     (each phase costs [dmax + 1] rounds). *)
 
-val color : ?id_bound:int -> Network.t -> int array * int
+val color : ?id_bound:int -> ?domains:int -> ?metrics:Metrics.sink -> Network.t -> int array * int
 (** Proper [(max_degree + 1)]-coloring computed distributedly;
-    [(coloring, LOCAL rounds)]. Rounds are [O(poly d + log* id_bound)]. *)
+    [(coloring, LOCAL rounds)]. Rounds are [O(poly d + log* id_bound)].
+    [domains]/[metrics] are forwarded to the runtime. *)
 
-val two_hop_color : Network.t -> int array * int
+val two_hop_color : ?domains:int -> ?metrics:Metrics.sink -> Network.t -> int array * int
 (** Proper coloring of the square graph (nodes within distance 2 get
     distinct colors) with at most [max_degree^2 + 1] colors; each square-
     graph round is charged as two real rounds. *)

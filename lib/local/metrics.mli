@@ -1,0 +1,44 @@
+(** Round-level metrics for the LOCAL runtime, behind a
+    zero-cost-when-disabled sink. *)
+
+type round_record = {
+  round : int;  (** round index within its runtime invocation *)
+  phase : string;  (** caller-set label, e.g. ["coloring"] / ["sweep"] *)
+  wall_ns : int;  (** wall-clock nanoseconds spent on the round *)
+  messages : int;  (** messages sent this round (0 for full-info rounds) *)
+  stepped : int;  (** nodes that executed their step function *)
+  halted_fraction : float;  (** fraction of nodes halted after the round *)
+  state_words : int;  (** heap words of a sampled node state (size proxy) *)
+}
+
+type sink
+
+val disabled : sink
+(** The no-op sink: recording is a single branch, no allocation. *)
+
+val buffer : unit -> sink
+(** A fresh accumulating sink; records survive across multiple runtime
+    invocations (coloring then sweep, say). *)
+
+val enabled : sink -> bool
+val set_phase : sink -> string -> unit
+val phase : sink -> string
+val record : sink -> round_record -> unit
+
+val records : sink -> round_record list
+(** Accumulated records, oldest first ([[]] for {!disabled}). *)
+
+val clear : sink -> unit
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds (for the runtime's per-round timing). *)
+
+val state_words : 'a -> int
+(** Reachable heap words of a value; [0] for immediates. *)
+
+val to_json : round_record list -> string
+val write_json : string -> round_record list -> unit
+
+val total_messages : round_record list -> int
+val total_wall_ns : round_record list -> int
+val pp : Format.formatter -> round_record list -> unit

@@ -22,7 +22,7 @@ let priority ~seed ~id ~phase =
   let rng = Random.State.make [| seed; id; phase |] in
   Random.State.float rng 1.0
 
-let luby ?(max_rounds = 10_000) ~seed net =
+let luby ?(max_rounds = 10_000) ?domains ?metrics ~seed net =
   let step ~round ~me s nbrs =
     let phase = round / 2 in
     if round mod 2 = 0 then begin
@@ -55,7 +55,7 @@ let luby ?(max_rounds = 10_000) ~seed net =
     end
   in
   let states, stats =
-    Runtime.run_full_info ~max_rounds net
+    Runtime.run_full_info ~max_rounds ?domains ?metrics net
       ~init:(fun _ -> { status = Active; priority = 0. })
       ~step
   in

@@ -3,7 +3,8 @@
 
 module Graph = Lll_graph.Graph
 
-val luby : ?max_rounds:int -> seed:int -> Network.t -> bool array * int
+val luby :
+  ?max_rounds:int -> ?domains:int -> ?metrics:Metrics.sink -> seed:int -> Network.t -> bool array * int
 (** [(in_mis, rounds)]; O(log n) rounds w.h.p. Randomness is a
     deterministic function of [(seed, node id, phase)]. *)
 

@@ -9,11 +9,11 @@ module Graph = Lll_graph.Graph
 (* Elect the minimum id by flooding for [diameter_bound] rounds (LOCAL
    standard: n is a safe bound). Every node ends up knowing the leader's
    id; the leader knows it is the leader. *)
-let elect_leader ?(diameter_bound = max_int) net =
+let elect_leader ?(diameter_bound = max_int) ?domains net =
   let n = Network.n net in
   let bound = if diameter_bound = max_int then max 1 n else max 1 diameter_bound in
   let states, stats =
-    Runtime.run_full_info net
+    Runtime.run_full_info ?domains net
       ~init:(fun v -> Network.id net v)
       ~step:(fun ~round ~me:_ s nbrs ->
         let s = List.fold_left (fun acc (_, x) -> min acc x) s nbrs in
@@ -26,11 +26,11 @@ let elect_leader ?(diameter_bound = max_int) net =
    Returns (parent array, -1 for root/unreachable; dist array). *)
 type bfs_state = { dist : int; parent : int }
 
-let bfs_tree ?(max_rounds = Runtime.default_max_rounds) net ~root =
+let bfs_tree ?(max_rounds = Runtime.default_max_rounds) ?domains net ~root =
   let n = Network.n net in
   let bound = max 1 n in
   let states, stats =
-    Runtime.run_full_info ~max_rounds net
+    Runtime.run_full_info ~max_rounds ?domains net
       ~init:(fun v -> if v = root then { dist = 0; parent = -1 } else { dist = max_int; parent = -1 })
       ~step:(fun ~round ~me:_ s nbrs ->
         let s =

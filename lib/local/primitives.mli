@@ -2,12 +2,12 @@
 
 module Graph = Lll_graph.Graph
 
-val elect_leader : ?diameter_bound:int -> Network.t -> int array * int
+val elect_leader : ?diameter_bound:int -> ?domains:int -> Network.t -> int array * int
 (** Minimum-id flooding; returns each node's view of the leader id and
     the round count (defaults to [n] rounds, a safe diameter bound). *)
 
 val bfs_tree :
-  ?max_rounds:int -> Network.t -> root:int -> int array * int array * int
+  ?max_rounds:int -> ?domains:int -> Network.t -> root:int -> int array * int array * int
 (** [(parents, dists, rounds)]: parent is [-1] for the root and for
     unreachable nodes (whose dist is also [-1]). *)
 

@@ -11,77 +11,170 @@
    - a full-information interface ([run_full_info]) where each round every
      node sees the previous-round state of each neighbor — equivalent to
      LOCAL since messages are unbounded, and the natural way to express
-     the paper's algorithms. *)
+     the paper's algorithms.
+
+   Both engines step the non-halted nodes of a round IN PARALLEL across
+   OCaml 5 domains ([Par]): all nodes read the same immutable snapshot
+   (previous-round states / inboxes) and each writes only its own cell of
+   the result arrays, so the parallel execution is faithful to the
+   synchronous-round semantics by construction. Everything order-sensitive
+   — message delivery, the non-neighbor check, halt bookkeeping, metrics —
+   happens in a sequential merge sweep over nodes 0..n-1 after the
+   parallel phase, in exactly the order the sequential engine used; with
+   [~domains:1] no domain is spawned and the engine IS the sequential
+   reference, which the differential tests exploit. *)
 
 exception Round_limit_exceeded of int
 
 type ('s, 'm) step_result = { state : 's; send : (int * 'm) list; halt : bool }
 
-type stats = { rounds : int; messages : int }
+type stats = { rounds : int; messages : int; per_round : Metrics.round_record list }
 
 let default_max_rounds = 1_000_000
 
-let run ?(max_rounds = default_max_rounds) net ~init ~step =
+(* Sorted neighbor arrays, precomputed once per run: the per-message
+   destination check becomes O(log deg) instead of the former O(deg)
+   [List.mem] scan of the adjacency list (O(deg^2) per node per round). *)
+let neighbor_index net =
   let n = Network.n net in
+  Array.init n (fun v ->
+      let a = Array.of_list (Network.neighbors net v) in
+      Array.sort compare a;
+      a)
+
+let mem_sorted (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let y = a.(mid) in
+    if y = x then found := true else if y < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+(* One metrics record, appended both to the sink and to the per-run
+   accumulator surfaced through [stats.per_round]. *)
+let emit metrics acc ~round ~t0 ~messages ~stepped ~halted_count ~n ~sample =
+  if Metrics.enabled metrics then begin
+    let r =
+      {
+        Metrics.round;
+        phase = Metrics.phase metrics;
+        wall_ns = Metrics.now_ns () - t0;
+        messages;
+        stepped;
+        halted_fraction = (if n = 0 then 1.0 else float_of_int halted_count /. float_of_int n);
+        state_words = Metrics.state_words sample;
+      }
+    in
+    Metrics.record metrics r;
+    acc := r :: !acc
+  end
+
+let finish ~rounds ~messages acc = { rounds; messages; per_round = List.rev !acc }
+
+let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net ~init ~step =
+  let n = Network.n net in
+  let nbr_index = neighbor_index net in
   let states = Array.init n init in
   let halted = Array.make n false in
+  let halted_count = ref 0 in
   let inboxes : (int * 'm) list array = Array.make n [] in
+  let results : ('s, 'm) step_result option array = Array.make n None in
   let round = ref 0 in
   let messages = ref 0 in
-  let all_halted () = Array.for_all (fun h -> h) halted in
-  while not (all_halted ()) do
+  let recs = ref [] in
+  while !halted_count < n do
     if !round >= max_rounds then raise (Round_limit_exceeded max_rounds);
+    let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
+    (* parallel phase: pure per-node computation against the round's
+       snapshot; node [v] writes only [results.(v)] *)
+    Par.parallel_for ?domains ~n (fun v ->
+        if not halted.(v) then begin
+          let inbox = List.rev inboxes.(v) in
+          results.(v) <- Some (step ~round:!round ~me:v states.(v) inbox)
+        end);
+    (* sequential merge in node order: state/halt commit, destination
+       checks and message delivery — byte-identical to the sequential
+       engine's interleaving *)
     let outboxes = Array.make n [] in
+    let stepped = ref 0 in
+    let round_msgs = ref 0 in
     for v = 0 to n - 1 do
-      if not halted.(v) then begin
-        let inbox = List.rev inboxes.(v) in
-        let r = step ~round:!round ~me:v states.(v) inbox in
+      match results.(v) with
+      | None -> ()
+      | Some r ->
+        results.(v) <- None;
+        incr stepped;
         states.(v) <- r.state;
-        halted.(v) <- r.halt;
+        if r.halt then begin
+          halted.(v) <- true;
+          incr halted_count
+        end;
         List.iter
           (fun (target, msg) ->
-            if not (List.mem target (Network.neighbors net v)) then
+            if not (mem_sorted nbr_index.(v) target) then
               invalid_arg "Runtime.run: message to non-neighbor";
-            incr messages;
+            incr round_msgs;
             outboxes.(target) <- (v, msg) :: outboxes.(target))
           r.send
-      end
     done;
+    messages := !messages + !round_msgs;
     Array.blit outboxes 0 inboxes 0 n;
+    (* n > 0 inside the loop, so states.(0) is a valid sample *)
+    emit metrics recs ~round:!round ~t0 ~messages:!round_msgs ~stepped:!stepped
+      ~halted_count:!halted_count ~n ~sample:states.(0);
     incr round
   done;
-  (states, { rounds = !round; messages = !messages })
+  (states, finish ~rounds:!round ~messages:!messages recs)
 
 (* Full-information rounds: each node's step sees [(neighbor, neighbor's
    state at the start of the round)]. All nodes are stepped against the
-   same snapshot, faithfully modelling synchronous rounds. *)
-let run_full_info ?(max_rounds = default_max_rounds) net ~init ~step =
+   same snapshot, faithfully modelling synchronous rounds — which is also
+   exactly what makes the parallel step phase sound. *)
+let run_full_info ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net
+    ~init ~step =
   let n = Network.n net in
+  let nbrs = Array.init n (Network.neighbors net) in
   let states = Array.init n init in
   let halted = Array.make n false in
+  let halted_count = ref 0 in
+  let halt_req = Array.make n false in
   let round = ref 0 in
-  let all_halted () = Array.for_all (fun h -> h) halted in
-  while not (all_halted ()) do
+  let recs = ref [] in
+  while !halted_count < n do
     if !round >= max_rounds then raise (Round_limit_exceeded max_rounds);
+    let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
     let snapshot = Array.copy states in
+    Par.parallel_for ?domains ~n (fun v ->
+        if not halted.(v) then begin
+          let nbr_states = List.map (fun u -> (u, snapshot.(u))) nbrs.(v) in
+          let s, h = step ~round:!round ~me:v snapshot.(v) nbr_states in
+          states.(v) <- s;
+          halt_req.(v) <- h
+        end);
+    let stepped = ref 0 in
     for v = 0 to n - 1 do
       if not halted.(v) then begin
-        let nbr_states = List.map (fun u -> (u, snapshot.(u))) (Network.neighbors net v) in
-        let s, h = step ~round:!round ~me:v snapshot.(v) nbr_states in
-        states.(v) <- s;
-        halted.(v) <- h
+        incr stepped;
+        if halt_req.(v) then begin
+          halted.(v) <- true;
+          incr halted_count
+        end
       end
     done;
+    emit metrics recs ~round:!round ~t0 ~messages:0 ~stepped:!stepped
+      ~halted_count:!halted_count ~n ~sample:states.(0);
     incr round
   done;
-  (states, { rounds = !round; messages = 0 })
+  (states, finish ~rounds:!round ~messages:0 recs)
 
 (* Gather the (node, state) pairs within radius [k] of every node by
    flooding for [k] rounds — the canonical LOCAL primitive: any
    [T]-round algorithm is equivalent to collecting the radius-[T]
    neighborhood and deciding locally. *)
-let gather_balls ?(max_rounds = default_max_rounds) net ~radius ~(value : int -> 'a) :
-    (int * 'a) list array * stats =
+let gather_balls ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net
+    ~radius ~(value : int -> 'a) : (int * 'a) list array * stats =
   let init v = [ (v, value v) ] in
   let merge l l' =
     List.sort_uniq (fun (a, _) (b, _) -> compare a b) (List.rev_append l l')
@@ -90,5 +183,7 @@ let gather_balls ?(max_rounds = default_max_rounds) net ~radius ~(value : int ->
     let s' = List.fold_left (fun acc (_, l) -> merge acc l) s nbrs in
     (s', round + 1 >= radius)
   in
-  if radius = 0 then (Array.init (Network.n net) (fun v -> [ (v, value v) ]), { rounds = 0; messages = 0 })
-  else run_full_info ~max_rounds net ~init ~step
+  if radius = 0 then
+    ( Array.init (Network.n net) (fun v -> [ (v, value v) ]),
+      { rounds = 0; messages = 0; per_round = [] } )
+  else run_full_info ~max_rounds ?domains ~metrics net ~init ~step

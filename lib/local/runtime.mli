@@ -1,15 +1,32 @@
-(** Synchronous LOCAL-model execution engine with round accounting. *)
+(** Synchronous LOCAL-model execution engine with round accounting,
+    domain-parallel round execution and optional round-level metrics.
+
+    Each round, the non-halted nodes are stepped in parallel across
+    [domains] OCaml 5 domains (default {!Par.default_domains}, i.e. the
+    recommended domain count of the machine) against an immutable
+    snapshot of the previous round; all order-sensitive effects (message
+    delivery, halt bookkeeping) are committed by a sequential sweep in
+    node order afterwards, so results are identical for every domain
+    count — [~domains:1] is the sequential reference engine. *)
 
 exception Round_limit_exceeded of int
 
 type ('s, 'm) step_result = { state : 's; send : (int * 'm) list; halt : bool }
 
-type stats = { rounds : int; messages : int }
+type stats = {
+  rounds : int;
+  messages : int;
+  per_round : Metrics.round_record list;
+      (** One record per round when a metrics sink was passed; [[]]
+          otherwise. *)
+}
 
 val default_max_rounds : int
 
 val run :
   ?max_rounds:int ->
+  ?domains:int ->
+  ?metrics:Metrics.sink ->
   Network.t ->
   init:(int -> 's) ->
   step:(round:int -> me:int -> 's -> (int * 'm) list -> ('s, 'm) step_result) ->
@@ -17,11 +34,16 @@ val run :
 (** Message-passing interface. Each round, every non-halted node consumes
     the messages addressed to it in the previous round ([(sender, msg)]
     pairs) and produces a new state, outgoing messages ([(neighbor, msg)]),
-    and a halt flag. Sending to a non-neighbor raises [Invalid_argument];
-    exceeding [max_rounds] raises {!Round_limit_exceeded}. *)
+    and a halt flag. Sending to a non-neighbor raises [Invalid_argument]
+    (checked against a precomputed per-node neighbor index); exceeding
+    [max_rounds] raises {!Round_limit_exceeded}. The step function must be
+    safe to call concurrently for distinct nodes (pure up to per-call
+    local state), which every synchronous-round protocol is. *)
 
 val run_full_info :
   ?max_rounds:int ->
+  ?domains:int ->
+  ?metrics:Metrics.sink ->
   Network.t ->
   init:(int -> 's) ->
   step:(round:int -> me:int -> 's -> (int * 's) list -> 's * bool) ->
@@ -31,6 +53,8 @@ val run_full_info :
 
 val gather_balls :
   ?max_rounds:int ->
+  ?domains:int ->
+  ?metrics:Metrics.sink ->
   Network.t ->
   radius:int ->
   value:(int -> 'a) ->

@@ -311,6 +311,74 @@ let srep_props =
         Srep.c_of_x ~a ~b x <= Srep.f a b +. 1e-9);
   ]
 
+(* rational-coordinate properties of the boundary surface (Lemmas
+   3.5-3.7): points are dyadic rationals k/64 in [0,4], so [R.to_float]
+   is exact and the float evaluation of [f] is only ever compared with
+   a 1e-9 slack while [mem_rat] assertions stay fully exact *)
+(* (na, nb) with na + nb <= 256, i.e. a = na/64, b = nb/64 in the
+   domain triangle a + b <= 4 of f — generated directly, no assume *)
+let gen_rat_ab =
+  QCheck.Gen.(int_bound 256 >>= fun na -> int_bound (256 - na) >|= fun nb -> (na, nb))
+
+let arb_rat_ab =
+  QCheck.make ~print:(fun (na, nb) -> Printf.sprintf "a=%d/64 b=%d/64" na nb) gen_rat_ab
+
+let fq n = float_of_int n /. 64.
+
+let srep_rat_props =
+  [
+    prop "f midpoint-convex on rational chords (Lemma 3.6)" 400
+      (QCheck.pair arb_rat_ab arb_rat_ab)
+      (fun ((na, nb), (na', nb')) ->
+        let mid = Srep.f (float_of_int (na + na') /. 128.) (float_of_int (nb + nb') /. 128.) in
+        mid <= ((Srep.f (fq na) (fq nb) +. Srep.f (fq na') (fq nb')) /. 2.) +. 1e-9);
+    prop "f nonincreasing in each argument" 400
+      (QCheck.make
+         ~print:(fun ((na, nb), d) -> Printf.sprintf "a=%d/64 b=%d/64 d=%d/64" na nb d)
+         QCheck.Gen.(
+           gen_rat_ab >>= fun (na, nb) ->
+           int_bound (256 - na - nb) >|= fun d -> ((na, nb), d)))
+      (fun ((na, nb), d) ->
+        Srep.f (fq (na + d)) (fq nb) <= Srep.f (fq na) (fq nb) +. 1e-9
+        && Srep.f (fq na) (fq (nb + d)) <= Srep.f (fq na) (fq nb) +. 1e-9);
+    prop "mem_rat downward-closed in c (exact)" 300
+      (QCheck.pair arb_rat_ab (QCheck.make QCheck.Gen.(int_bound 64)))
+      (fun ((na, nb), k) ->
+        let a = R.of_ints na 64 and b = R.of_ints nb 64 in
+        (* a rational c strictly below the surface: membership must hold,
+           and must keep holding after scaling c down by k/64 *)
+        let nc = max 0 (int_of_float (Srep.f (fq na) (fq nb) *. 64.) - 1) in
+        let c = R.of_ints nc 64 in
+        Srep.mem_rat (a, b, c) && Srep.mem_rat (a, b, R.mul c (R.of_ints k 64)));
+    (* the numeric clique solver vs the exact rank-3 characterisation is
+       one-sided: it never certifies a non-member even at tight eps, but
+       its coordinate-balancing can stall ~0.1 log-slack short of the
+       optimum on a few percent of true members (near-degenerate
+       coordinates), so completeness is only asserted at a loose eps *)
+    prop "Srep_r never accepts a non-member (sound)" 150
+      (QCheck.triple (QCheck.float_bound_inclusive 4.) (QCheck.float_bound_inclusive 4.)
+         (QCheck.float_bound_inclusive 4.))
+      (fun ((a, b, c) as t) ->
+        QCheck.assume (Srep.violation t > 0.05);
+        not (Lll_core.Srep_r.representable ~eps:1e-4 [| a; b; c |]));
+    prop "Srep_r accepts members up to solver slack" 150
+      (QCheck.make QCheck.Gen.(int_range 0 1_000_000))
+      (fun seed ->
+        (* rejection-sample a triple well inside S_rep from the seed
+           (uniform triples are members ~9% of the time, too sparse for
+           QCheck.assume) *)
+        let rng = Random.State.make [| seed |] in
+        let rec pick k =
+          let q () = Random.State.float rng 4.0 in
+          let a = q () and b = q () and c = q () in
+          if Srep.violation (a, b, c) < -0.05 then (a, b, c)
+          else if k > 1_000 then (1., 1., 1.)
+          else pick (k + 1)
+        in
+        let a, b, c = pick 0 in
+        Lll_core.Srep_r.representable ~eps:0.15 [| a; b; c |]);
+  ]
+
 let test_decompose_corners () =
   List.iter
     (fun ((a, b, c), name) ->
@@ -611,6 +679,36 @@ let test_fix3_exact_agrees_with_float_success () =
   let a_exact, _ = F3X.solve inst in
   Alcotest.(check bool) "float ok" true (V.avoids_all inst a_float);
   Alcotest.(check bool) "exact ok" true (V.avoids_all inst a_exact)
+
+(* differential pass over the two rank-3 fixers: on random synthetic
+   instances below the threshold, the float-potential and the
+   exact-rational-potential processes must BOTH terminate with an
+   assignment accepted by the exact verifier, for the same fixing order *)
+let fix3_diff_props =
+  [
+    prop "float vs exact fixer: both verified on random instances" 24
+      (QCheck.make QCheck.Gen.(int_range 0 100_000))
+      (fun seed ->
+        let n = [| 6; 9; 12 |].(seed mod 3) in
+        let inst = Syn.random ~seed ~n ~rank:3 ~delta:2 ~arity:8 () in
+        let order = shuffled_order ~seed:(seed + 7) (I.num_vars inst) in
+        let a_float, _ = F3.solve ~order inst in
+        let a_exact, tx = F3X.solve ~order inst in
+        V.avoids_all inst a_float && V.avoids_all inst a_exact
+        && (F3X.fallbacks tx > 0 || F3X.pstar_holds_exact tx));
+  ]
+
+let test_fix3_float_exact_divergence_regression () =
+  (* smallest instance found (n = 6, seed = 0) on which the float and
+     rational potentials select different values: pins down that the two
+     paths genuinely diverge in their choices while both remain sound *)
+  let inst = Syn.random ~seed:0 ~n:6 ~rank:3 ~delta:2 ~arity:8 () in
+  let a_float, _ = F3.solve inst in
+  let a_exact, tx = F3X.solve inst in
+  Alcotest.(check bool) "assignments diverge" true (a_float <> a_exact);
+  Alcotest.(check bool) "float verified" true (V.avoids_all inst a_float);
+  Alcotest.(check bool) "exact verified" true (V.avoids_all inst a_exact);
+  Alcotest.(check bool) "exact P*" true (F3X.pstar_holds_exact tx)
 
 (* ------------------------------------------------------------------ *)
 (* Srep_r and the experimental rank-r fixer (Conjecture 1.5)            *)
@@ -1206,6 +1304,7 @@ let () =
           Alcotest.test_case "best_x in range" `Quick test_best_x_in_range;
         ] );
       ("srep-properties", srep_props);
+      ("srep-rational-properties", srep_rat_props);
       ( "fix-rank2",
         [
           Alcotest.test_case "ring instances" `Quick test_fix2_ring_instances;
@@ -1235,6 +1334,12 @@ let () =
           Alcotest.test_case "agrees with float variant" `Quick
             test_fix3_exact_agrees_with_float_success;
         ] );
+      ( "fix-rank3-differential",
+        fix3_diff_props
+        @ [
+            Alcotest.test_case "float/exact divergence regression (n=6, seed=0)" `Quick
+              test_fix3_float_exact_divergence_regression;
+          ] );
       ( "srep-r",
         [
           Alcotest.test_case "clique edges" `Quick test_clique_edges;

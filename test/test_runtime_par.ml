@@ -1,0 +1,207 @@
+(* Differential tests for the domain-parallel LOCAL runtime: for every
+   runner ([run], [run_full_info], [gather_balls]) the parallel engine
+   ([~domains:4]) must produce byte-identical results — final states,
+   round counts, message counts, raised exceptions — to the sequential
+   reference engine ([~domains:1], which never spawns a domain).
+
+   The protocols below are deterministic pseudo-random functions of
+   (node, round, state), so any divergence in scheduling, snapshotting
+   or message-delivery order between the two engines shows up as a
+   differing final state. *)
+
+module Net = Lll_local.Network
+module RT = Lll_local.Runtime
+module Par = Lll_local.Par
+module Metrics = Lll_local.Metrics
+module Gen = Lll_graph.Generators
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* ---------------------------------------------------------------- *)
+(* random networks                                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* (seed, n, edge budget) -> connected-ish random network; the graph is
+   rebuilt deterministically inside the law so shrinking stays sound *)
+let arb_net_params =
+  QCheck.make
+    ~print:(fun (seed, n, m) -> Printf.sprintf "seed=%d n=%d m=%d" seed n m)
+    QCheck.Gen.(triple (int_bound 100_000) (int_range 2 30) (int_bound 60))
+
+let net_of (seed, n, m) =
+  let m = min m (n * (n - 1) / 2) in
+  Net.create (Gen.gnm ~seed n m)
+
+(* deterministic integer mixing — stands in for "arbitrary protocol" *)
+let mix a b = ((a * 1_000_003) + b + 0x9E37) land 0x3FFFFFFF
+
+(* ---------------------------------------------------------------- *)
+(* protocols                                                        *)
+(* ---------------------------------------------------------------- *)
+
+(* message-passing: fold the inbox (order-sensitively: subtraction and
+   mixing do not commute) into the state, send state-dependent messages
+   to a state-dependent subset of neighbors, halt at a per-node round *)
+let echo_step net ~round ~me s inbox =
+  let s = List.fold_left (fun acc (u, m) -> mix acc (mix u m) - u) (mix s round) inbox in
+  {
+    RT.state = s;
+    send =
+      List.filter_map
+        (fun u -> if mix s u mod 3 <> 0 then Some (u, mix s (u + round)) else None)
+        (Net.neighbors net me);
+    halt = round + 1 >= 2 + ((me + s) mod 4);
+  }
+
+let run_with net domains =
+  RT.run ~domains net ~init:(fun v -> mix v 17) ~step:(echo_step net)
+
+(* full-information: the neighbor list is order-sensitive too *)
+let flood_step ~round ~me s nbrs =
+  let s = List.fold_left (fun acc (u, x) -> mix acc (mix u x) - u) (mix s round) nbrs in
+  (s, round + 1 >= 1 + ((me + s) mod 5))
+
+let full_info_with net domains =
+  RT.run_full_info ~domains net ~init:(fun v -> mix v 23) ~step:flood_step
+
+let same_stats (s1 : RT.stats) (s2 : RT.stats) =
+  s1.rounds = s2.rounds && s1.messages = s2.messages
+
+(* ---------------------------------------------------------------- *)
+(* differential properties: parallel == sequential                  *)
+(* ---------------------------------------------------------------- *)
+
+let diff_props =
+  [
+    prop "run: domains:4 == domains:1 (states, rounds, messages)" 200 arb_net_params
+      (fun p ->
+        let net = net_of p in
+        let st1, s1 = run_with net 1 and st4, s4 = run_with net 4 in
+        st1 = st4 && same_stats s1 s4);
+    prop "run_full_info: domains:4 == domains:1" 200 arb_net_params (fun p ->
+        let net = net_of p in
+        let st1, s1 = full_info_with net 1 and st4, s4 = full_info_with net 4 in
+        st1 = st4 && same_stats s1 s4);
+    prop "gather_balls: domains:4 == domains:1 for radius 0..4" 200 arb_net_params
+      (fun ((seed, _, _) as p) ->
+        let net = net_of p in
+        let radius = seed mod 5 in
+        let value v = mix v 31 in
+        let b1, s1 = RT.gather_balls ~domains:1 net ~radius ~value
+        and b4, s4 = RT.gather_balls ~domains:4 net ~radius ~value in
+        b1 = b4 && same_stats s1 s4);
+    prop "run: Round_limit_exceeded raised identically" 200 arb_net_params (fun p ->
+        let net = net_of p in
+        (* never halts: both engines must hit the limit with equal payload *)
+        let attempt domains =
+          match
+            RT.run ~max_rounds:5 ~domains net
+              ~init:(fun v -> v)
+              ~step:(fun ~round ~me:_ s _ ->
+                { RT.state = mix s round; send = []; halt = false })
+          with
+          | _ -> None
+          | exception RT.Round_limit_exceeded k -> Some k
+        in
+        attempt 1 = Some 5 && attempt 4 = Some 5);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* non-neighbor rejection survives the parallel merge               *)
+(* ---------------------------------------------------------------- *)
+
+let test_non_neighbor_rejected_parallel () =
+  (* on a 7-cycle, node me sends to me+2 (never a neighbor): the
+     sequential commit sweep must still validate targets under
+     domains:4 and raise with the exact sequential message *)
+  let net = Net.create (Gen.cycle 7) in
+  Alcotest.check_raises "non-neighbor send"
+    (Invalid_argument "Runtime.run: message to non-neighbor") (fun () ->
+      ignore
+        (RT.run ~domains:4 net
+           ~init:(fun v -> v)
+           ~step:(fun ~round ~me s _ ->
+             { RT.state = s; send = [ ((me + 2) mod 7, s) ]; halt = round >= 3 })))
+
+(* ---------------------------------------------------------------- *)
+(* metrics: per-round records are consistent with the stats         *)
+(* ---------------------------------------------------------------- *)
+
+let metrics_props =
+  [
+    prop "metrics: one record per round, message totals agree" 60 arb_net_params
+      (fun p ->
+        let net = net_of p in
+        let sink = Metrics.buffer () in
+        let _, stats = RT.run ~domains:4 ~metrics:sink net ~init:(fun v -> mix v 17)
+            ~step:(echo_step net)
+        in
+        let recs = stats.RT.per_round in
+        List.length recs = stats.RT.rounds
+        && Metrics.records sink = recs
+        && List.fold_left (fun acc r -> acc + r.Metrics.messages) 0 recs
+           = stats.RT.messages
+        && (match List.rev recs with
+           | last :: _ -> last.Metrics.halted_fraction = 1.0
+           | [] -> stats.RT.rounds = 0)
+        && List.for_all (fun r -> r.Metrics.stepped <= Net.n net) recs);
+  ]
+
+let test_metrics_disabled_empty () =
+  let net = Net.create (Gen.cycle 5) in
+  let _, stats = run_with net 4 in
+  Alcotest.(check (list int)) "no records without a sink" []
+    (List.map (fun r -> r.Metrics.round) stats.RT.per_round)
+
+(* ---------------------------------------------------------------- *)
+(* Par.chunks: static split is a partition of [0, n)                *)
+(* ---------------------------------------------------------------- *)
+
+let chunk_props =
+  [
+    prop "Par.chunks partitions 0..n-1 contiguously" 300
+      (QCheck.make
+         ~print:(fun (d, n) -> Printf.sprintf "domains=%d n=%d" d n)
+         QCheck.Gen.(pair (int_range 1 16) (int_range 1 200)))
+      (fun (domains, n) ->
+        let bounds = Par.chunks ~domains ~n in
+        let k = Array.length bounds in
+        k >= 1
+        && fst bounds.(0) = 0
+        && snd bounds.(k - 1) = n - 1
+        && Array.for_all
+             (fun j -> fst bounds.(j + 1) = snd bounds.(j) + 1)
+             (Array.init (k - 1) Fun.id));
+  ]
+
+let test_parallel_for_covers_all () =
+  let n = 1001 in
+  List.iter
+    (fun domains ->
+      let hits = Array.make n 0 in
+      Par.parallel_for ~domains ~n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "each index visited once (domains=%d)" domains)
+        true
+        (Array.for_all (( = ) 1) hits))
+    [ 1; 2; 3; 7 ]
+
+let () =
+  Alcotest.run "runtime_par"
+    [
+      ("differential", diff_props);
+      ( "delivery",
+        [
+          Alcotest.test_case "non-neighbor rejected under domains:4" `Quick
+            test_non_neighbor_rejected_parallel;
+        ] );
+      ( "metrics",
+        metrics_props
+        @ [ Alcotest.test_case "disabled sink yields no records" `Quick
+              test_metrics_disabled_empty ] );
+      ( "par",
+        chunk_props
+        @ [ Alcotest.test_case "parallel_for covers every index" `Quick
+              test_parallel_for_covers_all ] );
+    ]
