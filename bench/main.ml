@@ -1,11 +1,19 @@
-(* Benchmark harness (Bechamel): one Test.make per experiment of the
-   index in DESIGN.md section 3, measuring the single-machine cost of the
+(* Benchmark harness (Bechamel): kernels per experiment of the index in
+   DESIGN.md section 3, measuring the single-machine cost of the
    algorithms behind each experiment. The LOCAL *round* counts that the
    paper is about are produced by bin/experiments.exe; these benchmarks
    complement them with wall-clock cost so regressions in the enumeration
    or geometry kernels are visible.
 
-   Run with: dune exec bench/main.exe                                   *)
+   Every solver engine is benchmarked through the Solver registry (one
+   loop over [solver_cases] below) — adding an engine to the registry
+   adds it to the bench automatically.
+
+   Run with: dune exec bench/main.exe
+   Smoke:    dune exec bench/main.exe -- --quick
+             (runs each registry case once through the shared
+              post-condition instead of timing it; used by dune runtest
+              so registry regressions fail the test suite)            *)
 
 open Bechamel
 open Toolkit
@@ -25,10 +33,8 @@ module Assignment = Lll_prob.Assignment
 module I = Lll_core.Instance
 module Srep = Lll_core.Srep
 module Syn = Lll_core.Synthetic
-module F2 = Lll_core.Fix_rank2
-module F3 = Lll_core.Fix_rank3
-module MT = Lll_core.Moser_tardos
-module D = Lll_core.Distributed
+module Solver = Lll_core.Solver
+module MT = Lll_core.Moser_tardos (* witness-tree log analysis only *)
 module HO = Lll_apps.Hyper_orientation
 module WS = Lll_apps.Weak_splitting
 module Sink = Lll_apps.Sinkless
@@ -50,6 +56,29 @@ let cycle_graph = Gen.cycle 256
 
 let some_event = (I.events ring64).(0)
 let empty_fixed = Assignment.empty (I.num_vars ring64)
+let rank4_inst = Syn.random ~seed:1 ~n:16 ~rank:4 ~delta:2 ~arity:16 ()
+
+(* The one registry loop: every engine on a representative pre-built
+   instance fitting its envelope, plus a few envelope-stretching cases
+   (rank 4 for the rank-r fixer, the threshold-straddling sinkless
+   pair). A case is (bench name, engine, instance). *)
+let bench_instance s =
+  match (Solver.caps s).Solver.max_rank with Some 2 -> ring64 | _ -> rank3_inst
+
+let solver_cases =
+  List.map (fun s -> (Solver.name s, s, bench_instance s)) (Solver.all ())
+  @ [
+      ("fixr-rank4", Solver.find_exn "fixr", rank4_inst);
+      ("fix2-sinkless-below", Solver.find_exn "fix2", sink_below);
+      ("mt-par-sinkless-at", Solver.find_exn "mt-par", sink_at);
+    ]
+
+let test_solvers =
+  Test.make_grouped ~name:"solvers"
+    (List.map
+       (fun (name, s, inst) ->
+         Test.make ~name (Staged.stage (fun () -> Solver.solve s inst)))
+       solver_cases)
 
 (* F1: the S_rep geometry kernels *)
 let test_f1 =
@@ -69,41 +98,18 @@ let test_f1 =
 let test_f2 =
   Test.make ~name:"f2-surface-grid" (Staged.stage (fun () -> Srep.surface_grid ~steps:32))
 
-(* T1: the rank-2 fixer on a below-threshold ring *)
-let test_t1 =
-  Test.make ~name:"t1-fix-rank2-ring64" (Staged.stage (fun () -> F2.solve ring64))
-
-(* T2: the rank-3 fixer on random rank-3 instances *)
-let test_t2 =
-  Test.make_grouped ~name:"t2-fix-rank3"
-    [
-      Test.make ~name:"random-delta2-n18" (Staged.stage (fun () -> F3.solve rank3_inst));
-      Test.make ~name:"hyper-orientation-n15" (Staged.stage (fun () -> F3.solve ho_inst));
-      Test.make ~name:"weak-splitting-n16" (Staged.stage (fun () -> F3.solve ws_inst));
-    ]
-
-(* T3: the distributed rank-2 pipeline (coloring + sweep) *)
-let test_t3 =
-  Test.make ~name:"t3-distributed-rank2" (Staged.stage (fun () -> D.solve_rank2 ring64))
-
-(* T4: the distributed rank-3 pipeline *)
-let test_t4 =
-  Test.make ~name:"t4-distributed-rank3" (Staged.stage (fun () -> D.solve_rank3 rank3_inst))
-
-(* T5: sinkless orientation across the threshold *)
+(* T5: the adversarial witness construction (the solver side of the
+   sinkless story is covered by the registry cases above) *)
 let test_t5 =
-  Test.make_grouped ~name:"t5-sinkless"
-    [
-      Test.make ~name:"adversarial-witness"
-        (Staged.stage (fun () -> Sink.adversarial_path_assignment sink_graph ~victim:7));
-      Test.make ~name:"below-threshold-fix" (Staged.stage (fun () -> F2.solve sink_below));
-      Test.make ~name:"at-threshold-mt"
-        (Staged.stage (fun () -> MT.solve_parallel ~seed:5 sink_at));
-    ]
+  Test.make ~name:"t5-adversarial-witness"
+    (Staged.stage (fun () -> Sink.adversarial_path_assignment sink_graph ~victim:7))
 
 (* T6/T7: application validity checkers *)
-let ho_solution = fst (F3.solve ho_inst)
-let ws_solution = fst (F3.solve ws_inst)
+let solution_of solver inst =
+  (Solver.solve (Solver.find_exn solver) inst).Solver.outcome.Solver.assignment
+
+let ho_solution = solution_of "fix3" ho_inst
+let ws_solution = solution_of "fix3" ws_inst
 
 let test_t6_t7 =
   Test.make_grouped ~name:"t6t7-checkers"
@@ -117,15 +123,6 @@ let test_t6_t7 =
 (* T8: exact criterion checks *)
 let test_t8 =
   Test.make ~name:"t8-criteria-report" (Staged.stage (fun () -> Lll_core.Criteria.evaluate ring64))
-
-(* T9: Moser-Tardos baselines *)
-let test_t9 =
-  Test.make_grouped ~name:"t9-moser-tardos"
-    [
-      Test.make ~name:"sequential-ring64"
-        (Staged.stage (fun () -> MT.solve_sequential ~seed:3 ring64));
-      Test.make ~name:"parallel-ring64" (Staged.stage (fun () -> MT.solve_parallel ~seed:3 ring64));
-    ]
 
 (* substrate kernels: exact probability enumeration, bignum, colorings *)
 let test_substrates =
@@ -152,39 +149,19 @@ let test_substrates =
       Test.make ~name:"square-graph" (Staged.stage (fun () -> Graph.square rr_graph));
     ]
 
-(* T10/T11 and baselines beyond the paper *)
-let rank4_inst = Syn.random ~seed:1 ~n:16 ~rank:4 ~delta:2 ~arity:16 ()
-
+(* T10/T11 and machinery beyond the paper (the rank-r and union-bound
+   SOLVER costs are registry cases; these are the non-solver kernels) *)
 let test_extensions =
   Test.make_grouped ~name:"extensions"
     [
       Test.make ~name:"srep-r-solve-k4"
         (Staged.stage (fun () -> Lll_core.Srep_r.solve ~targets:[| 1.2; 0.9; 1.1; 0.8 |] ()));
-      Test.make ~name:"fix-rankr-rank4"
-        (Staged.stage (fun () -> Lll_core.Fix_rankr.solve rank4_inst));
-      Test.make ~name:"cond-exp-ring64" (Staged.stage (fun () -> Lll_core.Cond_exp.solve ring64));
       Test.make ~name:"shearer-ring12"
         (Staged.stage
            (let inst = Syn.ring ~seed:2 ~n:12 ~arity:4 () in
             fun () -> Lll_core.Criteria.shearer_holds inst));
       Test.make ~name:"luby-mis-rr128"
         (Staged.stage (fun () -> Lll_local.Mis.luby ~seed:4 (Net.create rr_graph)));
-    ]
-
-(* ablation: value-selection policies of the fixers (DESIGN.md) *)
-let test_ablation =
-  Test.make_grouped ~name:"ablation-policies"
-    [
-      Test.make ~name:"fix2-min-score"
-        (Staged.stage (fun () -> F2.solve ~policy:F2.Min_score ring64));
-      Test.make ~name:"fix2-first-within-budget"
-        (Staged.stage (fun () -> F2.solve ~policy:F2.First_within_budget ring64));
-      Test.make ~name:"fix3-min-violation"
-        (Staged.stage (fun () -> F3.solve ~policy:F3.Min_violation rank3_inst));
-      Test.make ~name:"fix3-first-feasible"
-        (Staged.stage (fun () -> F3.solve ~policy:F3.First_feasible rank3_inst));
-      Test.make ~name:"fix3-exact-arithmetic"
-        (Staged.stage (fun () -> Lll_core.Fix_rank3_exact.solve rank3_inst));
     ]
 
 (* runtime-par: domain-parallel round throughput on a >= 10^5-node graph.
@@ -194,11 +171,11 @@ let test_ablation =
    strictly faster. On a single-core host (recommended = 1) we still
    exercise the fork-join path with 2 domains, expecting parity-to-slower
    numbers, which keeps the overhead visible in BENCH history too. *)
-let par_net = Net.create (Gen.random_regular ~seed:7 100_000 4)
+let par_net = lazy (Net.create (Gen.random_regular ~seed:7 100_000 4))
 let par_domains = max 2 (Par.recommended ())
 
 let par_flood domains () =
-  RT.run_full_info ~domains par_net
+  RT.run_full_info ~domains (Lazy.force par_net)
     ~init:(fun v -> v)
     ~step:(fun ~round ~me:_ s nbrs ->
       (List.fold_left (fun acc (_, x) -> max acc x) s nbrs, round + 1 >= 3))
@@ -206,13 +183,14 @@ let par_flood domains () =
 let par_echo domains () =
   (* message-passing: every node floods its running maximum for 2 rounds
      (4 * 10^5 messages per round through the delivery merge) *)
-  RT.run ~domains par_net
+  let net = Lazy.force par_net in
+  RT.run ~domains net
     ~init:(fun v -> v)
     ~step:(fun ~round ~me s inbox ->
       let s = List.fold_left (fun acc (_, m) -> max acc m) s inbox in
       {
         RT.state = s;
-        send = List.map (fun u -> (u, s)) (Net.neighbors par_net me);
+        send = List.map (fun u -> (u, s)) (Net.neighbors net me);
         halt = round + 1 >= 2;
       })
 
@@ -253,8 +231,8 @@ let test_analysis =
 let all_tests =
   Test.make_grouped ~name:"lll"
     [
-      test_f1; test_f2; test_t1; test_t2; test_t3; test_t4; test_t5; test_t6_t7; test_t8;
-      test_t9; test_substrates; test_ablation; test_extensions; test_runtime_par; test_analysis;
+      test_solvers; test_f1; test_f2; test_t5; test_t6_t7; test_t8; test_substrates;
+      test_extensions; test_runtime_par; test_analysis;
     ]
 
 let benchmark () =
@@ -264,16 +242,43 @@ let benchmark () =
   let raw = Benchmark.all cfg instances all_tests in
   Analyze.all ols Instance.monotonic_clock raw
 
+(* --quick: run every registry case once through the shared
+   post-condition; exit non-zero if a guaranteed engine fails. Wired
+   into dune runtest so solver-registry regressions fail the suite. *)
+let quick () =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, s, inst) ->
+      match Solver.solve s inst with
+      | report ->
+        let must = Solver.guarantees s inst in
+        let bad = must && not report.Solver.ok in
+        if bad then incr failures;
+        Format.printf "%-22s ok=%-5b guaranteed=%-5b%s@." name report.Solver.ok must
+          (if bad then "  <-- FAIL" else "")
+      | exception e ->
+        incr failures;
+        Format.printf "%-22s raised %s  <-- FAIL@." name (Printexc.to_string e))
+    solver_cases;
+  if !failures > 0 then begin
+    Format.printf "quick smoke: %d failure(s)@." !failures;
+    exit 1
+  end
+  else Format.printf "quick smoke: all %d solver cases pass@." (List.length solver_cases)
+
 let () =
-  let results = benchmark () in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns = match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan in
-        (name, ns) :: acc)
-      results []
-  in
-  let rows = List.sort compare rows in
-  Format.printf "%-45s %15s@." "benchmark" "ns/run";
-  Format.printf "%s@." (String.make 61 '-');
-  List.iter (fun (name, ns) -> Format.printf "%-45s %15.1f@." name ns) rows
+  if Array.exists (( = ) "--quick") Sys.argv then quick ()
+  else begin
+    let results = benchmark () in
+    let rows =
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns = match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan in
+          (name, ns) :: acc)
+        results []
+    in
+    let rows = List.sort compare rows in
+    Format.printf "%-45s %15s@." "benchmark" "ns/run";
+    Format.printf "%s@." (String.make 61 '-');
+    List.iter (fun (name, ns) -> Format.printf "%-45s %15.1f@." name ns) rows
+  end

@@ -17,8 +17,13 @@
      T11 Existence vs distributed complexity (Shearer's exact region)
      T12 Ablations (value-selection policies, MT selection rules)
      T13 The Omega(log* n) lower bound on shift graphs
+     T14 Domain-parallel runtime + round metrics
+     T15 The solver registry: every engine, one shared post-condition
 
-   Usage: experiments [f1 f2 t1 ... t13]   (default: all)         *)
+   Every solver run goes through the Solver registry (one shared
+   [sweep] loop below); no experiment hand-wires an engine API.
+
+   Usage: experiments [f1 f2 t1 ... t15]   (default: all)         *)
 
 module Rat = Lll_num.Rat
 module G = Lll_graph.Graph
@@ -27,11 +32,9 @@ module I = Lll_core.Instance
 module Crit = Lll_core.Criteria
 module Srep = Lll_core.Srep
 module Syn = Lll_core.Synthetic
-module F2 = Lll_core.Fix_rank2
-module F3 = Lll_core.Fix_rank3
-module MT = Lll_core.Moser_tardos
-module D = Lll_core.Distributed
+module Solver = Lll_core.Solver
 module V = Lll_core.Verify
+module MT = Lll_core.Moser_tardos (* witness-tree log analysis only (t9) *)
 module Sink = Lll_apps.Sinkless
 module HO = Lll_apps.Hyper_orientation
 module WS = Lll_apps.Weak_splitting
@@ -46,6 +49,73 @@ let shuffled ~seed m =
   let o = Array.init m (fun i -> i) in
   Gen.shuffle rng o;
   o
+
+(* The one registry loop every solver experiment goes through: [count]
+   seeded instances of a family, solved by the named engine under a
+   shuffled (adversarial) variable order, statistics read off the
+   uniform report. *)
+type sweep_stats = {
+  succ : int;  (* runs whose assignment passed exact verification *)
+  pstar_held : int;  (* runs whose engine-side P* check passed *)
+  max_viol : float;  (* worst float-boundary violation; -inf if none *)
+  rounds_avg : float;  (* mean LOCAL rounds; nan if not round-accounted *)
+  detail_min : string -> float;  (* min over runs of a float detail key *)
+  detail_sum : string -> int;  (* sum over runs of an int detail key *)
+  d : int;
+  r : int;
+  ratio : Rat.t;  (* p * 2^d of the last instance *)
+}
+
+let sweep ?(order_mult = 17) ~solver ~count mk =
+  let s = Solver.find_exn solver in
+  let succ = ref 0 and pstar = ref 0 and viol = ref neg_infinity in
+  let rounds = ref 0 and nrounds = ref 0 in
+  let details = ref [] in
+  let ratio = ref Rat.zero and d = ref 0 and r = ref 0 in
+  for seed = 0 to count - 1 do
+    let inst = mk seed in
+    let rep = Crit.evaluate inst in
+    ratio := Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d;
+    d := rep.Crit.d;
+    r := rep.Crit.r;
+    let order = shuffled ~seed:(seed * order_mult) (I.num_vars inst) in
+    let params = { Solver.default_params with seed; order = Some order } in
+    let report = Solver.solve ~params s inst in
+    if report.Solver.verify.V.ok then incr succ;
+    (match report.Solver.outcome.Solver.pstar with Some true -> incr pstar | _ -> ());
+    (match report.Solver.outcome.Solver.max_violation with
+    | Some v when v > !viol -> viol := v
+    | _ -> ());
+    (match report.Solver.outcome.Solver.rounds with
+    | Some k ->
+      rounds := !rounds + k;
+      incr nrounds
+    | None -> ());
+    details := report.Solver.outcome.Solver.detail :: !details
+  done;
+  let fold f init key =
+    List.fold_left
+      (fun acc kvs -> match List.assoc_opt key kvs with Some v -> f acc v | None -> acc)
+      init !details
+  in
+  {
+    succ = !succ;
+    pstar_held = !pstar;
+    max_viol = !viol;
+    rounds_avg =
+      (if !nrounds = 0 then nan else float_of_int !rounds /. float_of_int !nrounds);
+    detail_min = (fun k -> fold (fun acc v -> Float.min acc (float_of_string v)) infinity k);
+    detail_sum = (fun k -> fold (fun acc v -> acc + int_of_string v) 0 k);
+    d = !d;
+    r = !r;
+    ratio = !ratio;
+  }
+
+(* single run through the registry, report + detail accessors *)
+let solve1 ?params solver inst =
+  let report = Solver.solve ?params (Solver.find_exn solver) inst in
+  let det k = List.assoc k report.Solver.outcome.Solver.detail in
+  (report, fun k -> int_of_string (det k))
 
 (* ------------------------------------------------------------------ *)
 (* F1: the S_rep surface (Figure 1)                                     *)
@@ -135,20 +205,9 @@ let t1 () =
   section "t1" "Theorem 1.1: rank-2 deterministic fixing below p = 2^-d";
   Format.printf "%-28s %-8s %-10s %-12s %s@." "family" "d" "p*2^d" "success" "P* held";
   let run_family name mk count =
-    let succ = ref 0 and pstar = ref 0 and ratio = ref Rat.zero in
-    for seed = 0 to count - 1 do
-      let inst = mk seed in
-      let rep = Crit.evaluate inst in
-      ratio := Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d;
-      let order = shuffled ~seed:(seed * 17) (I.num_vars inst) in
-      let a, t = F2.solve ~order inst in
-      if V.avoids_all inst a then incr succ;
-      if F2.pstar_holds t then incr pstar
-    done;
-    let inst0 = mk 0 in
-    Format.printf "%-28s %-8d %-10s %d/%-10d %d/%d@." name
-      (I.dependency_degree inst0)
-      (Rat.to_string !ratio) !succ count !pstar count
+    let st = sweep ~solver:"fix2" ~count mk in
+    Format.printf "%-28s %-8d %-10s %d/%-10d %d/%d@." name st.d (Rat.to_string st.ratio)
+      st.succ count st.pstar_held count
   in
   run_family "ring n=40 arity=4" (fun seed -> Syn.ring ~seed ~n:40 ~arity:4 ()) 20;
   run_family "ring n=40 arity=8" (fun seed -> Syn.ring ~seed ~n:40 ~arity:8 ()) 10;
@@ -182,21 +241,9 @@ let t2 () =
   Format.printf "%-30s %-6s %-10s %-12s %-10s %s@." "family" "d" "p*2^d" "success" "P* held"
     "max S_rep violation";
   let run_family name mk count =
-    let succ = ref 0 and pstar = ref 0 and viol = ref neg_infinity and ratio = ref Rat.zero in
-    let d = ref 0 in
-    for seed = 0 to count - 1 do
-      let inst = mk seed in
-      let rep = Crit.evaluate inst in
-      ratio := Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d;
-      d := rep.Crit.d;
-      let order = shuffled ~seed:(seed * 23) (I.num_vars inst) in
-      let a, t = F3.solve ~order inst in
-      if V.avoids_all inst a then incr succ;
-      if F3.pstar_holds t then incr pstar;
-      if F3.max_violation t > !viol then viol := F3.max_violation t
-    done;
-    Format.printf "%-30s %-6d %-10s %d/%-10d %d/%-8d %.2e@." name !d (Rat.to_string !ratio)
-      !succ count !pstar count !viol
+    let st = sweep ~order_mult:23 ~solver:"fix3" ~count mk in
+    Format.printf "%-30s %-6d %-10s %d/%-10d %d/%-8d %.2e@." name st.d (Rat.to_string st.ratio)
+      st.succ count st.pstar_held count st.max_viol
   in
   run_family "random rank3 delta2 n=18"
     (fun seed -> Syn.random ~seed ~n:18 ~rank:3 ~delta:2 ~arity:8 ())
@@ -222,17 +269,12 @@ let t3 () =
   List.iter
     (fun n ->
       let inst = Syn.ring ~seed:1 ~n ~arity:4 () in
-      let r = D.solve_rank2 inst in
-      let mt_rounds =
-        let total = ref 0 in
-        for seed = 0 to 2 do
-          let m = D.solve_moser_tardos ~seed inst in
-          total := !total + m.D.rounds
-        done;
-        float_of_int !total /. 3.
-      in
-      Format.printf "%-8d %-10d %-10d %-10d %-14.1f %b@." n r.D.coloring_rounds r.D.sweep_rounds
-        r.D.rounds mt_rounds r.D.ok)
+      let report, det = solve1 "dist2" inst in
+      let mt = sweep ~solver:"mt-par" ~count:3 (fun _ -> inst) in
+      Format.printf "%-8d %-10d %-10d %-10d %-14.1f %b@." n (det "coloring_rounds")
+        (det "sweep_rounds")
+        (Option.value ~default:0 report.Solver.outcome.Solver.rounds)
+        mt.rounds_avg report.Solver.ok)
     [ 32; 64; 128; 256; 512; 1024; 2048 ];
   Format.printf
     "@.expected: deterministic rounds flat in n past the Linial fixpoint (O(d + log* n));@.";
@@ -245,9 +287,11 @@ let t4 () =
     (fun n ->
       let h = Gen.random_regular_hypergraph ~seed:3 n 3 2 in
       let inst = HO.instance h in
-      let r = D.solve_rank3 inst in
+      let report, det = solve1 "dist3" inst in
       Format.printf "%-8d %-6d %-10d %-10d %-10d %b@." n (I.dependency_degree inst)
-        r.D.coloring_rounds r.D.sweep_rounds r.D.rounds r.D.ok)
+        (det "coloring_rounds") (det "sweep_rounds")
+        (Option.value ~default:0 report.Solver.outcome.Solver.rounds)
+        report.Solver.ok)
     [ 30; 60; 120; 240; 480; 960; 1920 ];
   Format.printf
     "@.expected: reduction rounds grow only logarithmically below the Linial fixpoint of the@.";
@@ -281,10 +325,13 @@ let t5 () =
     (if List.assoc Crit.Exponential rep_b.Crit.satisfied then "holds" else "fails");
   let ok = ref 0 in
   let orders = 20 in
+  let fix2 = Solver.find_exn "fix2" in
   for seed = 0 to orders - 1 do
     let order = shuffled ~seed (I.num_vars below) in
-    let a, _ = F2.solve ~order below in
-    if V.avoids_all below a && Sink.is_sinkless g a then incr ok
+    let params = { Solver.default_params with order = Some order } in
+    let report = Solver.solve ~params fix2 below in
+    if report.Solver.ok && Sink.is_sinkless g report.Solver.outcome.Solver.assignment then
+      incr ok
   done;
   Format.printf "  deterministic fixing under %d adversarial orders: %d/%d sinkless@." orders !ok
     orders;
@@ -305,12 +352,13 @@ let t6 () =
       let h = Gen.random_regular_hypergraph ~seed:11 n 3 delta in
       let inst = HO.instance h in
       let rep = Crit.evaluate inst in
-      let a, _ = F3.solve inst in
-      let r = D.solve_rank3 inst in
+      let seq, _ = solve1 "fix3" inst in
+      let dist, _ = solve1 "dist3" inst in
       Format.printf "%-8d %-8d %-6d %-12.4f %-10b %-10b %-8d %b@." n delta rep.Crit.d
         (Rat.to_float (Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d))
-        (V.avoids_all inst a) r.D.ok r.D.rounds
-        (HO.is_valid h r.D.assignment))
+        seq.Solver.ok dist.Solver.ok
+        (Option.value ~default:0 dist.Solver.outcome.Solver.rounds)
+        (HO.is_valid h dist.Solver.outcome.Solver.assignment))
     [ (12, 2); (24, 2); (15, 3); (30, 3) ];
   Format.printf "@.expected: all instances below threshold and solved deterministically.@."
 
@@ -328,8 +376,9 @@ let t7 () =
       let below = List.assoc Crit.Exponential rep.Crit.satisfied in
       let solved =
         if below then begin
-          let a, _ = F3.solve inst in
-          V.avoids_all inst a && WS.is_valid ~params ~nv adj a
+          let report, _ = solve1 "fix3" inst in
+          report.Solver.ok
+          && WS.is_valid ~params ~nv adj report.Solver.outcome.Solver.assignment
         end
         else false
       in
@@ -374,13 +423,11 @@ let t9 () =
   List.iter
     (fun n ->
       let inst = Syn.ring ~seed:2 ~n ~arity:4 () in
-      let total = ref 0 in
-      for seed = 0 to 4 do
-        let _, s = MT.solve_sequential ~seed inst in
-        total := !total + s.MT.resamplings
-      done;
+      let st = sweep ~solver:"mt-seq" ~count:5 (fun _ -> inst) in
       (* [MT10]: expected total resamplings is O(m) under ep(d+1) < 1 *)
-      Format.printf "%-8d %-14.1f %-14d@." n (float_of_int !total /. 5.) (I.num_vars inst))
+      Format.printf "%-8d %-14.1f %-14d@." n
+        (float_of_int (st.detail_sum "resamplings") /. 5.)
+        (I.num_vars inst))
     [ 32; 64; 128; 256 ];
   Format.printf "@.parallel MT rounds on AT-threshold sinkless orientation (avg over 5 seeds):@.";
   Format.printf "%-8s %-12s@." "n" "rounds";
@@ -388,12 +435,8 @@ let t9 () =
     (fun n ->
       let g = Gen.random_regular ~seed:3 n 3 in
       let inst = Sink.instance g in
-      let total = ref 0 in
-      for seed = 0 to 4 do
-        let _, s = MT.solve_parallel ~seed inst in
-        total := !total + s.MT.rounds
-      done;
-      Format.printf "%-8d %-12.1f@." n (float_of_int !total /. 5.))
+      let st = sweep ~solver:"mt-par" ~count:5 (fun _ -> inst) in
+      Format.printf "%-8d %-12.1f@." n st.rounds_avg)
     [ 16; 32; 64; 128; 256; 512 ];
   Format.printf
     "@.expected: parallel rounds grow (slowly) with n at the threshold, in contrast to the@.";
@@ -418,25 +461,13 @@ let t10 () =
   section "t10" "Conjecture 1.5: experimental rank-r fixing (r >= 4, NO proven guarantee)";
   Format.printf "%-28s %-4s %-4s %-12s %-10s %-12s %-12s %s@." "family" "r" "d" "p*2^d" "success"
     "min slack" "infeasible" "P* held";
-  let module FR = Lll_core.Fix_rankr in
   let run_family name mk count =
-    let succ = ref 0 and pstar = ref 0 and worst = ref infinity and infeas = ref 0 in
-    let ratio = ref Rat.zero and d = ref 0 and r = ref 0 in
-    for seed = 0 to count - 1 do
-      let inst = mk seed in
-      let rep = Crit.evaluate inst in
-      ratio := Crit.threshold_ratio ~p:rep.Crit.p ~d:rep.Crit.d;
-      d := rep.Crit.d;
-      r := rep.Crit.r;
-      let order = shuffled ~seed:(seed * 29) (I.num_vars inst) in
-      let a, t = FR.solve ~order inst in
-      if V.avoids_all inst a then incr succ;
-      if FR.pstar_holds t then incr pstar;
-      if FR.min_slack t < !worst then worst := FR.min_slack t;
-      infeas := !infeas + FR.infeasible_steps t
-    done;
-    Format.printf "%-28s %-4d %-4d %-12s %d/%-8d %-12.2e %-12d %d/%d@." name !r !d
-      (Rat.to_string !ratio) !succ count !worst !infeas !pstar count
+    let st = sweep ~order_mult:29 ~solver:"fixr" ~count mk in
+    Format.printf "%-28s %-4d %-4d %-12s %d/%-8d %-12.2e %-12d %d/%d@." name st.r st.d
+      (Rat.to_string st.ratio) st.succ count
+      (st.detail_min "min_slack")
+      (st.detail_sum "infeasible_steps")
+      st.pstar_held count
   in
   run_family "rank3 delta2 arity8 n=18"
     (fun seed -> Syn.random ~seed ~n:18 ~rank:3 ~delta:2 ~arity:8 ())
@@ -499,51 +530,26 @@ let t12 () =
   Format.printf "rank-2 fixer policies on rings (20 seeds):@.";
   Format.printf "%-26s %-12s %s@." "policy" "success" "worst headroom (budget - score)";
   List.iter
-    (fun (policy, name) ->
-      let succ = ref 0 in
-      let worst = ref infinity in
-      for seed = 0 to 19 do
-        let inst = Syn.ring ~seed ~n:30 ~arity:4 () in
-        let a, t = F2.solve ~policy inst in
-        if V.avoids_all inst a then incr succ;
-        List.iter
-          (fun (s : F2.step) ->
-            let headroom = Rat.to_float (Rat.sub s.F2.budget s.F2.score) in
-            if headroom < !worst then worst := headroom)
-          (F2.steps t)
-      done;
-      Format.printf "%-26s %d/%-10d %.4f@." name !succ 20 !worst)
-    [ (F2.Min_score, "min-score"); (F2.First_within_budget, "first-within-budget") ];
+    (fun (solver, name) ->
+      let st = sweep ~solver ~count:20 (fun seed -> Syn.ring ~seed ~n:30 ~arity:4 ()) in
+      Format.printf "%-26s %d/%-10d %.4f@." name st.succ 20 (st.detail_min "worst_headroom"))
+    [ ("fix2", "min-score"); ("fix2-first", "first-within-budget") ];
   Format.printf "@.rank-3 fixer policies on random rank-3 instances (10 seeds):@.";
   Format.printf "%-26s %-12s %s@." "policy" "success" "max S_rep violation";
   List.iter
-    (fun (policy, name) ->
-      let succ = ref 0 in
-      let worst = ref neg_infinity in
-      for seed = 0 to 9 do
-        let inst = Syn.random ~seed ~n:15 ~rank:3 ~delta:2 ~arity:8 () in
-        let a, t = F3.solve ~policy inst in
-        if V.avoids_all inst a then incr succ;
-        if F3.max_violation t > !worst then worst := F3.max_violation t
-      done;
-      Format.printf "%-26s %d/%-10d %.2e@." name !succ 10 !worst)
-    [ (F3.Min_violation, "min-violation"); (F3.First_feasible, "first-feasible") ];
+    (fun (solver, name) ->
+      let st =
+        sweep ~solver ~count:10 (fun seed -> Syn.random ~seed ~n:15 ~rank:3 ~delta:2 ~arity:8 ())
+      in
+      Format.printf "%-26s %d/%-10d %.2e@." name st.succ 10 st.max_viol)
+    [ ("fix3", "min-violation"); ("fix3-first", "first-feasible") ];
   Format.printf "@.Moser-Tardos selection rules on below-threshold rings (5 seeds each):@.";
   Format.printf "%-8s %-22s %-22s@." "n" "id-minima rounds(avg)" "resample-all rounds(avg)";
   List.iter
     (fun n ->
       let inst = Syn.ring ~seed:3 ~n ~arity:4 () in
-      let avg f =
-        let total = ref 0 in
-        for seed = 0 to 4 do
-          let _, (s : MT.stats) = f ~seed inst in
-          total := !total + s.MT.rounds
-        done;
-        float_of_int !total /. 5.
-      in
-      Format.printf "%-8d %-22.1f %-22.1f@." n
-        (avg (fun ~seed inst -> MT.solve_parallel ~seed inst))
-        (avg (fun ~seed inst -> MT.solve_parallel_all ~seed inst)))
+      let avg solver = (sweep ~solver ~count:5 (fun _ -> inst)).rounds_avg in
+      Format.printf "%-8d %-22.1f %-22.1f@." n (avg "mt-par") (avg "mt-par-all"))
     [ 32; 128; 512 ];
   Format.printf
     "@.expected: all policies succeed (both are sound by the theorems); the MT variants@.";
@@ -595,10 +601,14 @@ let t14 () =
   (* per-round metrics of a full message-passing rank-3 solve *)
   let inst = HO.instance (Gen.random_regular_hypergraph ~seed:3 30 3 2) in
   let sink = M.buffer () in
-  let r = Lll_core.Dist_lll.solve ~metrics:sink inst in
+  let report, _ =
+    solve1 ~params:{ Solver.default_params with metrics = sink } "mp3" inst
+  in
   let recs = M.records sink in
   Format.printf "message-passing rank-3 solve: ok=%b, %d LOCAL rounds, %d round records@.@."
-    r.Lll_core.Dist_lll.ok r.Lll_core.Dist_lll.rounds (List.length recs);
+    report.Solver.ok
+    (Option.value ~default:0 report.Solver.outcome.Solver.rounds)
+    (List.length recs);
   let phases = List.sort_uniq compare (List.map (fun rc -> rc.M.phase) recs) in
   Format.printf "%-18s %-8s %-12s %-14s %s@." "phase" "rounds" "wall_ms" "mean stepped" "final halted";
   List.iter
@@ -640,6 +650,42 @@ let t14 () =
   Format.printf "suite in test/test_runtime_par.ml); speedup tracks the physical core count.@."
 
 (* ------------------------------------------------------------------ *)
+(* T15: the solver registry itself                                      *)
+(* ------------------------------------------------------------------ *)
+
+let t15 () =
+  section "t15" "The solver registry: every applicable engine, one shared post-condition";
+  let instances =
+    [
+      ("ring n=24 arity=4 (rank 2)", Syn.ring ~seed:1 ~n:24 ~arity:4 ());
+      ("random rank3 delta2 n=18", Syn.random ~seed:1 ~n:18 ~rank:3 ~delta:2 ~arity:8 ());
+      ("random rank4 delta2 n=16", Syn.random ~seed:1 ~n:16 ~rank:4 ~delta:2 ~arity:16 ());
+    ]
+  in
+  List.iter
+    (fun (name, inst) ->
+      Format.printf "@.%s — %a@." name I.pp inst;
+      Format.printf "%-14s %-32s %-6s %s@." "solver" "capabilities" "ok" "guaranteed";
+      List.iter
+        (fun s ->
+          match Solver.solve s inst with
+          | report ->
+            Format.printf "%-14s %-32s %-6b %b@." (Solver.name s)
+              (Format.asprintf "%a" Solver.pp_caps (Solver.caps s))
+              report.Solver.ok (Solver.guarantees s inst)
+          | exception e ->
+            Format.printf "%-14s %-32s %-6s %b  (%s)@." (Solver.name s)
+              (Format.asprintf "%a" Solver.pp_caps (Solver.caps s))
+              "raise" (Solver.guarantees s inst) (Printexc.to_string e))
+        (Solver.applicable_to inst))
+    instances;
+  Format.printf
+    "@.expected: ok = true for every engine whose guarantee predicate holds on the@.";
+  Format.printf
+    "instance; engines run outside their criterion (e.g. union-bound on a large ring)@.";
+  Format.printf "are best-effort and may legitimately report false.@."
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -647,7 +693,7 @@ let all : (string * (unit -> unit)) list =
   [
     ("f1", f1); ("f2", f2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("t6", t6); ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11); ("t12", t12);
-    ("t13", t13); ("t14", t14);
+    ("t13", t13); ("t14", t14); ("t15", t15);
   ]
 
 let () =

@@ -2,14 +2,20 @@
 
    Subcommands:
      criteria  — build an instance family and print its criteria report
-     solve     — solve an instance with a chosen algorithm and verify
+     solve     — solve an instance with any registered solver and verify
+     solvers   — list the solver registry with capability envelopes
      surface   — dump the Figure-1 surface f(a,b) as TSV
      triple    — check/decompose a representable triple
 
+   Every engine lives behind the Solver registry: `--solver NAME` picks
+   one, `--list-solvers` enumerates them, and every run goes through the
+   shared post-condition (exact Verify.check plus the engine's P* claim).
+
    Examples:
      lll_cli criteria --family sinkless --n 30 --degree 3
-     lll_cli solve --family weak-splitting --n 16 --algo fix3
-     lll_cli solve --family ring --n 64 --algo dist2 --seed 7
+     lll_cli solve --family weak-splitting --n 16 --solver fix3
+     lll_cli solve --family ring --n 64 --solver dist2 --seed 7
+     lll_cli --list-solvers
      lll_cli surface --steps 64 > surface.tsv
      lll_cli triple 0.25 1.5 0.1                                   *)
 
@@ -19,11 +25,7 @@ module I = Lll_core.Instance
 module Crit = Lll_core.Criteria
 module Srep = Lll_core.Srep
 module Syn = Lll_core.Synthetic
-module F2 = Lll_core.Fix_rank2
-module F3 = Lll_core.Fix_rank3
-module MT = Lll_core.Moser_tardos
-module D = Lll_core.Distributed
-module V = Lll_core.Verify
+module Solver = Lll_core.Solver
 module Sink = Lll_apps.Sinkless
 module HO = Lll_apps.Hyper_orientation
 module WS = Lll_apps.Weak_splitting
@@ -119,63 +121,40 @@ let criteria_cmd =
   Cmd.v (Cmd.info "criteria" ~doc:"Print the criteria report of an instance family.")
     Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg)
 
-(* ---- solve ---- *)
+(* ---- solve: one registry-driven loop for every engine ---- *)
 
-type algo =
-  | Fix2
-  | Fix3
-  | Fix3_exact
-  | Fixr
-  | Dist2
-  | Dist3
-  | Distr
-  | Mp2
-  | Mp3
-  | Mt_seq
-  | Mt_par
-  | Union_bound
+let print_solver_list () =
+  Format.printf "%-14s %-32s %s@." "name" "capabilities" "description";
+  Format.printf "%s@." (String.make 78 '-');
+  List.iter
+    (fun s ->
+      Format.printf "%-14s %-32s %s@." (Solver.name s)
+        (Format.asprintf "%a" Solver.pp_caps (Solver.caps s))
+        (Solver.doc s))
+    (Solver.all ())
 
-let algo_conv =
-  let parse = function
-    | "fix2" -> Ok Fix2
-    | "fix3" -> Ok Fix3
-    | "fix3-exact" | "fix3x" -> Ok Fix3_exact
-    | "fixr" -> Ok Fixr
-    | "dist2" -> Ok Dist2
-    | "dist3" -> Ok Dist3
-    | "distr" -> Ok Distr
-    | "mp2" -> Ok Mp2
-    | "mp3" -> Ok Mp3
-    | "mt" | "mt-seq" -> Ok Mt_seq
-    | "mt-par" -> Ok Mt_par
-    | "union-bound" | "cond-exp" -> Ok Union_bound
-    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+let solver_conv =
+  let parse s =
+    match Solver.find s with
+    | Some _ -> Ok s
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown solver %S; registered: %s" s
+              (String.concat ", " (Solver.names ()))))
   in
-  let print fmt a =
-    Format.pp_print_string fmt
-      (match a with
-      | Fix2 -> "fix2"
-      | Fix3 -> "fix3"
-      | Fix3_exact -> "fix3-exact"
-      | Fixr -> "fixr"
-      | Dist2 -> "dist2"
-      | Dist3 -> "dist3"
-      | Distr -> "distr"
-      | Mp2 -> "mp2"
-      | Mp3 -> "mp3"
-      | Mt_seq -> "mt-seq"
-      | Mt_par -> "mt-par"
-      | Union_bound -> "union-bound")
-  in
-  Arg.conv (parse, print)
+  Arg.conv (parse, Format.pp_print_string)
 
-let algo_arg =
-  Arg.(value & opt algo_conv Fix3 & info [ "algo"; "a" ] ~docv:"ALGO"
-         ~doc:"Algorithm: fix2, fix3, fix3-exact, fixr, dist2, dist3, distr, mp2, mp3 \
-               (message-passing protocols on the LOCAL runtime), mt-seq, mt-par, union-bound.")
+let solver_arg =
+  Arg.(value & opt solver_conv "fix3" & info [ "solver"; "algo"; "a" ] ~docv:"NAME"
+         ~doc:"Registered solver engine (see --list-solvers).")
+
+let list_solvers_arg =
+  Arg.(value & flag & info [ "list-solvers" ]
+         ~doc:"List every registered solver with its capability envelope and exit.")
 
 let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print the fixing trace (fix2/fix3 only).")
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the uniform fixing trace (engines that record one).")
 
 let domains_arg =
   Arg.(value & opt (some int) None
@@ -190,13 +169,50 @@ let metrics_arg =
                  fraction, state-size proxy) as JSON to PATH. Distributed algorithms only.")
 
 let solve_cmd =
-  let run family n degree seed at_threshold file algo trace domains metrics_path =
-    let inst = get_instance file family ~n ~degree ~seed ~at_threshold in
-    let metrics =
-      match metrics_path with Some _ -> Lll_local.Metrics.buffer () | None -> Lll_local.Metrics.disabled
-    in
-    let dump_metrics () =
-      match metrics_path with
+  let run family n degree seed at_threshold file list_solvers solver_name trace domains
+      metrics_path =
+    if list_solvers then print_solver_list ()
+    else begin
+      let inst = get_instance file family ~n ~degree ~seed ~at_threshold in
+      let solver = Solver.find_exn solver_name in
+      if not (Solver.applicable solver inst) then begin
+        Format.eprintf "solver %s does not accept %a (capabilities: %a)@." solver_name I.pp
+          inst Solver.pp_caps (Solver.caps solver);
+        exit 2
+      end;
+      let metrics =
+        match metrics_path with
+        | Some _ -> Lll_local.Metrics.buffer ()
+        | None -> Lll_local.Metrics.disabled
+      in
+      let params = { Solver.default_params with seed; domains; metrics } in
+      Format.printf "%a@." I.pp inst;
+      if not (Solver.guarantees solver inst) then
+        Format.printf "note: %s's criterion does not hold here; run is best-effort@."
+          solver_name;
+      let report = Solver.solve ~params solver inst in
+      if trace then begin
+        let sp = I.space inst in
+        match report.Solver.outcome.Solver.trace with
+        | [] -> Format.printf "  (no step trace recorded by %s)@." solver_name
+        | steps ->
+          List.iter
+            (fun (s : Solver.step) ->
+              Format.printf "  fix %s := %d%s%s@."
+                (Lll_prob.Var.name (Lll_prob.Space.var sp s.Solver.var))
+                s.Solver.value
+                (match s.Solver.srep_violation with
+                | Some v -> Printf.sprintf "  (S_rep violation %.2e)" v
+                | None -> "")
+                (match s.Solver.incs with
+                | [] -> ""
+                | incs ->
+                  "  [" ^ String.concat ", "
+                    (List.map (fun (e, r) -> Printf.sprintf "Inc(%d)=%s" e (Rat.to_string r)) incs)
+                  ^ "]"))
+            steps
+      end;
+      (match metrics_path with
       | None -> ()
       | Some path ->
         let recs = Lll_local.Metrics.records metrics in
@@ -205,94 +221,25 @@ let solve_cmd =
           (List.length recs)
           (Lll_local.Metrics.total_messages recs)
           (float_of_int (Lll_local.Metrics.total_wall_ns recs) /. 1e6)
-          path
-    in
-    Format.printf "%a@." I.pp inst;
-    let var_name vid = Lll_prob.Var.name (Lll_core.Instance.space inst |> fun sp -> Lll_prob.Space.var sp vid) in
-    let describe ok rounds extra =
-      Format.printf "solved: %b%s%s@." ok
-        (match rounds with Some r -> Printf.sprintf " in %d LOCAL rounds" r | None -> "")
-        extra;
-      if not ok then exit 1
-    in
-    (match algo with
-    | Fix2 ->
-      let a, t = F2.solve inst in
-      if trace then
-        List.iter
-          (fun (s : F2.step) ->
-            Format.printf "  fix %s := %d  (score %s <= budget %s)@." (var_name s.F2.var)
-              s.F2.value (Rat.to_string s.F2.score) (Rat.to_string s.F2.budget))
-          (F2.steps t);
-      describe (V.avoids_all inst a) None
-        (Printf.sprintf " (P*: %b)" (F2.pstar_holds t))
-    | Fix3 ->
-      let a, t = F3.solve inst in
-      if trace then
-        List.iter
-          (fun (s : F3.step) ->
-            Format.printf "  fix %s := %d  (S_rep violation %.2e)@." (var_name s.F3.var)
-              s.F3.value s.F3.violation)
-          (F3.steps t);
-      describe (V.avoids_all inst a) None
-        (Printf.sprintf " (P*: %b, max violation %.2e)" (F3.pstar_holds t) (F3.max_violation t))
-    | Fix3_exact ->
-      let a, t = Lll_core.Fix_rank3_exact.solve inst in
-      describe (V.avoids_all inst a) None
-        (Printf.sprintf " (P* EXACT: %b, fallbacks %d)"
-           (Lll_core.Fix_rank3_exact.pstar_holds_exact t)
-           (Lll_core.Fix_rank3_exact.fallbacks t))
-    | Fixr ->
-      let a, t = Lll_core.Fix_rankr.solve inst in
-      describe (V.avoids_all inst a) None
-        (Printf.sprintf " (min slack %.2e, %d infeasible steps)"
-           (Lll_core.Fix_rankr.min_slack t)
-           (Lll_core.Fix_rankr.infeasible_steps t))
-    | Union_bound ->
-      let a, phi = Lll_core.Cond_exp.solve inst in
-      describe (V.avoids_all inst a) None
-        (Printf.sprintf " (union-bound criterion %s, final phi = %s)"
-           (if Lll_core.Cond_exp.criterion_holds inst then "holds" else "FAILS")
-           (Rat.to_string phi))
-    | Distr ->
-      let r = D.solve_rankr ?domains ~metrics inst in
-      dump_metrics ();
-      describe r.D.ok (Some r.D.rounds)
-        (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
-    | Dist2 ->
-      let r = D.solve_rank2 ?domains ~metrics inst in
-      dump_metrics ();
-      describe r.D.ok (Some r.D.rounds)
-        (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
-    | Dist3 ->
-      let r = D.solve_rank3 ?domains ~metrics inst in
-      dump_metrics ();
-      describe r.D.ok (Some r.D.rounds)
-        (Printf.sprintf " (coloring %d + sweep %d)" r.D.coloring_rounds r.D.sweep_rounds)
-    | Mp2 ->
-      let r = Lll_core.Dist_lll.solve_rank2 ?domains ~metrics inst in
-      dump_metrics ();
-      describe r.Lll_core.Dist_lll.ok (Some r.Lll_core.Dist_lll.rounds)
-        (Printf.sprintf " (coloring %d + sweep %d)" r.Lll_core.Dist_lll.coloring_rounds
-           r.Lll_core.Dist_lll.sweep_rounds)
-    | Mp3 ->
-      let r = Lll_core.Dist_lll.solve ?domains ~metrics inst in
-      dump_metrics ();
-      describe r.Lll_core.Dist_lll.ok (Some r.Lll_core.Dist_lll.rounds)
-        (Printf.sprintf " (coloring %d + sweep %d)" r.Lll_core.Dist_lll.coloring_rounds
-           r.Lll_core.Dist_lll.sweep_rounds)
-    | Mt_seq ->
-      let a, s = MT.solve_sequential ~seed inst in
-      describe (V.avoids_all inst a) None (Printf.sprintf " (%d resamplings)" s.MT.resamplings)
-    | Mt_par ->
-      let a, s = MT.solve_parallel ~seed inst in
-      describe (V.avoids_all inst a) (Some s.MT.rounds) "")
+          path);
+      Format.printf "%a@." Solver.pp_report report;
+      if not report.Solver.ok then exit 1
+    end
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Solve an instance with a chosen algorithm and verify exactly.")
+    (Cmd.info "solve"
+       ~doc:"Solve an instance with any registered engine; every run ends in the shared \
+             post-condition (exact verification plus the engine's P* claim).")
     Term.(
       const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg
-      $ algo_arg $ trace_arg $ domains_arg $ metrics_arg)
+      $ list_solvers_arg $ solver_arg $ trace_arg $ domains_arg $ metrics_arg)
+
+(* ---- solvers ---- *)
+
+let solvers_cmd =
+  Cmd.v
+    (Cmd.info "solvers" ~doc:"List the solver registry with capability envelopes.")
+    Term.(const print_solver_list $ const ())
 
 (* ---- surface ---- *)
 
@@ -326,4 +273,18 @@ let triple_cmd =
 
 let () =
   let doc = "Distributed Lovász Local Lemma at the sharp threshold (Brandt–Maus–Uitto, PODC'19)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "lll_cli" ~doc) [ gen_cmd; criteria_cmd; solve_cmd; surface_cmd; triple_cmd ]))
+  let default =
+    Term.(
+      ret
+        (const (fun list_solvers ->
+             if list_solvers then begin
+               print_solver_list ();
+               `Ok ()
+             end
+             else `Help (`Pager, None))
+        $ list_solvers_arg))
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default (Cmd.info "lll_cli" ~doc)
+          [ gen_cmd; criteria_cmd; solve_cmd; solvers_cmd; surface_cmd; triple_cmd ]))

@@ -1,6 +1,6 @@
 (* Quickstart: build an LLL instance by hand, check which criteria hold,
-   solve it with the deterministic rank-3 fixer (Theorem 1.3), and verify
-   the solution exactly.
+   pick an engine from the solver registry, and read the verified report
+   (every run ends in the exact Verify.check post-condition).
 
    Run with: dune exec examples/quickstart.exe *)
 
@@ -10,7 +10,7 @@ module Event = Lll_prob.Event
 module Space = Lll_prob.Space
 module Instance = Lll_core.Instance
 module Criteria = Lll_core.Criteria
-module Fix = Lll_core.Fix_rank3
+module Solver = Lll_core.Solver
 module Verify = Lll_core.Verify
 
 let () =
@@ -39,15 +39,20 @@ let () =
   Format.printf "== criteria ==@.%a@." Criteria.pp_report report;
   Format.printf "recommended: %s@.@." (Criteria.best_algorithm report);
 
-  let assignment, fixer = Fix.solve instance in
-  Format.printf "== deterministic fixing (Theorem 1.3) ==@.";
+  Format.printf "engines accepting this instance: %s@.@."
+    (String.concat ", " (List.map Solver.name (Solver.applicable_to instance)));
+
+  let report = Solver.solve_by_name "fix3" instance in
+  Format.printf "== deterministic fixing (Theorem 1.3, via the solver registry) ==@.";
   List.iter
-    (fun (s : Fix.step) ->
+    (fun (s : Solver.step) ->
       Format.printf "  fixed %s := %d  (S_rep violation %.2e)@."
-        (Var.name (Space.var (Instance.space instance) s.var))
-        s.value s.violation)
-    (Fix.steps fixer);
-  Format.printf "assignment: %a@." Lll_prob.Assignment.pp assignment;
-  Format.printf "P* maintained: %b@." (Fix.pstar_holds fixer);
-  Format.printf "all bad events avoided (exact check): %b@."
-    (Verify.avoids_all instance assignment)
+        (Var.name (Space.var (Instance.space instance) s.Solver.var))
+        s.Solver.value
+        (Option.value ~default:nan s.Solver.srep_violation))
+    report.Solver.outcome.Solver.trace;
+  Format.printf "assignment: %a@." Lll_prob.Assignment.pp
+    report.Solver.outcome.Solver.assignment;
+  Format.printf "P* maintained: %b@." (report.Solver.outcome.Solver.pstar = Some true);
+  Format.printf "all bad events avoided (exact check): %b@." report.Solver.verify.Verify.ok;
+  Format.printf "@.%a@." Solver.pp_report report

@@ -17,9 +17,15 @@ module Gen = Lll_graph.Generators
 module I = Lll_core.Instance
 module Criteria = Lll_core.Criteria
 module Syn = Lll_core.Synthetic
-module F2 = Lll_core.Fix_rank2
+module Solver = Lll_core.Solver
 module V = Lll_core.Verify
 module Sinkless = Lll_apps.Sinkless
+
+(* every solve below goes through the registry's rank-2 engine *)
+let fix2 = Solver.find_exn "fix2"
+
+let solve_ordered ~order inst =
+  Solver.solve ~params:{ Solver.default_params with order = Some order } fix2 inst
 
 let shuffled ~seed m =
   let rng = Random.State.make [| seed |] in
@@ -39,8 +45,8 @@ let () =
         let rep = Criteria.evaluate inst in
         ratio := Criteria.threshold_ratio ~p:rep.p ~d:rep.d;
         let order = shuffled ~seed:(seed * 31) (I.num_vars inst) in
-        let a, _ = F2.solve ~order inst in
-        if V.avoids_all inst a then incr successes
+        let report = solve_ordered ~order inst in
+        if report.Solver.verify.V.ok then incr successes
       done;
       let inst0 = Syn.ring ~position ~seed:0 ~n:24 ~arity:4 () in
       let rep = Criteria.evaluate inst0 in
@@ -69,8 +75,12 @@ let () =
   let ok = ref true in
   for seed = 0 to 9 do
     let order = shuffled ~seed (I.num_vars below) in
-    let a, _ = F2.solve ~order below in
-    if not (V.avoids_all below a && Sinkless.is_sinkless g a) then ok := false
+    let report = solve_ordered ~order below in
+    if
+      not
+        (report.Solver.ok
+        && Sinkless.is_sinkless g report.Solver.outcome.Solver.assignment)
+    then ok := false
   done;
   Format.printf "relaxed (ternary) sinkless orientation, 10 adversarial orders: all sinkless=%b@."
     !ok

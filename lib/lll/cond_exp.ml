@@ -19,6 +19,7 @@
 module Rat = Lll_num.Rat
 module Space = Lll_prob.Space
 module Assignment = Lll_prob.Assignment
+module Metrics = Lll_local.Metrics
 
 let criterion_holds instance =
   Rat.lt (Rat.sum (Array.to_list (Instance.initial_probs instance))) Rat.one
@@ -27,15 +28,17 @@ let criterion_holds instance =
    Succeeds (all events avoided) whenever the union-bound criterion
    holds; with it violated the result may contain occurring events —
    callers must verify. *)
-let solve ?order instance =
+let solve ?order ?(metrics = Metrics.disabled) instance =
   let space = Instance.space instance in
   let m = Instance.num_vars instance in
   let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
   let assignment = Assignment.empty m in
+  if Metrics.enabled metrics then Metrics.set_phase metrics "cond-exp";
   (* cached Pr[E_i | theta], exact *)
   let probs = Array.copy (Instance.initial_probs instance) in
-  Array.iter
-    (fun vid ->
+  Array.iteri
+    (fun step_i vid ->
+      let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
       let evs = Instance.events_of_var instance vid in
       let arity = Lll_prob.Var.arity (Space.var space vid) in
       if Array.length evs = 0 then Assignment.set_inplace assignment vid 0
@@ -64,7 +67,10 @@ let solve ?order instance =
         let y, _ = Option.get !best in
         Assignment.set_inplace assignment vid y;
         Array.iteri (fun i ev -> probs.(ev) <- vectors.(i).(y)) evs
-      end)
+      end;
+      if Metrics.enabled metrics then
+        Metrics.record_step metrics ~round:step_i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
+          ~state:assignment)
     order;
   let phi = Rat.sum (Array.to_list probs) in
   (assignment, phi)

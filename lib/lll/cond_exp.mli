@@ -9,7 +9,8 @@ module Assignment = Lll_prob.Assignment
 val criterion_holds : Instance.t -> bool
 (** Exact check of [sum_i Pr[E_i] < 1]. *)
 
-val solve : ?order:int array -> Instance.t -> Assignment.t * Rat.t
+val solve :
+  ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> Assignment.t * Rat.t
 (** Fix every variable without ever increasing the estimator
     [Phi = sum_i Pr[E_i | theta]]; returns the assignment and the final
     (exact) [Phi]. If {!criterion_holds}, the assignment provably avoids

@@ -18,6 +18,7 @@ module Graph = Lll_graph.Graph
 module Space = Lll_prob.Space
 module Event = Lll_prob.Event
 module Assignment = Lll_prob.Assignment
+module Metrics = Lll_local.Metrics
 
 type step = {
   var : int;
@@ -180,13 +181,23 @@ let pstar_holds t =
          Rat.leq (Space.prob (Instance.space t.instance) e ~fixed:t.assignment) bound)
        (Instance.events t.instance)
 
-let run ?policy ?order instance =
+let run ?policy ?order ?(metrics = Metrics.disabled) instance =
   let t = create ?policy instance in
   let m = Instance.num_vars instance in
   let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
-  Array.iter (fun vid -> fix_var t vid) order;
+  if Metrics.enabled metrics then begin
+    Metrics.set_phase metrics "fix-rank2";
+    Array.iteri
+      (fun i vid ->
+        let t0 = Metrics.now_ns () in
+        fix_var t vid;
+        Metrics.record_step metrics ~round:i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
+          ~state:t.assignment)
+      order
+  end
+  else Array.iter (fun vid -> fix_var t vid) order;
   t
 
-let solve ?policy ?order instance =
-  let t = run ?policy ?order instance in
+let solve ?policy ?order ?metrics instance =
+  let t = run ?policy ?order ?metrics instance in
   (assignment t, t)

@@ -28,10 +28,18 @@ val create : ?policy:policy -> Instance.t -> t
 val fix_var : t -> int -> unit
 (** Deterministically fix one unfixed variable (Theorem 1.1 step). *)
 
-val run : ?policy:policy -> ?order:int array -> Instance.t -> t
-(** Fix all variables in the given order (identity by default). *)
+val run :
+  ?policy:policy -> ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> t
+(** Fix all variables in the given order (identity by default). With a
+    [metrics] sink, records one per-step record (phase ["fix-rank2"]) in
+    the same shape as the LOCAL runtime's per-round records. *)
 
-val solve : ?policy:policy -> ?order:int array -> Instance.t -> Assignment.t * t
+val solve :
+  ?policy:policy ->
+  ?order:int array ->
+  ?metrics:Lll_local.Metrics.sink ->
+  Instance.t ->
+  Assignment.t * t
 
 val assignment : t -> Assignment.t
 val steps : t -> step list

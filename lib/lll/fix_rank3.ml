@@ -26,6 +26,7 @@ module Graph = Lll_graph.Graph
 module Space = Lll_prob.Space
 module Event = Lll_prob.Event
 module Assignment = Lll_prob.Assignment
+module Metrics = Lll_local.Metrics
 
 type step = {
   var : int;
@@ -224,7 +225,7 @@ let fix_var t vid =
    (1) phi values in [0,2] summing to <= 2 per edge, and (2) every event's
    exact conditional probability bounded by its initial probability times
    its phi product. *)
-let pstar_holds ?(eps = 1e-6) t =
+let pstar_holds ?(eps = Srep.default_eps) t =
   let g = Instance.dep_graph t.instance in
   let edges_ok =
     Array.for_all
@@ -247,13 +248,23 @@ let pstar_holds ?(eps = 1e-6) t =
          <= bound +. eps)
        (Instance.events t.instance)
 
-let run ?policy ?order instance =
+let run ?policy ?order ?(metrics = Metrics.disabled) instance =
   let t = create ?policy instance in
   let m = Instance.num_vars instance in
   let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
-  Array.iter (fun vid -> fix_var t vid) order;
+  if Metrics.enabled metrics then begin
+    Metrics.set_phase metrics "fix-rank3";
+    Array.iteri
+      (fun i vid ->
+        let t0 = Metrics.now_ns () in
+        fix_var t vid;
+        Metrics.record_step metrics ~round:i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
+          ~state:t.assignment)
+      order
+  end
+  else Array.iter (fun vid -> fix_var t vid) order;
   t
 
-let solve ?policy ?order instance =
-  let t = run ?policy ?order instance in
+let solve ?policy ?order ?metrics instance =
+  let t = run ?policy ?order ?metrics instance in
   (assignment t, t)

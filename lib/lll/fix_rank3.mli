@@ -31,8 +31,17 @@ val create : ?policy:policy -> Instance.t -> t
 val fix_var : t -> int -> unit
 (** Fix one unfixed variable (the Variable Fixing Lemma step). *)
 
-val run : ?policy:policy -> ?order:int array -> Instance.t -> t
-val solve : ?policy:policy -> ?order:int array -> Instance.t -> Assignment.t * t
+val run :
+  ?policy:policy -> ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> t
+(** With a [metrics] sink, records one per-step record (phase
+    ["fix-rank3"]) in the LOCAL runtime's per-round shape. *)
+
+val solve :
+  ?policy:policy ->
+  ?order:int array ->
+  ?metrics:Lll_local.Metrics.sink ->
+  Instance.t ->
+  Assignment.t * t
 
 val assignment : t -> Assignment.t
 val steps : t -> step list
@@ -47,4 +56,4 @@ val max_violation : t -> float
 
 val pstar_holds : ?eps:float -> t -> bool
 (** Property P* of Definition 3.1 (phi side with float tolerance, event
-    probabilities exact). *)
+    probabilities exact). [eps] defaults to {!Srep.default_eps}. *)

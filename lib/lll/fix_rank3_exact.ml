@@ -26,6 +26,7 @@ module Graph = Lll_graph.Graph
 module Space = Lll_prob.Space
 module Event = Lll_prob.Event
 module Assignment = Lll_prob.Assignment
+module Metrics = Lll_local.Metrics
 
 type t = {
   instance : Instance.t;
@@ -272,13 +273,23 @@ let pstar_holds_exact t =
          Rat.leq (Space.prob (Instance.space t.instance) e ~fixed:t.assignment) bound)
        (Instance.events t.instance)
 
-let run ?order instance =
+let run ?order ?(metrics = Metrics.disabled) instance =
   let t = create instance in
   let m = Instance.num_vars instance in
   let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
-  Array.iter (fun vid -> fix_var t vid) order;
+  if Metrics.enabled metrics then begin
+    Metrics.set_phase metrics "fix-rank3-exact";
+    Array.iteri
+      (fun i vid ->
+        let t0 = Metrics.now_ns () in
+        fix_var t vid;
+        Metrics.record_step metrics ~round:i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
+          ~state:t.assignment)
+      order
+  end
+  else Array.iter (fun vid -> fix_var t vid) order;
   t
 
-let solve ?order instance =
-  let t = run ?order instance in
+let solve ?order ?metrics instance =
+  let t = run ?order ?metrics instance in
   (assignment t, t)

@@ -22,8 +22,9 @@ type t
 
 val create : Instance.t -> t
 val fix_var : t -> int -> unit
-val run : ?order:int array -> Instance.t -> t
-val solve : ?order:int array -> Instance.t -> Assignment.t * t
+val run : ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> t
+val solve :
+  ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> Assignment.t * t
 val assignment : t -> Assignment.t
 val steps : t -> step list
 val instance : t -> Instance.t
@@ -37,3 +38,4 @@ val infeasible_steps : t -> int
 (** Number of steps whose best value was numerically infeasible. *)
 
 val pstar_holds : ?eps:float -> t -> bool
+(** [eps] defaults to {!Srep.default_eps}. *)

@@ -30,7 +30,13 @@ let violation (a, b, c) =
   else if a +. b > 4. then Float.max (a +. b -. 4.) (c -. 4.)
   else c -. f a b
 
-let mem ?(eps = 1e-9) t = violation t <= eps
+(* THE float tolerance of the library (see the .mli). Every default
+   boundary test at the float layer — [mem], [is_valid_decomposition],
+   the fixers' [pstar_holds], [Srep_r.representable] — uses this one
+   value; exact decisions go through [mem_rat] / [Verify] instead. *)
+let default_eps = 1e-6
+
+let mem ?(eps = default_eps) t = violation t <= eps
 
 (* ------------------------------------------------------------------ *)
 (* Exact membership on rationals                                       *)
@@ -58,7 +64,7 @@ type decomposition = { a1 : float; a2 : float; b1 : float; b3 : float; c2 : floa
 
 let products d = (d.a1 *. d.a2, d.b1 *. d.b3, d.c2 *. d.c3)
 
-let is_valid_decomposition ?(eps = 1e-9) d =
+let is_valid_decomposition ?(eps = default_eps) d =
   let in_range x = x >= -.eps && x <= 2. +. eps in
   in_range d.a1 && in_range d.a2 && in_range d.b1 && in_range d.b3 && in_range d.c2
   && in_range d.c3

@@ -12,6 +12,15 @@ val violation : float * float * float -> float
 (** Non-positive iff the triple lies in [S_rep] (up to rounding); the
     rank-3 fixer picks the value minimising this. *)
 
+val default_eps : float
+(** The single float tolerance ([1e-6]) used by every default boundary
+    test at the float layer: {!mem}, {!is_valid_decomposition},
+    [Fix_rank3.pstar_holds], [Fix_rankr.pstar_holds] and
+    [Srep_r.representable]. It absorbs the rounding the float [phi]
+    potential accumulates over a run. No *correctness* decision depends
+    on it: exact paths use {!mem_rat} and [Verify]. Pass [?eps] to
+    tighten or loosen an individual test. *)
+
 val mem : ?eps:float -> float * float * float -> bool
 
 val mem_rat : Rat.t * Rat.t * Rat.t -> bool

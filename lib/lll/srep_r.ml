@@ -114,7 +114,7 @@ let solve ?(sweeps = 300) ~targets () =
   in
   { min_slack = !best_val; psi }
 
-let representable ?(eps = 1e-7) targets =
+let representable ?(eps = Srep.default_eps) targets =
   (solve ~targets ()).min_slack >= -.eps
 
 (* Feasibility margin: positive slack means strictly inside. *)

@@ -25,5 +25,7 @@ val solve : ?sweeps:int -> targets:float array -> unit -> solution
     unconstrained. *)
 
 val representable : ?eps:float -> float array -> bool
+(** [eps] defaults to {!Srep.default_eps}. *)
+
 val margin : float array -> float
 (** The achieved min slack. *)

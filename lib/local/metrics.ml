@@ -34,6 +34,25 @@ let phase = function Disabled -> "" | Buffer b -> b.phase
 
 let record sink r = match sink with Disabled -> () | Buffer b -> b.recs <- r :: b.recs
 
+let record_step sink ~round ~total ~wall_ns ~state =
+  match sink with
+  | Disabled -> ()
+  | Buffer b ->
+    b.recs <-
+      {
+        round;
+        phase = b.phase;
+        wall_ns;
+        messages = 0;
+        stepped = 1;
+        halted_fraction =
+          (if total = 0 then 1. else float_of_int (round + 1) /. float_of_int total);
+        state_words =
+          (let r = Obj.repr state in
+           if Obj.is_int r then 0 else Obj.reachable_words r);
+      }
+      :: b.recs
+
 let records = function Disabled -> [] | Buffer b -> List.rev b.recs
 
 let clear = function Disabled -> () | Buffer b -> b.recs <- []

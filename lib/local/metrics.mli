@@ -25,6 +25,12 @@ val set_phase : sink -> string -> unit
 val phase : sink -> string
 val record : sink -> round_record -> unit
 
+val record_step : sink -> round:int -> total:int -> wall_ns:int -> state:'a -> unit
+(** Record one *sequential* unit of work (a fixing step, say) in the same
+    shape as a runtime round, so serial and distributed runs dump
+    comparable JSON: one node stepped, no messages, halted fraction
+    [round+1 / total], phase taken from the sink. No-op when disabled. *)
+
 val records : sink -> round_record list
 (** Accumulated records, oldest first ([[]] for {!disabled}). *)
 
