@@ -12,8 +12,17 @@
    Run with: dune exec bench/main.exe
    Smoke:    dune exec bench/main.exe -- --quick
              (runs each registry case once through the shared
-              post-condition instead of timing it; used by dune runtest
-              so registry regressions fail the test suite)            *)
+              post-condition instead of timing it, then measures
+              per-engine steps/sec under BOTH probability backends and
+              writes BENCH_pr3.json; used by dune runtest — via the
+              @bench-quick alias — so registry regressions fail the
+              test suite and the enum/table perf ratio stays visible)
+
+   Flags:    --prob-backend {enum,table}  global backend for the
+             bechamel timing run (and the smoke pass); the JSON report
+             always measures both
+             --bench-out PATH             where --quick writes its JSON
+             (default BENCH_pr3.json)                                 *)
 
 open Bechamel
 open Toolkit
@@ -242,10 +251,88 @@ let benchmark () =
   let raw = Benchmark.all cfg instances all_tests in
   Analyze.all ols Instance.monotonic_clock raw
 
+(* ---- the enum/table perf report (BENCH_pr3.json) ----
+
+   Per-engine steps/sec (steps = variables fixed per solve) under both
+   probability backends, plus a rank-3 fixer size sweep. Timing is
+   adaptive: repeat each solve until the case has accumulated enough
+   wall time for a stable rate. Both backends produce identical
+   solutions (differential-tested); only the cost differs. *)
+
+let time_steps_per_sec s inst backend =
+  let params = { Solver.default_params with prob_backend = Some backend } in
+  ignore (Solver.solve ~params s inst : Solver.report) (* warm-up *);
+  let min_ns = 30_000_000 and max_reps = 100 in
+  let t0 = Lll_local.Metrics.now_ns () in
+  let reps = ref 0 in
+  while Lll_local.Metrics.now_ns () - t0 < min_ns && !reps < max_reps do
+    ignore (Solver.solve ~params s inst : Solver.report);
+    incr reps
+  done;
+  let total_ns = Lll_local.Metrics.now_ns () - t0 in
+  float_of_int (!reps * I.num_vars inst) /. (float_of_int total_ns /. 1e9)
+
+let backend_row name s inst =
+  let enum = time_steps_per_sec s inst Space.Enum in
+  let table = time_steps_per_sec s inst Space.Table in
+  (name, I.num_vars inst, enum, table)
+
+let json_row buf ~label (name, nvars, enum, table) ~last =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    {\"%s\": \"%s\", \"n_vars\": %d, \"enum_steps_per_sec\": %.1f, \
+        \"table_steps_per_sec\": %.1f, \"speedup\": %.2f}%s\n"
+       label name nvars enum table (table /. enum)
+       (if last then "" else ","))
+
+let write_backend_report path =
+  (* the sequential engines that exercise the conditional-probability
+     hot path; randomized/distributed engines are dominated by other
+     costs and keep the bechamel run as their home *)
+  let engine_cases =
+    [
+      ("fix2", Solver.find_exn "fix2", ring64);
+      ("fix3", Solver.find_exn "fix3", rank3_inst);
+      ("fix3-exact", Solver.find_exn "fix3-exact", rank3_inst);
+      ("fixr", Solver.find_exn "fixr", rank4_inst);
+      ("union-bound", Solver.find_exn "union-bound", rank3_inst);
+      ("mt-seq", Solver.find_exn "mt-seq", rank3_inst);
+    ]
+  in
+  let engines = List.map (fun (n, s, i) -> backend_row n s i) engine_cases in
+  let sweep =
+    List.map
+      (fun n ->
+        let inst = Syn.random ~seed:1 ~n ~rank:3 ~delta:2 ~arity:8 () in
+        backend_row (Printf.sprintf "fix3-n%d" n) (Solver.find_exn "fix3") inst)
+      [ 18; 36; 60 ]
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"bench\": \"pr3-prob-backend\",\n";
+  Buffer.add_string buf "  \"unit\": \"steps_per_sec\",\n  \"engines\": [\n";
+  List.iteri
+    (fun i row -> json_row buf ~label:"engine" row ~last:(i = List.length engines - 1))
+    engines;
+  Buffer.add_string buf "  ],\n  \"rank3_sweep\": [\n";
+  List.iteri
+    (fun i row -> json_row buf ~label:"case" row ~last:(i = List.length sweep - 1))
+    sweep;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  List.iter
+    (fun (name, _, enum, table) ->
+      Format.printf "%-22s enum %10.0f steps/s   table %10.0f steps/s   speedup %.2fx@."
+        name enum table (table /. enum))
+    (engines @ sweep);
+  Format.printf "backend report -> %s@." path
+
 (* --quick: run every registry case once through the shared
    post-condition; exit non-zero if a guaranteed engine fails. Wired
-   into dune runtest so solver-registry regressions fail the suite. *)
-let quick () =
+   into dune runtest (alias @bench-quick) so solver-registry
+   regressions fail the suite. Also writes the enum/table backend
+   report (see above). *)
+let quick ~bench_out () =
   let failures = ref 0 in
   List.iter
     (fun (name, s, inst) ->
@@ -264,10 +351,27 @@ let quick () =
     Format.printf "quick smoke: %d failure(s)@." !failures;
     exit 1
   end
-  else Format.printf "quick smoke: all %d solver cases pass@." (List.length solver_cases)
+  else Format.printf "quick smoke: all %d solver cases pass@." (List.length solver_cases);
+  write_backend_report bench_out
+
+let argv_value key =
+  let rec go i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = key then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
 
 let () =
-  if Array.exists (( = ) "--quick") Sys.argv then quick ()
+  (match argv_value "--prob-backend" with
+  | Some "enum" -> Space.set_backend Space.Enum
+  | Some "table" -> Space.set_backend Space.Table
+  | Some other ->
+    Format.eprintf "unknown --prob-backend %S (enum|table)@." other;
+    exit 2
+  | None -> ());
+  if Array.exists (( = ) "--quick") Sys.argv then
+    quick ~bench_out:(Option.value (argv_value "--bench-out") ~default:"BENCH_pr3.json") ()
   else begin
     let results = benchmark () in
     let rows =

@@ -84,7 +84,9 @@ let at_threshold_arg =
 
 let file_arg =
   Arg.(value & opt (some string) None
-       & info [ "file" ] ~docv:"PATH" ~doc:"Load the instance from a serialized file instead of generating one.")
+       & info [ "file"; "load-instance" ] ~docv:"PATH"
+           ~doc:"Load the instance from a serialized file (v1 or v2 format) instead of \
+                 generating one.")
 
 let get_instance file family ~n ~degree ~seed ~at_threshold =
   match file with
@@ -168,12 +170,41 @@ let metrics_arg =
            ~doc:"Write per-round runtime metrics (wall time, messages, nodes stepped, halted \
                  fraction, state-size proxy) as JSON to PATH. Distributed algorithms only.")
 
+let backend_conv =
+  let parse = function
+    | "enum" -> Ok Lll_prob.Space.Enum
+    | "table" -> Ok Lll_prob.Space.Table
+    | s -> Error (`Msg (Printf.sprintf "unknown probability backend %S (enum|table)" s))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt
+      (match b with Lll_prob.Space.Enum -> "enum" | Lll_prob.Space.Table -> "table")
+  in
+  Arg.conv (parse, print)
+
+let prob_backend_arg =
+  Arg.(value & opt (some backend_conv) None
+       & info [ "prob-backend" ] ~docv:"BACKEND"
+           ~doc:"Probability backend: 'table' answers conditional probabilities from compiled \
+                 event tables, 'enum' re-enumerates event scopes. Both are exact; results are \
+                 identical.")
+
+let dump_instance_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dump-instance" ] ~docv:"PATH"
+           ~doc:"Serialize the instance (v2 weighted-table format) to PATH before solving.")
+
 let solve_cmd =
   let run family n degree seed at_threshold file list_solvers solver_name trace domains
-      metrics_path =
+      metrics_path prob_backend dump_instance =
     if list_solvers then print_solver_list ()
     else begin
       let inst = get_instance file family ~n ~degree ~seed ~at_threshold in
+      (match dump_instance with
+      | None -> ()
+      | Some path ->
+        Lll_core.Serial.save path inst;
+        Format.printf "dumped %a to %s@." I.pp inst path);
       let solver = Solver.find_exn solver_name in
       if not (Solver.applicable solver inst) then begin
         Format.eprintf "solver %s does not accept %a (capabilities: %a)@." solver_name I.pp
@@ -185,7 +216,7 @@ let solve_cmd =
         | Some _ -> Lll_local.Metrics.buffer ()
         | None -> Lll_local.Metrics.disabled
       in
-      let params = { Solver.default_params with seed; domains; metrics } in
+      let params = { Solver.default_params with seed; domains; metrics; prob_backend } in
       Format.printf "%a@." I.pp inst;
       if not (Solver.guarantees solver inst) then
         Format.printf "note: %s's criterion does not hold here; run is best-effort@."
@@ -232,7 +263,8 @@ let solve_cmd =
              post-condition (exact verification plus the engine's P* claim).")
     Term.(
       const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg
-      $ list_solvers_arg $ solver_arg $ trace_arg $ domains_arg $ metrics_arg)
+      $ list_solvers_arg $ solver_arg $ trace_arg $ domains_arg $ metrics_arg
+      $ prob_backend_arg $ dump_instance_arg)
 
 (* ---- solvers ---- *)
 

@@ -100,6 +100,103 @@ let hypergraph_of_string s =
   if !n < 0 then parse_fail 0 "missing 'p hyper' header";
   Hypergraph.create ~n:!n (List.rev !edges)
 
+(* ---- weighted tables ----
+
+   The textual form of a compiled event ({!Lll_prob.Event.table}): the
+   satisfying scope tuples with their exact rational weights. One block:
+
+     p wtable <k> <nrows>
+     a <arity_1> ... <arity_k>
+     w <x_1> ... <x_k> <weight>     (one line per satisfying tuple)
+
+   The block embeds into larger line-oriented formats (the LLL instance
+   format feeds its own line stream in via [weighted_table_of_lines]), so
+   the parser is callback-driven. *)
+
+type weighted_table = {
+  arities : int array;
+  rows : (int array * Lll_num.Rat.t) list; (* (scope-order values, weight) *)
+}
+
+let weighted_table_to_buffer buf (wt : weighted_table) =
+  Buffer.add_string buf
+    (Printf.sprintf "p wtable %d %d\n" (Array.length wt.arities) (List.length wt.rows));
+  Buffer.add_string buf "a";
+  Array.iter (fun a -> Buffer.add_string buf (Printf.sprintf " %d" a)) wt.arities;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (xs, w) ->
+      Buffer.add_string buf "w";
+      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf " %d" x)) xs;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Lll_num.Rat.to_string w);
+      Buffer.add_char buf '\n')
+    wt.rows
+
+let weighted_table_to_string wt =
+  let buf = Buffer.create 256 in
+  weighted_table_to_buffer buf wt;
+  Buffer.contents buf
+
+(* Parse one block out of a line stream. [next_line] yields the next
+   non-empty payload line; [fail] builds the caller's error (with its
+   own position bookkeeping). *)
+let weighted_table_of_lines ~next_line ~(fail : string -> exn) =
+  let die msg = raise (fail msg) in
+  let expect_int tok =
+    match int_of_string_opt tok with
+    | Some i -> i
+    | None -> die (Printf.sprintf "expected integer, got %S" tok)
+  in
+  let k, nrows =
+    match tokens (next_line ()) with
+    | [ "p"; "wtable"; k; nrows ] -> (expect_int k, expect_int nrows)
+    | _ -> die "expected 'p wtable <k> <nrows>'"
+  in
+  if k < 0 || nrows < 0 then die "negative wtable dimensions";
+  let arities =
+    match tokens (next_line ()) with
+    | "a" :: toks when List.length toks = k -> Array.of_list (List.map expect_int toks)
+    | _ -> die "expected 'a <arities>'"
+  in
+  Array.iter (fun a -> if a <= 0 then die "arities must be positive") arities;
+  let rows =
+    List.init nrows (fun _ ->
+        match tokens (next_line ()) with
+        | "w" :: toks when List.length toks = k + 1 ->
+          let xs =
+            Array.of_list (List.map expect_int (List.filteri (fun j _ -> j < k) toks))
+          in
+          Array.iteri
+            (fun j x -> if x < 0 || x >= arities.(j) then die "tuple value out of range")
+            xs;
+          let w =
+            try Lll_num.Rat.of_string (List.nth toks k)
+            with Parse_error _ as e -> raise e | _ -> die "bad rational weight"
+          in
+          (xs, w)
+        | _ -> die "expected 'w <values> <weight>'")
+  in
+  { arities; rows }
+
+let weighted_table_of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  let lineno = ref 0 in
+  let next_line () =
+    let rec go () =
+      match !lines with
+      | [] -> parse_fail !lineno "unexpected end of input"
+      | l :: rest ->
+        incr lineno;
+        lines := rest;
+        let l = String.trim l in
+        if l = "" || l.[0] = 'c' || l.[0] = '#' then go () else l
+    in
+    go ()
+  in
+  weighted_table_of_lines ~next_line ~fail:(fun msg ->
+      Parse_error { line = !lineno; message = msg })
+
 let save_hypergraph path h =
   let oc = open_out path in
   Fun.protect

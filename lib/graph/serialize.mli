@@ -14,3 +14,25 @@ val hypergraph_to_string : Hypergraph.t -> string
 val hypergraph_of_string : string -> Hypergraph.t
 val save_hypergraph : string -> Hypergraph.t -> unit
 val load_hypergraph : string -> Hypergraph.t
+
+type weighted_table = {
+  arities : int array;
+  rows : (int array * Lll_num.Rat.t) list;
+      (** satisfying tuples (scope-order values) with exact weights *)
+}
+(** Textual form of a compiled event table: the "p wtable" block.
+    Embeds into larger line-oriented formats (the LLL instance format). *)
+
+val weighted_table_to_string : weighted_table -> string
+val weighted_table_to_buffer : Buffer.t -> weighted_table -> unit
+
+val weighted_table_of_lines :
+  next_line:(unit -> string) -> fail:(string -> exn) -> weighted_table
+(** Parse one block out of a caller-driven line stream: [next_line] must
+    yield successive payload (non-blank, non-comment) lines; [fail] builds
+    the exception to raise on malformed input (the caller keeps its own
+    line-number bookkeeping). *)
+
+val weighted_table_of_string : string -> weighted_table
+(** Standalone parse (skips blank lines and 'c'/'#' comments).
+    @raise Parse_error on malformed input. *)

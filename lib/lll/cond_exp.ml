@@ -32,26 +32,19 @@ let solve ?order ?(metrics = Metrics.disabled) instance =
   let space = Instance.space instance in
   let m = Instance.num_vars instance in
   let order = match order with Some o -> o | None -> Array.init m (fun i -> i) in
-  let assignment = Assignment.empty m in
+  (* incrementally maintained Pr[E_i | theta], exact *)
+  let tracker = Space.Cond_tracker.create space (Instance.events instance) in
+  let assignment = Space.Cond_tracker.assignment tracker in
   if Metrics.enabled metrics then Metrics.set_phase metrics "cond-exp";
-  (* cached Pr[E_i | theta], exact *)
-  let probs = Array.copy (Instance.initial_probs instance) in
   Array.iteri
     (fun step_i vid ->
       let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
       let evs = Instance.events_of_var instance vid in
       let arity = Lll_prob.Var.arity (Space.var space vid) in
-      if Array.length evs = 0 then Assignment.set_inplace assignment vid 0
+      if Array.length evs = 0 then Space.Cond_tracker.fix tracker ~var:vid ~value:0
       else begin
         let vectors =
-          Array.map
-            (fun ev ->
-              let after, before =
-                Space.prob_vector space (Instance.event instance ev) ~fixed:assignment ~var:vid
-              in
-              assert (Rat.equal before probs.(ev));
-              after)
-            evs
+          Array.map (fun ev -> fst (Space.Cond_tracker.prob_vector tracker ev ~var:vid)) evs
         in
         (* choose the value minimising the local contribution to Phi *)
         let contribution y =
@@ -65,12 +58,14 @@ let solve ?order ?(metrics = Metrics.disabled) instance =
           | _ -> best := Some (y, c)
         done;
         let y, _ = Option.get !best in
-        Assignment.set_inplace assignment vid y;
-        Array.iteri (fun i ev -> probs.(ev) <- vectors.(i).(y)) evs
+        Space.Cond_tracker.fix tracker ~var:vid ~value:y
       end;
       if Metrics.enabled metrics then
         Metrics.record_step metrics ~round:step_i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
           ~state:assignment)
     order;
-  let phi = Rat.sum (Array.to_list probs) in
+  let phi =
+    Rat.sum
+      (List.init (Instance.num_events instance) (fun ev -> Space.Cond_tracker.prob tracker ev))
+  in
   (assignment, phi)

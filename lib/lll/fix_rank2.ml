@@ -38,10 +38,9 @@ type policy = Min_score | First_within_budget
 type t = {
   policy : policy;
   instance : Instance.t;
-  assignment : Assignment.t;
+  tracker : Space.Cond_tracker.tracker; (* assignment + exact Pr[E_v | assignment] *)
   phi : Rat.t array array; (* edge id -> [| side of min endpoint; side of max |] *)
   initial_probs : Rat.t array;
-  probs : Rat.t array; (* cached Pr[E_v | current assignment], kept exact *)
   mutable steps : step list;
 }
 
@@ -52,14 +51,13 @@ let create ?(policy = Min_score) instance =
   {
     policy;
     instance;
-    assignment = Assignment.empty (Instance.num_vars instance);
+    tracker = Space.Cond_tracker.create (Instance.space instance) (Instance.events instance);
     phi = Array.init (Graph.m g) (fun _ -> [| Rat.one; Rat.one |]);
     initial_probs;
-    probs = Array.copy initial_probs;
     steps = [];
   }
 
-let assignment t = t.assignment
+let assignment t = Space.Cond_tracker.assignment t.tracker
 let steps t = List.rev t.steps
 let instance t = t.instance
 
@@ -70,37 +68,30 @@ let side g e v =
 let phi t e v = t.phi.(e).(side (Instance.dep_graph t.instance) e v)
 let set_phi t e v x = t.phi.(e).(side (Instance.dep_graph t.instance) e v) <- x
 
-(* All conditional probabilities of event [ev] for the candidate values
-   of [var], plus the Inc ratios against the cached current probability.
-   One scope enumeration per event (see Space.prob_vector). *)
+(* The Inc ratios of event [ev] for the candidate values of [var],
+   against the tracker's incrementally maintained current probability.
+   One pass over the event's live table rows (see
+   Space.Cond_tracker.prob_vector). *)
 let inc_vector t ev ~var =
-  let after, before =
-    Space.prob_vector (Instance.space t.instance) (Instance.event t.instance ev)
-      ~fixed:t.assignment ~var
-  in
-  (* the cache must agree with the freshly computed denominator *)
-  assert (Rat.equal before t.probs.(ev));
-  let incs =
-    Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
-  in
-  (after, incs)
+  let after, before = Space.Cond_tracker.prob_vector t.tracker ev ~var in
+  Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
 
 (* Fix one (currently unfixed) variable. The chosen value minimises the
    phi-weighted sum of Inc ratios over the (at most two) affected
    events. *)
 let fix_var t vid =
-  if Assignment.is_fixed t.assignment vid then invalid_arg "Fix_rank2.fix_var: already fixed";
+  if Assignment.is_fixed (assignment t) vid then invalid_arg "Fix_rank2.fix_var: already fixed";
   let space = Instance.space t.instance in
   let arity = Lll_prob.Var.arity (Space.var space vid) in
   let evs = Instance.events_of_var t.instance vid in
   let g = Instance.dep_graph t.instance in
   match Array.to_list evs with
   | [] ->
-    Assignment.set_inplace t.assignment vid 0;
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:0;
     t.steps <- { var = vid; value = 0; incs = []; score = Rat.zero; budget = Rat.zero } :: t.steps
   | [ u ] ->
     (* rank 1: some value has Inc <= 1 *)
-    let after_u, incs_u = inc_vector t u ~var:vid in
+    let incs_u = inc_vector t u ~var:vid in
     let pick_min () =
       let best = ref None in
       for y = 0 to arity - 1 do
@@ -118,14 +109,13 @@ let fix_var t vid =
         let rec first y = if Rat.leq incs_u.(y) Rat.one then (y, incs_u.(y)) else first (y + 1) in
         first 0
     in
-    Assignment.set_inplace t.assignment vid y;
-    t.probs.(u) <- after_u.(y);
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     t.steps <- { var = vid; value = y; incs = [ (u, i) ]; score = i; budget = Rat.one } :: t.steps
   | [ u; v ] ->
     let e = Graph.find_edge_exn g u v in
     let s = phi t e u and w = phi t e v in
-    let after_u, incs_u = inc_vector t u ~var:vid in
-    let after_v, incs_v = inc_vector t v ~var:vid in
+    let incs_u = inc_vector t u ~var:vid in
+    let incs_v = inc_vector t v ~var:vid in
     let score_of y = Rat.add (Rat.mul incs_u.(y) s) (Rat.mul incs_v.(y) w) in
     let pick_min () =
       let best = ref None in
@@ -152,9 +142,7 @@ let fix_var t vid =
     (* Theorem 1.1 / Section 3.1 (weighted form): the minimum is within
        budget. This is a mathematical invariant, not an input check. *)
     assert (Rat.leq score budget);
-    Assignment.set_inplace t.assignment vid y;
-    t.probs.(u) <- after_u.(y);
-    t.probs.(v) <- after_v.(y);
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     set_phi t e u (Rat.mul iu s);
     set_phi t e v (Rat.mul iv w);
     t.steps <- { var = vid; value = y; incs = [ (u, iu); (v, iv) ]; score; budget } :: t.steps
@@ -178,7 +166,7 @@ let pstar_holds t =
              t.initial_probs.(v)
              (Graph.incident_edges g v)
          in
-         Rat.leq (Space.prob (Instance.space t.instance) e ~fixed:t.assignment) bound)
+         Rat.leq (Space.prob (Instance.space t.instance) e ~fixed:(assignment t)) bound)
        (Instance.events t.instance)
 
 let run ?policy ?order ?(metrics = Metrics.disabled) instance =
@@ -192,7 +180,7 @@ let run ?policy ?order ?(metrics = Metrics.disabled) instance =
         let t0 = Metrics.now_ns () in
         fix_var t vid;
         Metrics.record_step metrics ~round:i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
-          ~state:t.assignment)
+          ~state:(assignment t))
       order
   end
   else Array.iter (fun vid -> fix_var t vid) order;

@@ -43,10 +43,9 @@ type policy = Min_violation | First_feasible
 type t = {
   policy : policy;
   instance : Instance.t;
-  assignment : Assignment.t;
+  tracker : Space.Cond_tracker.tracker; (* assignment + exact Pr[E_v | assignment] *)
   phi : float array array; (* edge id -> [| side of min endpoint; side of max |] *)
   initial_probs : Rat.t array;
-  probs : Rat.t array; (* cached Pr[E_v | current assignment], kept exact *)
   mutable steps : step list;
   mutable max_violation : float;
 }
@@ -58,15 +57,14 @@ let create ?(policy = Min_violation) instance =
   {
     policy;
     instance;
-    assignment = Assignment.empty (Instance.num_vars instance);
+    tracker = Space.Cond_tracker.create (Instance.space instance) (Instance.events instance);
     phi = Array.init (Graph.m g) (fun _ -> [| 1.0; 1.0 |]);
     initial_probs;
-    probs = Array.copy initial_probs;
     steps = [];
     max_violation = neg_infinity;
   }
 
-let assignment t = t.assignment
+let assignment t = Space.Cond_tracker.assignment t.tracker
 let steps t = List.rev t.steps
 let instance t = t.instance
 let max_violation t = t.max_violation
@@ -78,19 +76,12 @@ let side g e v =
 let phi t e v = t.phi.(e).(side (Instance.dep_graph t.instance) e v)
 let set_phi t e v x = t.phi.(e).(side (Instance.dep_graph t.instance) e v) <- x
 
-(* All conditional probabilities of event [ev] for the candidate values
-   of [var], plus the exact Inc ratios against the cached current
-   probability. One scope enumeration per event. *)
+(* The exact Inc ratios of event [ev] for the candidate values of [var],
+   against the tracker's incrementally maintained current probability.
+   One pass over the event's live table rows. *)
 let inc_vector t ev ~var =
-  let after, before =
-    Space.prob_vector (Instance.space t.instance) (Instance.event t.instance ev)
-      ~fixed:t.assignment ~var
-  in
-  assert (Rat.equal before t.probs.(ev));
-  let incs =
-    Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
-  in
-  (after, incs)
+  let after, before = Space.Cond_tracker.prob_vector t.tracker ev ~var in
+  Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
 
 let record t step =
   t.steps <- step :: t.steps;
@@ -103,8 +94,8 @@ let fix_rank2_var t vid u v ~arity =
   let g = Instance.dep_graph t.instance in
   let e = Graph.find_edge_exn g u v in
   let s = phi t e u and w = phi t e v in
-  let after_u, incs_u = inc_vector t u ~var:vid in
-  let after_v, incs_v = inc_vector t v ~var:vid in
+  let incs_u = inc_vector t u ~var:vid in
+  let incs_v = inc_vector t v ~var:vid in
   let score_of y = (Rat.to_float incs_u.(y) *. s) +. (Rat.to_float incs_v.(y) *. w) in
   let pick_min () =
     let best = ref None in
@@ -128,9 +119,7 @@ let fix_rank2_var t vid u v ~arity =
       first 0
   in
   let iu = incs_u.(y) and iv = incs_v.(y) in
-  Assignment.set_inplace t.assignment vid y;
-  t.probs.(u) <- after_u.(y);
-  t.probs.(v) <- after_v.(y);
+  Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
   set_phi t e u (Rat.to_float iu *. s);
   set_phi t e v (Rat.to_float iv *. w);
   record t { var = vid; value = y; incs = [ (u, iu); (v, iv) ]; violation = score -. (s +. w) }
@@ -144,9 +133,9 @@ let fix_rank3_var t vid u v w ~arity =
   let a = phi t e u *. phi t e' u in
   let b = phi t e v *. phi t e'' v in
   let c = phi t e' w *. phi t e'' w in
-  let after_u, incs_u = inc_vector t u ~var:vid in
-  let after_v, incs_v = inc_vector t v ~var:vid in
-  let after_w, incs_w = inc_vector t w ~var:vid in
+  let incs_u = inc_vector t u ~var:vid in
+  let incs_v = inc_vector t v ~var:vid in
+  let incs_w = inc_vector t w ~var:vid in
   let triple_of y =
     ( Rat.to_float incs_u.(y) *. a,
       Rat.to_float incs_v.(y) *. b,
@@ -183,10 +172,7 @@ let fix_rank3_var t vid u v w ~arity =
   (* Lemma 3.2: some value is not evil, i.e. the minimum violation is
      non-positive (up to float rounding, which [Srep.decompose] clamps). *)
   let d = Srep.decompose triple in
-  Assignment.set_inplace t.assignment vid y;
-  t.probs.(u) <- after_u.(y);
-  t.probs.(v) <- after_v.(y);
-  t.probs.(w) <- after_w.(y);
+  Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
   set_phi t e u d.a1;
   set_phi t e' u d.a2;
   set_phi t e v d.b1;
@@ -196,15 +182,15 @@ let fix_rank3_var t vid u v w ~arity =
   record t { var = vid; value = y; incs = [ (u, iu); (v, iv); (w, iw) ]; violation = viol }
 
 let fix_var t vid =
-  if Assignment.is_fixed t.assignment vid then invalid_arg "Fix_rank3.fix_var: already fixed";
+  if Assignment.is_fixed (assignment t) vid then invalid_arg "Fix_rank3.fix_var: already fixed";
   let space = Instance.space t.instance in
   let arity = Lll_prob.Var.arity (Space.var space vid) in
   match Array.to_list (Instance.events_of_var t.instance vid) with
   | [] ->
-    Assignment.set_inplace t.assignment vid 0;
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:0;
     record t { var = vid; value = 0; incs = []; violation = neg_infinity }
   | [ u ] ->
-    let after_u, incs_u = inc_vector t u ~var:vid in
+    let incs_u = inc_vector t u ~var:vid in
     let best = ref None in
     for y = 0 to arity - 1 do
       let i = incs_u.(y) in
@@ -213,8 +199,7 @@ let fix_var t vid =
       | _ -> best := Some (y, i)
     done;
     let y, i = Option.get !best in
-    Assignment.set_inplace t.assignment vid y;
-    t.probs.(u) <- after_u.(y);
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     record t
       { var = vid; value = y; incs = [ (u, i) ]; violation = Rat.to_float i -. 1.0 }
   | [ u; v ] -> fix_rank2_var t vid u v ~arity
@@ -244,7 +229,7 @@ let pstar_holds ?(eps = Srep.default_eps) t =
              (Rat.to_float t.initial_probs.(v))
              (Graph.incident_edges g v)
          in
-         Rat.to_float (Space.prob (Instance.space t.instance) e ~fixed:t.assignment)
+         Rat.to_float (Space.prob (Instance.space t.instance) e ~fixed:(assignment t))
          <= bound +. eps)
        (Instance.events t.instance)
 
@@ -259,7 +244,7 @@ let run ?policy ?order ?(metrics = Metrics.disabled) instance =
         let t0 = Metrics.now_ns () in
         fix_var t vid;
         Metrics.record_step metrics ~round:i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
-          ~state:t.assignment)
+          ~state:(assignment t))
       order
   end
   else Array.iter (fun vid -> fix_var t vid) order;

@@ -30,10 +30,9 @@ module Metrics = Lll_local.Metrics
 
 type t = {
   instance : Instance.t;
-  assignment : Assignment.t;
+  tracker : Space.Cond_tracker.tracker; (* assignment + exact Pr[E_v | assignment] *)
   phi : Rat.t array array; (* edge id -> [| side min; side max |] *)
   initial_probs : Rat.t array;
-  probs : Rat.t array;
   mutable fallbacks : int; (* steps where no exact decomposition was found *)
 }
 
@@ -43,14 +42,13 @@ let create instance =
   let initial_probs = Instance.initial_probs instance in
   {
     instance;
-    assignment = Assignment.empty (Instance.num_vars instance);
+    tracker = Space.Cond_tracker.create (Instance.space instance) (Instance.events instance);
     phi = Array.init (Graph.m g) (fun _ -> [| Rat.one; Rat.one |]);
     initial_probs;
-    probs = Array.copy initial_probs;
     fallbacks = 0;
   }
 
-let assignment t = t.assignment
+let assignment t = Space.Cond_tracker.assignment t.tracker
 let instance t = t.instance
 let fallbacks t = t.fallbacks
 
@@ -62,12 +60,8 @@ let phi t e v = t.phi.(e).(side (Instance.dep_graph t.instance) e v)
 let set_phi t e v x = t.phi.(e).(side (Instance.dep_graph t.instance) e v) <- x
 
 let inc_vector t ev ~var =
-  let after, before =
-    Space.prob_vector (Instance.space t.instance) (Instance.event t.instance ev)
-      ~fixed:t.assignment ~var
-  in
-  assert (Rat.equal before t.probs.(ev));
-  (after, Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after)
+  let after, before = Space.Cond_tracker.prob_vector t.tracker ev ~var in
+  Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
 
 (* exact representability condition for split x (in [a/2, 2-b/2]):
    c * x * (2-x) <= (2x - a) * (2(2-x) - b) *)
@@ -144,8 +138,8 @@ let fix_rank2_var t vid u v ~arity =
   let g = Instance.dep_graph t.instance in
   let e = Graph.find_edge_exn g u v in
   let s = phi t e u and w = phi t e v in
-  let after_u, incs_u = inc_vector t u ~var:vid in
-  let after_v, incs_v = inc_vector t v ~var:vid in
+  let incs_u = inc_vector t u ~var:vid in
+  let incs_v = inc_vector t v ~var:vid in
   let best = ref None in
   for y = 0 to arity - 1 do
     let score = Rat.add (Rat.mul incs_u.(y) s) (Rat.mul incs_v.(y) w) in
@@ -155,9 +149,7 @@ let fix_rank2_var t vid u v ~arity =
   done;
   let y, score = Option.get !best in
   assert (Rat.leq score (Rat.add s w));
-  Assignment.set_inplace t.assignment vid y;
-  t.probs.(u) <- after_u.(y);
-  t.probs.(v) <- after_v.(y);
+  Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
   set_phi t e u (Rat.mul incs_u.(y) s);
   set_phi t e v (Rat.mul incs_v.(y) w)
 
@@ -169,9 +161,9 @@ let fix_rank3_var t vid u v w ~arity =
   let a = Rat.mul (phi t e u) (phi t e' u) in
   let b = Rat.mul (phi t e v) (phi t e'' v) in
   let c = Rat.mul (phi t e' w) (phi t e'' w) in
-  let after_u, incs_u = inc_vector t u ~var:vid in
-  let after_v, incs_v = inc_vector t v ~var:vid in
-  let after_w, incs_w = inc_vector t w ~var:vid in
+  let incs_u = inc_vector t u ~var:vid in
+  let incs_v = inc_vector t v ~var:vid in
+  let incs_w = inc_vector t w ~var:vid in
   let triple_of y = (Rat.mul incs_u.(y) a, Rat.mul incs_v.(y) b, Rat.mul incs_w.(y) c) in
   (* exact-first: a value whose scaled triple is exactly representable
      AND admits an exact dyadic decomposition *)
@@ -190,10 +182,7 @@ let fix_rank3_var t vid u v w ~arity =
    with Exit -> ());
   match !chosen with
   | Some (y, (a1, a2, b1, b3, c2, c3)) ->
-    Assignment.set_inplace t.assignment vid y;
-    t.probs.(u) <- after_u.(y);
-    t.probs.(v) <- after_v.(y);
-    t.probs.(w) <- after_w.(y);
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     set_phi t e u a1;
     set_phi t e' u a2;
     set_phi t e v b1;
@@ -215,10 +204,7 @@ let fix_rank3_var t vid u v w ~arity =
     let y, _ = Option.get !best in
     let ta, tb, tc = triple_of y in
     let d = Srep.decompose (Rat.to_float ta, Rat.to_float tb, Rat.to_float tc) in
-    Assignment.set_inplace t.assignment vid y;
-    t.probs.(u) <- after_u.(y);
-    t.probs.(v) <- after_v.(y);
-    t.probs.(w) <- after_w.(y);
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     (* round each side DOWN so the edge-sum constraints stay exact *)
     let down x = Rat.of_ints (int_of_float (Float.max 0. x *. float_of_int (1 lsl 40))) (1 lsl 40) in
     set_phi t e u (down d.Srep.a1);
@@ -229,14 +215,14 @@ let fix_rank3_var t vid u v w ~arity =
     set_phi t e'' w (down d.Srep.c3)
 
 let fix_var t vid =
-  if Assignment.is_fixed t.assignment vid then
+  if Assignment.is_fixed (assignment t) vid then
     invalid_arg "Fix_rank3_exact.fix_var: already fixed";
   let space = Instance.space t.instance in
   let arity = Lll_prob.Var.arity (Space.var space vid) in
   match Array.to_list (Instance.events_of_var t.instance vid) with
-  | [] -> Assignment.set_inplace t.assignment vid 0
+  | [] -> Space.Cond_tracker.fix t.tracker ~var:vid ~value:0
   | [ u ] ->
-    let after_u, incs_u = inc_vector t u ~var:vid in
+    let incs_u = inc_vector t u ~var:vid in
     let best = ref None in
     for y = 0 to arity - 1 do
       match !best with
@@ -244,8 +230,7 @@ let fix_var t vid =
       | _ -> best := Some (y, incs_u.(y))
     done;
     let y, _ = Option.get !best in
-    Assignment.set_inplace t.assignment vid y;
-    t.probs.(u) <- after_u.(y)
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:y
   | [ u; v ] -> fix_rank2_var t vid u v ~arity
   | [ u; v; w ] -> fix_rank3_var t vid u v w ~arity
   | _ -> assert false
@@ -270,7 +255,7 @@ let pstar_holds_exact t =
              t.initial_probs.(v)
              (Graph.incident_edges g v)
          in
-         Rat.leq (Space.prob (Instance.space t.instance) e ~fixed:t.assignment) bound)
+         Rat.leq (Space.prob (Instance.space t.instance) e ~fixed:(assignment t)) bound)
        (Instance.events t.instance)
 
 let run ?order ?(metrics = Metrics.disabled) instance =
@@ -284,7 +269,7 @@ let run ?order ?(metrics = Metrics.disabled) instance =
         let t0 = Metrics.now_ns () in
         fix_var t vid;
         Metrics.record_step metrics ~round:i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
-          ~state:t.assignment)
+          ~state:(assignment t))
       order
   end
   else Array.iter (fun vid -> fix_var t vid) order;

@@ -40,10 +40,9 @@ type step = {
 
 type t = {
   instance : Instance.t;
-  assignment : Assignment.t;
+  tracker : Space.Cond_tracker.tracker; (* assignment + exact Pr[E_v | assignment] *)
   phi : float array array;
   initial_probs : Rat.t array;
-  probs : Rat.t array;
   mutable steps : step list;
   mutable min_slack : float; (* worst slack over all clique steps *)
   mutable infeasible_steps : int;
@@ -54,16 +53,15 @@ let create instance =
   let initial_probs = Instance.initial_probs instance in
   {
     instance;
-    assignment = Assignment.empty (Instance.num_vars instance);
+    tracker = Space.Cond_tracker.create (Instance.space instance) (Instance.events instance);
     phi = Array.init (Graph.m g) (fun _ -> [| 1.0; 1.0 |]);
     initial_probs;
-    probs = Array.copy initial_probs;
     steps = [];
     min_slack = infinity;
     infeasible_steps = 0;
   }
 
-let assignment t = t.assignment
+let assignment t = Space.Cond_tracker.assignment t.tracker
 let steps t = List.rev t.steps
 let instance t = t.instance
 let min_slack t = t.min_slack
@@ -77,15 +75,8 @@ let phi t e v = t.phi.(e).(side (Instance.dep_graph t.instance) e v)
 let set_phi t e v x = t.phi.(e).(side (Instance.dep_graph t.instance) e v) <- x
 
 let inc_vector t ev ~var =
-  let after, before =
-    Space.prob_vector (Instance.space t.instance) (Instance.event t.instance ev)
-      ~fixed:t.assignment ~var
-  in
-  assert (Rat.equal before t.probs.(ev));
-  let incs =
-    Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
-  in
-  (after, incs)
+  let after, before = Space.Cond_tracker.prob_vector t.tracker ev ~var in
+  Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
 
 let record t step =
   t.steps <- step :: t.steps;
@@ -97,10 +88,10 @@ let fix_small t vid evs ~arity =
   let g = Instance.dep_graph t.instance in
   match evs with
   | [] ->
-    Assignment.set_inplace t.assignment vid 0;
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:0;
     record t { var = vid; value = 0; incs = []; slack = infinity }
   | [ u ] ->
-    let after_u, incs_u = inc_vector t u ~var:vid in
+    let incs_u = inc_vector t u ~var:vid in
     let best = ref None in
     for y = 0 to arity - 1 do
       let i = incs_u.(y) in
@@ -109,14 +100,13 @@ let fix_small t vid evs ~arity =
       | _ -> best := Some (y, i)
     done;
     let y, i = Option.get !best in
-    Assignment.set_inplace t.assignment vid y;
-    t.probs.(u) <- after_u.(y);
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     record t { var = vid; value = y; incs = [ (u, i) ]; slack = -.(Rat.to_float i -. 1.0) }
   | [ u; v ] ->
     let e = Graph.find_edge_exn g u v in
     let s = phi t e u and w = phi t e v in
-    let after_u, incs_u = inc_vector t u ~var:vid in
-    let after_v, incs_v = inc_vector t v ~var:vid in
+    let incs_u = inc_vector t u ~var:vid in
+    let incs_v = inc_vector t v ~var:vid in
     let best = ref None in
     for y = 0 to arity - 1 do
       let score = (Rat.to_float incs_u.(y) *. s) +. (Rat.to_float incs_v.(y) *. w) in
@@ -125,9 +115,7 @@ let fix_small t vid evs ~arity =
       | _ -> best := Some (y, score)
     done;
     let y, score = Option.get !best in
-    Assignment.set_inplace t.assignment vid y;
-    t.probs.(u) <- after_u.(y);
-    t.probs.(v) <- after_v.(y);
+    Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     set_phi t e u (Rat.to_float incs_u.(y) *. s);
     set_phi t e v (Rat.to_float incs_v.(y) *. w);
     record t
@@ -151,9 +139,7 @@ let fix_clique t vid evs ~arity =
       base.(j) <- base.(j) *. phi t dep_edge.(idx) c.(j))
     clique;
   let vectors = Array.map (fun v -> inc_vector t v ~var:vid) c in
-  let targets_of y =
-    Array.mapi (fun i (_, incs) -> Rat.to_float incs.(y) *. base.(i)) vectors
-  in
+  let targets_of y = Array.mapi (fun i incs -> Rat.to_float incs.(y) *. base.(i)) vectors in
   (* first feasible value, else the largest-slack one *)
   let best = ref None in
   (try
@@ -166,8 +152,7 @@ let fix_clique t vid evs ~arity =
      done
    with Exit -> ());
   let y, sol, slack = Option.get !best in
-  Assignment.set_inplace t.assignment vid y;
-  Array.iteri (fun i v -> t.probs.(v) <- fst vectors.(i) |> fun a -> a.(y)) c;
+  Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
   Array.iteri
     (fun idx (i, j, pi, pj) ->
       ignore (i, j);
@@ -177,11 +162,11 @@ let fix_clique t vid evs ~arity =
     sol.Srep_r.psi;
   record t
     { var = vid; value = y;
-      incs = Array.to_list (Array.mapi (fun i v -> (v, (snd vectors.(i)).(y))) c);
+      incs = Array.to_list (Array.mapi (fun i v -> (v, vectors.(i).(y))) c);
       slack }
 
 let fix_var t vid =
-  if Assignment.is_fixed t.assignment vid then invalid_arg "Fix_rankr.fix_var: already fixed";
+  if Assignment.is_fixed (assignment t) vid then invalid_arg "Fix_rankr.fix_var: already fixed";
   let space = Instance.space t.instance in
   let arity = Lll_prob.Var.arity (Space.var space vid) in
   match Array.to_list (Instance.events_of_var t.instance vid) with
@@ -206,7 +191,7 @@ let pstar_holds ?(eps = Srep.default_eps) t =
              (Rat.to_float t.initial_probs.(v))
              (Graph.incident_edges g v)
          in
-         Rat.to_float (Space.prob (Instance.space t.instance) e ~fixed:t.assignment)
+         Rat.to_float (Space.prob (Instance.space t.instance) e ~fixed:(assignment t))
          <= bound +. eps)
        (Instance.events t.instance)
 
@@ -221,7 +206,7 @@ let run ?order ?(metrics = Metrics.disabled) instance =
         let t0 = Metrics.now_ns () in
         fix_var t vid;
         Metrics.record_step metrics ~round:i ~total:m ~wall_ns:(Metrics.now_ns () - t0)
-          ~state:t.assignment)
+          ~state:(assignment t))
       order
   end
   else Array.iter (fun vid -> fix_var t vid) order;

@@ -32,28 +32,38 @@ let create space events =
     events;
   let nv = Space.num_vars space in
   let ne = Array.length events in
+  (* Scopes are sorted and distinct, and event ids equal their index, so
+     iterating events in decreasing id order and prepending yields each
+     variable's event list already sorted and duplicate-free. *)
   let var_events_l = Array.make nv [] in
-  Array.iter
-    (fun e ->
-      Array.iter
-        (fun vid ->
-          if vid < 0 || vid >= nv then invalid_arg "Instance.create: event scope outside space";
-          var_events_l.(vid) <- Event.id e :: var_events_l.(vid))
-        (Event.scope e))
-    events;
-  let var_events = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) var_events_l in
-  (* dependency edges: all pairs of events sharing a variable *)
+  for i = ne - 1 downto 0 do
+    Array.iter
+      (fun vid ->
+        if vid < 0 || vid >= nv then invalid_arg "Instance.create: event scope outside space";
+        var_events_l.(vid) <- i :: var_events_l.(vid))
+      (Event.scope events.(i))
+  done;
+  let var_events = Array.map Array.of_list var_events_l in
+  (* dependency edges: all pairs of events sharing a variable. A pair
+     sharing several variables is emitted once, not once per shared
+     variable. *)
+  let seen_edges = Hashtbl.create 64 in
   let dep_edges = ref [] in
   Array.iter
     (fun evs ->
       let k = Array.length evs in
       for i = 0 to k - 1 do
         for j = i + 1 to k - 1 do
-          dep_edges := (evs.(i), evs.(j)) :: !dep_edges
+          let key = (evs.(i) * ne) + evs.(j) in
+          if not (Hashtbl.mem seen_edges key) then begin
+            Hashtbl.add seen_edges key ();
+            dep_edges := (evs.(i), evs.(j)) :: !dep_edges
+          end
         done
       done)
     var_events;
   let dep_graph = Graph.create ~n:ne !dep_edges in
+  Space.compile_events space events;
   (* hypergraph over the events, one hyperedge per variable with a
      non-empty family of dependent events *)
   let hyperedge_of_var = Array.make nv None in

@@ -23,8 +23,9 @@ exception Budget_exhausted of { resamplings : int }
 type stats = { resamplings : int; rounds : int }
 
 let occurring instance a =
+  let space = Instance.space instance in
   Array.to_list (Instance.events instance)
-  |> List.filter (fun e -> Event.holds e a)
+  |> List.filter (fun e -> Space.event_holds space e a)
 
 (* Sequential resampling with an execution log: the sequence of resampled
    event ids, in order — the raw material of the witness-tree analysis

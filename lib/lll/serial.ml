@@ -1,12 +1,13 @@
 (* Textual serialization of LLL instances.
 
-   Events are closures, so a generic dump enumerates each event's truth
-   table over its scope (exact: the table IS the event). This is intended
-   for the bounded scopes of LLL instances (the format guards against
-   accidentally exploding tables). Distributions are written as exact
-   rationals ("n" or "n/d").
+   An event's exact content is its satisfying set over its scope, so a
+   dump writes each event as a table. This is intended for the bounded
+   scopes of LLL instances (the format guards against accidentally
+   exploding tables). Distributions are written as exact rationals
+   ("n" or "n/d").
 
-   Format (line oriented, '#' comments and blank lines allowed):
+   Two versions are understood (line oriented, '#' comments and blank
+   lines allowed):
 
      lll-instance v1
      vars <count>
@@ -15,13 +16,30 @@
      event <id> <name> <scope size> <v_1> ... <v_k> <bad count>
      bad <x_1> ... <x_k>          (one line per bad tuple, scope order)
 
-   Round trips exactly: probabilities, scopes and bad sets are preserved
-   verbatim (tested). *)
+   v2 replaces the bad-tuple list by the compiled weighted table of the
+   event (the "p wtable" block of {!Lll_graph.Serialize}): satisfying
+   tuples WITH their exact joint probabilities, emitted straight from the
+   space's table cache when available. The loader re-derives each weight
+   from the variable distributions and rejects any mismatch, so a v2
+   file is self-checking.
+
+     lll-instance v2
+     ... var lines as in v1 ...
+     events <count>
+     event <id> <name> <scope size> <v_1> ... <v_k>
+     p wtable <scope size> <row count>
+     a <arity_1> ... <arity_k>
+     w <x_1> ... <x_k> <weight>   (one line per satisfying tuple)
+
+   Emission writes v2; both versions load. Round trips exactly:
+   probabilities, scopes and satisfying sets are preserved verbatim
+   (tested). *)
 
 module Rat = Lll_num.Rat
 module Var = Lll_prob.Var
 module Event = Lll_prob.Event
 module Space = Lll_prob.Space
+module Serialize = Lll_graph.Serialize
 
 let max_table = 1 lsl 20
 
@@ -64,10 +82,41 @@ let bad_tuples space event =
 let sanitize name =
   String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' then '_' else c) name
 
+(* The weighted table of an event: straight from the space's compiled
+   cache when it has one, otherwise by brute-force enumeration with the
+   joint probabilities recomputed. *)
+let weighted_table space e =
+  let scope = Event.scope e in
+  let k = Array.length scope in
+  let arities = Array.map (fun v -> Var.arity (Space.var space v)) scope in
+  match Space.compiled_table space e with
+  | Some tab ->
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun j code ->
+             (Array.init k (fun pos -> Event.value_at tab ~pos ~code), tab.Event.weights.(j)))
+           tab.Event.codes)
+    in
+    { Serialize.arities; rows }
+  | None ->
+    let rows =
+      List.map
+        (fun tuple ->
+          let xs = Array.of_list tuple in
+          let w = ref Rat.one in
+          Array.iteri
+            (fun j x -> w := Rat.mul !w (Var.prob (Space.var space scope.(j)) x))
+            xs;
+          (xs, !w))
+        (bad_tuples space e)
+    in
+    { Serialize.arities; rows }
+
 let emit out instance =
   let space = Instance.space instance in
   let pf fmt = Printf.ksprintf out fmt in
-  pf "lll-instance v1\n";
+  pf "lll-instance v2\n";
   pf "vars %d\n" (Instance.num_vars instance);
   Array.iter
     (fun v ->
@@ -79,16 +128,10 @@ let emit out instance =
   Array.iter
     (fun e ->
       let scope = Event.scope e in
-      let bad = bad_tuples space e in
       pf "event %d %s %d" (Event.id e) (sanitize (Event.name e)) (Array.length scope);
       Array.iter (fun v -> pf " %d" v) scope;
-      pf " %d\n" (List.length bad);
-      List.iter
-        (fun tuple ->
-          pf "bad";
-          List.iter (fun x -> pf " %d" x) tuple;
-          pf "\n")
-        bad)
+      pf "\n";
+      out (Serialize.weighted_table_to_string (weighted_table space e)))
     (Instance.events instance)
 
 let to_string instance =
@@ -127,9 +170,12 @@ let parse_lines lines =
     | Some i -> i
     | None -> parse_fail !lineno (Printf.sprintf "expected integer, got %S" tok)
   in
-  (match next_line () with
-  | "lll-instance v1" -> ()
-  | l -> parse_fail !lineno (Printf.sprintf "bad header %S" l));
+  let version =
+    match next_line () with
+    | "lll-instance v1" -> 1
+    | "lll-instance v2" -> 2
+    | l -> parse_fail !lineno (Printf.sprintf "bad header %S" l)
+  in
   let nvars =
     match tokens_of_line (next_line ()) with
     | [ "vars"; n ] -> expect_int n
@@ -159,20 +205,53 @@ let parse_lines lines =
           let id = expect_int id in
           if id <> i then parse_fail !lineno "event ids must be consecutive";
           let k = expect_int k in
-          if List.length rest <> k + 1 then parse_fail !lineno "bad event line";
-          let scope =
-            Array.of_list (List.map expect_int (List.filteri (fun j _ -> j < k) rest))
-          in
-          let nbad = expect_int (List.nth rest k) in
-          let bad =
-            List.init nbad (fun _ ->
-                match tokens_of_line (next_line ()) with
-                | "bad" :: xs ->
-                  if List.length xs <> k then parse_fail !lineno "bad tuple arity";
-                  List.map expect_int xs
-                | _ -> parse_fail !lineno "expected 'bad ...'")
-          in
-          Event.of_bad_set ~id ~name ~scope bad
+          if version = 1 then begin
+            if List.length rest <> k + 1 then parse_fail !lineno "bad event line";
+            let scope =
+              Array.of_list (List.map expect_int (List.filteri (fun j _ -> j < k) rest))
+            in
+            let nbad = expect_int (List.nth rest k) in
+            let bad =
+              List.init nbad (fun _ ->
+                  match tokens_of_line (next_line ()) with
+                  | "bad" :: xs ->
+                    if List.length xs <> k then parse_fail !lineno "bad tuple arity";
+                    List.map expect_int xs
+                  | _ -> parse_fail !lineno "expected 'bad ...'")
+            in
+            Event.of_bad_set ~id ~name ~scope bad
+          end
+          else begin
+            if List.length rest <> k then parse_fail !lineno "bad event line";
+            let scope = Array.of_list (List.map expect_int rest) in
+            Array.iter
+              (fun v -> if v < 0 || v >= nvars then parse_fail !lineno "scope outside space")
+              scope;
+            let wt =
+              Serialize.weighted_table_of_lines ~next_line ~fail:(fun message ->
+                  Parse_error { line = !lineno; message })
+            in
+            if Array.length wt.Serialize.arities <> k then
+              parse_fail !lineno "wtable scope size mismatch";
+            Array.iteri
+              (fun j a ->
+                if a <> Var.arity vars.(scope.(j)) then
+                  parse_fail !lineno "wtable arity disagrees with variable")
+              wt.Serialize.arities;
+            (* weights are redundant given the distributions — re-derive
+               and reject any disagreement, making the file self-checking *)
+            List.iter
+              (fun (xs, w) ->
+                let expected = ref Rat.one in
+                Array.iteri
+                  (fun j x -> expected := Rat.mul !expected (Var.prob vars.(scope.(j)) x))
+                  xs;
+                if not (Rat.equal w !expected) then
+                  parse_fail !lineno "wtable weight disagrees with distributions")
+              wt.Serialize.rows;
+            Event.of_bad_set ~id ~name ~scope
+              (List.map (fun (xs, _) -> Array.to_list xs) wt.Serialize.rows)
+          end
         | _ -> parse_fail !lineno "expected 'event ...'")
   in
   Instance.create (Space.create vars) events

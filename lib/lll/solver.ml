@@ -11,6 +11,7 @@
 
 module Rat = Lll_num.Rat
 module Assignment = Lll_prob.Assignment
+module Space = Lll_prob.Space
 module Metrics = Lll_local.Metrics
 
 type step = {
@@ -41,9 +42,11 @@ type params = {
   order : int array option;
   domains : int option;
   metrics : Metrics.sink;
+  prob_backend : Space.backend option;
 }
 
-let default_params = { seed = 1; order = None; domains = None; metrics = Metrics.disabled }
+let default_params =
+  { seed = 1; order = None; domains = None; metrics = Metrics.disabled; prob_backend = None }
 
 type outcome = {
   assignment : Assignment.t;
@@ -140,6 +143,9 @@ let create ?(params = default_params) t inst =
          t.key
          (Option.value t.caps.max_rank ~default:max_int)
          (Instance.rank inst));
+  (* the backend choice is global: it selects how Space answers
+     probability queries for every solver created after this point *)
+  Option.iter Space.set_backend params.prob_backend;
   { sdriver = t.impl params inst; sink = params.metrics; exhausted = false; summary = None }
 
 let step s =

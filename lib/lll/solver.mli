@@ -71,10 +71,17 @@ type params = {
   metrics : Metrics.sink;
       (** receives per-step records from sequential engines and
           per-round records from runtime-backed ones *)
+  prob_backend : Lll_prob.Space.backend option;
+      (** when [Some], set the global probability backend
+          ({!Lll_prob.Space.set_backend}) before the engine starts:
+          [Table] answers from compiled event tables, [Enum] forces the
+          enumeration path. [None] leaves the current choice alone. Both
+          are exact — solutions are identical; only the cost differs. *)
 }
 
 val default_params : params
-(** [seed = 1], identity order, default domains, disabled metrics. *)
+(** [seed = 1], identity order, default domains, disabled metrics,
+    backend left as-is. *)
 
 (** {1 Outcomes and reports} *)
 

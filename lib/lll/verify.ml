@@ -2,22 +2,30 @@
 
    Whatever numeric route produced an assignment (exact rank-2 fixing,
    float-assisted rank-3 fixing, randomized resampling), acceptance is
-   decided here by evaluating every bad-event predicate on the completed
-   assignment — no floating point involved. *)
+   decided here by evaluating every bad event on the completed
+   assignment — no floating point involved. [Space.event_holds] consults
+   the compiled satisfaction bitmap when one is live and falls back to
+   the predicate closure otherwise; both answer from the same exact
+   satisfying set. *)
 
 module Event = Lll_prob.Event
+module Space = Lll_prob.Space
 module Assignment = Lll_prob.Assignment
 
 let occurring_events instance (a : Assignment.t) =
+  let space = Instance.space instance in
   Array.to_list (Instance.events instance)
-  |> List.filter_map (fun e -> if Event.holds e a then Some (Event.id e) else None)
+  |> List.filter_map (fun e -> if Space.event_holds space e a then Some (Event.id e) else None)
 
 let avoids_all instance (a : Assignment.t) =
   if not (Assignment.is_complete a) then invalid_arg "Verify.avoids_all: incomplete assignment";
-  Array.for_all (fun e -> not (Event.holds e a)) (Instance.events instance)
+  let space = Instance.space instance in
+  Array.for_all (fun e -> not (Space.event_holds space e a)) (Instance.events instance)
 
 let first_violated instance (a : Assignment.t) =
-  Array.find_opt (fun e -> Event.holds e a) (Instance.events instance) |> Option.map Event.id
+  let space = Instance.space instance in
+  Array.find_opt (fun e -> Space.event_holds space e a) (Instance.events instance)
+  |> Option.map Event.id
 
 type result = { ok : bool; violated : int list }
 

@@ -3,13 +3,41 @@
    An event has a scope (the ids of the variables it depends on) and a
    predicate evaluated on values of exactly those variables; the predicate
    receives a lookup function defined on the scope. The event "occurs" on
-   an assignment iff the predicate is true. *)
+   an assignment iff the predicate is true.
+
+   The closure is the AUTHORING interface. For computation, an event can
+   be COMPILED against the distributions of its scope variables into a
+   weighted satisfying-assignment table: one row per scope tuple on which
+   the predicate holds, carrying the exact joint probability of that
+   tuple. The table makes the event plain data — conditional
+   probabilities become filtered row sums (see [Space]), and the
+   satisfying set serializes without the closure. Tables are cached by
+   the owning [Space] (not here), so one event used against two different
+   spaces can never pick up the wrong weights. *)
+
+module Rat = Lll_num.Rat
 
 type t = {
   id : int;
   name : string;
   scope : int array; (* sorted distinct variable ids *)
   pred : (int -> int) -> bool;
+}
+
+(* A compiled event: the satisfying scope tuples, mixed-radix encoded.
+   [codes] lists the satisfying row codes in increasing order;
+   [weights.(j)] is the exact joint probability of row [codes.(j)] under
+   the distributions the table was compiled against. [sat] is a dense
+   membership bitmap over all [total] codes for O(1) "does this complete
+   tuple satisfy the event" checks. *)
+type table = {
+  tscope : int array; (* = the event's scope *)
+  arities : int array; (* arity of each scope variable, by position *)
+  strides : int array; (* code = sum_i value_i * strides.(i) *)
+  total : int; (* product of arities *)
+  codes : int array;
+  weights : Rat.t array;
+  sat : Bytes.t;
 }
 
 let make ~id ~name ~scope pred =
@@ -31,6 +59,83 @@ let holds e (a : Assignment.t) =
       if not (depends_on e var_id) then
         invalid_arg (Printf.sprintf "Event.holds: %s looked up out-of-scope variable %d" e.name var_id);
       Assignment.value_exn a var_id)
+
+(* ---- compiled tables ---- *)
+
+let default_max_rows = 1 lsl 20
+
+let value_at tab ~pos ~code = code / tab.strides.(pos) mod tab.arities.(pos)
+
+let table_mem tab code =
+  Char.code (Bytes.get tab.sat (code lsr 3)) land (1 lsl (code land 7)) <> 0
+
+(* Position of a variable id in the (sorted) compiled scope, by binary
+   search; -1 when absent. *)
+let scope_pos tab var_id =
+  let lo = ref 0 and hi = ref (Array.length tab.tscope) in
+  let res = ref (-1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = tab.tscope.(mid) in
+    if v = var_id then begin
+      res := mid;
+      lo := !hi
+    end
+    else if v < var_id then lo := mid + 1
+    else hi := mid
+  done;
+  !res
+
+(* Mixed-radix code of a complete scope valuation. *)
+let code_of tab lookup =
+  let c = ref 0 in
+  Array.iteri (fun i v -> c := !c + (lookup v * tab.strides.(i))) tab.tscope;
+  !c
+
+let compile ~arity_of ~prob_of ?(max_rows = default_max_rows) e =
+  let k = Array.length e.scope in
+  let arities = Array.map arity_of e.scope in
+  let total =
+    Array.fold_left (fun acc a -> if acc > max_rows then acc else acc * a) 1 arities
+  in
+  if total > max_rows then None
+  else begin
+    let strides = Array.make k 1 in
+    for i = k - 2 downto 0 do
+      strides.(i) <- strides.(i + 1) * arities.(i + 1)
+    done;
+    let tab =
+      { tscope = e.scope; arities; strides; total; codes = [||]; weights = [||];
+        sat = Bytes.make ((total + 7) / 8) '\000' }
+    in
+    (* enumerate every scope tuple; keep the satisfying ones with their
+       exact joint probabilities *)
+    let vals = Array.make k 0 in
+    let lookup vid =
+      let pos = scope_pos tab vid in
+      if pos < 0 then
+        invalid_arg (Printf.sprintf "Event.compile: %s looked up out-of-scope variable %d" e.name vid);
+      vals.(pos)
+    in
+    let codes = ref [] and weights = ref [] and nrows = ref 0 in
+    for code = total - 1 downto 0 do
+      for i = 0 to k - 1 do
+        vals.(i) <- code / strides.(i) mod arities.(i)
+      done;
+      if e.pred lookup then begin
+        let w = ref Rat.one in
+        for i = 0 to k - 1 do
+          w := Rat.mul !w (prob_of e.scope.(i) vals.(i))
+        done;
+        codes := code :: !codes;
+        weights := !w :: !weights;
+        incr nrows;
+        Bytes.set tab.sat (code lsr 3)
+          (Char.chr (Char.code (Bytes.get tab.sat (code lsr 3)) lor (1 lsl (code land 7))))
+      end
+    done;
+    Some { tab with codes = Array.of_list !codes; weights = Array.of_list !weights }
+  end
 
 (* Common constructions *)
 

@@ -303,6 +303,197 @@ let prob_props =
         R.equal expectation R.one);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Backend differential: compiled tables vs. the enumerator             *)
+(* ------------------------------------------------------------------ *)
+
+(* Random spaces with non-uniform rational distributions, random
+   sub-scope events and a random fixing sequence, rebuilt
+   deterministically from the seed so a failing case reproduces. *)
+type backend_case = {
+  bspace : S.t;
+  bevents : E.t array;
+  bfixes : (int * int) list;  (* fixing sequence; each var at most once *)
+  bseed : int;
+}
+
+let build_backend_case (nvars, nevents, seed) =
+  let rng = Random.State.make [| seed |] in
+  let vars =
+    Array.init nvars (fun i ->
+        let arity = 2 + Random.State.int rng 2 in
+        let ws = Array.init arity (fun _ -> 1 + Random.State.int rng 5) in
+        let total = Array.fold_left ( + ) 0 ws in
+        Var.make ~id:i ~name:(Printf.sprintf "x%d" i)
+          (Array.map (fun w -> R.of_ints w total) ws))
+  in
+  let bspace = S.create vars in
+  let rand_event id =
+    let scope =
+      match List.filter (fun _ -> Random.State.bool rng) (List.init nvars Fun.id) with
+      | [] -> [| Random.State.int rng nvars |]
+      | l -> Array.of_list l
+    in
+    let rec tuples j =
+      if j = Array.length scope then [ [] ]
+      else
+        let rest = tuples (j + 1) in
+        List.concat
+          (List.init (Var.arity vars.(scope.(j))) (fun v -> List.map (fun t -> v :: t) rest))
+    in
+    let bad = List.filter (fun _ -> Random.State.int rng 3 = 0) (tuples 0) in
+    E.of_bad_set ~id ~name:(Printf.sprintf "e%d" id) ~scope bad
+  in
+  let bevents = Array.init nevents rand_event in
+  let bfixes =
+    let chosen =
+      Array.of_list
+        (List.filter_map
+           (fun v ->
+             if Random.State.bool rng then
+               Some (v, Random.State.int rng (Var.arity vars.(v)))
+             else None)
+           (List.init nvars Fun.id))
+    in
+    (* Fisher–Yates: the tracker must not care about fixing order *)
+    for i = Array.length chosen - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = chosen.(i) in
+      chosen.(i) <- chosen.(j);
+      chosen.(j) <- t
+    done;
+    Array.to_list chosen
+  in
+  { bspace; bevents; bfixes; bseed = seed }
+
+let arb_backend_case =
+  QCheck.make
+    ~print:(fun c ->
+      Printf.sprintf "nvars=%d nevents=%d fixes=[%s] seed=%d" (S.num_vars c.bspace)
+        (Array.length c.bevents)
+        (String.concat ";" (List.map (fun (v, y) -> Printf.sprintf "%d:=%d" v y) c.bfixes))
+        c.bseed)
+    QCheck.Gen.(
+      let* nvars = int_range 1 5 in
+      let* nevents = int_range 1 3 in
+      let* seed = int_range 0 1_000_000 in
+      return (build_backend_case (nvars, nevents, seed)))
+
+let both_backends f =
+  (S.with_backend S.Table f, S.with_backend S.Enum f)
+
+(* table prob must be Rat-equal to the enumerated prob under the empty
+   assignment and after every prefix of the fixing sequence *)
+let law_table_prob_matches_enum c =
+  S.compile_events c.bspace c.bevents;
+  let ok = ref true in
+  let check fixed =
+    Array.iter
+      (fun e ->
+        let pt, pe = both_backends (fun () -> S.prob c.bspace e ~fixed) in
+        if not (R.equal pt pe) then ok := false)
+      c.bevents
+  in
+  let fixed = A.empty (S.num_vars c.bspace) in
+  check fixed;
+  List.iter
+    (fun (v, y) ->
+      A.set_inplace fixed v y;
+      check fixed)
+    c.bfixes;
+  !ok
+
+(* same for the whole conditional vector over every unfixed variable *)
+let law_table_prob_vector_matches_enum c =
+  S.compile_events c.bspace c.bevents;
+  let n = S.num_vars c.bspace in
+  let ok = ref true in
+  let check fixed =
+    for v = 0 to n - 1 do
+      if not (A.is_fixed fixed v) then
+        Array.iter
+          (fun e ->
+            let (at, bt), (ae, be) =
+              both_backends (fun () -> S.prob_vector c.bspace e ~fixed ~var:v)
+            in
+            if not (R.equal bt be) then ok := false;
+            Array.iteri (fun y a -> if not (R.equal a ae.(y)) then ok := false) at)
+          c.bevents
+    done
+  in
+  let fixed = A.empty n in
+  check fixed;
+  List.iter
+    (fun (v, y) ->
+      A.set_inplace fixed v y;
+      check fixed)
+    c.bfixes;
+  !ok
+
+(* the incremental tracker must agree with a from-scratch enumeration
+   after every single fixing step, on both prob and prob_vector *)
+let law_tracker_matches_enum c =
+  S.compile_events c.bspace c.bevents;
+  let tr = S.with_backend S.Table (fun () -> S.Cond_tracker.create c.bspace c.bevents) in
+  let ok = ref true in
+  let check () =
+    let fixed = S.Cond_tracker.assignment tr in
+    Array.iteri
+      (fun i e ->
+        let pe = S.with_backend S.Enum (fun () -> S.prob c.bspace e ~fixed) in
+        if not (R.equal (S.Cond_tracker.prob tr i) pe) then ok := false;
+        for v = 0 to S.num_vars c.bspace - 1 do
+          if not (A.is_fixed fixed v) then begin
+            let at, bt = S.Cond_tracker.prob_vector tr i ~var:v in
+            let ae, be =
+              S.with_backend S.Enum (fun () -> S.prob_vector c.bspace e ~fixed ~var:v)
+            in
+            if not (R.equal bt be) then ok := false;
+            Array.iteri (fun y a -> if not (R.equal a ae.(y)) then ok := false) at
+          end
+        done)
+      c.bevents
+  in
+  check ();
+  List.iter
+    (fun (v, y) ->
+      S.Cond_tracker.fix tr ~var:v ~value:y;
+      check ())
+    c.bfixes;
+  !ok
+
+(* an Enum-created tracker (no tables consulted) walks the same path *)
+let law_tracker_backend_independent c =
+  S.compile_events c.bspace c.bevents;
+  let tt = S.with_backend S.Table (fun () -> S.Cond_tracker.create c.bspace c.bevents) in
+  let te = S.with_backend S.Enum (fun () -> S.Cond_tracker.create c.bspace c.bevents) in
+  let ok = ref true in
+  let check () =
+    Array.iteri
+      (fun i _ ->
+        if not (R.equal (S.Cond_tracker.prob tt i) (S.Cond_tracker.prob te i)) then
+          ok := false)
+      c.bevents
+  in
+  check ();
+  List.iter
+    (fun (v, y) ->
+      S.Cond_tracker.fix tt ~var:v ~value:y;
+      S.Cond_tracker.fix te ~var:v ~value:y;
+      check ())
+    c.bfixes;
+  !ok
+
+let backend_props =
+  [
+    prop "table prob = enum prob" 250 arb_backend_case law_table_prob_matches_enum;
+    prop "table prob_vector = enum prob_vector" 200 arb_backend_case
+      law_table_prob_vector_matches_enum;
+    prop "tracker = enum after every fix" 200 arb_backend_case law_tracker_matches_enum;
+    prop "tracker is backend independent" 200 arb_backend_case
+      law_tracker_backend_independent;
+  ]
+
 let () =
   Alcotest.run "lll_prob"
     [
@@ -343,4 +534,5 @@ let () =
           Alcotest.test_case "resample scope" `Quick test_resample_changes_only_listed;
         ] );
       ("properties", prob_props);
+      ("backend differential", backend_props);
     ]

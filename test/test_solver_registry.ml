@@ -200,6 +200,27 @@ let test_shared_postcondition_catches_failure () =
   Alcotest.(check bool) "report.ok mirrors exact verification" report.Solver.verify.V.ok
     report.Solver.ok
 
+(* A dumped instance, reloaded, must be solved identically by every
+   deterministic engine — the serialized form carries the exact
+   distributions and bad sets, so the fixing processes cannot diverge. *)
+let law_roundtrip_solves_identically inst =
+  let inst' = Lll_core.Serial.of_string (Lll_core.Serial.to_string inst) in
+  List.for_all
+    (fun s ->
+      (Solver.caps s).Solver.randomized
+      || (Solver.caps s).Solver.distributed
+      || (not (Solver.guarantees s inst))
+      ||
+      let a1 = (Solver.solve s inst).Solver.outcome.Solver.assignment in
+      let a2 = (Solver.solve s inst').Solver.outcome.Solver.assignment in
+      for v = 0 to I.num_vars inst - 1 do
+        if Lll_prob.Assignment.value_exn a1 v <> Lll_prob.Assignment.value_exn a2 v then
+          QCheck.Test.fail_reportf "engine %s: reloaded instance solved differently at var %d"
+            (Solver.name s) v
+      done;
+      true)
+    (Solver.applicable_to inst)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -231,5 +252,9 @@ let () =
             law_deterministic_engines_repeat;
           prop "deterministic engines repeat (rank 3)" 5 (arb_inst gen_rank3)
             law_deterministic_engines_repeat;
+          prop "serialize round-trip solves identically (rank 2)" 6 (arb_inst gen_rank2)
+            law_roundtrip_solves_identically;
+          prop "serialize round-trip solves identically (rank 3)" 5 (arb_inst gen_rank3)
+            law_roundtrip_solves_identically;
         ] );
     ]
