@@ -14,15 +14,19 @@
              (runs each registry case once through the shared
               post-condition instead of timing it, then measures
               per-engine steps/sec under BOTH probability backends and
-              writes BENCH_pr3.json; used by dune runtest — via the
-              @bench-quick alias — so registry regressions fail the
-              test suite and the enum/table perf ratio stays visible)
+              writes BENCH_pr3.json, then measures the Moser–Tardos
+              incremental occurring set against its full-rescan
+              ablation and writes BENCH_pr4.json; used by dune runtest
+              — via the @bench-quick alias — so registry regressions
+              fail the test suite and both perf ratios stay visible)
 
    Flags:    --prob-backend {enum,table}  global backend for the
              bechamel timing run (and the smoke pass); the JSON report
              always measures both
-             --bench-out PATH             where --quick writes its JSON
-             (default BENCH_pr3.json)                                 *)
+             --bench-out PATH             where --quick writes its
+             backend JSON (default BENCH_pr3.json)
+             --mt-bench-out PATH          where --quick writes the
+             occurring-set JSON (default BENCH_pr4.json)              *)
 
 open Bechamel
 open Toolkit
@@ -327,12 +331,98 @@ let write_backend_report path =
     (engines @ sweep);
   Format.printf "backend report -> %s@." path
 
+(* ---- the Moser–Tardos occurring-set report (BENCH_pr4.json) ----
+
+   Resamplings/sec of the incremental occurring-set maintenance (O(deg)
+   per resampling) against the pre-incremental full-rescan ablation
+   (O(m) per resampling). Both variants draw the same random stream and
+   make the same selections, so only the bookkeeping cost differs. All
+   rows use the n=60 rank-3 sweep instance; the primary row is the
+   at-threshold variant under a seed whose run actually lives in the
+   resampling loop (16 resamplings), so the per-solve fixed costs
+   shared by both variants (initial sampling, initial scan) don't
+   drown the hot path under test. The mean-case rows keep the
+   fixed-cost-dominated picture honest alongside it. *)
+
+let mt_sweep_below = Syn.random ~seed:1 ~n:60 ~rank:3 ~delta:2 ~arity:8 ()
+
+let mt_sweep_at =
+  Syn.random ~position:Syn.At_threshold ~seed:1 ~n:60 ~rank:3 ~delta:2 ~arity:8 ()
+
+let time_resamplings_per_sec solve ~seed_of_rep inst =
+  ignore (solve ~seed:(seed_of_rep 0) inst : Assignment.t * MT.stats) (* warm-up *);
+  let min_ns = 50_000_000 and max_reps = 50_000 in
+  let t0 = Lll_local.Metrics.now_ns () in
+  let resamplings = ref 0 and reps = ref 0 in
+  while Lll_local.Metrics.now_ns () - t0 < min_ns && !reps < max_reps do
+    incr reps;
+    let _, (st : MT.stats) = solve ~seed:(seed_of_rep !reps) inst in
+    resamplings := !resamplings + st.MT.resamplings
+  done;
+  let total_ns = Lll_local.Metrics.now_ns () - t0 in
+  (float_of_int !resamplings /. (float_of_int total_ns /. 1e9),
+   float_of_int !resamplings /. float_of_int !reps)
+
+let write_mt_report path =
+  let cases =
+    [
+      (* fixed hot-path seed: 16 resamplings per solve *)
+      ("n60-at-threshold-seed179", mt_sweep_at, fun _ -> 179);
+      (* mean-case context: fresh seed per repetition *)
+      ("n60-at-threshold-mean", mt_sweep_at, fun rep -> rep + 1);
+      ("n60-below-threshold-mean", mt_sweep_below, fun rep -> rep + 1);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, inst, seed_of_rep) ->
+        let incr_rps, per_solve =
+          time_resamplings_per_sec
+            (fun ~seed i -> MT.solve_sequential ~seed i)
+            ~seed_of_rep inst
+        in
+        let rescan_rps, _ =
+          time_resamplings_per_sec
+            (fun ~seed i -> MT.solve_sequential_rescan ~seed i)
+            ~seed_of_rep inst
+        in
+        (name, per_solve, incr_rps, rescan_rps))
+      cases
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"pr4-mt-occurring-set\",\n";
+  Buffer.add_string buf "  \"unit\": \"resamplings_per_sec\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"instance\": \"Syn.random ~n:60 ~rank:3 ~delta:2 ~arity:8 (%d events, %d vars)\",\n"
+       (I.num_events mt_sweep_at) (I.num_vars mt_sweep_at));
+  Buffer.add_string buf "  \"cases\": [\n";
+  List.iteri
+    (fun i (name, per_solve, incr_rps, rescan_rps) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"case\": \"%s\", \"resamplings_per_solve\": %.1f, \
+            \"incremental_rps\": %.0f, \"rescan_rps\": %.0f, \"speedup\": %.2f}%s\n"
+           name per_solve incr_rps rescan_rps (incr_rps /. rescan_rps)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  List.iter
+    (fun (name, per_solve, incr_rps, rescan_rps) ->
+      Format.printf
+        "%-28s incremental %10.0f resamplings/s   rescan %10.0f resamplings/s   \
+         speedup %.2fx  (%.1f per solve)@."
+        name incr_rps rescan_rps (incr_rps /. rescan_rps) per_solve)
+    rows;
+  Format.printf "mt occurring-set report -> %s@." path
+
 (* --quick: run every registry case once through the shared
    post-condition; exit non-zero if a guaranteed engine fails. Wired
    into dune runtest (alias @bench-quick) so solver-registry
    regressions fail the suite. Also writes the enum/table backend
    report (see above). *)
-let quick ~bench_out () =
+let quick ~bench_out ~mt_bench_out () =
   let failures = ref 0 in
   List.iter
     (fun (name, s, inst) ->
@@ -352,7 +442,8 @@ let quick ~bench_out () =
     exit 1
   end
   else Format.printf "quick smoke: all %d solver cases pass@." (List.length solver_cases);
-  write_backend_report bench_out
+  write_backend_report bench_out;
+  write_mt_report mt_bench_out
 
 let argv_value key =
   let rec go i =
@@ -371,7 +462,10 @@ let () =
     exit 2
   | None -> ());
   if Array.exists (( = ) "--quick") Sys.argv then
-    quick ~bench_out:(Option.value (argv_value "--bench-out") ~default:"BENCH_pr3.json") ()
+    quick
+      ~bench_out:(Option.value (argv_value "--bench-out") ~default:"BENCH_pr3.json")
+      ~mt_bench_out:(Option.value (argv_value "--mt-bench-out") ~default:"BENCH_pr4.json")
+      ()
   else begin
     let results = benchmark () in
     let rows =

@@ -6,6 +6,7 @@
      solvers   — list the solver registry with capability envelopes
      surface   — dump the Figure-1 surface f(a,b) as TSV
      triple    — check/decompose a representable triple
+     fuzz      — adversarial fuzz-and-shrink over the solver registry
 
    Every engine lives behind the Solver registry: `--solver NAME` picks
    one, `--list-solvers` enumerates them, and every run goes through the
@@ -266,6 +267,108 @@ let solve_cmd =
       $ list_solvers_arg $ solver_arg $ trace_arg $ domains_arg $ metrics_arg
       $ prob_backend_arg $ dump_instance_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run seed budget engines out self_test geometry_samples =
+    let module Fuzz = Lll_fuzz.Fuzz in
+    let log line = Format.eprintf "%s@." line in
+    let resolve_engines () =
+      match engines with
+      | None -> Ok (Solver.all ())
+      | Some spec -> (
+        let names = String.split_on_char ',' spec |> List.map String.trim in
+        match List.find_opt (fun n -> Solver.find n = None) names with
+        | Some bad ->
+          Error
+            (Printf.sprintf "unknown engine %S; registered: %s" bad
+               (String.concat ", " (Solver.names ())))
+        | None -> Ok (List.map Solver.find_exn names))
+    in
+    if self_test then begin
+      (* the fuzzer fuzzing itself: inject the perturbed-phi mutant and
+         demand the harness catches it and shrinks the reproducer *)
+      let outcome = Fuzz.self_test ~seed ~budget ~log () in
+      match outcome.Fuzz.finding with
+      | None ->
+        Format.eprintf
+          "self-test FAILED: the harness did not catch the injected phi mutation in %d \
+           instances@."
+        outcome.Fuzz.tested;
+        exit 1
+      | Some f ->
+        let events = I.num_events f.Fuzz.shrunk in
+        Format.printf "self-test: caught the injected mutation on instance %d (%s)@."
+          outcome.Fuzz.tested f.Fuzz.label;
+        Format.printf "  %a@." Fuzz.pp_violation f.Fuzz.violation;
+        Format.printf "  shrunk reproducer: %a@." I.pp f.Fuzz.shrunk;
+        ignore (Fuzz.dump_reproducer out f);
+        Format.printf "  reproducer written to %s@." out;
+        if events > 4 then begin
+          Format.eprintf "self-test FAILED: reproducer has %d events (want <= 4)@." events;
+          exit 1
+        end
+    end
+    else begin
+      match resolve_engines () with
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+      | Ok engines -> (
+        (match Fuzz.fuzz_geometry ~seed ~samples:geometry_samples () with
+        | None -> Format.printf "geometry oracle: %d boundary triples clean@." geometry_samples
+        | Some ((a, b, c), reason) ->
+          Format.printf "geometry oracle VIOLATION on (%.17g, %.17g, %.17g): %s@." a b c reason;
+          exit 1);
+        let outcome = Fuzz.run ~engines ~log ~seed ~budget () in
+        match outcome.Fuzz.finding with
+        | None ->
+          Format.printf "fuzz: %d instances x %d engines x 2 backends clean@." outcome.Fuzz.tested
+            (List.length engines)
+        | Some f ->
+          Format.printf "fuzz VIOLATION on instance %d (%s):@." outcome.Fuzz.tested f.Fuzz.label;
+          Format.printf "  %a@." Fuzz.pp_violation f.Fuzz.violation;
+          Format.printf "  shrunk reproducer: %a@." I.pp f.Fuzz.shrunk;
+          ignore (Fuzz.dump_reproducer out f);
+          Format.printf "  reproducer written to %s (reload: lll_cli solve --file %s)@." out out;
+          exit 1)
+    end
+  in
+  let budget_arg =
+    Arg.(value & opt int 100
+         & info [ "budget" ] ~docv:"N" ~doc:"Number of hostile instances to generate.")
+  in
+  let engines_arg =
+    Arg.(value & opt (some string) None
+         & info [ "engines" ] ~docv:"NAMES"
+             ~doc:"Comma-separated engine filter (default: every registered engine).")
+  in
+  let out_arg =
+    Arg.(value & opt string "fuzz-repro.lll"
+         & info [ "out"; "o" ] ~docv:"PATH"
+             ~doc:"Where to dump the shrunk reproducer (Serialize v2) on a violation.")
+  in
+  let self_test_arg =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"Fuzz the fault-injected fix3 clone (perturbed phi update) instead of the \
+                   honest engines; exits non-zero unless the harness catches it and shrinks \
+                   the reproducer to at most 4 events.")
+  in
+  let geometry_arg =
+    Arg.(value & opt int 10_000
+         & info [ "geometry-samples" ] ~docv:"N"
+             ~doc:"Boundary triples to feed the S_rep geometry oracle before instance fuzzing.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Adversarial fuzz-and-shrink: threshold-hugging instances, every applicable \
+             engine under both probability backends, backend-identical assignments, the \
+             guarantee predicate vs exact verification, and an independent P* replay of \
+             every trace. Violations are shrunk greedily and dumped as v2 reproducers.")
+    Term.(
+      const run $ seed_arg $ budget_arg $ engines_arg $ out_arg $ self_test_arg $ geometry_arg)
+
 (* ---- solvers ---- *)
 
 let solvers_cmd =
@@ -319,4 +422,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default (Cmd.info "lll_cli" ~doc)
-          [ gen_cmd; criteria_cmd; solve_cmd; solvers_cmd; surface_cmd; triple_cmd ]))
+          [ gen_cmd; criteria_cmd; solve_cmd; solvers_cmd; surface_cmd; triple_cmd; fuzz_cmd ]))

@@ -1,0 +1,176 @@
+(* Adversarial instance generator for the fuzz harness.
+
+   Every choice here is biased towards the places where the paper's
+   machinery has the least slack:
+
+   - bad-event probabilities are packed greedily against the sharp
+     threshold [2^-d] — strictly below it, exactly at it (when the
+     tuple weights allow), or just above it;
+   - variable distributions include degenerate non-uniform rationals
+     (one value carrying almost all the mass) and odd arities, so the
+     mixed-radix tables, the [Inc] ratios and the serializer all see
+     weights that are not nice powers of two;
+   - structures put variables at exactly rank 1, 2 and 3 (singleton
+     hyperedges, ring/path edges, rank-3 rings and chords), covering
+     every branch of the fixers' per-rank case split.
+
+   Instances are deliberately tiny (4-9 events): the fuzzer's value is
+   in the cross-check matrix, not the instance size, and small
+   instances keep exact enumeration and shrinking cheap. *)
+
+module Rat = Lll_num.Rat
+module Hypergraph = Lll_graph.Hypergraph
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+module Instance = Lll_core.Instance
+module Synthetic = Lll_core.Synthetic
+
+type placement = Just_below | At_threshold | Just_above
+
+let placement_label = function
+  | Just_below -> "below"
+  | At_threshold -> "at"
+  | Just_above -> "above"
+
+type hostile = { label : string; instance : Instance.t }
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Hostile distributions                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact rational distribution from positive integer weights. *)
+let of_weights ws =
+  let total = Array.fold_left ( + ) 0 ws in
+  Array.map (fun w -> Rat.of_ints w total) ws
+
+let random_dist rng =
+  match Random.State.int rng 4 with
+  | 0 ->
+    (* uniform, power-of-two arity: the synthetic families' home turf *)
+    let k = [| 2; 4; 8 |].(Random.State.int rng 3) in
+    of_weights (Array.make k 1)
+  | 1 ->
+    (* uniform, odd arity: thresholds are never exactly representable *)
+    let k = [| 3; 5 |].(Random.State.int rng 2) in
+    of_weights (Array.make k 1)
+  | 2 ->
+    (* skewed small weights *)
+    let k = 2 + Random.State.int rng 3 in
+    of_weights (Array.init k (fun _ -> 1 + Random.State.int rng 9))
+  | _ ->
+    (* degenerate: one value carries almost all the mass *)
+    let k = 2 + Random.State.int rng 3 in
+    let ws = Array.make k 1 in
+    ws.(Random.State.int rng k) <- 8 + Random.State.int rng 25;
+    of_weights ws
+
+(* ------------------------------------------------------------------ *)
+(* Threshold-packed bad sets                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* All value tuples over [scope] (in scope order) with their exact joint
+   probabilities. Scopes have size <= 3 and arities <= 8 here, so this
+   enumeration is at most a few hundred tuples. *)
+let tuples_with_weights vars scope =
+  let rec enum = function
+    | [] -> [ ([], Rat.one) ]
+    | vid :: rest ->
+      let tails = enum rest in
+      List.concat
+        (List.init (Var.arity vars.(vid)) (fun y ->
+             List.map (fun (t, w) -> (y :: t, Rat.mul (Var.prob vars.(vid) y) w)) tails))
+  in
+  Array.of_list (enum (Array.to_list scope))
+
+(* Greedily pack shuffled tuples against [target = 2^-d]: strictly below
+   it, at most it, or (for [Just_above]) past it by one extra tuple. *)
+let pack_bad_set rng placement ~target tuples =
+  shuffle rng tuples;
+  let total = ref Rat.zero in
+  let chosen = ref [] in
+  let overflow = ref None in
+  Array.iter
+    (fun (t, w) ->
+      let next = Rat.add !total w in
+      let keep =
+        match placement with
+        | Just_below -> Rat.lt next target
+        | At_threshold | Just_above -> Rat.leq next target
+      in
+      if keep then begin
+        total := next;
+        chosen := t :: !chosen
+      end
+      else if !overflow = None then overflow := Some t)
+    tuples;
+  match (placement, !overflow) with
+  | Just_above, Some t -> t :: !chosen
+  | _ -> !chosen
+
+(* ------------------------------------------------------------------ *)
+(* Structures: variables at exactly rank 1, 2 and 3                    *)
+(* ------------------------------------------------------------------ *)
+
+let ring2 n = Hypergraph.create ~n (List.init n (fun i -> [ i; (i + 1) mod n ]))
+
+let ring3 n =
+  Hypergraph.create ~n (List.init n (fun i -> [ i; (i + 1) mod n; (i + 2) mod n ]))
+
+(* Path with degree-1 endpoints plus singleton (rank-1) hyperedges. *)
+let path_with_singletons n =
+  let path = List.init (n - 1) (fun i -> [ i; i + 1 ]) in
+  let singletons = List.filteri (fun i _ -> i mod 2 = 0) (List.init n (fun i -> [ i ])) in
+  Hypergraph.create ~n (path @ singletons)
+
+(* Ring with one rank-3 chord and a singleton: mixes all three ranks in
+   one dependency graph. *)
+let mixed n =
+  let ring = List.init n (fun i -> [ i; (i + 1) mod n ]) in
+  Hypergraph.create ~n (ring @ [ [ 0; n / 2; n - 1 ]; [ 1 ] ])
+
+let structures =
+  [| ("ring2", ring2); ("ring3", ring3); ("path1", path_with_singletons); ("mixed", mixed) |]
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let instance_on rng placement h =
+  let nv = Hypergraph.m h in
+  let vars =
+    Array.init nv (fun i -> Var.make ~id:i ~name:(Printf.sprintf "x%d" i) (random_dist rng))
+  in
+  let space = Space.create vars in
+  let n = Hypergraph.n h in
+  let d = ref 0 in
+  for v = 0 to n - 1 do
+    d := max !d (Synthetic.dep_degree h v)
+  done;
+  let target = Rat.pow2 (- !d) in
+  let events =
+    Array.init n (fun v ->
+        let scope = Array.of_list (Hypergraph.incident h v) in
+        let tuples = tuples_with_weights vars scope in
+        let bad = pack_bad_set rng placement ~target tuples in
+        Event.of_bad_set ~id:v ~name:(Printf.sprintf "E%d" v) ~scope bad)
+  in
+  Instance.create space events
+
+let generate rng =
+  let n = 4 + Random.State.int rng 6 in
+  let placement =
+    [| Just_below; Just_below; At_threshold; Just_above |].(Random.State.int rng 4)
+  in
+  let sname, build = structures.(Random.State.int rng (Array.length structures)) in
+  let instance = instance_on rng placement (build n) in
+  let label = Printf.sprintf "%s/n=%d/%s" sname n (placement_label placement) in
+  { label; instance }

@@ -1,0 +1,25 @@
+(** Adversarial instance generator: tiny instances biased towards the
+    sharp-threshold boundary.
+
+    Bad sets are greedily packed against [p = 2^-d] (strictly below, at,
+    or just above); variable distributions include degenerate
+    non-uniform rationals and odd arities; structures place variables at
+    exactly rank 1, 2 and 3. See DESIGN.md §8. *)
+
+module Instance = Lll_core.Instance
+
+type placement = Just_below | At_threshold | Just_above
+
+val placement_label : placement -> string
+
+type hostile = { label : string; instance : Instance.t }
+(** A generated instance tagged with its structure / size / placement
+    (e.g. ["ring3/n=7/at"]) for fuzz-run logs and reproducer names. *)
+
+val generate : Random.State.t -> hostile
+(** One hostile instance (4-9 events). Consumes randomness only from the
+    given state, so a fuzz run is reproducible from its seed. *)
+
+val instance_on : Random.State.t -> placement -> Lll_graph.Hypergraph.t -> Instance.t
+(** Hostile distributions and threshold-packed bad sets on an explicit
+    hypergraph structure (exposed for targeted tests). *)

@@ -1,0 +1,264 @@
+(* Independent replay of a fixing-process trace against property P*
+   (Definition 3.1).
+
+   The solver trace tells us only which variable was fixed to which
+   value; everything else — the exact Inc ratios, the phi potential, the
+   representable triples and their decompositions — is re-derived here
+   from the instance, using the same update discipline as the paper's
+   fixers (Fix_rank2 / Fix_rank3). Nothing the engine reports is
+   trusted: if an engine's internal phi bookkeeping is wrong, its value
+   choices stop being justifiable under the *honest* potential and the
+   replay flags the first offending step.
+
+   The checks per step, in order:
+   - the step fixes a live in-range variable to an in-range value;
+   - rank 1: the chosen value's Inc ratio is at most 1;
+   - rank 2: the phi-weighted Inc score is within the edge budget
+     [phi_e^u + phi_e^v] (Section 3.1, weighted form);
+   - rank 3: the scaled triple lies in S_rep (Lemma 3.2) and its
+     constructive decomposition (Lemma 3.5) is a valid witness;
+   - after the fix, every affected event's exact conditional probability
+     is bounded by its initial probability times its phi product — the
+     P* event bound itself.
+
+   Inc ratios and conditional probabilities are exact rationals
+   (Cond_tracker); only phi is float, with the library-wide [eps]
+   absorbing its rounding, exactly as in the fixers. *)
+
+module Rat = Lll_num.Rat
+module Graph = Lll_graph.Graph
+module Space = Lll_prob.Space
+module Var = Lll_prob.Var
+module Assignment = Lll_prob.Assignment
+module Instance = Lll_core.Instance
+module Srep = Lll_core.Srep
+
+type failure = { step_index : int; var : int; reason : string }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "step %d (var %d): %s" f.step_index f.var f.reason
+
+(* ------------------------------------------------------------------ *)
+(* Shared replay state: exact conditionals + honest float phi          *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  inst : Instance.t;
+  tracker : Space.Cond_tracker.tracker;
+  g : Graph.t;
+  phi : float array array; (* edge id -> [| side of min endpoint; side of max |] *)
+  initial : Rat.t array;
+}
+
+let make_state inst =
+  let g = Instance.dep_graph inst in
+  {
+    inst;
+    tracker = Space.Cond_tracker.create (Instance.space inst) (Instance.events inst);
+    g;
+    phi = Array.init (Graph.m g) (fun _ -> [| 1.0; 1.0 |]);
+    initial = Instance.initial_probs inst;
+  }
+
+let side g e v =
+  let u, _ = Graph.endpoints g e in
+  if v = u then 0 else 1
+
+let phi st e v = st.phi.(e).(side st.g e v)
+let set_phi st e v x = st.phi.(e).(side st.g e v) <- x
+
+let inc_vector st ev ~var =
+  let after, before = Space.Cond_tracker.prob_vector st.tracker ev ~var in
+  Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* P* event bound for the events affected by the step just taken. *)
+let event_bound_failure st ~eps ~step_index ~var evs =
+  let rec scan k =
+    if k >= Array.length evs then None
+    else begin
+      let ev = evs.(k) in
+      let bound =
+        List.fold_left
+          (fun acc eid -> acc *. phi st eid ev)
+          (Rat.to_float st.initial.(ev))
+          (Graph.incident_edges st.g ev)
+      in
+      let p = Rat.to_float (Space.Cond_tracker.prob st.tracker ev) in
+      if p > bound +. eps then
+        Some
+          {
+            step_index;
+            var;
+            reason =
+              Printf.sprintf "event %d: conditional probability %.9g exceeds P* bound %.9g" ev
+                p bound;
+          }
+      else scan (k + 1)
+    end
+  in
+  scan 0
+
+let check_trace ?(eps = Srep.default_eps) inst steps =
+  let st = make_state inst in
+  let nvars = Instance.num_vars inst in
+  let fail step_index var reason = Some { step_index; var; reason } in
+  let rec go i = function
+    | [] -> None
+    | (vid, y) :: rest ->
+      if vid < 0 || vid >= nvars then fail i vid "variable id out of range"
+      else if Assignment.is_fixed (Space.Cond_tracker.assignment st.tracker) vid then
+        fail i vid "variable fixed twice"
+      else begin
+        let arity = Var.arity (Space.var (Instance.space inst) vid) in
+        if y < 0 || y >= arity then fail i vid "value out of range"
+        else begin
+          let evs = Instance.events_of_var inst vid in
+          let step_failure =
+            match Array.to_list evs with
+            | [] -> None
+            | [ u ] ->
+              (* rank 1: the event bound is unchanged, so the chosen
+                 Inc must not scale the probability up *)
+              let inc = Rat.to_float (inc_vector st u ~var:vid).(y) in
+              if inc > 1. +. eps then
+                fail i vid (Printf.sprintf "rank-1 step scales event %d by Inc %.9g > 1" u inc)
+              else None
+            | [ u; v ] ->
+              let e = Graph.find_edge_exn st.g u v in
+              let s = phi st e u and w = phi st e v in
+              let iu = (inc_vector st u ~var:vid).(y) in
+              let iv = (inc_vector st v ~var:vid).(y) in
+              let score = (Rat.to_float iu *. s) +. (Rat.to_float iv *. w) in
+              if score > s +. w +. eps then
+                fail i vid
+                  (Printf.sprintf "rank-2 budget broken: score %.9g > phi budget %.9g" score
+                     (s +. w))
+              else begin
+                set_phi st e u (Rat.to_float iu *. s);
+                set_phi st e v (Rat.to_float iv *. w);
+                None
+              end
+            | [ u; v; w ] ->
+              let e = Graph.find_edge_exn st.g u v in
+              let e' = Graph.find_edge_exn st.g u w in
+              let e'' = Graph.find_edge_exn st.g v w in
+              let a = phi st e u *. phi st e' u in
+              let b = phi st e v *. phi st e'' v in
+              let c = phi st e' w *. phi st e'' w in
+              let iu = (inc_vector st u ~var:vid).(y) in
+              let iv = (inc_vector st v ~var:vid).(y) in
+              let iw = (inc_vector st w ~var:vid).(y) in
+              let scaled =
+                (Rat.to_float iu *. a, Rat.to_float iv *. b, Rat.to_float iw *. c)
+              in
+              let viol = Srep.violation scaled in
+              if viol > eps then
+                fail i vid
+                  (Printf.sprintf "scaled triple left S_rep: violation %.3g > eps" viol)
+              else begin
+                let d = Srep.decompose scaled in
+                if not (Srep.is_valid_decomposition ~eps d) then
+                  fail i vid "decomposition of the scaled triple is not a valid witness"
+                else begin
+                  set_phi st e u d.a1;
+                  set_phi st e' u d.a2;
+                  set_phi st e v d.b1;
+                  set_phi st e'' v d.b3;
+                  set_phi st e' w d.c2;
+                  set_phi st e'' w d.c3;
+                  None
+                end
+              end
+            | _ -> fail i vid "rank > 3: the replay checker does not model this engine"
+          in
+          match step_failure with
+          | Some _ as f -> f
+          | None -> (
+            Space.Cond_tracker.fix st.tracker ~var:vid ~value:y;
+            match event_bound_failure st ~eps ~step_index:i ~var:vid evs with
+            | Some _ as f -> f
+            | None -> go (i + 1) rest)
+        end
+      end
+  in
+  go 0 steps
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: a fixer clone with a perturbed phi update          *)
+(* ------------------------------------------------------------------ *)
+
+type mutation = { phi_gain : float; choose_worst : bool }
+
+let honest = { phi_gain = 1.0; choose_worst = false }
+
+(* A forward fixing run sharing the replay's honest machinery except for
+   the injected faults: [phi_gain] scales every phi write-back (the
+   S_rep violation is not scale-invariant, so inflated potentials skew
+   future value rankings until a pick stops being justifiable under the
+   honest potential), and [choose_worst] flips the value selection from
+   minimising to maximising the score. With [honest] this is precisely
+   the Fix_rank3 discipline. *)
+let run_mutant mutation inst =
+  if Instance.rank inst > 3 then invalid_arg "Replay.run_mutant: instance has rank > 3";
+  let st = make_state inst in
+  let n = Instance.num_vars inst in
+  let steps = ref [] in
+  for vid = 0 to n - 1 do
+    let arity = Var.arity (Space.var (Instance.space inst) vid) in
+    let pick score_of =
+      let best = ref (0, score_of 0) in
+      for y = 1 to arity - 1 do
+        let s = score_of y in
+        let better = if mutation.choose_worst then s > snd !best else s < snd !best in
+        if better then best := (y, s)
+      done;
+      fst !best
+    in
+    let y =
+      match Array.to_list (Instance.events_of_var inst vid) with
+      | [] -> 0
+      | [ u ] ->
+        let iu = inc_vector st u ~var:vid in
+        pick (fun y -> Rat.to_float iu.(y))
+      | [ u; v ] ->
+        let e = Graph.find_edge_exn st.g u v in
+        let s = phi st e u and w = phi st e v in
+        let iu = inc_vector st u ~var:vid in
+        let iv = inc_vector st v ~var:vid in
+        let y = pick (fun y -> (Rat.to_float iu.(y) *. s) +. (Rat.to_float iv.(y) *. w)) in
+        set_phi st e u (mutation.phi_gain *. Rat.to_float iu.(y) *. s);
+        set_phi st e v (mutation.phi_gain *. Rat.to_float iv.(y) *. w);
+        y
+      | [ u; v; w ] ->
+        let e = Graph.find_edge_exn st.g u v in
+        let e' = Graph.find_edge_exn st.g u w in
+        let e'' = Graph.find_edge_exn st.g v w in
+        let a = phi st e u *. phi st e' u in
+        let b = phi st e v *. phi st e'' v in
+        let c = phi st e' w *. phi st e'' w in
+        let iu = inc_vector st u ~var:vid in
+        let iv = inc_vector st v ~var:vid in
+        let iw = inc_vector st w ~var:vid in
+        let triple_of y =
+          (Rat.to_float iu.(y) *. a, Rat.to_float iv.(y) *. b, Rat.to_float iw.(y) *. c)
+        in
+        let y = pick (fun y -> Srep.violation (triple_of y)) in
+        let d = Srep.decompose (triple_of y) in
+        let g = mutation.phi_gain in
+        set_phi st e u (g *. d.a1);
+        set_phi st e' u (g *. d.a2);
+        set_phi st e v (g *. d.b1);
+        set_phi st e'' v (g *. d.b3);
+        set_phi st e' w (g *. d.c2);
+        set_phi st e'' w (g *. d.c3);
+        y
+      | _ -> assert false
+    in
+    Space.Cond_tracker.fix st.tracker ~var:vid ~value:y;
+    steps := (vid, y) :: !steps
+  done;
+  (Space.Cond_tracker.assignment st.tracker, List.rev !steps)

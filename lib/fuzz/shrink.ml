@@ -1,0 +1,167 @@
+(* Greedy shrinking of a violating instance.
+
+   The instance is decomposed into plain data (distributions as exact
+   rational vectors, events as scope + explicit bad tuples — the same
+   shape Serialize v2 writes), then mutated with four reducers:
+
+   - drop an event;
+   - shrink a variable's domain by its last value (renormalising the
+     distribution exactly and filtering the bad tuples);
+   - replace a non-uniform distribution by the uniform one of the same
+     arity;
+   - drop variables no event's scope mentions.
+
+   Each reducer strictly decreases the measure
+   [#events + #vars + sum of arities + #non-uniform vars], so the greedy
+   loop — apply the first reducer whose result still reproduces the
+   violation, restart — terminates. The caller's [reproduces] predicate
+   decides what "still violating" means (typically: the failing engine
+   still trips the fuzz cross-check). *)
+
+module Rat = Lll_num.Rat
+module Var = Lll_prob.Var
+module Event = Lll_prob.Event
+module Space = Lll_prob.Space
+module Instance = Lll_core.Instance
+module Serial = Lll_core.Serial
+
+type proto = {
+  dists : Rat.t array array; (* per variable: exact probability vector *)
+  events : (int array * int list list) array; (* scope, bad tuples in scope order *)
+}
+
+let proto_of inst =
+  let space = Instance.space inst in
+  {
+    dists = Array.map Var.probs (Space.vars space);
+    events =
+      Array.map
+        (fun e -> (Event.scope e, Serial.bad_tuples space e))
+        (Instance.events inst);
+  }
+
+(* Rebuild; [None] when a reducer produced something the constructors
+   reject (empty space, empty domain, ...). *)
+let instance_of p =
+  try
+    let vars =
+      Array.mapi (fun i d -> Var.make ~id:i ~name:(Printf.sprintf "x%d" i) d) p.dists
+    in
+    let space = Space.create vars in
+    let events =
+      Array.mapi
+        (fun i (scope, bad) -> Event.of_bad_set ~id:i ~name:(Printf.sprintf "E%d" i) ~scope bad)
+        p.events
+    in
+    Some (Instance.create space events)
+  with Invalid_argument _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Reducers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let drop_event p i =
+  if Array.length p.events <= 1 then None
+  else
+    Some
+      {
+        p with
+        events =
+          Array.of_list
+            (List.filteri (fun j _ -> j <> i) (Array.to_list p.events));
+      }
+
+let is_uniform d = Array.for_all (fun x -> Rat.equal x d.(0)) d
+
+let uniformize_var p v =
+  let k = Array.length p.dists.(v) in
+  if is_uniform p.dists.(v) then None
+  else begin
+    let dists = Array.copy p.dists in
+    dists.(v) <- Array.make k (Rat.of_ints 1 k);
+    Some { p with dists }
+  end
+
+(* Drop the last value of [v]'s domain, renormalising exactly (the kept
+   mass divides out, so the result still sums to 1 in Q) and filtering
+   the bad tuples that mention the dropped value. *)
+let shrink_domain p v =
+  let k = Array.length p.dists.(v) in
+  if k <= 1 then None
+  else begin
+    let kept = Array.sub p.dists.(v) 0 (k - 1) in
+    let mass = Rat.sum (Array.to_list kept) in
+    let dists = Array.copy p.dists in
+    dists.(v) <- Array.map (fun x -> Rat.div x mass) kept;
+    let events =
+      Array.map
+        (fun (scope, bad) ->
+          let positions = ref [] in
+          Array.iteri (fun pos vid -> if vid = v then positions := pos :: !positions) scope;
+          let positions = !positions in
+          let bad =
+            List.filter
+              (fun tuple -> List.for_all (fun pos -> List.nth tuple pos < k - 1) positions)
+              bad
+          in
+          (scope, bad))
+        p.events
+    in
+    Some { dists; events }
+  end
+
+(* Remove variables no scope mentions, remapping ids (monotone, so
+   scopes stay sorted and tuple order is preserved). *)
+let drop_unused_vars p =
+  let nv = Array.length p.dists in
+  let used = Array.make nv false in
+  Array.iter (fun (scope, _) -> Array.iter (fun v -> used.(v) <- true) scope) p.events;
+  if Array.for_all Fun.id used then None
+  else begin
+    let remap = Array.make nv (-1) in
+    let next = ref 0 in
+    for v = 0 to nv - 1 do
+      if used.(v) then begin
+        remap.(v) <- !next;
+        incr next
+      end
+    done;
+    let dists =
+      Array.of_list
+        (List.filteri (fun v _ -> used.(v)) (Array.to_list p.dists))
+    in
+    let events =
+      Array.map (fun (scope, bad) -> (Array.map (fun v -> remap.(v)) scope, bad)) p.events
+    in
+    Some { dists; events }
+  end
+
+let candidates p =
+  let nv = Array.length p.dists and ne = Array.length p.events in
+  List.concat
+    [
+      List.init ne (fun i () -> drop_event p i);
+      [ (fun () -> drop_unused_vars p) ];
+      List.init nv (fun v () -> shrink_domain p v);
+      List.init nv (fun v () -> uniformize_var p v);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The greedy loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let minimize ~reproduces inst =
+  let rec loop p current =
+    let rec try_candidates = function
+      | [] -> current
+      | gen :: rest -> (
+        match gen () with
+        | None -> try_candidates rest
+        | Some p' -> (
+          match instance_of p' with
+          | None -> try_candidates rest
+          | Some i' -> if reproduces i' then loop p' i' else try_candidates rest))
+    in
+    try_candidates (candidates p)
+  in
+  loop (proto_of inst) inst

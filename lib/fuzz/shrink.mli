@@ -1,0 +1,14 @@
+(** Greedy shrinking of violating instances: drop events, shrink
+    domains, uniformise distributions, garbage-collect unused
+    variables — keeping only changes under which the caller's
+    [reproduces] predicate still fires. Terminates because every
+    reducer strictly decreases
+    [#events + #vars + sum of arities + #non-uniform vars]. *)
+
+module Instance = Lll_core.Instance
+
+val minimize : reproduces:(Instance.t -> bool) -> Instance.t -> Instance.t
+(** Greedily minimise an instance while [reproduces] keeps returning
+    [true] on the shrunk candidates. [reproduces] must hold on the
+    input for the result to be meaningful (otherwise the input is
+    returned unchanged). The predicate must not raise. *)

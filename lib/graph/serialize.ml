@@ -174,6 +174,11 @@ let weighted_table_of_lines ~next_line ~(fail : string -> exn) =
             try Lll_num.Rat.of_string (List.nth toks k)
             with Parse_error _ as e -> raise e | _ -> die "bad rational weight"
           in
+          (* joint probabilities of satisfying tuples are strictly
+             positive, so a zero or negative weight is always a
+             corrupted row — reject it before any consumer divides by
+             or compares against it *)
+          if Lll_num.Rat.sign w <= 0 then die "row weight must be positive";
           (xs, w)
         | _ -> die "expected 'w <values> <weight>'")
   in

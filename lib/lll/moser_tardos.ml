@@ -11,39 +11,68 @@
      pairwise non-adjacent, hence share no variables). One such round
      costs O(1) LOCAL rounds; the round count is the distributed
      complexity, which is O(log n) w.h.p. under the shattering
-     criterion. *)
+     criterion.
+
+   The sequential hot path maintains the set of occurring events
+   incrementally: resampling event [e] can only flip the status of [e]
+   and its dependency-graph neighbors (they are the only events sharing
+   a resampled variable), so each resampling refreshes O(deg) events
+   instead of rescanning all [m]. The full rescan survives as
+   [solve_sequential_rescan], the ablation baseline benchmarked against
+   the incremental set in BENCH_pr4.json. *)
 
 module Graph = Lll_graph.Graph
 module Space = Lll_prob.Space
 module Event = Lll_prob.Event
 module Assignment = Lll_prob.Assignment
 
-exception Budget_exhausted of { resamplings : int }
-
 type stats = { resamplings : int; rounds : int }
+
+exception Budget_exhausted of { assignment : Assignment.t; stats : stats }
 
 let occurring instance a =
   let space = Instance.space instance in
   Array.to_list (Instance.events instance)
   |> List.filter (fun e -> Space.event_holds space e a)
 
+module ISet = Set.Make (Int)
+
 (* Sequential resampling with an execution log: the sequence of resampled
    event ids, in order — the raw material of the witness-tree analysis
-   ([MT10], see {!Witness}). *)
+   ([MT10], see {!Witness}). The set of occurring events is kept sorted
+   by id, so picking its minimum reproduces the historical "first
+   occurring event" selection exactly (same resampling sequence, same
+   random stream, same final assignment as the full-rescan baseline). *)
 let solve_sequential_log ?(max_resamplings = 1_000_000) ~seed instance =
   let rng = Random.State.make [| seed |] in
   let space = Instance.space instance in
+  let g = Instance.dep_graph instance in
   let a = ref (Space.sample_unfixed space rng (Assignment.empty (Instance.num_vars instance))) in
   let count = ref 0 in
   let log = ref [] in
+  let holds id = Space.event_holds space (Instance.event instance id) !a in
+  let occ =
+    ref
+      (Array.fold_left
+         (fun acc e -> if Space.event_holds space e !a then ISet.add (Event.id e) acc else acc)
+         ISet.empty (Instance.events instance))
+  in
   let rec loop () =
-    match occurring instance !a with
-    | [] -> ()
-    | bad :: _ ->
-      if !count >= max_resamplings then raise (Budget_exhausted { resamplings = !count });
+    match ISet.min_elt_opt !occ with
+    | None -> ()
+    | Some id ->
+      if !count >= max_resamplings then
+        raise
+          (Budget_exhausted
+             { assignment = !a; stats = { resamplings = !count; rounds = !count } });
       incr count;
-      log := Event.id bad :: !log;
-      a := Space.resample space rng !a (Array.to_list (Event.scope bad));
+      log := id :: !log;
+      let e = Instance.event instance id in
+      a := Space.resample space rng !a (Array.to_list (Event.scope e));
+      (* only [id] and its dependency neighbors can change status *)
+      List.iter
+        (fun u -> occ := if holds u then ISet.add u !occ else ISet.remove u !occ)
+        (id :: Graph.neighbors g id);
       loop ()
   in
   loop ();
@@ -52,6 +81,47 @@ let solve_sequential_log ?(max_resamplings = 1_000_000) ~seed instance =
 let solve_sequential ?max_resamplings ~seed instance =
   let a, stats, _ = solve_sequential_log ?max_resamplings ~seed instance in
   (a, stats)
+
+(* The pre-incremental implementation: rescan all m events to find the
+   first occurring one after every resampling. Kept as the benchmark
+   baseline for the occurring-set maintenance (identical behaviour). *)
+let solve_sequential_rescan ?(max_resamplings = 1_000_000) ~seed instance =
+  let rng = Random.State.make [| seed |] in
+  let space = Instance.space instance in
+  let a = ref (Space.sample_unfixed space rng (Assignment.empty (Instance.num_vars instance))) in
+  let count = ref 0 in
+  let rec loop () =
+    match occurring instance !a with
+    | [] -> ()
+    | bad :: _ ->
+      if !count >= max_resamplings then
+        raise
+          (Budget_exhausted
+             { assignment = !a; stats = { resamplings = !count; rounds = !count } });
+      incr count;
+      a := Space.resample space rng !a (Array.to_list (Event.scope bad));
+      loop ()
+  in
+  loop ();
+  (!a, { resamplings = !count; rounds = !count })
+
+(* Strict local minima of the occurring events under the lexicographic
+   order [(priority, id)]. The id tiebreak matters: comparing priorities
+   alone blocks BOTH endpoints of an edge whose priorities tie, so a
+   fully tied round selects no event yet still burns a round (a livelock
+   when the priority source keeps colliding). Lexicographic order is
+   total, hence the minima are pairwise non-adjacent and every non-empty
+   occurring set selects at least one event. *)
+let priority_minima g ~prio occurring_ids =
+  let is_bad = Array.make (Array.length prio) false in
+  List.iter (fun id -> is_bad.(id) <- true) occurring_ids;
+  List.filter
+    (fun id ->
+      List.for_all
+        (fun u ->
+          (not is_bad.(u)) || prio.(u) > prio.(id) || (prio.(u) = prio.(id) && u > id))
+        (Graph.neighbors g id))
+    occurring_ids
 
 (* CPS-flavoured variant [CPS17]: local minima under FRESH RANDOM
    priorities each round (instead of ids) resample — the symmetry
@@ -66,22 +136,20 @@ let solve_parallel_random_priority ?(max_rounds = 100_000) ~seed instance =
   let rec loop () =
     let bad = occurring instance !a in
     if bad <> [] then begin
-      if !rounds >= max_rounds then raise (Budget_exhausted { resamplings = !resamplings });
+      if !rounds >= max_rounds then
+        raise
+          (Budget_exhausted
+             {
+               assignment = !a;
+               stats = { resamplings = !resamplings; rounds = !rounds };
+             });
       incr rounds;
       let prio = Array.init (Instance.num_events instance) (fun _ -> Random.State.float rng 1.0) in
-      let is_bad = Array.make (Instance.num_events instance) false in
-      List.iter (fun e -> is_bad.(Event.id e) <- true) bad;
-      let selected =
-        List.filter
-          (fun e ->
-            let id = Event.id e in
-            List.for_all
-              (fun u -> (not is_bad.(u)) || prio.(u) > prio.(id))
-              (Graph.neighbors g id))
-          bad
-      in
+      let selected = priority_minima g ~prio (List.map Event.id bad) in
       let vars =
-        List.concat_map (fun e -> Array.to_list (Event.scope e)) selected
+        List.concat_map
+          (fun id -> Array.to_list (Event.scope (Instance.event instance id)))
+          selected
       in
       resamplings := !resamplings + List.length selected;
       a := Space.resample space rng !a vars;
@@ -103,7 +171,13 @@ let solve_parallel_all ?(max_rounds = 100_000) ~seed instance =
   let rec loop () =
     let bad = occurring instance !a in
     if bad <> [] then begin
-      if !rounds >= max_rounds then raise (Budget_exhausted { resamplings = !resamplings });
+      if !rounds >= max_rounds then
+        raise
+          (Budget_exhausted
+             {
+               assignment = !a;
+               stats = { resamplings = !resamplings; rounds = !rounds };
+             });
       incr rounds;
       resamplings := !resamplings + List.length bad;
       let vars =
@@ -127,7 +201,13 @@ let solve_parallel ?(max_rounds = 100_000) ~seed instance =
   let rec loop () =
     let bad = occurring instance !a in
     if bad <> [] then begin
-      if !rounds >= max_rounds then raise (Budget_exhausted { resamplings = !resamplings });
+      if !rounds >= max_rounds then
+        raise
+          (Budget_exhausted
+             {
+               assignment = !a;
+               stats = { resamplings = !resamplings; rounds = !rounds };
+             });
       incr rounds;
       let bad_ids = List.map Event.id bad in
       let is_bad = Array.make (Instance.num_events instance) false in

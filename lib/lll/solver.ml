@@ -353,29 +353,37 @@ let union_bound_impl params inst =
           ];
       })
 
+(* On budget exhaustion the engines hand back the carried partial result:
+   the (complete but still violating) assignment goes through the shared
+   post-condition like any other, so the report comes out ok=false with
+   the work done so far in [detail] instead of an exception escaping the
+   registry. *)
+let mt_outcome ~rounds_of run =
+  let (a, (s : Moser_tardos.stats)), exhausted =
+    match run () with
+    | result -> (result, false)
+    | exception Moser_tardos.Budget_exhausted { assignment; stats } -> ((assignment, stats), true)
+  in
+  {
+    assignment = a;
+    trace = [];
+    rounds = rounds_of s;
+    pstar = None;
+    max_violation = None;
+    detail =
+      ("resamplings", string_of_int s.resamplings)
+      :: (if exhausted then [ ("budget_exhausted", "true") ] else []);
+  }
+
 let mt_seq_impl params inst =
   oneshot (fun () ->
-      let a, (s : Moser_tardos.stats) = Moser_tardos.solve_sequential ~seed:params.seed inst in
-      {
-        assignment = a;
-        trace = [];
-        rounds = None;
-        pstar = None;
-        max_violation = None;
-        detail = [ ("resamplings", string_of_int s.resamplings) ];
-      })
+      mt_outcome ~rounds_of:(fun _ -> None) (fun () ->
+          Moser_tardos.solve_sequential ~seed:params.seed inst))
 
 let mt_par_impl variant params inst =
   oneshot (fun () ->
-      let a, (s : Moser_tardos.stats) = variant ~seed:params.seed inst in
-      {
-        assignment = a;
-        trace = [];
-        rounds = Some s.rounds;
-        pstar = None;
-        max_violation = None;
-        detail = [ ("resamplings", string_of_int s.resamplings) ];
-      })
+      mt_outcome ~rounds_of:(fun s -> Some s.Moser_tardos.rounds) (fun () ->
+          variant ~seed:params.seed inst))
 
 let dist_impl solve_fn params inst =
   oneshot (fun () ->

@@ -97,7 +97,11 @@ type outcome = {
           a float potential; compare against {!Srep.default_eps} *)
   detail : (string * string) list;
       (** engine-specific diagnostics (resamplings, colors, fallbacks,
-          final estimator, ...) as printable key/value pairs *)
+          final estimator, ...) as printable key/value pairs. Randomized
+          engines whose resampling budget ran out report
+          [("budget_exhausted", "true")] together with the work done —
+          the run still flows through the shared post-condition and
+          comes out [ok = false] rather than raising. *)
 }
 
 type report = {

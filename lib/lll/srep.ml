@@ -160,6 +160,17 @@ let surface_grid ~steps =
 (* Random representable triples (for property tests)                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Triples hugging the boundary surface: (a, b) uniform in the triangle,
+   c = f(a,b) scaled by (1 ± eps). These are the hostile inputs for the
+   fuzzer's geometry oracle — mem/decompose must agree right at the
+   incurved surface, where float rounding has the least headroom. *)
+let random_near_boundary ?(eps = 1e-3) rng =
+  let a = Random.State.float rng 4.0 in
+  let b = Random.State.float rng (4.0 -. a) in
+  let scale = 1.0 +. Random.State.float rng (2.0 *. eps) -. eps in
+  let c = Float.max 0. (f a b *. scale) in
+  (a, b, c)
+
 (* Sampling witness values directly guarantees representability. *)
 let random_representable rng =
   let r2 () = Random.State.float rng 2.0 in

@@ -57,3 +57,9 @@ val surface_grid : steps:int -> (float * float * float) list
 val random_representable : Random.State.t -> float * float * float
 (** A uniformly-sampled witness decomposition's products — guaranteed
     representable. *)
+
+val random_near_boundary : ?eps:float -> Random.State.t -> float * float * float
+(** A triple [(a, b, c)] with [c = f(a,b) * (1 ± eps)] for uniform
+    [(a, b)] in the triangle [a + b <= 4] — inputs hugging the incurved
+    surface, where {!mem} and {!decompose} have the least float headroom
+    (the fuzzer's geometry oracle feeds on these). *)

@@ -842,14 +842,71 @@ let test_mt_parallel_all () =
   Alcotest.(check bool) "did work" true (stats.MT.rounds >= 0)
 
 let test_mt_budget () =
-  (* an unsatisfiable instance must raise Budget_exhausted *)
+  (* an unsatisfiable instance must raise Budget_exhausted, and the
+     payload must carry the last (complete) assignment and the stats *)
   let vars = [| Var.uniform ~id:0 ~name:"x" 2 |] in
   let ev = E.make ~id:0 ~name:"always" ~scope:[| 0 |] (fun _ -> true) in
   let inst = I.create (S.create vars) [| ev |] in
   (try
      ignore (MT.solve_sequential ~max_resamplings:50 ~seed:0 inst);
      Alcotest.fail "no budget error"
-   with MT.Budget_exhausted { resamplings = 50 } -> ())
+   with MT.Budget_exhausted { assignment; stats } ->
+     Alcotest.(check int) "payload resamplings" 50 stats.MT.resamplings;
+     Alcotest.(check bool) "payload assignment complete" true (A.is_complete assignment))
+
+let test_mt_incremental_matches_rescan () =
+  (* the incremental occurring set must reproduce the full-rescan
+     baseline exactly: same selection order, same random stream, same
+     assignment and resampling count *)
+  List.iter
+    (fun (inst, seed) ->
+      let a1, s1 = MT.solve_sequential ~seed inst in
+      let a2, s2 = MT.solve_sequential_rescan ~seed inst in
+      Alcotest.(check bool) "same assignment" true (a1 = a2);
+      Alcotest.(check int) "same resamplings" s1.MT.resamplings s2.MT.resamplings)
+    [
+      (Syn.ring ~seed:2 ~n:30 ~arity:4 (), 5);
+      (Syn.ring ~position:Syn.At_threshold ~seed:3 ~n:16 ~arity:4 (), 9);
+      (Syn.random ~seed:4 ~n:12 ~rank:3 ~delta:2 ~arity:8 (), 7);
+    ]
+
+let test_mt_priority_tie_break () =
+  (* forced-tie priority array: comparing priorities alone used to block
+     both endpoints of every tied edge, selecting nothing while burning
+     the round; the lexicographic (priority, id) order must select the
+     id-minima instead *)
+  let inst = Syn.ring ~seed:2 ~n:8 ~arity:4 () in
+  let g = I.dep_graph inst in
+  let all_ids = List.init (I.num_events inst) (fun i -> i) in
+  let tied = Array.make (I.num_events inst) 0.5 in
+  let selected = MT.priority_minima g ~prio:tied all_ids in
+  Alcotest.(check bool) "tied round selects at least one event" true (selected <> []);
+  (* under a full tie the lexicographic order degenerates to ids: the
+     selection must equal the id-local-minima (and be independent) *)
+  let id_minima =
+    List.filter (fun id -> List.for_all (fun u -> u > id) (Lll_graph.Graph.neighbors g id)) all_ids
+  in
+  Alcotest.(check (list int)) "tie degenerates to id-minima" id_minima selected;
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          if u <> v then
+            Alcotest.(check bool) "selected events non-adjacent" false
+              (Lll_graph.Graph.mem_edge g u v))
+        selected)
+    selected;
+  (* distinct priorities must keep selecting priority-minima as before *)
+  let prio = Array.init (I.num_events inst) (fun i -> float_of_int ((i * 5) mod 8)) in
+  let by_prio = MT.priority_minima g ~prio all_ids in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun u ->
+          Alcotest.(check bool) "strict minimum among neighbors" true
+            (prio.(u) > prio.(id) || (prio.(u) = prio.(id) && u > id)))
+        (Lll_graph.Graph.neighbors g id))
+    by_prio
 
 let test_mt_deterministic_given_seed () =
   let inst = Syn.ring ~seed:8 ~n:20 ~arity:4 () in
@@ -1152,6 +1209,53 @@ let test_serial_rejects_garbage () =
      Alcotest.fail "accepted bad count"
    with Ser.Parse_error _ -> ())
 
+let test_serial_v2_error_paths () =
+  (* take an honest v2 rendering and corrupt it in each of the ways a
+     damaged file plausibly is; every corruption must surface as a clean
+     Parse_error, never a wrong instance *)
+  let good = Ser.to_string (triangle_instance ()) in
+  let lines = String.split_on_char '\n' good in
+  let reject name s =
+    try
+      ignore (Ser.of_string s);
+      Alcotest.fail (name ^ " accepted")
+    with Ser.Parse_error _ -> ()
+  in
+  (* wrong-version header *)
+  (match lines with
+  | header :: rest ->
+    Alcotest.(check string) "emits v2" "lll-instance v2" header;
+    reject "future version" (String.concat "\n" ("lll-instance v3" :: rest))
+  | [] -> Alcotest.fail "empty serialization");
+  (* truncated table: drop the final 'w' row so the last wtable block
+     promises more rows than the file holds *)
+  let last_w =
+    List.fold_left
+      (fun (i, best) l ->
+        (i + 1, if String.length l >= 2 && String.sub l 0 2 = "w " then i else best))
+      (0, -1) lines
+    |> snd
+  in
+  Alcotest.(check bool) "has weight rows" true (last_w >= 0);
+  reject "truncated table"
+    (String.concat "\n" (List.filteri (fun i _ -> i <> last_w) lines));
+  (* corrupted row weight: still a positive rational, but no longer the
+     product of the distributions — the self-check must fire *)
+  let rewrite_weight value =
+    String.concat "\n"
+      (List.mapi
+         (fun i l ->
+           if i <> last_w then l
+           else
+             match String.rindex_opt l ' ' with
+             | Some j -> String.sub l 0 j ^ " " ^ value
+             | None -> Alcotest.fail "weight row has no weight")
+         lines)
+  in
+  reject "wrong weight" (rewrite_weight "7/9");
+  (* non-positive weight: rejected by the wtable parser itself *)
+  reject "zero weight" (rewrite_weight "0")
+
 let test_serial_bad_tuples () =
   let inst = triangle_instance () in
   let e = I.event inst 0 in
@@ -1361,6 +1465,10 @@ let () =
           Alcotest.test_case "parallel resample-all" `Quick test_mt_parallel_all;
           Alcotest.test_case "parallel random priorities (CPS)" `Quick test_mt_random_priority;
           Alcotest.test_case "budget" `Quick test_mt_budget;
+          Alcotest.test_case "incremental occurring set matches rescan" `Quick
+            test_mt_incremental_matches_rescan;
+          Alcotest.test_case "priority tie-break selects id-minima" `Quick
+            test_mt_priority_tie_break;
           Alcotest.test_case "seed determinism" `Quick test_mt_deterministic_given_seed;
         ] );
       ( "verify",
@@ -1407,6 +1515,7 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_serial_file_roundtrip;
           Alcotest.test_case "comments" `Quick test_serial_ignores_comments;
           Alcotest.test_case "rejects garbage" `Quick test_serial_rejects_garbage;
+          Alcotest.test_case "v2 error paths" `Quick test_serial_v2_error_paths;
           Alcotest.test_case "bad tuples" `Quick test_serial_bad_tuples;
         ] );
       ( "dist-lll-protocol",

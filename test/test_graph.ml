@@ -483,6 +483,38 @@ let test_hypergraph_serialization () =
   Alcotest.(check int) "n" (H.n h) (H.n h');
   Alcotest.(check bool) "edges" true (H.edges h = H.edges h')
 
+let test_wtable_roundtrip () =
+  let wt =
+    {
+      Ser.arities = [| 2; 3 |];
+      rows = [ ([| 0; 2 |], Lll_num.Rat.of_string "1/6"); ([| 1; 0 |], Lll_num.Rat.of_string "1/3") ];
+    }
+  in
+  let wt' = Ser.weighted_table_of_string (Ser.weighted_table_to_string wt) in
+  Alcotest.(check bool) "arities" true (wt.Ser.arities = wt'.Ser.arities);
+  Alcotest.(check bool) "rows" true
+    (List.for_all2
+       (fun (xs, w) (xs', w') -> xs = xs' && Lll_num.Rat.equal w w')
+       wt.Ser.rows wt'.Ser.rows)
+
+let test_wtable_error_paths () =
+  let reject name s =
+    try
+      ignore (Ser.weighted_table_of_string s);
+      Alcotest.fail (name ^ " accepted")
+    with Ser.Parse_error _ -> ()
+  in
+  (* wrong block header *)
+  reject "bad header" "p wtible 1 1\na 2\nw 0 1/2\n";
+  (* truncated table: header promises 2 rows, only 1 present *)
+  reject "truncated table" "p wtable 1 2\na 2\nw 0 1/2\n";
+  (* tuple value outside the declared arity *)
+  reject "value out of range" "p wtable 1 1\na 2\nw 2 1/2\n";
+  (* corrupted row weights: zero, negative, or not a rational at all *)
+  reject "zero weight" "p wtable 1 1\na 2\nw 0 0\n";
+  reject "negative weight" "p wtable 1 1\na 2\nw 0 -1/2\n";
+  reject "garbage weight" "p wtable 1 1\na 2\nw 0 bogus\n"
+
 let test_serialization_files () =
   let g = Gen.torus 4 4 in
   let path = Filename.temp_file "lll_graph" ".col" in
@@ -641,6 +673,8 @@ let () =
           Alcotest.test_case "comments" `Quick test_graph_serialization_comments;
           Alcotest.test_case "rejects garbage" `Quick test_graph_serialization_rejects;
           Alcotest.test_case "hypergraph roundtrip" `Quick test_hypergraph_serialization;
+          Alcotest.test_case "wtable roundtrip" `Quick test_wtable_roundtrip;
+          Alcotest.test_case "wtable error paths" `Quick test_wtable_error_paths;
           Alcotest.test_case "file roundtrip" `Quick test_serialization_files;
         ] );
       ("properties", graph_props);
