@@ -10,16 +10,17 @@ let is_proper g (c : t) =
 
 let num_colors (c : t) = Array.fold_left (fun acc x -> max acc (x + 1)) 0 c
 
-(* Smallest color not used by the neighbors of [v]. *)
+(* Smallest color not used by the neighbors of [v]. The answer is at most
+   [degree v], so a [deg+1]-slot table plus one scan replaces the old
+   sort_uniq over the neighbor colors. *)
 let smallest_free g (c : t) v =
-  let used = List.filter_map (fun u -> if c.(u) >= 0 then Some c.(u) else None) (Graph.neighbors g v) in
-  let used = List.sort_uniq compare used in
-  let rec go k = function
-    | u :: rest when u = k -> go (k + 1) rest
-    | u :: rest when u < k -> go k rest
-    | _ -> k
-  in
-  go 0 used
+  let deg = Graph.degree g v in
+  let used = Array.make (deg + 1) false in
+  Graph.iter_adj g v (fun u _ ->
+      let cu = c.(u) in
+      if cu >= 0 && cu <= deg then used.(cu) <- true);
+  let rec go k = if used.(k) then go (k + 1) else k in
+  go 0
 
 let greedy ?order g =
   let n = Graph.n g in
@@ -81,19 +82,14 @@ let kw_reduce g (c : t) =
         (fun v col ->
           let base = col / block_size * block_size in
           if col - base = w + j then begin
-            (* smallest free color in [base, base + w) *)
-            let used =
-              List.filter_map
-                (fun u -> if c.(u) >= base && c.(u) < base + w then Some c.(u) else None)
-                (Graph.neighbors g v)
-            in
-            let used = List.sort_uniq compare used in
-            let rec free k = function
-              | x :: rest when x = k -> free (k + 1) rest
-              | x :: rest when x < k -> free k rest
-              | _ -> k
-            in
-            updates := (v, free base used) :: !updates
+            (* smallest free color in [base, base + w): at most dmax
+               neighbors mark < w slots, so one is always free *)
+            let used = Array.make w false in
+            Graph.iter_adj g v (fun u _ ->
+                let cu = c.(u) in
+                if cu >= base && cu < base + w then used.(cu - base) <- true);
+            let rec free k = if used.(k) then free (k + 1) else base + k in
+            updates := (v, free 0) :: !updates
           end)
         c;
       List.iter (fun (v, col) -> c.(v) <- col) !updates
@@ -132,7 +128,7 @@ let colorable_exn ?(budget = 10_000_000) g c =
         if !steps > budget then raise Out_of_budget;
         let v = order.(i) in
         let used = Array.make c false in
-        List.iter (fun u -> if colors.(u) >= 0 then used.(colors.(u)) <- true) (Graph.neighbors g v);
+        Graph.iter_adj g v (fun u _ -> if colors.(u) >= 0 then used.(colors.(u)) <- true);
         let rec try_color k =
           if k = c then false
           else if used.(k) then try_color (k + 1)

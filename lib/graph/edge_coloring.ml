@@ -13,7 +13,7 @@ let is_proper g (c : t) =
   &&
   let ok = ref true in
   for v = 0 to Graph.n g - 1 do
-    let cols = List.map (fun e -> c.(e)) (Graph.incident_edges g v) in
+    let cols = Graph.fold_adj g v ~init:[] ~f:(fun acc _ e -> c.(e) :: acc) in
     let sorted = List.sort compare cols in
     let rec distinct = function
       | a :: (b :: _ as rest) -> a <> b && distinct rest

@@ -1,34 +1,123 @@
 (* Undirected simple graphs with integer nodes [0..n-1] and stable edge ids.
 
-   The adjacency structure stores, for every node, the list of
-   [(neighbor, edge id)] pairs; edge ids index into [edges], which stores
-   endpoints normalised as [(min, max)]. *)
+   The adjacency structure is CSR (compressed sparse row): one offsets
+   array of length [n+1] into two parallel flat arrays holding, for every
+   node, its neighbors and the corresponding edge ids. Per-node slices are
+   sorted by neighbor (ascending), which makes [find_edge] a binary search
+   and keeps the neighbor order identical to the historical
+   list-of-sorted-pairs representation. [degree] is an O(1) offsets
+   difference and [max_degree] is cached at construction.
+
+   Edge ids index into [edges], which stores endpoints normalised as
+   [(min, max)]. *)
 
 type t = {
   n : int;
   edges : (int * int) array;
-  adj : (int * int) list array; (* (neighbor, edge id) *)
+  adj_offsets : int array; (* length n+1; slice of node v is [off.(v), off.(v+1)) *)
+  adj_neighbors : int array; (* length 2m, per-node slices sorted by neighbor *)
+  adj_edge_ids : int array; (* parallel to adj_neighbors *)
+  max_degree : int;
 }
 
 let n g = g.n
 let m g = Array.length g.edges
 let edges g = g.edges
 let endpoints g e = g.edges.(e)
-let adj g v = g.adj.(v)
-let neighbors g v = List.map fst g.adj.(v)
-let incident_edges g v = List.map snd g.adj.(v)
-let degree g v = List.length g.adj.(v)
+let degree g v = g.adj_offsets.(v + 1) - g.adj_offsets.(v)
+let max_degree g = g.max_degree
 
-let max_degree g =
-  let d = ref 0 in
-  for v = 0 to g.n - 1 do
-    d := max !d (degree g v)
+(* Flat-array adjacency walks: no allocation, CSR slice order (neighbor
+   ascending). These are what the in-repo hot paths use; the list
+   accessors below are thin compatibility views built on them. *)
+
+let iter_adj g v f =
+  for i = g.adj_offsets.(v) to g.adj_offsets.(v + 1) - 1 do
+    f g.adj_neighbors.(i) g.adj_edge_ids.(i)
+  done
+
+let fold_adj g v ~init ~f =
+  let acc = ref init in
+  for i = g.adj_offsets.(v) to g.adj_offsets.(v + 1) - 1 do
+    acc := f !acc g.adj_neighbors.(i) g.adj_edge_ids.(i)
   done;
-  !d
+  !acc
+
+let adj g v =
+  List.init (degree g v) (fun i ->
+      let i = g.adj_offsets.(v) + i in
+      (g.adj_neighbors.(i), g.adj_edge_ids.(i)))
+
+let neighbors g v =
+  List.init (degree g v) (fun i -> g.adj_neighbors.(g.adj_offsets.(v) + i))
+
+let incident_edges g v =
+  List.init (degree g v) (fun i -> g.adj_edge_ids.(g.adj_offsets.(v) + i))
 
 let other_endpoint g e v =
   let u, w = g.edges.(e) in
   if u = v then w else if w = v then u else invalid_arg "Graph.other_endpoint: not an endpoint"
+
+(* Build the CSR from an array of already-normalised ([u < v]), duplicate-
+   free edges. The two half-edges of every edge are sorted by
+   (node, neighbor) with a 2-pass stable counting sort — one pass keyed by
+   neighbor, one keyed by node — so no per-node comparison sort (and no
+   intermediate lists) is needed: O(n + m) total. *)
+let of_norm_edges ~n (edges : (int * int) array) =
+  let m = Array.length edges in
+  let h = 2 * m in
+  (* pass 1: stable counting sort of the half-edges by neighbor *)
+  let cnt = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      cnt.(v + 1) <- cnt.(v + 1) + 1;
+      cnt.(u + 1) <- cnt.(u + 1) + 1)
+    edges;
+  for v = 1 to n do
+    cnt.(v) <- cnt.(v) + cnt.(v - 1)
+  done;
+  let by_nbr_node = Array.make h 0 in
+  let by_nbr_nbr = Array.make h 0 in
+  let by_nbr_eid = Array.make h 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      let p = cnt.(v) in
+      cnt.(v) <- p + 1;
+      by_nbr_node.(p) <- u;
+      by_nbr_nbr.(p) <- v;
+      by_nbr_eid.(p) <- e;
+      let p = cnt.(u) in
+      cnt.(u) <- p + 1;
+      by_nbr_node.(p) <- v;
+      by_nbr_nbr.(p) <- u;
+      by_nbr_eid.(p) <- e)
+    edges;
+  (* pass 2: stable counting sort by node — slices come out sorted by
+     neighbor because pass 1 was stable *)
+  let adj_offsets = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      adj_offsets.(u + 1) <- adj_offsets.(u + 1) + 1;
+      adj_offsets.(v + 1) <- adj_offsets.(v + 1) + 1)
+    edges;
+  for v = 1 to n do
+    adj_offsets.(v) <- adj_offsets.(v) + adj_offsets.(v - 1)
+  done;
+  let pos = Array.sub adj_offsets 0 (max n 1) in
+  let adj_neighbors = Array.make h 0 in
+  let adj_edge_ids = Array.make h 0 in
+  for i = 0 to h - 1 do
+    let v = by_nbr_node.(i) in
+    let p = pos.(v) in
+    pos.(v) <- p + 1;
+    adj_neighbors.(p) <- by_nbr_nbr.(i);
+    adj_edge_ids.(p) <- by_nbr_eid.(i)
+  done;
+  let max_degree = ref 0 in
+  for v = 0 to n - 1 do
+    max_degree := max !max_degree (adj_offsets.(v + 1) - adj_offsets.(v))
+  done;
+  { n; edges; adj_offsets; adj_neighbors; adj_edge_ids; max_degree = !max_degree }
 
 let create ~n edge_list =
   if n < 0 then invalid_arg "Graph.create: negative n";
@@ -49,21 +138,22 @@ let create ~n edge_list =
         end)
       edge_list
   in
-  let edges = Array.of_list (List.map norm uniq) in
-  let adj = Array.make n [] in
-  Array.iteri
-    (fun i (u, v) ->
-      adj.(u) <- (v, i) :: adj.(u);
-      adj.(v) <- (u, i) :: adj.(v))
-    edges;
-  (* deterministic neighbor order *)
-  Array.iteri (fun v l -> adj.(v) <- List.sort compare l) adj;
-  { n; edges; adj }
+  of_norm_edges ~n (Array.of_list (List.map norm uniq))
 
-let mem_edge g u v = List.exists (fun (w, _) -> w = v) g.adj.(u)
-
+(* Binary search for [v] in [u]'s neighbor slice. *)
 let find_edge g u v =
-  List.find_map (fun (w, e) -> if w = v then Some e else None) g.adj.(u)
+  let lo = ref g.adj_offsets.(u) and hi = ref (g.adj_offsets.(u + 1) - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.adj_neighbors.(mid) in
+    if w = v then found := Some g.adj_edge_ids.(mid)
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let mem_edge g u v = find_edge g u v <> None
 
 let find_edge_exn g u v =
   match find_edge g u v with
@@ -77,38 +167,69 @@ let fold_edges f acc g =
 
 let iter_edges f g = Array.iteri (fun i (u, v) -> f i u v) g.edges
 
+(* A growable flat pair buffer — the scratch space the derived-graph
+   builders ([square], [line_graph]) collect their edges into before the
+   single CSR construction pass. *)
+module Pair_buf = struct
+  type t = { mutable a : (int * int) array; mutable len : int }
+
+  let create () = { a = Array.make 256 (0, 0); len = 0 }
+
+  let push b p =
+    if b.len = Array.length b.a then begin
+      let a' = Array.make (2 * b.len) (0, 0) in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- p;
+    b.len <- b.len + 1
+
+  let contents b = Array.sub b.a 0 b.len
+end
+
 (* Square graph: nodes at distance 1 or 2 become adjacent. A proper coloring
-   of [square g] is exactly a 2-hop coloring of [g]. *)
+   of [square g] is exactly a 2-hop coloring of [g].
+
+   Built by a timestamped merge over the CSR: for every node [v] the sorted
+   neighbor slices of [v] and of [v]'s neighbors are walked once, a
+   last-seen-at stamp deduplicates across slices, and only pairs [(v, w)]
+   with [w > v] are emitted — so the edge array is duplicate-free by
+   construction and feeds [of_norm_edges] directly, with no per-node lists
+   and no hash-based dedup. *)
 let square g =
-  let es = ref [] in
-  for v = 0 to g.n - 1 do
-    let nbrs = neighbors g v in
-    List.iter (fun u -> if u > v then es := (v, u) :: !es) nbrs;
-    (* distance-2 pairs through v *)
-    let rec pairs = function
-      | [] -> ()
-      | u :: rest ->
-        List.iter (fun w -> if u <> w then es := ((min u w), (max u w)) :: !es) rest;
-        pairs rest
+  let n = g.n in
+  let stamp = Array.make n (-1) in
+  let buf = Pair_buf.create () in
+  for v = 0 to n - 1 do
+    let emit w =
+      if w > v && stamp.(w) <> v then begin
+        stamp.(w) <- v;
+        Pair_buf.push buf (v, w)
+      end
     in
-    pairs nbrs
+    iter_adj g v (fun u _ ->
+        emit u;
+        iter_adj g u (fun w _ -> emit w))
   done;
-  create ~n:g.n !es
+  of_norm_edges ~n (Pair_buf.contents buf)
 
 (* Line graph: one node per edge of [g]; two nodes adjacent iff the edges
-   share an endpoint. Returns the line graph; its node [i] is edge [i] of
-   [g]. *)
+   share an endpoint. In a simple graph two distinct edges share at most
+   one endpoint, so emitting each incident pair at its shared node never
+   produces a duplicate. Returns the line graph; its node [i] is edge [i]
+   of [g]. *)
 let line_graph g =
-  let es = ref [] in
+  let buf = Pair_buf.create () in
   for v = 0 to g.n - 1 do
-    let ids = incident_edges g v in
-    let rec pairs = function
-      | [] -> ()
-      | e :: rest -> List.iter (fun e' -> es := ((min e e'), (max e e')) :: !es) rest; pairs rest
-    in
-    pairs ids
+    let lo = g.adj_offsets.(v) and hi = g.adj_offsets.(v + 1) - 1 in
+    for i = lo to hi do
+      for j = i + 1 to hi do
+        let e = g.adj_edge_ids.(i) and e' = g.adj_edge_ids.(j) in
+        Pair_buf.push buf (min e e', max e e')
+      done
+    done
   done;
-  create ~n:(m g) !es
+  of_norm_edges ~n:(m g) (Pair_buf.contents buf)
 
 let bfs_dist g src =
   let dist = Array.make g.n (-1) in
@@ -117,13 +238,11 @@ let bfs_dist g src =
   Queue.add src q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    List.iter
-      (fun (u, _) ->
+    iter_adj g v (fun u _ ->
         if dist.(u) < 0 then begin
           dist.(u) <- dist.(v) + 1;
           Queue.add u q
         end)
-      g.adj.(v)
   done;
   dist
 
@@ -137,13 +256,11 @@ let connected_components g =
       Queue.add v q;
       while not (Queue.is_empty q) do
         let x = Queue.pop q in
-        List.iter
-          (fun (u, _) ->
+        iter_adj g x (fun u _ ->
             if comp.(u) < 0 then begin
               comp.(u) <- !c;
               Queue.add u q
             end)
-          g.adj.(x)
       done;
       incr c
     end
@@ -165,8 +282,7 @@ let girth g =
     let continue = ref true in
     while !continue && not (Queue.is_empty q) do
       let v = Queue.pop q in
-      List.iter
-        (fun (u, e) ->
+      iter_adj g v (fun u e ->
           if e <> parent_edge.(v) then begin
             if dist.(u) < 0 then begin
               dist.(u) <- dist.(v) + 1;
@@ -178,8 +294,7 @@ let girth g =
               let len = dist.(v) + dist.(u) + 1 in
               if len < !best then best := len
             end
-          end)
-        g.adj.(v);
+          end);
       if dist.(v) * 2 > !best then continue := false
     done
   done;

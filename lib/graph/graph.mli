@@ -2,7 +2,15 @@
 
     The dependency graphs of LLL instances, line graphs used for edge
     coloring, and graph squares used for 2-hop coloring are all values of
-    this type. *)
+    this type.
+
+    Adjacency is stored in CSR form (flat offsets + neighbor/edge-id
+    arrays, per-node slices sorted by neighbor), so [degree] and
+    [max_degree] are O(1), [find_edge] is a binary search, and
+    {!iter_adj}/{!fold_adj} walk a node's neighbors without allocating.
+    The list-returning accessors ([adj], [neighbors], [incident_edges])
+    are thin views kept for compatibility; hot paths should prefer the
+    flat walks. *)
 
 type t
 
@@ -25,16 +33,31 @@ val other_endpoint : t -> int -> int -> int
 (** [other_endpoint g e v] is the endpoint of edge [e] different from [v]. *)
 
 val adj : t -> int -> (int * int) list
-(** [(neighbor, edge id)] pairs, sorted. *)
+(** [(neighbor, edge id)] pairs, sorted by neighbor. Allocates a fresh
+    list per call; prefer {!iter_adj}/{!fold_adj} on hot paths. *)
 
 val neighbors : t -> int -> int list
 val incident_edges : t -> int -> int list
+
+val iter_adj : t -> int -> (int -> int -> unit) -> unit
+(** [iter_adj g v f] calls [f neighbor edge_id] for every adjacency of
+    [v], in ascending neighbor order, without allocating. *)
+
+val fold_adj : t -> int -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+(** [fold_adj g v ~init ~f] folds [f acc neighbor edge_id] over the
+    adjacencies of [v] in ascending neighbor order. *)
+
 val degree : t -> int -> int
+(** O(1) (a CSR offsets difference). *)
+
 val max_degree : t -> int
+(** O(1) (cached at construction). *)
+
 val mem_edge : t -> int -> int -> bool
 
 val find_edge : t -> int -> int -> int option
-(** Edge id between two nodes, if adjacent. *)
+(** Edge id between two nodes, if adjacent. O(log degree) binary search
+    over the sorted neighbor slice. *)
 
 val find_edge_exn : t -> int -> int -> int
 
@@ -46,7 +69,8 @@ val iter_edges : (int -> int -> int -> unit) -> t -> unit
 val square : t -> t
 (** [square g] connects all pairs of nodes at distance 1 or 2 in [g]; a
     proper coloring of [square g] is a 2-hop coloring of [g]
-    (Corollary 1.4 of the paper). *)
+    (Corollary 1.4 of the paper). Built by a timestamped merge over the
+    CSR slices — no per-node lists, no hash-based dedup. *)
 
 val line_graph : t -> t
 (** Node [i] of [line_graph g] is edge [i] of [g]; nodes are adjacent iff

@@ -48,11 +48,11 @@ let one_round g ~m colors =
   let polys = Array.init n (fun v -> Primes.digits ~base:q ~len:(t + 1) colors.(v)) in
   let next = Array.make n 0 in
   for v = 0 to n - 1 do
-    let nbrs = Graph.neighbors g v in
     let rec find a =
       if a >= q then invalid_arg "Linial.one_round: no free evaluation point (improper input?)"
       else if
-        List.for_all (fun u -> Primes.poly_eval q polys.(v) a <> Primes.poly_eval q polys.(u) a) nbrs
+        Graph.fold_adj g v ~init:true ~f:(fun ok u _ ->
+            ok && Primes.poly_eval q polys.(v) a <> Primes.poly_eval q polys.(u) a)
       then a
       else find (a + 1)
     in

@@ -158,17 +158,16 @@ type result = {
    in order. Returns the merged assignment and the sweep round count. *)
 let run_sweep ?domains ?(metrics = Metrics.disabled) instance g net ~classes ~duty =
   let init v =
-    let phi =
-      let mine = Graph.incident_edges g v in
-      let nbrs = Graph.neighbors g v in
-      let between =
-        List.concat_map
-          (fun u -> List.filter_map (fun w -> if u < w then Graph.find_edge g u w else None) nbrs)
-          nbrs
-      in
-      List.fold_left (fun acc e -> IntMap.add e ((1.0, 1.0), 0) acc) IntMap.empty (mine @ between)
-    in
-    { color = 0; known = IntMap.empty; phi }
+    (* phi entries for my incident edges plus the edges between my
+       neighbors (the clique edges of my variables), straight off the
+       CSR slices — no intermediate lists *)
+    let phi = ref IntMap.empty in
+    let add e = phi := IntMap.add e ((1.0, 1.0), 0) !phi in
+    Graph.iter_adj g v (fun _ e -> add e);
+    Graph.iter_adj g v (fun u _ ->
+        Graph.iter_adj g v (fun w _ ->
+            if u < w then match Graph.find_edge g u w with Some e -> add e | None -> ()));
+    { color = 0; known = IntMap.empty; phi = !phi }
   in
   let total_rounds = 3 * classes in
   let step ~round ~me s nbrs =

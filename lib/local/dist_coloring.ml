@@ -22,21 +22,25 @@ let schedule ~dmax ~m =
   in
   go m []
 
-type state = { color : int }
-
 (* One Linial step given parameters (q, t): pick the smallest evaluation
-   point at which my polynomial differs from every neighbor's. *)
-let linial_step ~q ~t my_color nbr_colors =
+   point at which my polynomial differs from every neighbor's. The array
+   form is what the flat runner feeds; the list form is kept as the
+   public entry point. *)
+let linial_step_arr ~q ~t my_color (nbr_colors : int array) =
   let my_poly = Primes.digits ~base:q ~len:(t + 1) my_color in
-  let nbr_polys = List.map (fun c -> Primes.digits ~base:q ~len:(t + 1) c) nbr_colors in
+  let nbr_polys = Array.map (fun c -> Primes.digits ~base:q ~len:(t + 1) c) nbr_colors in
   let rec find a =
     if a >= q then invalid_arg "Dist_coloring.linial_step: no free point (improper coloring?)"
-    else if List.for_all (fun p -> Primes.poly_eval q my_poly a <> Primes.poly_eval q p a) nbr_polys
+    else if
+      Array.for_all (fun p -> Primes.poly_eval q my_poly a <> Primes.poly_eval q p a) nbr_polys
     then a
     else find (a + 1)
   in
   let a = find 0 in
   (a * q) + Primes.poly_eval q my_poly a
+
+let linial_step ~q ~t my_color nbr_colors =
+  linial_step_arr ~q ~t my_color (Array.of_list nbr_colors)
 
 (* The Kuhn-Wattenhofer reduction schedule: starting palette sizes of the
    successive halving phases (each phase costs [dmax + 1] rounds and maps
@@ -68,13 +72,15 @@ let color ?(id_bound = max_int) ?domains ?(metrics = Metrics.disabled) net =
     let kw_phases = Array.of_list (kw_schedule ~dmax ~m:m_star) in
     let reduction_rounds = w * Array.length kw_phases in
     let total = linial_rounds + reduction_rounds in
-    let init v = { color = Network.id net v } in
-    let step ~round ~me:_ s nbrs =
-      let nbr_colors = List.map (fun (_, s') -> s'.color) nbrs in
-      let s' =
+    (* whole node state is one int (the color), so the protocol runs on
+       the flat runner: neighbor colors arrive as an int array straight
+       off the CSR slice, with no per-round assoc lists *)
+    let init v = Network.id net v in
+    let step ~round ~me:_ color (nbr_colors : int array) =
+      let color' =
         if round < linial_rounds then begin
           let q, t, _ = sched_arr.(round) in
-          { color = linial_step ~q ~t s.color nbr_colors }
+          linial_step_arr ~q ~t color nbr_colors
         end
         else begin
           (* KW reduction: phase k, offset j *)
@@ -82,36 +88,32 @@ let color ?(id_bound = max_int) ?domains ?(metrics = Metrics.disabled) net =
           let k = r / w and j = r mod w in
           ignore kw_phases.(k);
           let block_size = 2 * w in
-          let base = s.color / block_size * block_size in
+          let base = color / block_size * block_size in
           let color =
-            if s.color - base = w + j then begin
-              (* recolor into the block's low window *)
-              let used =
-                List.sort_uniq compare
-                  (List.filter (fun c -> c >= base && c < base + w) nbr_colors)
-              in
-              let rec free k = function
-                | x :: rest when x = k -> free (k + 1) rest
-                | x :: rest when x < k -> free k rest
-                | _ -> k
-              in
-              free base used
+            if color - base = w + j then begin
+              (* recolor into the block's low window: mark the window
+                 colors used by neighbors in a [w]-slot table and take the
+                 first free slot (at most [dmax] neighbors < [w] slots, so
+                 one is always free) — no sort, no dedup *)
+              let used = Array.make w false in
+              Array.iter
+                (fun c -> if c >= base && c < base + w then used.(c - base) <- true)
+                nbr_colors;
+              let rec free k = if used.(k) then free (k + 1) else base + k in
+              free 0
             end
-            else s.color
+            else color
           in
           (* end of phase: compact blocks (local renaming, no cost) *)
-          let color =
-            if j = w - 1 then (color / block_size * w) + (color mod block_size) else color
-          in
-          { color }
+          if j = w - 1 then (color / block_size * w) + (color mod block_size) else color
         end
       in
-      (s', round + 1 >= total)
+      (color', round + 1 >= total)
     in
     if total = 0 then (Array.init n (fun v -> Network.id net v), 0)
     else begin
-      let states, stats = Runtime.run_full_info ?domains ~metrics net ~init ~step in
-      (Array.map (fun s -> s.color) states, stats.Runtime.rounds)
+      let states, stats = Runtime.run_full_info_flat ?domains ~metrics net ~init ~step in
+      (states, stats.Runtime.rounds)
     end
   end
 

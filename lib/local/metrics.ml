@@ -16,6 +16,8 @@ type round_record = {
   stepped : int;  (* nodes that executed their step function *)
   halted_fraction : float;  (* fraction of nodes halted after the round *)
   state_words : int;  (* heap words of a sampled node state (size proxy) *)
+  max_inbox : int;  (* largest inbox consumed this round (0 for full-info) *)
+  arena_occupancy : int;  (* message-arena capacity in slots (0 when unused) *)
 }
 
 type buffer = { mutable phase : string; mutable recs : round_record list (* newest first *) }
@@ -50,6 +52,8 @@ let record_step sink ~round ~total ~wall_ns ~state =
         state_words =
           (let r = Obj.repr state in
            if Obj.is_int r then 0 else Obj.reachable_words r);
+        max_inbox = 0;
+        arena_occupancy = 0;
       }
       :: b.recs
 
@@ -83,8 +87,9 @@ let escape s =
 
 let record_to_json r =
   Printf.sprintf
-    "{\"round\":%d,\"phase\":\"%s\",\"wall_ns\":%d,\"messages\":%d,\"stepped\":%d,\"halted_fraction\":%.6f,\"state_words\":%d}"
+    "{\"round\":%d,\"phase\":\"%s\",\"wall_ns\":%d,\"messages\":%d,\"stepped\":%d,\"halted_fraction\":%.6f,\"state_words\":%d,\"max_inbox\":%d,\"arena_occupancy\":%d}"
     r.round (escape r.phase) r.wall_ns r.messages r.stepped r.halted_fraction r.state_words
+    r.max_inbox r.arena_occupancy
 
 let to_json recs =
   let b = Stdlib.Buffer.create 4096 in
@@ -109,11 +114,11 @@ let total_messages recs = List.fold_left (fun acc r -> acc + r.messages) 0 recs
 let total_wall_ns recs = List.fold_left (fun acc r -> acc + r.wall_ns) 0 recs
 
 let pp fmt recs =
-  Format.fprintf fmt "%-6s %-14s %10s %10s %10s %8s %12s@." "round" "phase" "wall_us"
-    "messages" "stepped" "halted" "state_words";
+  Format.fprintf fmt "%-6s %-14s %10s %10s %10s %8s %12s %9s %9s@." "round" "phase" "wall_us"
+    "messages" "stepped" "halted" "state_words" "max_inbox" "arena";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-6d %-14s %10.1f %10d %10d %8.3f %12d@." r.round r.phase
+      Format.fprintf fmt "%-6d %-14s %10.1f %10d %10d %8.3f %12d %9d %9d@." r.round r.phase
         (float_of_int r.wall_ns /. 1e3)
-        r.messages r.stepped r.halted_fraction r.state_words)
+        r.messages r.stepped r.halted_fraction r.state_words r.max_inbox r.arena_occupancy)
     recs

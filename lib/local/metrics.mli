@@ -9,6 +9,8 @@ type round_record = {
   stepped : int;  (** nodes that executed their step function *)
   halted_fraction : float;  (** fraction of nodes halted after the round *)
   state_words : int;  (** heap words of a sampled node state (size proxy) *)
+  max_inbox : int;  (** largest inbox consumed this round (0 for full-info) *)
+  arena_occupancy : int;  (** message-arena capacity in slots (0 when unused) *)
 }
 
 type sink

@@ -69,7 +69,7 @@ let greedy g =
   for v = 0 to n - 1 do
     if not blocked.(v) then begin
       in_mis.(v) <- true;
-      List.iter (fun u -> blocked.(u) <- true) (Graph.neighbors g v);
+      Graph.iter_adj g v (fun u _ -> blocked.(u) <- true);
       blocked.(v) <- true
     end
   done;
@@ -83,6 +83,6 @@ let is_mis g in_mis =
   let maximal =
     Array.for_all Fun.id
       (Array.init (Graph.n g) (fun v ->
-           in_mis.(v) || List.exists (fun u -> in_mis.(u)) (Graph.neighbors g v)))
+           in_mis.(v) || Graph.fold_adj g v ~init:false ~f:(fun acc u _ -> acc || in_mis.(u))))
   in
   independent && maximal

@@ -7,7 +7,9 @@
 module Graph = Lll_graph.Graph
 module Generators = Lll_graph.Generators
 
-type t = { graph : Graph.t; ids : int array }
+(* [degrees] and [max_degree] are snapshotted off the graph's CSR at
+   creation, so network-level degree queries never touch the graph. *)
+type t = { graph : Graph.t; ids : int array; degrees : int array; max_degree : int }
 
 let create ?ids graph =
   let n = Graph.n graph in
@@ -19,15 +21,16 @@ let create ?ids graph =
       if Hashtbl.mem tbl id then invalid_arg "Network.create: duplicate id";
       Hashtbl.add tbl id ())
     ids;
-  { graph; ids }
+  let degrees = Array.init n (Graph.degree graph) in
+  { graph; ids; degrees; max_degree = Graph.max_degree graph }
 
 let graph t = t.graph
 let n t = Graph.n t.graph
 let id t v = t.ids.(v)
 let ids t = Array.copy t.ids
 let neighbors t v = Graph.neighbors t.graph v
-let degree t v = Graph.degree t.graph v
-let max_degree t = Graph.max_degree t.graph
+let degree t v = t.degrees.(v)
+let max_degree t = t.max_degree
 
 (* Network with ids permuted by a seeded shuffle — an "adversarial"
    relabelling for testing id-dependence of algorithms. *)

@@ -13,8 +13,12 @@ val n : t -> int
 val id : t -> int -> int
 val ids : t -> int array
 val neighbors : t -> int -> int list
+
 val degree : t -> int -> int
+(** O(1): per-node degrees are cached at {!create}. *)
+
 val max_degree : t -> int
+(** O(1): cached at {!create}. *)
 
 val with_shuffled_ids : seed:int -> t -> t
 (** Same topology with a seeded random permutation of the ids. *)

@@ -22,7 +22,19 @@
    happens in a sequential merge sweep over nodes 0..n-1 after the
    parallel phase, in exactly the order the sequential engine used; with
    [~domains:1] no domain is spawned and the engine IS the sequential
-   reference, which the differential tests exploit. *)
+   reference, which the differential tests exploit.
+
+   Message storage is a double-buffered ARENA instead of the former
+   per-node [(sender, msg) list] inboxes: each round the per-destination
+   message counts are prefix-summed into an offsets array and all payloads
+   land in two flat arrays (sender, message), giving per-node inbox
+   SLICES. The commit sweep walks senders in node order, so every slice
+   holds its messages in ascending sender order — exactly the order the
+   list engine delivered after its [List.rev]. The parallel step phase
+   reads only its own node's slice (disjoint reads of an immutable
+   snapshot), and the two arenas swap roles every round, so steady-state
+   rounds allocate nothing proportional to the message count. See
+   DESIGN.md §9 for the layout and the determinism argument. *)
 
 exception Round_limit_exceeded of int
 
@@ -32,14 +44,18 @@ type stats = { rounds : int; messages : int; per_round : Metrics.round_record li
 
 let default_max_rounds = 1_000_000
 
-(* Sorted neighbor arrays, precomputed once per run: the per-message
-   destination check becomes O(log deg) instead of the former O(deg)
-   [List.mem] scan of the adjacency list (O(deg^2) per node per round). *)
+(* Per-node neighbor arrays, read straight off the CSR: slices are already
+   sorted by neighbor, so the per-message destination check is an
+   O(log deg) binary search with no per-run sort. *)
 let neighbor_index net =
-  let n = Network.n net in
-  Array.init n (fun v ->
-      let a = Array.of_list (Network.neighbors net v) in
-      Array.sort compare a;
+  let g = Network.graph net in
+  Array.init (Network.n net) (fun v ->
+      let deg = Network.Graph.degree g v in
+      let a = Array.make deg 0 in
+      let i = ref 0 in
+      Network.Graph.iter_adj g v (fun u _ ->
+          a.(!i) <- u;
+          incr i);
       a)
 
 let mem_sorted (a : int array) x =
@@ -52,9 +68,42 @@ let mem_sorted (a : int array) x =
   done;
   !found
 
+(* ---- the message arena ----
+
+   [off] has length n+1; the inbox of node [v] is the slice
+   [off.(v), off.(v+1)) of the parallel [src]/[msg] arrays. [msg] is
+   allocated lazily on the first message of the run (we need a message
+   value as the array filler) and both payload arrays grow by doubling;
+   stale slots beyond [total] are never read. *)
+type 'm arena = {
+  mutable off : int array;
+  mutable src : int array;
+  mutable msg : 'm array;
+  mutable total : int;
+}
+
+let arena_create n = { off = Array.make (n + 1) 0; src = [||]; msg = [||]; total = 0 }
+
+let arena_capacity a = Array.length a.msg
+
+(* The inbox slice of [v], materialised as the [(sender, msg)] list the
+   step API consumes; slice order is ascending sender order. *)
+let arena_inbox a v =
+  let lo = a.off.(v) and hi = a.off.(v + 1) in
+  let rec go i acc = if i < lo then acc else go (i - 1) ((a.src.(i), a.msg.(i)) :: acc) in
+  go (hi - 1) []
+
+let arena_max_inbox a n =
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    best := max !best (a.off.(v + 1) - a.off.(v))
+  done;
+  !best
+
 (* One metrics record, appended both to the sink and to the per-run
    accumulator surfaced through [stats.per_round]. *)
-let emit metrics acc ~round ~t0 ~messages ~stepped ~halted_count ~n ~sample =
+let emit metrics acc ~round ~t0 ~messages ~stepped ~halted_count ~n ~sample ~max_inbox
+    ~arena_occupancy =
   if Metrics.enabled metrics then begin
     let r =
       {
@@ -65,6 +114,8 @@ let emit metrics acc ~round ~t0 ~messages ~stepped ~halted_count ~n ~sample =
         stepped;
         halted_fraction = (if n = 0 then 1.0 else float_of_int halted_count /. float_of_int n);
         state_words = Metrics.state_words sample;
+        max_inbox;
+        arena_occupancy;
       }
     in
     Metrics.record metrics r;
@@ -79,7 +130,11 @@ let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled
   let states = Array.init n init in
   let halted = Array.make n false in
   let halted_count = ref 0 in
-  let inboxes : (int * 'm) list array = Array.make n [] in
+  (* double buffer: [cur] is this round's inboxes, [nxt] receives the
+     sends; they swap at the end of every round *)
+  let cur = ref (arena_create n) in
+  let nxt = ref (arena_create n) in
+  let counts = Array.make (max n 1) 0 in
   let results : ('s, 'm) step_result option array = Array.make n None in
   let round = ref 0 in
   let messages = ref 0 in
@@ -87,24 +142,24 @@ let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled
   while !halted_count < n do
     if !round >= max_rounds then raise (Round_limit_exceeded max_rounds);
     let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
+    let inbox_arena = !cur in
     (* parallel phase: pure per-node computation against the round's
-       snapshot; node [v] writes only [results.(v)] *)
+       snapshot; node [v] reads only its own inbox slice and writes only
+       [results.(v)] *)
     Par.parallel_for ?domains ~n (fun v ->
-        if not halted.(v) then begin
-          let inbox = List.rev inboxes.(v) in
-          results.(v) <- Some (step ~round:!round ~me:v states.(v) inbox)
-        end);
-    (* sequential merge in node order: state/halt commit, destination
-       checks and message delivery — byte-identical to the sequential
-       engine's interleaving *)
-    let outboxes = Array.make n [] in
+        if not halted.(v) then
+          results.(v) <- Some (step ~round:!round ~me:v states.(v) (arena_inbox inbox_arena v)));
+    (* sequential merge in node order. Pass 1 commits states/halts and
+       validates every destination in exactly the interleaving the list
+       engine used (so a non-neighbor send raises after the same
+       prefix of state commits), accumulating per-destination counts. *)
     let stepped = ref 0 in
     let round_msgs = ref 0 in
+    Array.fill counts 0 (max n 1) 0;
     for v = 0 to n - 1 do
       match results.(v) with
       | None -> ()
       | Some r ->
-        results.(v) <- None;
         incr stepped;
         states.(v) <- r.state;
         if r.halt then begin
@@ -112,18 +167,53 @@ let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled
           incr halted_count
         end;
         List.iter
-          (fun (target, msg) ->
+          (fun (target, _) ->
             if not (mem_sorted nbr_index.(v) target) then
               invalid_arg "Runtime.run: message to non-neighbor";
             incr round_msgs;
-            outboxes.(target) <- (v, msg) :: outboxes.(target))
+            counts.(target) <- counts.(target) + 1)
+          r.send
+    done;
+    (* prefix-sum the counts into the next arena's offsets and write each
+       message into its destination slice; sweeping senders in node order
+       fills every slice in ascending sender order *)
+    let dst = !nxt in
+    dst.off.(0) <- 0;
+    for v = 0 to n - 1 do
+      dst.off.(v + 1) <- dst.off.(v) + counts.(v)
+    done;
+    dst.total <- !round_msgs;
+    if Array.length dst.src < !round_msgs then
+      dst.src <- Array.make (max !round_msgs (2 * Array.length dst.src)) 0;
+    let cursor = Array.blit dst.off 0 counts 0 (max n 1); counts in
+    for v = 0 to n - 1 do
+      match results.(v) with
+      | None -> ()
+      | Some r ->
+        results.(v) <- None;
+        List.iter
+          (fun (target, msg) ->
+            let p = cursor.(target) in
+            cursor.(target) <- p + 1;
+            if Array.length dst.msg < dst.total then
+              (* first message of the run (or a grown round): (re)allocate
+                 using a real message as filler *)
+              dst.msg <-
+                (let grown = Array.make (max dst.total (2 * Array.length dst.msg)) msg in
+                 Array.blit dst.msg 0 grown 0 (Array.length dst.msg);
+                 grown);
+            dst.src.(p) <- v;
+            dst.msg.(p) <- msg)
           r.send
     done;
     messages := !messages + !round_msgs;
-    Array.blit outboxes 0 inboxes 0 n;
     (* n > 0 inside the loop, so states.(0) is a valid sample *)
     emit metrics recs ~round:!round ~t0 ~messages:!round_msgs ~stepped:!stepped
-      ~halted_count:!halted_count ~n ~sample:states.(0);
+      ~halted_count:!halted_count ~n ~sample:states.(0)
+      ~max_inbox:(arena_max_inbox inbox_arena n)
+      ~arena_occupancy:(max (arena_capacity !cur) (arena_capacity !nxt));
+    cur := dst;
+    nxt := inbox_arena;
     incr round
   done;
   (states, finish ~rounds:!round ~messages:!messages recs)
@@ -135,7 +225,7 @@ let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled
 let run_full_info ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net
     ~init ~step =
   let n = Network.n net in
-  let nbrs = Array.init n (Network.neighbors net) in
+  let nbrs = neighbor_index net in
   let states = Array.init n init in
   let halted = Array.make n false in
   let halted_count = ref 0 in
@@ -148,7 +238,9 @@ let run_full_info ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metric
     let snapshot = Array.copy states in
     Par.parallel_for ?domains ~n (fun v ->
         if not halted.(v) then begin
-          let nbr_states = List.map (fun u -> (u, snapshot.(u))) nbrs.(v) in
+          let nbr_states =
+            Array.to_list (Array.map (fun u -> (u, snapshot.(u))) nbrs.(v))
+          in
           let s, h = step ~round:!round ~me:v snapshot.(v) nbr_states in
           states.(v) <- s;
           halt_req.(v) <- h
@@ -164,7 +256,51 @@ let run_full_info ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metric
       end
     done;
     emit metrics recs ~round:!round ~t0 ~messages:0 ~stepped:!stepped
-      ~halted_count:!halted_count ~n ~sample:states.(0);
+      ~halted_count:!halted_count ~n ~sample:states.(0) ~max_inbox:0 ~arena_occupancy:0;
+    incr round
+  done;
+  (states, finish ~rounds:!round ~messages:0 recs)
+
+(* Flat int-state variant of [run_full_info], for protocols whose whole
+   node state is one integer (colorings, floods): states and the per-round
+   snapshot are int arrays, and each step sees its neighbors' states as an
+   int array read straight off the CSR slice — no assoc lists, no boxed
+   pairs. Same engine contract as [run_full_info]: parallel step phase
+   against an immutable snapshot, sequential halt sweep in node order. *)
+let run_full_info_flat ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled)
+    net ~init ~step =
+  let n = Network.n net in
+  let nbrs = neighbor_index net in
+  let states = Array.init n init in
+  let snapshot = Array.make (max n 1) 0 in
+  let halted = Array.make n false in
+  let halted_count = ref 0 in
+  let halt_req = Array.make n false in
+  let round = ref 0 in
+  let recs = ref [] in
+  while !halted_count < n do
+    if !round >= max_rounds then raise (Round_limit_exceeded max_rounds);
+    let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
+    Array.blit states 0 snapshot 0 n;
+    Par.parallel_for ?domains ~n (fun v ->
+        if not halted.(v) then begin
+          let nbr_states = Array.map (fun u -> snapshot.(u)) nbrs.(v) in
+          let s, h = step ~round:!round ~me:v snapshot.(v) nbr_states in
+          states.(v) <- s;
+          halt_req.(v) <- h
+        end);
+    let stepped = ref 0 in
+    for v = 0 to n - 1 do
+      if not halted.(v) then begin
+        incr stepped;
+        if halt_req.(v) then begin
+          halted.(v) <- true;
+          incr halted_count
+        end
+      end
+    done;
+    emit metrics recs ~round:!round ~t0 ~messages:0 ~stepped:!stepped
+      ~halted_count:!halted_count ~n ~sample:states.(0) ~max_inbox:0 ~arena_occupancy:0;
     incr round
   done;
   (states, finish ~rounds:!round ~messages:0 recs)
@@ -172,15 +308,30 @@ let run_full_info ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metric
 (* Gather the (node, state) pairs within radius [k] of every node by
    flooding for [k] rounds — the canonical LOCAL primitive: any
    [T]-round algorithm is equivalent to collecting the radius-[T]
-   neighborhood and deciding locally. *)
+   neighborhood and deciding locally.
+
+   Ball states are kept sorted by node id, so merging two balls is one
+   linear sweep over the sorted lists instead of the former
+   [List.sort_uniq] over their concatenation. Entries for the same node
+   are identical pairs ([(v, value v)] originates once, at [v], and is
+   only ever copied), so keeping either duplicate is the same pair — the
+   merge is bit-identical to the sort_uniq it replaces. *)
+let merge_sorted_balls l l' =
+  let rec go acc l l' =
+    match (l, l') with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | ((a, _) as x) :: tl, ((b, _) as y) :: tl' ->
+      if a < b then go (x :: acc) tl l'
+      else if b < a then go (y :: acc) l tl'
+      else go (x :: acc) tl tl'
+  in
+  go [] l l'
+
 let gather_balls ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net
     ~radius ~(value : int -> 'a) : (int * 'a) list array * stats =
   let init v = [ (v, value v) ] in
-  let merge l l' =
-    List.sort_uniq (fun (a, _) (b, _) -> compare a b) (List.rev_append l l')
-  in
   let step ~round ~me:_ s nbrs =
-    let s' = List.fold_left (fun acc (_, l) -> merge acc l) s nbrs in
+    let s' = List.fold_left (fun acc (_, l) -> merge_sorted_balls acc l) s nbrs in
     (s', round + 1 >= radius)
   in
   if radius = 0 then

@@ -51,6 +51,20 @@ val run_full_info :
 (** Full-information rounds: each step sees the previous-round states of
     all neighbors — equivalent to LOCAL because messages are unbounded. *)
 
+val run_full_info_flat :
+  ?max_rounds:int ->
+  ?domains:int ->
+  ?metrics:Metrics.sink ->
+  Network.t ->
+  init:(int -> int) ->
+  step:(round:int -> me:int -> int -> int array -> int * bool) ->
+  int array * stats
+(** {!run_full_info} specialised to single-integer node states
+    (colorings, floods): states live in an int array and each step sees
+    its neighbors' states as an int array, in ascending neighbor order —
+    no per-round assoc-list allocation. Same semantics and determinism
+    contract as {!run_full_info} restricted to int states. *)
+
 val gather_balls :
   ?max_rounds:int ->
   ?domains:int ->

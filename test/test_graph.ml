@@ -589,6 +589,125 @@ let graph_props =
           true g);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* CSR vs naive list model                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately naive reference implementation of the graph API, built
+   straight from the raw edge list with lists and linear scans — the
+   semantics the CSR representation must reproduce exactly. *)
+module Model = struct
+  type t = { n : int; edges : (int * int) array }
+
+  let create ~n edge_list =
+    let seen = Hashtbl.create 16 in
+    let norm (u, v) = if u < v then (u, v) else (v, u) in
+    let uniq =
+      List.filter
+        (fun e ->
+          let e = norm e in
+          if Hashtbl.mem seen e then false
+          else begin
+            Hashtbl.add seen e ();
+            true
+          end)
+        edge_list
+    in
+    { n; edges = Array.of_list (List.map norm uniq) }
+
+  let adj t v =
+    let acc = ref [] in
+    Array.iteri
+      (fun i (a, b) ->
+        if a = v then acc := (b, i) :: !acc else if b = v then acc := (a, i) :: !acc)
+      t.edges;
+    List.sort compare !acc
+
+  let neighbors t v = List.map fst (adj t v)
+  let incident_edges t v = List.map snd (adj t v)
+  let degree t v = List.length (adj t v)
+
+  let max_degree t =
+    List.fold_left (fun acc v -> max acc (degree t v)) 0 (List.init t.n Fun.id)
+
+  let find_edge t u v =
+    let key = (min u v, max u v) in
+    let r = ref None in
+    Array.iteri (fun i e -> if !r = None && e = key then r := Some i) t.edges;
+    !r
+
+  (* distance-<=2 pairs by brute force over the adjacency matrix *)
+  let square_pairs t =
+    let m = Array.make_matrix t.n t.n false in
+    Array.iter
+      (fun (u, v) ->
+        m.(u).(v) <- true;
+        m.(v).(u) <- true)
+      t.edges;
+    let out = ref [] in
+    for u = t.n - 1 downto 0 do
+      for v = t.n - 1 downto u + 1 do
+        let dist2 = ref m.(u).(v) in
+        for w = 0 to t.n - 1 do
+          if m.(u).(w) && m.(w).(v) then dist2 := true
+        done;
+        if !dist2 then out := (u, v) :: !out
+      done
+    done;
+    !out
+end
+
+(* Raw (n, possibly-duplicated, possibly-reversed edge list) inputs, so the
+   dedup/normalisation path is exercised too. *)
+let arb_raw_graph =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 30 in
+      let* m = int_range 0 60 in
+      let* pairs = list_repeat m (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+      return (n, List.filter (fun (u, v) -> u <> v) pairs))
+  in
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) es)))
+    gen
+
+let csr_model_props =
+  let both (n, es) = (G.create ~n es, Model.create ~n es) in
+  [
+    prop "neighbors agree" 200 arb_raw_graph (fun (n, es) ->
+        let g, m = both (n, es) in
+        List.for_all (fun v -> G.neighbors g v = Model.neighbors m v) (List.init n Fun.id));
+    prop "incident_edges agree" 200 arb_raw_graph (fun (n, es) ->
+        let g, m = both (n, es) in
+        List.for_all (fun v -> G.incident_edges g v = Model.incident_edges m v)
+          (List.init n Fun.id));
+    prop "adj agrees" 200 arb_raw_graph (fun (n, es) ->
+        let g, m = both (n, es) in
+        List.for_all (fun v -> G.adj g v = Model.adj m v) (List.init n Fun.id));
+    prop "degree and max_degree agree" 200 arb_raw_graph (fun (n, es) ->
+        let g, m = both (n, es) in
+        G.max_degree g = Model.max_degree m
+        && List.for_all (fun v -> G.degree g v = Model.degree m v) (List.init n Fun.id));
+    prop "find_edge agrees on all pairs" 200 arb_raw_graph (fun (n, es) ->
+        let g, m = both (n, es) in
+        List.for_all
+          (fun u ->
+            List.for_all
+              (fun v -> u = v || G.find_edge g u v = Model.find_edge m u v)
+              (List.init n Fun.id))
+          (List.init n Fun.id));
+    prop "edge ids preserve first-occurrence order" 200 arb_raw_graph (fun (n, es) ->
+        let g, m = both (n, es) in
+        G.edges g = m.Model.edges);
+    prop "square agrees with brute-force dist<=2" 200 arb_raw_graph (fun (n, es) ->
+        let g, m = both (n, es) in
+        let sq = G.square g in
+        List.sort compare (Array.to_list (G.edges sq))
+        = List.sort compare (Model.square_pairs m));
+  ]
+
 let () =
   Alcotest.run "lll_graph"
     [
@@ -678,4 +797,5 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_serialization_files;
         ] );
       ("properties", graph_props);
+      ("csr-vs-model", csr_model_props);
     ]

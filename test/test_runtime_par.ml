@@ -91,6 +91,29 @@ let diff_props =
         let b1, s1 = RT.gather_balls ~domains:1 net ~radius ~value
         and b4, s4 = RT.gather_balls ~domains:4 net ~radius ~value in
         b1 = b4 && same_stats s1 s4);
+    prop "run_full_info_flat: domains:4 == domains:1 == generic engine" 200 arb_net_params
+      (fun p ->
+        let net = net_of p in
+        (* same int protocol through the flat runner and the generic one:
+           all three executions must agree exactly *)
+        let flat domains =
+          RT.run_full_info_flat ~domains net
+            ~init:(fun v -> mix v 29)
+            ~step:(fun ~round ~me s nbrs ->
+              let s = Array.fold_left (fun acc x -> mix acc x - (x land 7)) (mix s round) nbrs in
+              (s, round + 1 >= 1 + ((me + s) mod 5)))
+        in
+        let generic =
+          RT.run_full_info ~domains:1 net
+            ~init:(fun v -> mix v 29)
+            ~step:(fun ~round ~me s nbrs ->
+              let s =
+                List.fold_left (fun acc (_, x) -> mix acc x - (x land 7)) (mix s round) nbrs
+              in
+              (s, round + 1 >= 1 + ((me + s) mod 5)))
+        in
+        let st1, s1 = flat 1 and st4, s4 = flat 4 and stg, sg = generic in
+        st1 = st4 && st1 = stg && same_stats s1 s4 && same_stats s1 sg);
     prop "run: Round_limit_exceeded raised identically" 200 arb_net_params (fun p ->
         let net = net_of p in
         (* never halts: both engines must hit the limit with equal payload *)
@@ -125,6 +148,87 @@ let test_non_neighbor_rejected_parallel () =
              { RT.state = s; send = [ ((me + 2) mod 7, s) ]; halt = round >= 3 })))
 
 (* ---------------------------------------------------------------- *)
+(* arena: delivery order, buffer growth, pinned gather output       *)
+(* ---------------------------------------------------------------- *)
+
+(* The inbox a node consumes must list messages in ascending sender
+   order — the order the pre-arena list engine delivered. The protocol
+   records the senders it saw; at the end they must equal the sorted
+   neighbor list. *)
+let test_arena_inbox_order () =
+  let net = Net.create (Gen.gnm ~seed:11 20 40) in
+  let states, _ =
+    RT.run ~domains:4 net
+      ~init:(fun _ -> [])
+      ~step:(fun ~round ~me s inbox ->
+        let senders = List.map fst inbox in
+        {
+          RT.state = (if round = 1 then senders else s);
+          send = (if round = 0 then List.map (fun u -> (u, me)) (Net.neighbors net me) else []);
+          halt = round >= 1;
+        })
+  in
+  Array.iteri
+    (fun v senders ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "inbox of %d sorted by sender" v)
+        (List.sort compare (Net.neighbors net v))
+        senders)
+    states
+
+(* Message volume that swells and shrinks across rounds forces the arena
+   through lazy allocation, growth, and reuse; the differential contract
+   must hold throughout. *)
+let arena_stress_props =
+  [
+    prop "run: varying message volume, domains:4 == domains:1" 100 arb_net_params
+      (fun p ->
+        let net = net_of p in
+        let bursty ~round ~me s inbox =
+          let s = List.fold_left (fun acc (u, m) -> mix acc (mix u m) - u) (mix s round) inbox in
+          let copies = (mix s round mod 4) * (round mod 3) in
+          let send =
+            List.concat_map
+              (fun u -> List.init copies (fun i -> (u, mix s (u + i))))
+              (Net.neighbors net me)
+          in
+          { RT.state = s; send; halt = round + 1 >= 4 + ((me + s) mod 3) }
+        in
+        let go domains = RT.run ~domains net ~init:(fun v -> mix v 41) ~step:bursty in
+        let st1, s1 = go 1 and st4, s4 = go 4 in
+        st1 = st4 && same_stats s1 s4);
+  ]
+
+(* Regression: gather_balls output pinned exactly — entries sorted by
+   node id, values attached. Guards the sorted-merge dedup. *)
+let test_gather_balls_pinned () =
+  let value v = 10 * v in
+  let check name net radius expected =
+    let balls, _ = RT.gather_balls ~domains:4 net ~radius ~value in
+    Alcotest.(check (array (list (pair int int)))) name expected balls
+  in
+  check "path-5 radius 2"
+    (Net.create (Gen.path 5))
+    2
+    [|
+      [ (0, 0); (1, 10); (2, 20) ];
+      [ (0, 0); (1, 10); (2, 20); (3, 30) ];
+      [ (0, 0); (1, 10); (2, 20); (3, 30); (4, 40) ];
+      [ (1, 10); (2, 20); (3, 30); (4, 40) ];
+      [ (2, 20); (3, 30); (4, 40) ];
+    |];
+  check "star-5 radius 1"
+    (Net.create (Gen.star 5))
+    1
+    [|
+      [ (0, 0); (1, 10); (2, 20); (3, 30); (4, 40) ];
+      [ (0, 0); (1, 10) ];
+      [ (0, 0); (2, 20) ];
+      [ (0, 0); (3, 30) ];
+      [ (0, 0); (4, 40) ];
+    |]
+
+(* ---------------------------------------------------------------- *)
 (* metrics: per-round records are consistent with the stats         *)
 (* ---------------------------------------------------------------- *)
 
@@ -146,6 +250,25 @@ let metrics_props =
            | last :: _ -> last.Metrics.halted_fraction = 1.0
            | [] -> stats.RT.rounds = 0)
         && List.for_all (fun r -> r.Metrics.stepped <= Net.n net) recs);
+    prop "metrics: max_inbox bounded by prior round, arena capacity monotone" 60
+      arb_net_params (fun p ->
+        let net = net_of p in
+        let sink = Metrics.buffer () in
+        let _, stats = RT.run ~domains:4 ~metrics:sink net ~init:(fun v -> mix v 17)
+            ~step:(echo_step net)
+        in
+        let recs = stats.RT.per_round in
+        let rec ok prev_msgs prev_cap = function
+          | [] -> true
+          | r :: rest ->
+            (* round r consumes what round r-1 sent; the first round's
+               inboxes are empty; capacity only ever grows *)
+            r.Metrics.max_inbox <= prev_msgs
+            && r.Metrics.arena_occupancy >= prev_cap
+            && r.Metrics.arena_occupancy >= r.Metrics.max_inbox
+            && ok r.Metrics.messages r.Metrics.arena_occupancy rest
+        in
+        ok 0 0 recs);
   ]
 
 let test_metrics_disabled_empty () =
@@ -196,6 +319,13 @@ let () =
           Alcotest.test_case "non-neighbor rejected under domains:4" `Quick
             test_non_neighbor_rejected_parallel;
         ] );
+      ( "arena",
+        arena_stress_props
+        @ [
+            Alcotest.test_case "inbox ordered by ascending sender" `Quick
+              test_arena_inbox_order;
+            Alcotest.test_case "gather_balls output pinned" `Quick test_gather_balls_pinned;
+          ] );
       ( "metrics",
         metrics_props
         @ [ Alcotest.test_case "disabled sink yields no records" `Quick
