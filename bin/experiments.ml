@@ -19,11 +19,12 @@
      T13 The Omega(log* n) lower bound on shift graphs
      T14 Domain-parallel runtime + round metrics
      T15 The solver registry: every engine, one shared post-condition
+     T16 Threshold-sharpness scenario corpus (round-count growth fits)
 
    Every solver run goes through the Solver registry (one shared
    [sweep] loop below); no experiment hand-wires an engine API.
 
-   Usage: experiments [f1 f2 t1 ... t15]   (default: all)         *)
+   Usage: experiments [f1 f2 t1 ... t16]   (default: all)         *)
 
 module Rat = Lll_num.Rat
 module G = Lll_graph.Graph
@@ -686,6 +687,31 @@ let t15 () =
   Format.printf "are best-effort and may legitimately report false.@."
 
 (* ------------------------------------------------------------------ *)
+(* T16: the threshold-sharpness scenario corpus                         *)
+(* ------------------------------------------------------------------ *)
+
+let t16 () =
+  section "t16"
+    "Threshold sharpness as an experiment: round counts across the scenario corpus";
+  Lll_apps.App_engines.ensure_registered ();
+  (* a larger grid than the CI baselines: the growth separation gets
+     clearer with every doubling *)
+  let grid = [ 24; 48; 96; 192 ] in
+  let ms = Lll_scenario.Run.measure ~grid () in
+  let fits = Lll_scenario.Run.fit_growth ms in
+  Format.printf "grid n = %s, seeds = %s@."
+    (String.concat ", " (List.map string_of_int grid))
+    (String.concat ", " (List.map string_of_int Lll_scenario.Corpus.default_seeds));
+  Format.printf "%a@." Lll_scenario.Run.pp_fits fits;
+  Format.printf
+    "expected: every *-below family keeps an O(1)/flat series (the relaxed problem is@.";
+  Format.printf
+    "constant-round solvable), while the *-at families' engines track the log log n /@.";
+  Format.printf
+    "log n envelopes — the sharp threshold of the paper as a measured table. CI pins@.";
+  Format.printf "these numbers via `lll_cli scenario --check` (see DESIGN.md section 10).@."
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -693,7 +719,7 @@ let all : (string * (unit -> unit)) list =
   [
     ("f1", f1); ("f2", f2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("t6", t6); ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11); ("t12", t12);
-    ("t13", t13); ("t14", t14); ("t15", t15);
+    ("t13", t13); ("t14", t14); ("t15", t15); ("t16", t16);
   ]
 
 let () =

@@ -7,6 +7,7 @@
      surface   — dump the Figure-1 surface f(a,b) as TSV
      triple    — check/decompose a representable triple
      fuzz      — adversarial fuzz-and-shrink over the solver registry
+     scenario  — threshold corpus round-count measurement / regression
 
    Every engine lives behind the Solver registry: `--solver NAME` picks
    one, `--list-solvers` enumerates them, and every run goes through the
@@ -28,6 +29,10 @@ module Srep = Lll_core.Srep
 module Syn = Lll_core.Synthetic
 module Solver = Lll_core.Solver
 module Sink = Lll_apps.Sinkless
+
+(* the application engines (sinkless-orient, weak-split-greedy) register
+   themselves on first use; pull them in before any registry lookup *)
+let () = Lll_apps.App_engines.ensure_registered ()
 module HO = Lll_apps.Hyper_orientation
 module WS = Lll_apps.Weak_splitting
 open Cmdliner
@@ -369,6 +374,111 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ budget_arg $ engines_arg $ out_arg $ self_test_arg $ geometry_arg)
 
+(* ---- scenario ---- *)
+
+let scenario_cmd =
+  let module Corpus = Lll_scenario.Corpus in
+  let module Run = Lll_scenario.Run in
+  let module Baseline = Lll_scenario.Baseline in
+  (* the --record dirty-tree guard: uncommitted changes must not leak
+     into a checked-in regression artifact. Outside a git checkout (or
+     with git unavailable) the guard is moot and records proceed. *)
+  let dirty_tree () =
+    try
+      let ic = Unix.open_process_in "git status --porcelain 2>/dev/null" in
+      let rec lines acc =
+        match input_line ic with
+        | l -> lines (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let out = lines [] in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when out <> [] -> Some (String.concat "\n" out)
+      | _ -> None
+    with _ -> None
+  in
+  let run check record force baselines =
+    if check && record then begin
+      Format.eprintf "--check and --record are mutually exclusive@.";
+      exit 2
+    end;
+    if check then begin
+      let b =
+        try Baseline.load baselines
+        with
+        | Sys_error msg ->
+          Format.eprintf "scenario: cannot read baselines: %s@." msg;
+          exit 2
+        | Failure msg ->
+          Format.eprintf "scenario: %s@." msg;
+          exit 2
+      in
+      let ms = Run.measure ~grid:b.Baseline.grid ~seeds:b.Baseline.seeds () in
+      match Baseline.check b ms with
+      | [] ->
+        Format.printf "scenario check: %d measurements within %d bands, %d O(1) witnesses hold@."
+          (List.length ms)
+          (List.length b.Baseline.entries)
+          (List.length b.Baseline.witnesses)
+      | fails ->
+        List.iter (fun f -> Format.printf "scenario DRIFT: %s@." f) fails;
+        Format.printf "scenario check: %d failure(s) against %s@." (List.length fails) baselines;
+        exit 1
+    end
+    else if record then begin
+      (if Sys.file_exists baselines && not force then
+         match dirty_tree () with
+         | Some status ->
+           Format.eprintf
+             "scenario: refusing to overwrite %s from a dirty working tree (commit first or \
+              pass --force):@.%s@."
+             baselines status;
+           exit 2
+         | None -> ());
+      let ms = Run.measure () in
+      let fits = Run.fit_growth ms in
+      let b =
+        Baseline.of_measurements ~grid:Corpus.default_grid ~seeds:Corpus.default_seeds ms fits
+      in
+      Baseline.save baselines b;
+      Format.printf "scenario: recorded %d bands, %d O(1) witnesses to %s@."
+        (List.length b.Baseline.entries)
+        (List.length b.Baseline.witnesses)
+        baselines
+    end
+    else begin
+      let ms = Run.measure () in
+      Format.printf "%a@." Run.pp_measurements ms;
+      Format.printf "%a@." Run.pp_fits (Run.fit_growth ms)
+    end
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Re-measure on the baseline's grid and exit non-zero on any round count \
+                   outside its tolerance band or any lost sub-threshold O(1) witness.")
+  in
+  let record_arg =
+    Arg.(value & flag
+         & info [ "record" ]
+             ~doc:"Measure the default grid and (re)write the baseline artifact. Refuses to \
+                   overwrite an existing artifact from a dirty git tree.")
+  in
+  let force_arg =
+    Arg.(value & flag
+         & info [ "force" ] ~doc:"Override the dirty-working-tree guard of $(b,--record).")
+  in
+  let baselines_arg =
+    Arg.(value & opt string "scenario_baselines.json"
+         & info [ "baselines" ] ~docv:"PATH" ~doc:"Baseline artifact location.")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Threshold-sharpness corpus: run every round-accounted engine over the \
+             threshold-straddling workload families, fit round counts against log log n / \
+             log n envelopes, and check or record the regression baselines.")
+    Term.(const run $ check_arg $ record_arg $ force_arg $ baselines_arg)
+
 (* ---- solvers ---- *)
 
 let solvers_cmd =
@@ -422,4 +532,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default (Cmd.info "lll_cli" ~doc)
-          [ gen_cmd; criteria_cmd; solve_cmd; solvers_cmd; surface_cmd; triple_cmd; fuzz_cmd ]))
+          [
+            gen_cmd;
+            criteria_cmd;
+            solve_cmd;
+            solvers_cmd;
+            surface_cmd;
+            triple_cmd;
+            fuzz_cmd;
+            scenario_cmd;
+          ]))

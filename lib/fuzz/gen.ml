@@ -19,12 +19,15 @@
    instances keep exact enumeration and shrinking cheap. *)
 
 module Rat = Lll_num.Rat
+module Graph = Lll_graph.Graph
 module Hypergraph = Lll_graph.Hypergraph
+module Generators = Lll_graph.Generators
 module Var = Lll_prob.Var
 module Event = Lll_prob.Event
 module Space = Lll_prob.Space
 module Instance = Lll_core.Instance
 module Synthetic = Lll_core.Synthetic
+module Sinkless = Lll_apps.Sinkless
 
 type placement = Just_below | At_threshold | Just_above
 
@@ -141,6 +144,42 @@ let structures =
   [| ("ring2", ring2); ("ring3", ring3); ("path1", path_with_singletons); ("mixed", mixed) |]
 
 (* ------------------------------------------------------------------ *)
+(* Sinkless orientation at the threshold                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Application instances pinned to the threshold by construction rather
+   than by greedy packing: binary sinkless orientation sits at exactly
+   [p = 2^-d] on regular graphs, the ternary relaxation strictly below
+   it. The girth-6 cubic graphs are the hard instances of the
+   sinkless-orientation lower bound; cycles and plain random cubic
+   graphs keep the shrinker's search space small. *)
+let sinkless rng =
+  let placement = if Random.State.bool rng then At_threshold else Just_below in
+  let gname, g =
+    match Random.State.int rng 4 with
+    | 0 | 1 ->
+      let n = 4 + Random.State.int rng 6 in
+      ("cycle", Generators.cycle n)
+    | 2 ->
+      let n = [| 8; 10; 12 |].(Random.State.int rng 3) in
+      ("cubic", Generators.random_regular ~seed:(Random.State.int rng 1_000_000) n 3)
+    | _ ->
+      (* girth-6 cubic: Moore bound is 14, so n = 20/24 leaves the swap
+         sampler enough room to succeed on every seed *)
+      let n = [| 20; 24 |].(Random.State.int rng 2) in
+      ("girth6", Generators.random_regular_girth ~seed:(Random.State.int rng 1_000_000) ~girth:6 n 3)
+  in
+  let instance =
+    match placement with
+    | At_threshold | Just_above -> Sinkless.instance g
+    | Just_below -> Sinkless.relaxed_instance g
+  in
+  {
+    label = Printf.sprintf "sinkless-%s/n=%d/%s" gname (Graph.n g) (placement_label placement);
+    instance;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Assembly                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -166,11 +205,16 @@ let instance_on rng placement h =
   Instance.create space events
 
 let generate rng =
-  let n = 4 + Random.State.int rng 6 in
-  let placement =
-    [| Just_below; Just_below; At_threshold; Just_above |].(Random.State.int rng 4)
-  in
-  let sname, build = structures.(Random.State.int rng (Array.length structures)) in
-  let instance = instance_on rng placement (build n) in
-  let label = Printf.sprintf "%s/n=%d/%s" sname n (placement_label placement) in
-  { label; instance }
+  (* one instance in five is a threshold-pinned application instance;
+     the rest are greedily packed synthetic structures *)
+  if Random.State.int rng 5 = 0 then sinkless rng
+  else begin
+    let n = 4 + Random.State.int rng 6 in
+    let placement =
+      [| Just_below; Just_below; At_threshold; Just_above |].(Random.State.int rng 4)
+    in
+    let sname, build = structures.(Random.State.int rng (Array.length structures)) in
+    let instance = instance_on rng placement (build n) in
+    let label = Printf.sprintf "%s/n=%d/%s" sname n (placement_label placement) in
+    { label; instance }
+  end

@@ -17,8 +17,17 @@ type hostile = { label : string; instance : Instance.t }
     (e.g. ["ring3/n=7/at"]) for fuzz-run logs and reproducer names. *)
 
 val generate : Random.State.t -> hostile
-(** One hostile instance (4-9 events). Consumes randomness only from the
-    given state, so a fuzz run is reproducible from its seed. *)
+(** One hostile instance (4-24 events): usually a greedily packed
+    synthetic structure, one time in five a threshold-pinned
+    {!sinkless} instance. Consumes randomness only from the given
+    state, so a fuzz run is reproducible from its seed. *)
+
+val sinkless : Random.State.t -> hostile
+(** A sinkless-orientation instance pinned to the threshold by
+    construction: binary (exactly [p = 2^-d]) or ternary relaxed
+    (strictly below), on a cycle, a random cubic graph, or the
+    girth-6 cubic graphs of the lower-bound construction
+    ({!Lll_graph.Generators.random_regular_girth}). *)
 
 val instance_on : Random.State.t -> placement -> Lll_graph.Hypergraph.t -> Instance.t
 (** Hostile distributions and threshold-packed bad sets on an explicit

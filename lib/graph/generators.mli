@@ -28,6 +28,15 @@ val random_regular : seed:int -> int -> int -> Graph.t
 (** [random_regular ~seed n d]: simple [d]-regular graph via the
     configuration model with retries. Requires [n*d] even, [1 <= d < n]. *)
 
+val random_regular_girth : seed:int -> girth:int -> int -> int -> Graph.t
+(** [random_regular_girth ~seed ~girth n d]: simple [d]-regular graph
+    whose girth is at least [girth], sampled by configuration-model
+    start plus degree-preserving edge swaps that destroy short cycles
+    (the high-girth regular graphs of the sinkless-orientation lower
+    bound, arXiv 1511.00900). Requires [n*d] even, [1 <= d < n] and
+    [n] at least the Moore bound for [(d, girth)].
+    @raise Failure if the swap budget runs out. *)
+
 val gnm : seed:int -> int -> int -> Graph.t
 (** Uniform graph with exactly the given number of distinct edges. *)
 

@@ -1,0 +1,114 @@
+(* The threshold-pinned workload corpus (see corpus.mli).
+
+   Family constructors are deterministic in (seed, n) — the regression
+   baselines depend on it. Sizes must satisfy every structural
+   constraint at once (n*d even for regular graphs, k | n*delta for the
+   synthetic hypergraphs, the Moore bound for girth 6), which multiples
+   of 12 above 24 do. *)
+
+module Gen = Lll_graph.Generators
+module Instance = Lll_core.Instance
+module Syn = Lll_core.Synthetic
+module Sink = Lll_apps.Sinkless
+module WS = Lll_apps.Weak_splitting
+
+type side = Below | At
+
+type family = {
+  name : string;
+  side : side;
+  rank : int;
+  doc : string;
+  build : seed:int -> int -> Instance.t;
+}
+
+let side_to_string = function Below -> "below" | At -> "at"
+
+(* High-girth 3-regular graphs: the lower-bound structure. Girth 6 is
+   comfortably feasible from n = 24 up and keeps the swap repair fast. *)
+let sinkless_graph ~seed n = Gen.random_regular_girth ~seed ~girth:6 n 3
+
+let all =
+  [
+    {
+      name = "sinkless-at";
+      side = At;
+      rank = 2;
+      doc = "sinkless orientation on girth>=6 3-regular graphs: p = 2^-d exactly";
+      build = (fun ~seed n -> Sink.instance (sinkless_graph ~seed n));
+    };
+    {
+      name = "sinkless-below";
+      side = Below;
+      rank = 2;
+      doc = "relaxed (ternary) sinkless orientation: p = 3^-d, strictly below";
+      build = (fun ~seed n -> Sink.relaxed_instance (sinkless_graph ~seed n));
+    };
+    {
+      name = "ring-at";
+      side = At;
+      rank = 2;
+      doc = "rank-2 synthetic ring, bad sets packed to p = 2^-d";
+      build = (fun ~seed n -> Syn.ring ~position:Syn.At_threshold ~seed ~n ~arity:4 ());
+    };
+    {
+      name = "ring-below";
+      side = Below;
+      rank = 2;
+      doc = "rank-2 synthetic ring, largest p strictly below 2^-d";
+      build = (fun ~seed n -> Syn.ring ~position:Syn.Below_threshold ~seed ~n ~arity:4 ());
+    };
+    {
+      name = "rank3-at";
+      side = At;
+      rank = 3;
+      doc = "rank-3 synthetic family (2-regular hypergraph, arity 8) at p = 2^-d";
+      build =
+        (fun ~seed n ->
+          Syn.random ~position:Syn.At_threshold ~seed ~n ~rank:3 ~delta:2 ~arity:8 ());
+    };
+    {
+      name = "rank3-below";
+      side = Below;
+      rank = 3;
+      doc = "rank-3 synthetic family, largest p strictly below 2^-d";
+      build =
+        (fun ~seed n ->
+          Syn.random ~position:Syn.Below_threshold ~seed ~n ~rank:3 ~delta:2 ~arity:8 ());
+    };
+    {
+      name = "rank4-at";
+      side = At;
+      rank = 4;
+      doc = "rank-4 synthetic family (2-regular hypergraph, arity 16) at p = 2^-d";
+      build =
+        (fun ~seed n ->
+          Syn.random ~position:Syn.At_threshold ~seed ~n ~rank:4 ~delta:2 ~arity:16 ());
+    };
+    {
+      name = "rank4-below";
+      side = Below;
+      rank = 4;
+      doc = "rank-4 synthetic family, largest p strictly below 2^-d";
+      build =
+        (fun ~seed n ->
+          Syn.random ~position:Syn.Below_threshold ~seed ~n ~rank:4 ~delta:2 ~arity:16 ());
+    };
+    {
+      name = "weak-split-below";
+      side = Below;
+      rank = 3;
+      doc = "relaxed weak splitting on 3-biregular bipartite structure (p = 16^(1-deg))";
+      build =
+        (fun ~seed n ->
+          let adj = Gen.random_biregular_bipartite ~seed ~nv:n ~nu:n ~deg_u:3 ~deg_v:3 in
+          WS.instance ~nv:n adj);
+    };
+  ]
+
+let find name = List.find_opt (fun f -> f.name = name) all
+
+(* CI-sized: the full sweep stays a few seconds. Experiment t16 passes
+   a larger grid explicitly for the growth plots. *)
+let default_grid = [ 24; 48; 96 ]
+let default_seeds = [ 1; 2 ]

@@ -1,0 +1,40 @@
+(** The threshold-pinned workload corpus.
+
+    Each family pins its bad-event probability to one side of the
+    paper's sharp threshold [p = 2^-d] and scales in [n]: the relaxed
+    (strictly below) side must stay O(1)-round solvable, while the
+    at-threshold side is where the [Omega(log log n)] randomized /
+    [Omega(log n)] deterministic lower bounds live (sinkless orientation
+    on high-girth regular graphs, arXiv 1511.00900; rank-r synthetic
+    families after Brandt–Grunau–Rozhoň, arXiv 2006.04625). *)
+
+module Instance = Lll_core.Instance
+
+type side = Below | At  (** position of [p] relative to [2^-d] *)
+
+type family = {
+  name : string;
+  side : side;
+  rank : int;
+  doc : string;
+  build : seed:int -> int -> Instance.t;
+      (** [build ~seed n] for any [n] in a valid grid (see
+          {!default_grid}); deterministic in [(seed, n)]. *)
+}
+
+val all : family list
+(** Ranks 2–4, both sides of the threshold for each: the sinkless pair
+    on girth-controlled 3-regular graphs, the rank-2 ring pair, the
+    rank-3 and rank-4 synthetic pairs, and the (below-threshold) weak
+    splitting family on biregular bipartite structure. *)
+
+val find : string -> family option
+val side_to_string : side -> string
+
+val default_grid : int list
+(** Sizes divisible by 12, satisfying every family's structural
+    constraints (even [n] for 3-regular graphs, [3 | 2n] for the rank-3
+    hypergraph, girth-6 Moore bound), small enough that a full sweep
+    stays CI-friendly; experiments pass larger grids explicitly. *)
+
+val default_seeds : int list

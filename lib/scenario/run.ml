@@ -1,0 +1,167 @@
+(* The scenario measurement driver (see run.mli).
+
+   One instance per (family, n, seed), shared by every engine; one
+   fresh Metrics sink per solve so the per-round records of the LOCAL
+   runtime engines are counted into the measurement. *)
+
+module Metrics = Lll_local.Metrics
+module Instance = Lll_core.Instance
+module Solver = Lll_core.Solver
+
+type measurement = {
+  family : string;
+  engine : string;
+  n : int;
+  seed : int;
+  rounds : int option;
+  ok : bool;
+  guaranteed : bool;
+  round_records : int;
+}
+
+type growth = Constant | Log_log | Log
+
+let growth_to_string = function Constant -> "O(1)" | Log_log -> "loglog" | Log -> "log"
+
+let growth_of_string = function
+  | "O(1)" -> Some Constant
+  | "loglog" -> Some Log_log
+  | "log" -> Some Log
+  | _ -> None
+
+type fit = {
+  f_family : string;
+  f_engine : string;
+  f_growth : growth;
+  coeff : float;
+  residual : float;
+}
+
+let round_engines () =
+  List.filter (fun s -> (Solver.caps s).Solver.distributed) (Solver.all ())
+
+let measure ?(grid = Corpus.default_grid) ?(seeds = Corpus.default_seeds)
+    ?(families = Corpus.all) () =
+  let engines = round_engines () in
+  List.concat_map
+    (fun (f : Corpus.family) ->
+      List.concat_map
+        (fun n ->
+          List.concat_map
+            (fun seed ->
+              let inst = f.Corpus.build ~seed n in
+              List.filter_map
+                (fun s ->
+                  if not (Solver.applicable s inst) then None
+                  else begin
+                    let sink = Metrics.buffer () in
+                    (* domains pinned: baselines must not depend on the
+                       machine's core count *)
+                    let params =
+                      {
+                        Solver.default_params with
+                        Solver.seed;
+                        metrics = sink;
+                        domains = Some 1;
+                      }
+                    in
+                    let rounds, ok =
+                      match Solver.solve ~params s inst with
+                      | report ->
+                        (report.Solver.outcome.Solver.rounds, report.Solver.ok)
+                      | exception _ -> (None, false)
+                    in
+                    Some
+                      {
+                        family = f.Corpus.name;
+                        engine = Solver.name s;
+                        n;
+                        seed;
+                        rounds;
+                        ok;
+                        guaranteed = Solver.guarantees s inst;
+                        round_records = List.length (Metrics.records sink);
+                      }
+                  end)
+                engines)
+            seeds)
+        grid)
+    families
+
+(* ------------------------------------------------------------------ *)
+(* Growth fits                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let envelope = function
+  | Constant -> fun _ -> 1.0
+  | Log_log -> fun n -> log (log (float_of_int n))
+  | Log -> fun n -> log (float_of_int n)
+
+(* least squares through the origin: a = sum(y f) / sum(f^2);
+   residual normalized by the series' mass so fits are comparable *)
+let fit_one points g =
+  let f = envelope g in
+  let sfy = List.fold_left (fun acc (n, y) -> acc +. (f n *. y)) 0.0 points in
+  let sff = List.fold_left (fun acc (n, _) -> acc +. (f n *. f n)) 0.0 points in
+  let a = if sff > 0.0 then sfy /. sff else 0.0 in
+  let sq = List.fold_left (fun acc (n, y) -> acc +. (((a *. f n) -. y) ** 2.0)) 0.0 points in
+  let mass = List.fold_left (fun acc (_, y) -> acc +. (y *. y)) 0.0 points in
+  (a, if mass > 0.0 then sqrt (sq /. mass) else sqrt sq)
+
+let fit_growth ms =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun m ->
+      match m.rounds with
+      | None -> ()
+      | Some r ->
+        let key = (m.family, m.engine) in
+        let cur = try Hashtbl.find tbl key with Not_found -> [] in
+        Hashtbl.replace tbl key ((m.n, float_of_int r) :: cur))
+    ms;
+  Hashtbl.fold
+    (fun (fam, eng) pts acc ->
+      (* mean rounds per distinct n *)
+      let ns = List.sort_uniq compare (List.map fst pts) in
+      if List.length ns < 2 then acc
+      else begin
+        let points =
+          List.map
+            (fun n ->
+              let ys = List.filter_map (fun (n', y) -> if n' = n then Some y else None) pts in
+              (n, List.fold_left ( +. ) 0.0 ys /. float_of_int (List.length ys)))
+            ns
+        in
+        let best =
+          List.map
+            (fun g ->
+              let coeff, residual = fit_one points g in
+              { f_family = fam; f_engine = eng; f_growth = g; coeff; residual })
+            [ Constant; Log_log; Log ]
+          |> List.sort (fun a b -> compare a.residual b.residual)
+          |> List.hd
+        in
+        best :: acc
+      end)
+    tbl []
+  |> List.sort (fun a b -> compare (a.f_family, a.f_engine) (b.f_family, b.f_engine))
+
+let pp_measurements ppf ms =
+  Format.fprintf ppf "%-18s %-18s %6s %5s %7s %-5s %-5s %6s@." "family" "engine" "n" "seed"
+    "rounds" "ok" "guar" "metric";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "%-18s %-18s %6d %5d %7s %-5b %-5b %6d@." m.family m.engine m.n
+        m.seed
+        (match m.rounds with Some r -> string_of_int r | None -> "-")
+        m.ok m.guaranteed m.round_records)
+    ms
+
+let pp_fits ppf fits =
+  Format.fprintf ppf "%-18s %-18s %-7s %9s %9s@." "family" "engine" "growth" "coeff"
+    "residual";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%-18s %-18s %-7s %9.3f %9.3f@." f.f_family f.f_engine
+        (growth_to_string f.f_growth) f.coeff f.residual)
+    fits

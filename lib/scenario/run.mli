@@ -1,0 +1,53 @@
+(** The measurement driver: every round-accounted registry engine over
+    a grid of sizes, with per-run metrics and growth-envelope fits. *)
+
+module Solver = Lll_core.Solver
+
+type measurement = {
+  family : string;
+  engine : string;
+  n : int;  (** the family's size parameter *)
+  seed : int;
+  rounds : int option;  (** the engine's reported LOCAL rounds *)
+  ok : bool;  (** shared post-condition verdict *)
+  guaranteed : bool;  (** the engine's theorem covered this instance *)
+  round_records : int;
+      (** per-round records the engine pushed into the Metrics sink *)
+}
+
+type growth = Constant | Log_log | Log
+(** The envelopes of the paper's threshold dichotomy: O(1) below,
+    [Theta(log log n)] randomized / [Theta(log n)] deterministic at the
+    threshold. *)
+
+val growth_to_string : growth -> string
+val growth_of_string : string -> growth option
+
+type fit = {
+  f_family : string;
+  f_engine : string;
+  f_growth : growth;  (** best-fitting envelope *)
+  coeff : float;  (** fitted multiplier for that envelope *)
+  residual : float;  (** normalized L2 residual of the best fit *)
+}
+
+val measure :
+  ?grid:int list ->
+  ?seeds:int list ->
+  ?families:Corpus.family list ->
+  unit ->
+  measurement list
+(** Run every registered engine with [caps.distributed = true] (the
+    round-accounted ones) that is applicable to each family instance.
+    Deterministic in (grid, seeds): engines draw randomness only from
+    the per-measurement seed. An engine that raises yields a
+    [rounds = None, ok = false] measurement rather than aborting the
+    sweep. *)
+
+val fit_growth : measurement list -> fit list
+(** Least-squares fit (through the origin) of each (family, engine)
+    series' mean round counts against the three envelopes; series need
+    at least two distinct sizes with reported rounds. *)
+
+val pp_measurements : Format.formatter -> measurement list -> unit
+val pp_fits : Format.formatter -> fit list -> unit

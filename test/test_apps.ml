@@ -13,6 +13,7 @@ module F3 = Lll_core.Fix_rank3
 module MT = Lll_core.Moser_tardos
 module D = Lll_core.Distributed
 module V = Lll_core.Verify
+module Solver = Lll_core.Solver
 module Sink = Lll_apps.Sinkless
 module HO = Lll_apps.Hyper_orientation
 module WS = Lll_apps.Weak_splitting
@@ -359,6 +360,56 @@ let app_props =
         WS.is_valid ~nv:12 adj a);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Model-checked output validity, 200 cases per application             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every application: a seeded random structure, a solver run, and the
+   application's own model checker as the oracle — never the solver's
+   self-reported verdict alone. *)
+
+let () = Lll_apps.App_engines.ensure_registered ()
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100_000)
+
+let model_check_props =
+  [
+    prop "sinkless: engine orientations are sinkless" 200 seed_arb (fun seed ->
+        (* cycles and random cubic graphs; every component has a cycle,
+           so the binary at-threshold instance is always solvable *)
+        let g =
+          if seed mod 2 = 0 then Gen.cycle (4 + (seed mod 9))
+          else Gen.random_regular ~seed (2 * (4 + (seed mod 4))) 3
+        in
+        let report = Solver.solve_by_name "sinkless-orient" (Sink.instance g) in
+        report.Solver.ok
+        && V.avoids_all (Sink.instance g) report.Solver.outcome.Solver.assignment
+        && Sink.is_sinkless g report.Solver.outcome.Solver.assignment);
+    prop "weak splitting: greedy engine 2-colors every view" 200 seed_arb (fun seed ->
+        let nv = 6 + (seed mod 7) in
+        let adj = Gen.random_biregular_bipartite ~seed ~nv ~nu:nv ~deg_u:3 ~deg_v:3 in
+        let report = Solver.solve_by_name "weak-split-greedy" (WS.instance ~nv adj) in
+        report.Solver.ok && WS.is_valid ~nv adj report.Solver.outcome.Solver.assignment);
+    prop "frugal coloring: fixer output respects the load cap" 200 seed_arb (fun seed ->
+        let n = [| 9; 12; 15 |].(seed mod 3) in
+        let h = Gen.random_regular_hypergraph ~seed n 3 3 in
+        let inst = FC.instance h in
+        let a, _ = F3.solve inst in
+        V.avoids_all inst a && FC.is_valid h a);
+    prop "property B: relaxed 2-coloring is proper" 200 seed_arb (fun seed ->
+        let n = [| 12; 16; 20 |].(seed mod 3) in
+        let h = Gen.random_regular_hypergraph ~seed n 4 2 in
+        let inst = PB.relaxed_instance h in
+        let a, _ = F2.solve inst in
+        V.avoids_all inst a && PB.is_proper h a);
+    prop "hyper orientation: fixer output leaves no sink" 200 seed_arb (fun seed ->
+        let n = [| 9; 12; 15 |].(seed mod 3) in
+        let h = Gen.random_regular_hypergraph ~seed n 3 3 in
+        let inst = HO.instance h in
+        let a, _ = F3.solve inst in
+        V.avoids_all inst a && HO.is_valid h a);
+  ]
+
 let () =
   Alcotest.run "lll_apps"
     [
@@ -406,4 +457,5 @@ let () =
           Alcotest.test_case "rejects rank 4" `Quick test_frugal_rejects;
         ] );
       ("properties", app_props);
+      ("model-check", model_check_props);
     ]

@@ -110,6 +110,51 @@ let test_generator_valid_instances () =
       (Array.for_all (fun p -> Rat.leq Rat.zero p && Rat.leq p Rat.one) (I.initial_probs inst))
   done
 
+(* ------------------------------------------------------------------ *)
+(* Threshold-pinned sinkless sweep: generator, oracle, shrinker        *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole registry (including the application engines) stays clean
+   on threshold-pinned sinkless-orientation instances. *)
+let test_sinkless_sweep_clean () =
+  Lll_apps.App_engines.ensure_registered ();
+  let rng = Random.State.make [| 23 |] in
+  for _ = 1 to 10 do
+    let h = Gen.sinkless rng in
+    match Fuzz.check ~engines:(Solver.all ()) h.Gen.instance with
+    | None -> ()
+    | Some v ->
+      Alcotest.failf "sinkless sweep violation on %s: %s" h.Gen.label
+        (Format.asprintf "%a" Fuzz.pp_violation v)
+  done
+
+(* The trace-replay oracle accepts an honest fixer trace on an
+   at-threshold sinkless instance (rank 2, p exactly 2^-d). *)
+let test_replay_on_sinkless_trace () =
+  let g = Lll_graph.Generators.cycle 8 in
+  let inst = Lll_apps.Sinkless.instance g in
+  let report = Solver.solve_by_name "fix2" inst in
+  let steps =
+    List.map
+      (fun (s : Solver.step) -> (s.Solver.var, s.Solver.value))
+      report.Solver.outcome.Solver.trace
+  in
+  match Replay.check_trace inst steps with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "honest fix2 trace on sinkless rejected: %s"
+      (Format.asprintf "%a" Replay.pp_failure f)
+
+(* The shrinker terminates on sinkless instances and preserves the
+   reproducing property (here: staying rank 2). *)
+let test_shrink_sinkless () =
+  let rng = Random.State.make [| 31 |] in
+  let h = Gen.sinkless rng in
+  let shrunk = Shrink.minimize ~reproduces:(fun i -> I.rank i = 2) h.Gen.instance in
+  Alcotest.(check int) "still rank 2" 2 (I.rank shrunk);
+  Alcotest.(check bool) "strictly smaller" true
+    (I.num_events shrunk < I.num_events h.Gen.instance)
+
 let test_shrink_reaches_fixpoint () =
   (* with an always-true predicate the shrinker must drive the instance
      to its smallest well-formed shape rather than loop forever *)
@@ -142,5 +187,13 @@ let () =
           Alcotest.test_case "generated instances are valid and near-threshold" `Quick
             test_generator_valid_instances;
           Alcotest.test_case "shrinker reaches a fixpoint" `Quick test_shrink_reaches_fixpoint;
+        ] );
+      ( "threshold-sweep",
+        [
+          Alcotest.test_case "registry clean on threshold-pinned sinkless" `Quick
+            test_sinkless_sweep_clean;
+          Alcotest.test_case "replay oracle accepts sinkless fixer trace" `Quick
+            test_replay_on_sinkless_trace;
+          Alcotest.test_case "shrinker preserves rank on sinkless" `Quick test_shrink_sinkless;
         ] );
     ]

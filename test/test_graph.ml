@@ -590,6 +590,73 @@ let graph_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Girth-controlled regular sampler                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent BFS girth computation (does not trust [G.girth]): from
+   every root, a non-tree edge (u, w) closes a cycle of length
+   dist(u) + dist(w) + 1; rooted at a vertex of a shortest cycle the
+   bound is attained, so the minimum over all roots is the exact
+   girth. *)
+let bfs_girth g =
+  let n = G.n g in
+  let best = ref max_int in
+  for s = 0 to n - 1 do
+    let dist = Array.make n (-1) in
+    let par_edge = Array.make n (-1) in
+    dist.(s) <- 0;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun e ->
+          let w = G.other_endpoint g e u in
+          if dist.(w) = -1 then begin
+            dist.(w) <- dist.(u) + 1;
+            par_edge.(w) <- e;
+            Queue.add w q
+          end
+          else if e <> par_edge.(u) then best := min !best (dist.(u) + dist.(w) + 1))
+        (G.incident_edges g u)
+    done
+  done;
+  if !best = max_int then None else Some !best
+
+(* (degree, girth, size) combinations with enough slack above the Moore
+   bound for the swap sampler to succeed on every seed *)
+let arb_girth_params =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* d, girth, n =
+        oneofl
+          [ (3, 5, 14); (3, 5, 22); (3, 6, 20); (3, 6, 30); (3, 6, 40); (4, 5, 32); (4, 5, 48) ]
+      in
+      return (seed, d, girth, n))
+  in
+  QCheck.make
+    ~print:(fun (seed, d, girth, n) -> Printf.sprintf "seed=%d d=%d girth=%d n=%d" seed d girth n)
+    gen
+
+let girth_sampler_props =
+  [
+    prop "girth sampler is d-regular" 200 arb_girth_params (fun (seed, d, girth, n) ->
+        let g = Gen.random_regular_girth ~seed ~girth n d in
+        G.n g = n && List.for_all (fun v -> G.degree g v = d) (List.init n Fun.id));
+    prop "girth sampler meets the girth lower bound (BFS check)" 200 arb_girth_params
+      (fun (seed, d, girth, n) ->
+        let g = Gen.random_regular_girth ~seed ~girth n d in
+        match bfs_girth g with
+        | None -> false (* d-regular graphs always contain a cycle *)
+        | Some c -> c >= girth && G.girth g = Some c);
+    prop "girth sampler round-trips through serialization" 200 arb_girth_params
+      (fun (seed, d, girth, n) ->
+        let g = Gen.random_regular_girth ~seed ~girth n d in
+        graphs_equal g (Ser.graph_of_string (Ser.graph_to_string g)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* CSR vs naive list model                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -797,5 +864,6 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_serialization_files;
         ] );
       ("properties", graph_props);
+      ("girth-sampler", girth_sampler_props);
       ("csr-vs-model", csr_model_props);
     ]
