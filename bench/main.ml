@@ -31,7 +31,9 @@
              --mt-bench-out PATH          where --quick writes the
              occurring-set JSON (default BENCH_pr4.json)
              --csr-bench-out PATH         where --quick writes the
-             CSR/arena rounds-per-sec JSON (default BENCH_pr5.json)   *)
+             CSR/arena rounds-per-sec JSON (default BENCH_pr5.json)
+             --flat-bench-out PATH        where --quick writes the
+             flat-vs-boxed engine JSON (default BENCH_pr7.json)       *)
 
 open Bechamel
 open Toolkit
@@ -696,8 +698,9 @@ let write_mt_report path =
    inboxes), and the end-to-end rank-3 distributed fixer. Rounds are
    simulated LOCAL rounds; both sides run sequentially (domains:1). *)
 
-let time_rounds_per_sec f =
-  ignore (f () : int) (* warm-up, and the cheap correctness runs live here too *);
+let time_rounds_per_sec ?(warmup = true) f =
+  if warmup then
+    ignore (f () : int) (* warm-up, and the cheap correctness runs live here too *);
   let min_ns = 200_000_000 and max_reps = 20 in
   let t0 = Lll_local.Metrics.now_ns () in
   let rounds = ref 0 and reps = ref 0 in
@@ -774,8 +777,8 @@ let write_csr_report path =
     [
       ( "rank3-dist-fixer",
         99_999,
-        "sequential fixer sweep (identical in both stacks) dominates the wall clock beyond \
-         n~10k" );
+        "measured in BENCH_pr7.json: the flat-engine report re-enables this size with \
+         flat-vs-boxed and domains:1-vs-N columns" );
     ]
   in
   let rows = gather_rows @ twohop_rows @ echo_rows @ fixer_rows in
@@ -817,12 +820,131 @@ let write_csr_report path =
     skipped_rows;
   Format.printf "csr/arena report -> %s@." path
 
+(* ---- the flat-engine report (BENCH_pr7.json) ----
+
+   PR 7 retired the boxed LOCAL engine: protocol states live in
+   record-of-arrays columns ([Flat_state]), and same-color fixer classes
+   fan out over the domain pool. For every migrated protocol this report
+   measures rounds/sec three ways — flat with domains:1 (the sequential
+   reference), flat with domains:N, and the retained boxed/legacy
+   ablation — after self-checking at the smallest size that all three
+   produce identical output. The rank3-dist-fixer series re-enables the
+   n~1e5 row that the PR 5 report skipped (its legacy side is the same
+   [Legacy.solve_rank3] the PR 5 rows compare against). Large sizes are
+   timed without warm-up: one solve there already runs for seconds. *)
+
+module Mis = Lll_local.Mis
+module Prim = Lll_local.Primitives
+
+let write_flat_report path =
+  let domains = par_domains in
+  (* self-checks: the three execution modes must agree exactly before
+     the ratios mean anything *)
+  let net0 = Net.create (csr_graph 1_000) in
+  assert (Mis.luby ~domains:1 ~seed:4 net0 = Mis.luby ~domains ~seed:4 net0);
+  assert (Mis.luby ~domains:1 ~seed:4 net0 = Mis.luby_boxed ~domains:1 ~seed:4 net0);
+  assert (
+    Prim.elect_leader ~domains:1 net0 = Prim.elect_leader_boxed ~domains:1 net0
+    && Prim.elect_leader ~domains net0 = Prim.elect_leader ~domains:1 net0);
+  let lll0 = Syn.random ~seed:5 ~n:120 ~rank:3 ~delta:2 ~arity:8 () in
+  let dl engine d = Lll_core.Dist_lll.solve ~engine ~domains:d lll0 in
+  assert (dl `Flat 1 = dl `Flat domains && dl `Flat 1 = dl `Boxed 1);
+  let row ~warmup name n ~flat1 ~flatn ~boxed =
+    let f1 = time_rounds_per_sec ~warmup flat1 in
+    let fn = time_rounds_per_sec ~warmup flatn in
+    let bx = time_rounds_per_sec ~warmup boxed in
+    (name, n, f1, fn, bx)
+  in
+  let luby_rows =
+    List.map
+      (fun n ->
+        let net = Net.create (csr_graph n) in
+        row ~warmup:(n < 50_000) "mis-luby" n
+          ~flat1:(fun () -> snd (Mis.luby ~domains:1 ~seed:4 net))
+          ~flatn:(fun () -> snd (Mis.luby ~domains ~seed:4 net))
+          ~boxed:(fun () -> snd (Mis.luby_boxed ~domains:1 ~seed:4 net)))
+      [ 1_000; 10_000; 100_000 ]
+  in
+  let leader_rows =
+    (* diameter_bound caps the flood at 8 rounds so the workload stays a
+       per-round scan rather than the O(n) default bound *)
+    List.map
+      (fun n ->
+        let net = Net.create (csr_graph n) in
+        row ~warmup:(n < 50_000) "leader-flood-8r" n
+          ~flat1:(fun () -> snd (Prim.elect_leader ~diameter_bound:8 ~domains:1 net))
+          ~flatn:(fun () -> snd (Prim.elect_leader ~diameter_bound:8 ~domains net))
+          ~boxed:(fun () ->
+            snd (Prim.elect_leader_boxed ~diameter_bound:8 ~domains:1 net)))
+      [ 1_000; 10_000; 100_000 ]
+  in
+  let dist_lll_rows =
+    (* the gossip sweep's per-round merge is quadratic-ish in n; small
+       sizes keep the row about the engine, not the merge *)
+    List.map
+      (fun n ->
+        let inst = Syn.random ~seed:5 ~n ~rank:3 ~delta:2 ~arity:8 () in
+        let go engine d () =
+          (Lll_core.Dist_lll.solve ~engine ~domains:d inst).Lll_core.Dist_lll.rounds
+        in
+        row ~warmup:true "dist-lll-sweep" n ~flat1:(go `Flat 1) ~flatn:(go `Flat domains)
+          ~boxed:(go `Boxed 1))
+      [ 120; 480 ]
+  in
+  let fixer_rows =
+    (* the series the PR 5 report skipped beyond n~10k, re-enabled: the
+       legacy column is the PR 5 boxed-stack [Legacy.solve_rank3] *)
+    List.map
+      (fun n ->
+        let inst = Syn.random ~seed:5 ~n ~rank:3 ~delta:2 ~arity:8 () in
+        row ~warmup:(n < 50_000) "rank3-dist-fixer" n
+          ~flat1:(fun () ->
+            (Lll_core.Distributed.solve_rank3 ~domains:1 inst).Lll_core.Distributed.rounds)
+          ~flatn:(fun () ->
+            (Lll_core.Distributed.solve_rank3 ~domains inst).Lll_core.Distributed.rounds)
+          ~boxed:(fun () -> Legacy.solve_rank3 inst))
+      [ 999; 9_999; 99_999 ]
+  in
+  let rows = luby_rows @ leader_rows @ dist_lll_rows @ fixer_rows in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"bench\": \"pr7-flat-engine\",\n";
+  Buffer.add_string buf "  \"unit\": \"rounds_per_sec\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" domains);
+  Buffer.add_string buf
+    "  \"note\": \"record-of-arrays engine vs the retired boxed engine on every migrated \
+     protocol; flat_d1 = flat sequential reference, flat_dN = flat with the domain pool, \
+     boxed = retained ablation (legacy PR 5 stack for rank3-dist-fixer); all three \
+     self-checked for identical output at the smallest size\",\n";
+  Buffer.add_string buf "  \"workloads\": [\n";
+  let entries =
+    List.map
+      (fun (name, n, f1, fn, bx) ->
+        Printf.sprintf
+          "    {\"workload\": \"%s\", \"n\": %d, \"flat_d1_rounds_per_sec\": %.2f, \
+           \"flat_dN_rounds_per_sec\": %.2f, \"boxed_rounds_per_sec\": %.2f, \
+           \"speedup_flat_vs_boxed\": %.2f, \"speedup_dN_vs_d1\": %.2f}"
+          name n f1 fn bx (Float.max f1 fn /. bx) (fn /. f1))
+      rows
+  in
+  Buffer.add_string buf (String.concat ",\n" entries);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  List.iter
+    (fun (name, n, f1, fn, bx) ->
+      Format.printf
+        "%-18s n=%-7d flat-d1 %10.1f r/s   flat-d%d %10.1f r/s   boxed %10.1f r/s   \
+         flat/boxed %.2fx@."
+        name n f1 domains fn bx (Float.max f1 fn /. bx))
+    rows;
+  Format.printf "flat-engine report -> %s@." path
+
 (* --quick: run every registry case once through the shared
    post-condition; exit non-zero if a guaranteed engine fails. Wired
    into dune runtest (alias @bench-quick) so solver-registry
    regressions fail the suite. Also writes the enum/table backend
    report (see above). *)
-let quick ~bench_out ~mt_bench_out ~csr_bench_out () =
+let quick ~bench_out ~mt_bench_out ~csr_bench_out ~flat_bench_out () =
   let failures = ref 0 in
   List.iter
     (fun (name, s, inst) ->
@@ -844,7 +966,8 @@ let quick ~bench_out ~mt_bench_out ~csr_bench_out () =
   else Format.printf "quick smoke: all %d solver cases pass@." (List.length solver_cases);
   write_backend_report bench_out;
   write_mt_report mt_bench_out;
-  write_csr_report csr_bench_out
+  write_csr_report csr_bench_out;
+  write_flat_report flat_bench_out
 
 let argv_value key =
   let rec go i =
@@ -867,6 +990,7 @@ let () =
       ~bench_out:(Option.value (argv_value "--bench-out") ~default:"BENCH_pr3.json")
       ~mt_bench_out:(Option.value (argv_value "--mt-bench-out") ~default:"BENCH_pr4.json")
       ~csr_bench_out:(Option.value (argv_value "--csr-bench-out") ~default:"BENCH_pr5.json")
+      ~flat_bench_out:(Option.value (argv_value "--flat-bench-out") ~default:"BENCH_pr7.json")
       ()
   else begin
     let results = benchmark () in

@@ -703,8 +703,37 @@ let t16 () =
     (String.concat ", " (List.map string_of_int grid))
     (String.concat ", " (List.map string_of_int Lll_scenario.Corpus.default_seeds));
   Format.printf "%a@." Lll_scenario.Run.pp_fits fits;
+  (* parallel efficiency of the color-class fixer sweeps: the widest
+     same-color class each engine fanned out at the largest size. The
+     width bounds the useful domain count for that sweep (efficiency =
+     width / domains once domains exceed the class size), and it is
+     recorded identically at any --domains by the determinism
+     contract. *)
+  let nmax = List.fold_left max 0 grid in
+  let widths = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Lll_scenario.Run.measurement) ->
+      if m.Lll_scenario.Run.n = nmax && m.Lll_scenario.Run.max_sweep_width > 0 then begin
+        let key = (m.Lll_scenario.Run.family, m.Lll_scenario.Run.engine) in
+        let cur = try Hashtbl.find widths key with Not_found -> 0 in
+        Hashtbl.replace widths key (max cur m.Lll_scenario.Run.max_sweep_width)
+      end)
+    ms;
+  let rows =
+    Hashtbl.fold (fun (fam, eng) w acc -> (fam, eng, w) :: acc) widths []
+    |> List.sort compare
+  in
+  if rows <> [] then begin
+    Format.printf "@.fixer-sweep parallelism at n = %d (max color-class width; a domain@."
+      nmax;
+    Format.printf "pool up to that size stays fully busy during the widest sweep):@.";
+    Format.printf "%-18s %-18s %11s@." "family" "engine" "max width";
+    List.iter
+      (fun (fam, eng, w) -> Format.printf "%-18s %-18s %11d@." fam eng w)
+      rows
+  end;
   Format.printf
-    "expected: every *-below family keeps an O(1)/flat series (the relaxed problem is@.";
+    "@.expected: every *-below family keeps an O(1)/flat series (the relaxed problem is@.";
   Format.printf
     "constant-round solvable), while the *-at families' engines track the log log n /@.";
   Format.printf

@@ -397,7 +397,11 @@ let scenario_cmd =
       | _ -> None
     with _ -> None
   in
-  let run check record force baselines =
+  let run check record force baselines domains =
+    (* --domains only overrides the fan-out width; the determinism
+       contract keeps every round count identical to the pinned
+       [Some 1] default, so checks stay valid at any width. *)
+    let domains = match domains with None -> None | Some k -> Some (Some k) in
     if check && record then begin
       Format.eprintf "--check and --record are mutually exclusive@.";
       exit 2
@@ -413,7 +417,7 @@ let scenario_cmd =
           Format.eprintf "scenario: %s@." msg;
           exit 2
       in
-      let ms = Run.measure ~grid:b.Baseline.grid ~seeds:b.Baseline.seeds () in
+      let ms = Run.measure ~grid:b.Baseline.grid ~seeds:b.Baseline.seeds ?domains () in
       match Baseline.check b ms with
       | [] ->
         Format.printf "scenario check: %d measurements within %d bands, %d O(1) witnesses hold@."
@@ -435,7 +439,7 @@ let scenario_cmd =
              baselines status;
            exit 2
          | None -> ());
-      let ms = Run.measure () in
+      let ms = Run.measure ?domains () in
       let fits = Run.fit_growth ms in
       let b =
         Baseline.of_measurements ~grid:Corpus.default_grid ~seeds:Corpus.default_seeds ms fits
@@ -447,7 +451,7 @@ let scenario_cmd =
         baselines
     end
     else begin
-      let ms = Run.measure () in
+      let ms = Run.measure ?domains () in
       Format.printf "%a@." Run.pp_measurements ms;
       Format.printf "%a@." Run.pp_fits (Run.fit_growth ms)
     end
@@ -477,7 +481,7 @@ let scenario_cmd =
        ~doc:"Threshold-sharpness corpus: run every round-accounted engine over the \
              threshold-straddling workload families, fit round counts against log log n / \
              log n envelopes, and check or record the regression baselines.")
-    Term.(const run $ check_arg $ record_arg $ force_arg $ baselines_arg)
+    Term.(const run $ check_arg $ record_arg $ force_arg $ baselines_arg $ domains_arg)
 
 (* ---- solvers ---- *)
 

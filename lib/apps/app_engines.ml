@@ -358,40 +358,48 @@ let ws_sequential shape nu =
 
 let max_repair_sweeps = 8
 
-let ws_compute _params inst =
+let ws_compute params inst =
   match recognize_ws inst with
   | None -> fallback inst
   | Some shape ->
+    let domains = params.Solver.domains in
     let nu = Instance.num_vars inst in
     let c = shape.colors in
+    let nscopes = Array.length shape.scopes in
     (* round 0: hash the id into the palette *)
     let col = Array.init nu (fun u -> u mod c) in
-    let mono_events () =
-      Array.to_list
-        (Array.of_seq
-           (Seq.filter
-              (fun scope -> Array.for_all (fun w -> col.(w) = col.(scope.(0))) scope)
-              (Array.to_seq shape.scopes)))
+    (* the repair sweeps are genuine LOCAL rounds, so they fan out
+       across the domain pool: per-scope monochromaticity flags, the
+       designated-repairer set and the color hops are all disjoint
+       per-cell writes (designation is idempotent — same value for the
+       same cell), so the sweep is deterministic for any domain count *)
+    let mono = Array.make nscopes false in
+    let recompute_mono () =
+      Lll_local.Par.parallel_for ?domains ~n:nscopes (fun i ->
+          let scope = shape.scopes.(i) in
+          mono.(i) <- Array.for_all (fun w -> col.(w) = col.(scope.(0))) scope)
     in
+    let any_bad () = Array.exists Fun.id mono in
+    let designated = Array.make nu false in
     let sweeps = ref 0 in
-    let bad = ref (mono_events ()) in
-    while !bad <> [] && !sweeps < max_repair_sweeps do
+    recompute_mono ();
+    while any_bad () && !sweeps < max_repair_sweeps do
       incr sweeps;
       (* each bad event delegates repair to its largest variable, which
          hops to a deterministically different color *)
-      let designated = Hashtbl.create 16 in
-      List.iter
-        (fun scope ->
-          let last = Array.fold_left max scope.(0) scope in
-          Hashtbl.replace designated last ())
-        !bad;
-      Hashtbl.iter
-        (fun u () -> col.(u) <- (col.(u) + 1 + (u mod (c - 1))) mod c)
-        designated;
-      bad := mono_events ()
+      Array.fill designated 0 nu false;
+      Lll_local.Par.parallel_for ?domains ~n:nscopes (fun i ->
+          if mono.(i) then begin
+            let scope = shape.scopes.(i) in
+            let last = Array.fold_left max scope.(0) scope in
+            designated.(last) <- true
+          end);
+      Lll_local.Par.parallel_for ?domains ~n:nu (fun u ->
+          if designated.(u) then col.(u) <- (col.(u) + 1 + (u mod (c - 1))) mod c);
+      recompute_mono ()
     done;
     let col, rounds, detail =
-      if !bad = [] then (col, Some !sweeps, [ ("repair_sweeps", string_of_int !sweeps) ])
+      if not (any_bad ()) then (col, Some !sweeps, [ ("repair_sweeps", string_of_int !sweeps) ])
       else
         (* parallel repair cycled: fall back to the provably-correct
            sequential pass (rounds no longer LOCAL-meaningful) *)

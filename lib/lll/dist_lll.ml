@@ -33,6 +33,7 @@ module Rat = Lll_num.Rat
 module Graph = Lll_graph.Graph
 module Network = Lll_local.Network
 module Runtime = Lll_local.Runtime
+module Flat_state = Lll_local.Flat_state
 module Dist_coloring = Lll_local.Dist_coloring
 module Metrics = Lll_local.Metrics
 module Space = Lll_prob.Space
@@ -41,7 +42,6 @@ module Assignment = Lll_prob.Assignment
 module IntMap = Map.Make (Int)
 
 type state = {
-  color : int;
   known : int IntMap.t; (* variable id -> fixed value *)
   phi : ((float * float) * int) IntMap.t; (* edge id -> ((side min, side max), version) *)
 }
@@ -49,7 +49,6 @@ type state = {
 (* merge neighbor knowledge: union of fixed values, freshest phi *)
 let merge s s' =
   {
-    s with
     known = IntMap.union (fun _ a _ -> Some a) s.known s'.known;
     phi =
       IntMap.union
@@ -155,8 +154,16 @@ type result = {
 (* The generic gossiping sweep: [classes] color classes, three rounds per
    class (fix + two propagation rounds for radius-2 freshness);
    [duty me cls] lists the variables node [me] must fix in class [cls],
-   in order. Returns the merged assignment and the sweep round count. *)
-let run_sweep ?domains ?(metrics = Metrics.disabled) instance g net ~classes ~duty =
+   in order. Returns the merged assignment and the sweep round count.
+
+   Runs on the flat engine with a payload-only column (the state is a
+   pair of persistent maps — genuinely heap-shaped, so it takes the
+   payload column rather than int/float fields); [~engine:`Boxed]
+   selects the retired boxed engine for ablation runs. Both paths merge
+   neighbors in ascending CSR order and fix duties in list order, so
+   they agree bit for bit. *)
+let run_sweep ?(engine = `Flat) ?domains ?(metrics = Metrics.disabled) instance g net ~classes
+    ~duty =
   let init v =
     (* phi entries for my incident edges plus the edges between my
        neighbors (the clique edges of my variables), straight off the
@@ -167,47 +174,61 @@ let run_sweep ?domains ?(metrics = Metrics.disabled) instance g net ~classes ~du
     Graph.iter_adj g v (fun u _ ->
         Graph.iter_adj g v (fun w _ ->
             if u < w then match Graph.find_edge g u w with Some e -> add e | None -> ()));
-    { color = 0; known = IntMap.empty; phi = !phi }
+    { known = IntMap.empty; phi = !phi }
   in
   let total_rounds = 3 * classes in
-  let step ~round ~me s nbrs =
-    let s = List.fold_left (fun acc (_, s') -> merge acc s') s nbrs in
+  let apply_duty ~me ~round s =
     let cls = round / 3 and phase = round mod 3 in
-    let s =
-      if phase = 0 then
-        List.fold_left
-          (fun st vid ->
-            if IntMap.mem vid st.known then st
-            else begin
-              let value, phi_updates = fix_one instance g st ~version:(cls + 1) vid in
-              {
-                st with
-                known = IntMap.add vid value st.known;
-                phi =
-                  List.fold_left (fun acc (e, entry) -> IntMap.add e entry acc) st.phi phi_updates;
-              }
-            end)
-          s (duty ~me ~cls)
-      else s
-    in
-    (s, round + 1 >= total_rounds)
+    if phase <> 0 then s
+    else
+      List.fold_left
+        (fun st vid ->
+          if IntMap.mem vid st.known then st
+          else begin
+            let value, phi_updates = fix_one instance g st ~version:(cls + 1) vid in
+            {
+              known = IntMap.add vid value st.known;
+              phi =
+                List.fold_left (fun acc (e, entry) -> IntMap.add e entry acc) st.phi phi_updates;
+            }
+          end)
+        s (duty ~me ~cls)
   in
   if total_rounds = 0 then (Assignment.empty (Instance.num_vars instance), 0)
   else begin
     Metrics.set_phase metrics "sweep";
-    let states, stats = Runtime.run_full_info ?domains ~metrics net ~init ~step in
+    let states, rounds =
+      match engine with
+      | `Flat ->
+        let state = Flat_state.create ~n:(Network.n net) ~payload:init () in
+        let step ~round ~me ~prev ~cur ~nbrs =
+          let col = Flat_state.payload_column prev in
+          let s = Array.fold_left (fun acc u -> merge acc col.(u)) col.(me) nbrs in
+          Flat_state.set_payload cur me (apply_duty ~me ~round s);
+          round + 1 >= total_rounds
+        in
+        let st, stats = Runtime.run_flat ?domains ~metrics net ~state ~step in
+        (Flat_state.payload_column st, stats.Runtime.rounds)
+      | `Boxed ->
+        let step ~round ~me s nbrs =
+          let s = List.fold_left (fun acc (_, s') -> merge acc s') s nbrs in
+          (apply_duty ~me ~round s, round + 1 >= total_rounds)
+        in
+        let states, stats = Runtime.run_full_info_boxed ?domains ~metrics net ~init ~step in
+        (states, stats.Runtime.rounds)
+    in
     let assignment = Assignment.empty (Instance.num_vars instance) in
     Array.iter
       (fun s -> IntMap.iter (fun vid value -> Assignment.set_inplace assignment vid value) s.known)
       states;
-    (assignment, stats.Runtime.rounds)
+    (assignment, rounds)
   end
 
 (* Corollary 1.2 as a message-passing protocol: edge-color the dependency
    graph (variables of rank 2 live on its edges; the smaller endpoint of
    an edge fixes its variables in the edge's class round). Rank <= 1
    variables are fixed by their event in an extra leading class. *)
-let solve_rank2 ?domains ?(metrics = Metrics.disabled) instance =
+let solve_rank2 ?engine ?domains ?(metrics = Metrics.disabled) instance =
   if Instance.rank instance > 2 then invalid_arg "Dist_lll.solve_rank2: instance has rank > 2";
   let g = Instance.dep_graph instance in
   let n = Graph.n g in
@@ -246,13 +267,15 @@ let solve_rank2 ?domains ?(metrics = Metrics.disabled) instance =
       if cls = 0 then small.(me)
       else List.filter_map (fun (c, vid) -> if c = cls - 1 then Some vid else None) by_edge_owner.(me)
     in
-    let assignment, sweep_rounds = run_sweep ?domains ~metrics instance g net ~classes:(colors + 1) ~duty in
+    let assignment, sweep_rounds =
+      run_sweep ?engine ?domains ~metrics instance g net ~classes:(colors + 1) ~duty
+    in
     List.iter (fun vid -> Assignment.set_inplace assignment vid 0) !free;
     let ok = Assignment.is_complete assignment && Verify.avoids_all instance assignment in
     { assignment; ok; rounds = coloring_rounds + sweep_rounds; coloring_rounds; sweep_rounds; colors }
   end
 
-let solve ?domains ?(metrics = Metrics.disabled) instance =
+let solve ?engine ?domains ?(metrics = Metrics.disabled) instance =
   if Instance.rank instance > 3 then invalid_arg "Dist_lll.solve: instance has rank > 3";
   let g = Instance.dep_graph instance in
   let n = Graph.n g in
@@ -281,7 +304,9 @@ let solve ?domains ?(metrics = Metrics.disabled) instance =
     done;
     (* phase 2: the gossiping sweep, three rounds per class *)
     let duty ~me ~cls = if vcolors.(me) = cls then owned.(me) else [] in
-    let assignment, sweep_rounds = run_sweep ?domains ~metrics instance g net ~classes:colors ~duty in
+    let assignment, sweep_rounds =
+      run_sweep ?engine ?domains ~metrics instance g net ~classes:colors ~duty
+    in
     List.iter (fun vid -> Assignment.set_inplace assignment vid 0) !free_vars;
     let ok = Assignment.is_complete assignment && Verify.avoids_all instance assignment in
     { assignment; ok; rounds = coloring_rounds + sweep_rounds; coloring_rounds; sweep_rounds; colors }

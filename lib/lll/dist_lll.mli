@@ -19,13 +19,26 @@ type result = {
   colors : int;
 }
 
-val solve : ?domains:int -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> result
+val solve :
+  ?engine:[ `Flat | `Boxed ] ->
+  ?domains:int ->
+  ?metrics:Lll_local.Metrics.sink ->
+  Instance.t ->
+  result
 (** The Corollary 1.4 protocol (2-hop coloring schedule). [domains] and
     [metrics] are forwarded to the LOCAL runtime for both the coloring
-    and the gossip sweep.
+    and the gossip sweep. [engine] (default [`Flat]) selects the flat
+    record-of-arrays engine for the gossip sweep, or the retired boxed
+    engine for ablation runs; the two agree bit for bit.
     @raise Invalid_argument if the instance has rank [> 3]. *)
 
-val solve_rank2 : ?domains:int -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> result
+val solve_rank2 :
+  ?engine:[ `Flat | `Boxed ] ->
+  ?domains:int ->
+  ?metrics:Lll_local.Metrics.sink ->
+  Instance.t ->
+  result
 (** The Corollary 1.2 protocol: edge-coloring schedule, the smaller
     endpoint of each dependency edge fixes the edge's variables.
+    [engine] as in {!solve}.
     @raise Invalid_argument if the instance has rank [> 2]. *)

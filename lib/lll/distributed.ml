@@ -11,16 +11,22 @@
      Nodes at distance >= 3 own variables with disjoint event sets, so
      simultaneous fixing is again sound.
 
-   The fixing steps themselves are executed by the sequential engines
-   (Theorem 1.1 / Theorem 1.3 hold for arbitrary orders); the round count
-   is what the LOCAL schedule above would cost: coloring rounds plus one
-   round per color class (plus one round for variables affecting at most
-   one event, which all nodes fix independently up front). *)
+   The fixing steps are executed by the fixer engines (Theorem 1.1 /
+   Theorem 1.3 hold for arbitrary orders); the round count is what the
+   LOCAL schedule above would cost: coloring rounds plus one round per
+   color class (plus one round for variables affecting at most one
+   event, which all nodes fix independently up front). Because the
+   members of one class touch pairwise disjoint fixer state (disjoint
+   events, phi edges and scope variables — DESIGN.md §11), each class
+   round genuinely fans out across the domain pool via [fix_class],
+   with one [Metrics.record_sweep] record per class carrying the class
+   width and the domains used. *)
 
 module Graph = Lll_graph.Graph
 module Network = Lll_local.Network
 module Dist_coloring = Lll_local.Dist_coloring
 module Metrics = Lll_local.Metrics
+module Par = Lll_local.Par
 module Assignment = Lll_prob.Assignment
 
 type result = {
@@ -47,6 +53,27 @@ let vars_by_edge instance =
   done;
   (by_edge, !small)
 
+(* Group the per-item duty lists ([by_edge] / [by_owner]) into one duty
+   array per color class — item order within a class is ascending item
+   id, exactly the order the former sequential [Array.iteri] sweep
+   visited — then run one [fix_class] fan-out per class. One sweep
+   record per class lands in [metrics]. *)
+let sweep_classes ?domains ~metrics ~colors ~item_colors ~duties fix_class =
+  let members = Array.make (max colors 1) [] in
+  for i = Array.length duties - 1 downto 0 do
+    if duties.(i) <> [] then members.(item_colors.(i)) <- duties.(i) :: members.(item_colors.(i))
+  done;
+  let resolved = match domains with Some d -> max 1 d | None -> Par.default_domains () in
+  for c = 0 to colors - 1 do
+    let class_duties = Array.of_list members.(c) in
+    let width = Array.length class_duties in
+    let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
+    fix_class ?domains class_duties;
+    Metrics.record_sweep metrics ~round:c ~total:colors
+      ~wall_ns:(if Metrics.enabled metrics then Metrics.now_ns () - t0 else 0)
+      ~width ~domains:(min resolved (max 1 width))
+  done
+
 let solve_rank2 ?domains ?(metrics = Metrics.disabled) instance =
   let g = Instance.dep_graph instance in
   let lg = Graph.line_graph g in
@@ -59,12 +86,10 @@ let solve_rank2 ?domains ?(metrics = Metrics.disabled) instance =
   let fixer = Fix_rank2.create instance in
   (* round 0: every node fixes its rank <= 1 variables *)
   List.iter (fun vid -> Fix_rank2.fix_var fixer vid) small;
-  (* one round per edge-color class *)
-  for c = 0 to colors - 1 do
-    Array.iteri
-      (fun e vars -> if ecolors.(e) = c then List.iter (fun vid -> Fix_rank2.fix_var fixer vid) vars)
-      by_edge
-  done;
+  (* one round per edge-color class, class members fanned out *)
+  Metrics.set_phase metrics "fix-sweep";
+  sweep_classes ?domains ~metrics ~colors ~item_colors:ecolors ~duties:by_edge
+    (fun ?domains ds -> Fix_rank2.fix_class ?domains fixer ds);
   let assignment = Fix_rank2.assignment fixer in
   let sweep_rounds = colors + if small = [] then 0 else 1 in
   {
@@ -99,11 +124,9 @@ let solve_rank3 ?domains ?(metrics = Metrics.disabled) instance =
   let by_owner, free = vars_by_owner instance in
   let fixer = Fix_rank3.create instance in
   List.iter (fun vid -> Fix_rank3.fix_var fixer vid) free;
-  for c = 0 to colors - 1 do
-    Array.iteri
-      (fun v vars -> if vcolors.(v) = c then List.iter (fun vid -> Fix_rank3.fix_var fixer vid) vars)
-      by_owner
-  done;
+  Metrics.set_phase metrics "fix-sweep";
+  sweep_classes ?domains ~metrics ~colors ~item_colors:vcolors ~duties:by_owner
+    (fun ?domains ds -> Fix_rank3.fix_class ?domains fixer ds);
   let assignment = Fix_rank3.assignment fixer in
   let sweep_rounds = colors + if free = [] then 0 else 1 in
   {
@@ -130,11 +153,9 @@ let solve_rankr ?domains ?(metrics = Metrics.disabled) instance =
   let by_owner, free = vars_by_owner instance in
   let fixer = Fix_rankr.create instance in
   List.iter (fun vid -> Fix_rankr.fix_var fixer vid) free;
-  for c = 0 to colors - 1 do
-    Array.iteri
-      (fun v vars -> if vcolors.(v) = c then List.iter (fun vid -> Fix_rankr.fix_var fixer vid) vars)
-      by_owner
-  done;
+  Metrics.set_phase metrics "fix-sweep";
+  sweep_classes ?domains ~metrics ~colors ~item_colors:vcolors ~duties:by_owner
+    (fun ?domains ds -> Fix_rankr.fix_class ?domains fixer ds);
   let assignment = Fix_rankr.assignment fixer in
   let sweep_rounds = colors + if free = [] then 0 else 1 in
   {

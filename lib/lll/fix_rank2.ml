@@ -19,6 +19,7 @@ module Space = Lll_prob.Space
 module Event = Lll_prob.Event
 module Assignment = Lll_prob.Assignment
 module Metrics = Lll_local.Metrics
+module Par = Lll_local.Par
 
 type step = {
   var : int;
@@ -76,10 +77,15 @@ let inc_vector t ev ~var =
   let after, before = Space.Cond_tracker.prob_vector t.tracker ev ~var in
   Array.map (fun a -> if Rat.is_zero before then Rat.zero else Rat.div a before) after
 
+let record t step = t.steps <- step :: t.steps
+
 (* Fix one (currently unfixed) variable. The chosen value minimises the
    phi-weighted sum of Inc ratios over the (at most two) affected
-   events. *)
-let fix_var t vid =
+   events. The [_quiet] form does all the work without touching the
+   shared step log, so [fix_class] can fan members of one color class
+   out across domains (their tracker/phi state is disjoint — DESIGN.md
+   §11). *)
+let fix_var_quiet t vid =
   if Assignment.is_fixed (assignment t) vid then invalid_arg "Fix_rank2.fix_var: already fixed";
   let space = Instance.space t.instance in
   let arity = Lll_prob.Var.arity (Space.var space vid) in
@@ -88,7 +94,7 @@ let fix_var t vid =
   match Array.to_list evs with
   | [] ->
     Space.Cond_tracker.fix t.tracker ~var:vid ~value:0;
-    t.steps <- { var = vid; value = 0; incs = []; score = Rat.zero; budget = Rat.zero } :: t.steps
+    { var = vid; value = 0; incs = []; score = Rat.zero; budget = Rat.zero }
   | [ u ] ->
     (* rank 1: some value has Inc <= 1 *)
     let incs_u = inc_vector t u ~var:vid in
@@ -110,7 +116,7 @@ let fix_var t vid =
         first 0
     in
     Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
-    t.steps <- { var = vid; value = y; incs = [ (u, i) ]; score = i; budget = Rat.one } :: t.steps
+    { var = vid; value = y; incs = [ (u, i) ]; score = i; budget = Rat.one }
   | [ u; v ] ->
     let e = Graph.find_edge_exn g u v in
     let s = phi t e u and w = phi t e v in
@@ -145,8 +151,22 @@ let fix_var t vid =
     Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     set_phi t e u (Rat.mul iu s);
     set_phi t e v (Rat.mul iv w);
-    t.steps <- { var = vid; value = y; incs = [ (u, iu); (v, iv) ]; score; budget } :: t.steps
+    { var = vid; value = y; incs = [ (u, iu); (v, iv) ]; score; budget }
   | _ -> assert false
+
+let fix_var t vid = record t (fix_var_quiet t vid)
+
+(* One color class's duty lists, fanned out across [domains]; steps are
+   merged into the shared log in member order, so the trace matches the
+   sequential loop exactly. See Fix_rank3.fix_class. *)
+let fix_class ?domains t (duties : int list array) =
+  let k = Array.length duties in
+  if k > 0 then begin
+    let buf = Array.make k [] in
+    Par.parallel_for ?domains ~n:k (fun i ->
+        buf.(i) <- List.map (fun vid -> fix_var_quiet t vid) duties.(i));
+    Array.iter (fun steps -> List.iter (fun s -> record t s) steps) buf
+  end
 
 (* Property P* specialised to rank 2 (exact): every edge's phi values sum
    to at most 2, and every event's conditional probability is bounded by

@@ -28,6 +28,17 @@ val create : ?policy:policy -> Instance.t -> t
 val fix_var : t -> int -> unit
 (** Deterministically fix one unfixed variable (Theorem 1.1 step). *)
 
+val fix_var_quiet : t -> int -> step
+(** {!fix_var} without appending to the shared step log — the unit of
+    work {!fix_class} fans out across domains. *)
+
+val fix_class : ?domains:int -> t -> int list array -> unit
+(** Fix each member's duty list, members fanned out across [domains].
+    Sound only for members forming one color class of the relevant
+    conflict graph (disjoint tracker/phi state — DESIGN.md §11); the
+    step log ends up in member order, bit-identical to the sequential
+    loop. *)
+
 val run :
   ?policy:policy -> ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> t
 (** Fix all variables in the given order (identity by default). With a

@@ -27,6 +27,7 @@ module Space = Lll_prob.Space
 module Event = Lll_prob.Event
 module Assignment = Lll_prob.Assignment
 module Metrics = Lll_local.Metrics
+module Par = Lll_local.Par
 
 type step = {
   var : int;
@@ -122,7 +123,7 @@ let fix_rank2_var t vid u v ~arity =
   Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
   set_phi t e u (Rat.to_float iu *. s);
   set_phi t e v (Rat.to_float iv *. w);
-  record t { var = vid; value = y; incs = [ (u, iu); (v, iv) ]; violation = score -. (s +. w) }
+  { var = vid; value = y; incs = [ (u, iu); (v, iv) ]; violation = score -. (s +. w) }
 
 (* Fix a rank-3 variable via the Variable Fixing Lemma. *)
 let fix_rank3_var t vid u v w ~arity =
@@ -179,16 +180,21 @@ let fix_rank3_var t vid u v w ~arity =
   set_phi t e'' v d.b3;
   set_phi t e' w d.c2;
   set_phi t e'' w d.c3;
-  record t { var = vid; value = y; incs = [ (u, iu); (v, iv); (w, iw) ]; violation = viol }
+  { var = vid; value = y; incs = [ (u, iu); (v, iv); (w, iw) ]; violation = viol }
 
-let fix_var t vid =
+(* All the work of a fixing step — tracker update, phi writes — without
+   touching the shared step log: the unit [fix_class] fans out across
+   domains. Safe to run concurrently for variables of one color class:
+   their events (and hence their phi edges, tracker entries and scope
+   variables) are pairwise disjoint — see DESIGN.md §11. *)
+let fix_var_quiet t vid =
   if Assignment.is_fixed (assignment t) vid then invalid_arg "Fix_rank3.fix_var: already fixed";
   let space = Instance.space t.instance in
   let arity = Lll_prob.Var.arity (Space.var space vid) in
   match Array.to_list (Instance.events_of_var t.instance vid) with
   | [] ->
     Space.Cond_tracker.fix t.tracker ~var:vid ~value:0;
-    record t { var = vid; value = 0; incs = []; violation = neg_infinity }
+    { var = vid; value = 0; incs = []; violation = neg_infinity }
   | [ u ] ->
     let incs_u = inc_vector t u ~var:vid in
     let best = ref None in
@@ -200,11 +206,25 @@ let fix_var t vid =
     done;
     let y, i = Option.get !best in
     Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
-    record t
-      { var = vid; value = y; incs = [ (u, i) ]; violation = Rat.to_float i -. 1.0 }
+    { var = vid; value = y; incs = [ (u, i) ]; violation = Rat.to_float i -. 1.0 }
   | [ u; v ] -> fix_rank2_var t vid u v ~arity
   | [ u; v; w ] -> fix_rank3_var t vid u v w ~arity
   | _ -> assert false
+
+let fix_var t vid = record t (fix_var_quiet t vid)
+
+(* Fix the duty lists of one color class, fanned out across [domains]:
+   member [i]'s steps land in a private buffer, then all buffers are
+   folded into the shared log in member order — the same trace, floats
+   and all, as the sequential member-by-member loop. *)
+let fix_class ?domains t (duties : int list array) =
+  let k = Array.length duties in
+  if k > 0 then begin
+    let buf = Array.make k [] in
+    Par.parallel_for ?domains ~n:k (fun i ->
+        buf.(i) <- List.map (fun vid -> fix_var_quiet t vid) duties.(i));
+    Array.iter (fun steps -> List.iter (fun s -> record t s) steps) buf
+  end
 
 (* Property P* (Definition 3.1), with a float tolerance on the phi side:
    (1) phi values in [0,2] summing to <= 2 per edge, and (2) every event's

@@ -31,6 +31,20 @@ val create : ?policy:policy -> Instance.t -> t
 val fix_var : t -> int -> unit
 (** Fix one unfixed variable (the Variable Fixing Lemma step). *)
 
+val fix_var_quiet : t -> int -> step
+(** {!fix_var} without appending to the shared step log — the unit of
+    work {!fix_class} fans out across domains. *)
+
+val fix_class : ?domains:int -> t -> int list array -> unit
+(** [fix_class t duties] fixes each member's duty list, members fanned
+    out across [domains] (default {!Lll_local.Par.default_domains}).
+    SOUND ONLY when the members form one color class of the squared
+    dependency graph: their events, phi edges and scope variables are
+    then pairwise disjoint (DESIGN.md §11), so the concurrent tracker
+    updates never touch shared state. Steps are logged in member order —
+    the trace is bit-identical to the sequential loop for any domain
+    count. *)
+
 val run :
   ?policy:policy -> ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> t
 (** With a [metrics] sink, records one per-step record (phase

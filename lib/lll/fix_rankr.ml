@@ -30,6 +30,7 @@ module Space = Lll_prob.Space
 module Event = Lll_prob.Event
 module Assignment = Lll_prob.Assignment
 module Metrics = Lll_local.Metrics
+module Par = Lll_local.Par
 
 type step = {
   var : int;
@@ -89,7 +90,7 @@ let fix_small t vid evs ~arity =
   match evs with
   | [] ->
     Space.Cond_tracker.fix t.tracker ~var:vid ~value:0;
-    record t { var = vid; value = 0; incs = []; slack = infinity }
+    { var = vid; value = 0; incs = []; slack = infinity }
   | [ u ] ->
     let incs_u = inc_vector t u ~var:vid in
     let best = ref None in
@@ -101,7 +102,7 @@ let fix_small t vid evs ~arity =
     done;
     let y, i = Option.get !best in
     Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
-    record t { var = vid; value = y; incs = [ (u, i) ]; slack = -.(Rat.to_float i -. 1.0) }
+    { var = vid; value = y; incs = [ (u, i) ]; slack = -.(Rat.to_float i -. 1.0) }
   | [ u; v ] ->
     let e = Graph.find_edge_exn g u v in
     let s = phi t e u and w = phi t e v in
@@ -118,9 +119,8 @@ let fix_small t vid evs ~arity =
     Space.Cond_tracker.fix t.tracker ~var:vid ~value:y;
     set_phi t e u (Rat.to_float incs_u.(y) *. s);
     set_phi t e v (Rat.to_float incs_v.(y) *. w);
-    record t
-      { var = vid; value = y; incs = [ (u, incs_u.(y)); (v, incs_v.(y)) ];
-        slack = s +. w -. score }
+    { var = vid; value = y; incs = [ (u, incs_u.(y)); (v, incs_v.(y)) ];
+      slack = s +. w -. score }
   | _ -> assert false
 
 (* rank >= 3: clique targets + numeric representability *)
@@ -160,18 +160,34 @@ let fix_clique t vid evs ~arity =
       set_phi t dep_edge.(idx) c.(ci) pi;
       set_phi t dep_edge.(idx) c.(cj) pj)
     sol.Srep_r.psi;
-  record t
-    { var = vid; value = y;
-      incs = Array.to_list (Array.mapi (fun i v -> (v, vectors.(i).(y))) c);
-      slack }
+  { var = vid; value = y;
+    incs = Array.to_list (Array.mapi (fun i v -> (v, vectors.(i).(y))) c);
+    slack }
 
-let fix_var t vid =
+(* The work of a fixing step without the shared-log append; see
+   Fix_rank3.fix_var_quiet for the disjointness conditions under which
+   this may run concurrently. *)
+let fix_var_quiet t vid =
   if Assignment.is_fixed (assignment t) vid then invalid_arg "Fix_rankr.fix_var: already fixed";
   let space = Instance.space t.instance in
   let arity = Lll_prob.Var.arity (Space.var space vid) in
   match Array.to_list (Instance.events_of_var t.instance vid) with
   | ([] | [ _ ] | [ _; _ ]) as evs -> fix_small t vid evs ~arity
   | evs -> fix_clique t vid evs ~arity
+
+let fix_var t vid = record t (fix_var_quiet t vid)
+
+(* One color class's duty lists across [domains]; slack/infeasibility
+   aggregates are folded in member order during the merge, identical to
+   the sequential loop. *)
+let fix_class ?domains t (duties : int list array) =
+  let k = Array.length duties in
+  if k > 0 then begin
+    let buf = Array.make k [] in
+    Par.parallel_for ?domains ~n:k (fun i ->
+        buf.(i) <- List.map (fun vid -> fix_var_quiet t vid) duties.(i));
+    Array.iter (fun steps -> List.iter (fun s -> record t s) steps) buf
+  end
 
 let pstar_holds ?(eps = Srep.default_eps) t =
   let g = Instance.dep_graph t.instance in

@@ -22,6 +22,16 @@ type t
 
 val create : Instance.t -> t
 val fix_var : t -> int -> unit
+
+val fix_var_quiet : t -> int -> step
+(** {!fix_var} without appending to the shared step log. *)
+
+val fix_class : ?domains:int -> t -> int list array -> unit
+(** Fix each member's duty list, members fanned out across [domains];
+    sound only for one color class (disjoint state — DESIGN.md §11).
+    Step log and slack aggregates end up in member order, bit-identical
+    to the sequential loop. *)
+
 val run : ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> t
 val solve :
   ?order:int array -> ?metrics:Lll_local.Metrics.sink -> Instance.t -> Assignment.t * t

@@ -529,10 +529,10 @@ let (_ : t) =
   register ~name:"mp2"
     ~doc:"Corollary 1.2 as a genuinely message-passing protocol on the LOCAL runtime"
     ~caps:(dist_caps ~max_rank:(Some 2) ~exact:true)
-    (mp_impl Dist_lll.solve_rank2)
+    (mp_impl (fun ?domains ?metrics inst -> Dist_lll.solve_rank2 ?domains ?metrics inst))
 
 let (_ : t) =
   register ~name:"mp3"
     ~doc:"Corollary 1.4 as a genuinely message-passing protocol on the LOCAL runtime"
     ~caps:(dist_caps ~max_rank:(Some 3) ~exact:false)
-    (mp_impl Dist_lll.solve)
+    (mp_impl (fun ?domains ?metrics inst -> Dist_lll.solve ?domains ?metrics inst))

@@ -72,48 +72,60 @@ let color ?(id_bound = max_int) ?domains ?(metrics = Metrics.disabled) net =
     let kw_phases = Array.of_list (kw_schedule ~dmax ~m:m_star) in
     let reduction_rounds = w * Array.length kw_phases in
     let total = linial_rounds + reduction_rounds in
-    (* whole node state is one int (the color), so the protocol runs on
-       the flat runner: neighbor colors arrive as an int array straight
-       off the CSR slice, with no per-round assoc lists *)
-    let init v = Network.id net v in
-    let step ~round ~me:_ color (nbr_colors : int array) =
-      let color' =
-        if round < linial_rounds then begin
-          let q, t, _ = sched_arr.(round) in
-          linial_step_arr ~q ~t color nbr_colors
-        end
-        else begin
-          (* KW reduction: phase k, offset j *)
-          let r = round - linial_rounds in
-          let k = r / w and j = r mod w in
-          ignore kw_phases.(k);
-          let block_size = 2 * w in
-          let base = color / block_size * block_size in
-          let color =
-            if color - base = w + j then begin
-              (* recolor into the block's low window: mark the window
-                 colors used by neighbors in a [w]-slot table and take the
-                 first free slot (at most [dmax] neighbors < [w] slots, so
-                 one is always free) — no sort, no dedup *)
-              let used = Array.make w false in
-              Array.iter
-                (fun c -> if c >= base && c < base + w then used.(c - base) <- true)
-                nbr_colors;
-              let rec free k = if used.(k) then free (k + 1) else base + k in
-              free 0
-            end
-            else color
-          in
-          (* end of phase: compact blocks (local renaming, no cost) *)
-          if j = w - 1 then (color / block_size * w) + (color mod block_size) else color
-        end
-      in
-      (color', round + 1 >= total)
-    in
+    (* whole node state is one int column (the color), so the protocol
+       runs straight on the flat engine: neighbor colors are read off
+       the [prev] snapshot column at the CSR slice indices. KW rounds
+       scan the slice in place — no neighbor array is ever materialised;
+       only the rare Linial rounds (O(log* n) of them) build one for the
+       polynomial step. *)
     if total = 0 then (Array.init n (fun v -> Network.id net v), 0)
     else begin
-      let states, stats = Runtime.run_full_info_flat ?domains ~metrics net ~init ~step in
-      (states, stats.Runtime.rounds)
+      let state = Flat_state.create ~n ~int_fields:1 () in
+      let col0 = Flat_state.int_column state 0 in
+      for v = 0 to n - 1 do
+        col0.(v) <- Network.id net v
+      done;
+      let step ~round ~me ~prev ~cur ~nbrs =
+        let colors = Flat_state.int_column prev 0 in
+        let color = colors.(me) in
+        let color' =
+          if round < linial_rounds then begin
+            let q, t, _ = sched_arr.(round) in
+            linial_step_arr ~q ~t color (Array.map (fun u -> colors.(u)) nbrs)
+          end
+          else begin
+            (* KW reduction: phase k, offset j *)
+            let r = round - linial_rounds in
+            let k = r / w and j = r mod w in
+            ignore kw_phases.(k);
+            let block_size = 2 * w in
+            let base = color / block_size * block_size in
+            let color =
+              if color - base = w + j then begin
+                (* recolor into the block's low window: mark the window
+                   colors used by neighbors in a [w]-slot table and take the
+                   first free slot (at most [dmax] neighbors < [w] slots, so
+                   one is always free) — no sort, no dedup *)
+                let used = Array.make w false in
+                Array.iter
+                  (fun u ->
+                    let c = colors.(u) in
+                    if c >= base && c < base + w then used.(c - base) <- true)
+                  nbrs;
+                let rec free k = if used.(k) then free (k + 1) else base + k in
+                free 0
+              end
+              else color
+            in
+            (* end of phase: compact blocks (local renaming, no cost) *)
+            if j = w - 1 then (color / block_size * w) + (color mod block_size) else color
+          end
+        in
+        Flat_state.set_int cur 0 me color';
+        round + 1 >= total
+      in
+      let st, stats = Runtime.run_flat ?domains ~metrics net ~state ~step in
+      (Flat_state.int_column st 0, stats.Runtime.rounds)
     end
   end
 

@@ -18,6 +18,7 @@ type round_record = {
   state_words : int;  (* heap words of a sampled node state (size proxy) *)
   max_inbox : int;  (* largest inbox consumed this round (0 for full-info) *)
   arena_occupancy : int;  (* message-arena capacity in slots (0 when unused) *)
+  par_width : int;  (* domains driving the round / sweep (0 = sequential unit) *)
 }
 
 type buffer = { mutable phase : string; mutable recs : round_record list (* newest first *) }
@@ -54,6 +55,31 @@ let record_step sink ~round ~total ~wall_ns ~state =
            if Obj.is_int r then 0 else Obj.reachable_words r);
         max_inbox = 0;
         arena_occupancy = 0;
+        par_width = 0;
+      }
+      :: b.recs
+
+(* One record per color-class sweep of a distributed fixer: [stepped]
+   carries the class size (how many owners fixed concurrently) and
+   [par_width] the domains actually used, so a dump can report parallel
+   efficiency (width / par_width) next to round counts. *)
+let record_sweep sink ~round ~total ~wall_ns ~width ~domains =
+  match sink with
+  | Disabled -> ()
+  | Buffer b ->
+    b.recs <-
+      {
+        round;
+        phase = b.phase;
+        wall_ns;
+        messages = 0;
+        stepped = width;
+        halted_fraction =
+          (if total = 0 then 1. else float_of_int (round + 1) /. float_of_int total);
+        state_words = 0;
+        max_inbox = 0;
+        arena_occupancy = 0;
+        par_width = domains;
       }
       :: b.recs
 
@@ -87,9 +113,9 @@ let escape s =
 
 let record_to_json r =
   Printf.sprintf
-    "{\"round\":%d,\"phase\":\"%s\",\"wall_ns\":%d,\"messages\":%d,\"stepped\":%d,\"halted_fraction\":%.6f,\"state_words\":%d,\"max_inbox\":%d,\"arena_occupancy\":%d}"
+    "{\"round\":%d,\"phase\":\"%s\",\"wall_ns\":%d,\"messages\":%d,\"stepped\":%d,\"halted_fraction\":%.6f,\"state_words\":%d,\"max_inbox\":%d,\"arena_occupancy\":%d,\"par_width\":%d}"
     r.round (escape r.phase) r.wall_ns r.messages r.stepped r.halted_fraction r.state_words
-    r.max_inbox r.arena_occupancy
+    r.max_inbox r.arena_occupancy r.par_width
 
 let to_json recs =
   let b = Stdlib.Buffer.create 4096 in
@@ -114,11 +140,12 @@ let total_messages recs = List.fold_left (fun acc r -> acc + r.messages) 0 recs
 let total_wall_ns recs = List.fold_left (fun acc r -> acc + r.wall_ns) 0 recs
 
 let pp fmt recs =
-  Format.fprintf fmt "%-6s %-14s %10s %10s %10s %8s %12s %9s %9s@." "round" "phase" "wall_us"
-    "messages" "stepped" "halted" "state_words" "max_inbox" "arena";
+  Format.fprintf fmt "%-6s %-14s %10s %10s %10s %8s %12s %9s %9s %5s@." "round" "phase" "wall_us"
+    "messages" "stepped" "halted" "state_words" "max_inbox" "arena" "par";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-6d %-14s %10.1f %10d %10d %8.3f %12d %9d %9d@." r.round r.phase
+      Format.fprintf fmt "%-6d %-14s %10.1f %10d %10d %8.3f %12d %9d %9d %5d@." r.round r.phase
         (float_of_int r.wall_ns /. 1e3)
-        r.messages r.stepped r.halted_fraction r.state_words r.max_inbox r.arena_occupancy)
+        r.messages r.stepped r.halted_fraction r.state_words r.max_inbox r.arena_occupancy
+        r.par_width)
     recs

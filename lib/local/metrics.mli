@@ -11,6 +11,9 @@ type round_record = {
   state_words : int;  (** heap words of a sampled node state (size proxy) *)
   max_inbox : int;  (** largest inbox consumed this round (0 for full-info) *)
   arena_occupancy : int;  (** message-arena capacity in slots (0 when unused) *)
+  par_width : int;
+      (** domains driving the round or sweep; [0] for sequential units
+          recorded via {!record_step} *)
 }
 
 type sink
@@ -32,6 +35,13 @@ val record_step : sink -> round:int -> total:int -> wall_ns:int -> state:'a -> u
     shape as a runtime round, so serial and distributed runs dump
     comparable JSON: one node stepped, no messages, halted fraction
     [round+1 / total], phase taken from the sink. No-op when disabled. *)
+
+val record_sweep :
+  sink -> round:int -> total:int -> wall_ns:int -> width:int -> domains:int -> unit
+(** Record one color-class fixer sweep: [width] owners fixed their duty
+    lists concurrently across [domains] domains. [stepped] carries the
+    width and [par_width] the domain count, so parallel efficiency
+    (width / domains) can be read off a dump. No-op when disabled. *)
 
 val records : sink -> round_record list
 (** Accumulated records, oldest first ([[]] for {!disabled}). *)

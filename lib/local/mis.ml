@@ -22,7 +22,63 @@ let priority ~seed ~id ~phase =
   let rng = Random.State.make [| seed; id; phase |] in
   Random.State.float rng 1.0
 
+(* Status encoding in the flat int column. *)
+let active = 0
+
+let in_mis = 1
+
+let out = 2
+
+(* Flat-engine Luby: status lives in an int column, priority in a float
+   column — one cache-friendly row per node, zero per-round allocation.
+   Reads go against the [prev] snapshot in CSR slice order, exactly the
+   traversal order of the boxed version's assoc lists, so the two
+   engines agree bit-for-bit (asserted in test_runtime_par.ml). *)
 let luby ?(max_rounds = 10_000) ?domains ?metrics ~seed net =
+  let n = Network.n net in
+  let state = Flat_state.create ~n ~int_fields:1 ~float_fields:1 () in
+  let step ~round ~me ~prev ~cur ~nbrs =
+    let phase = round / 2 in
+    let status = Flat_state.get_int prev 0 me in
+    if round mod 2 = 0 then begin
+      (* draw priorities (statuses of neighbors reflect last phase) *)
+      if status = active then
+        Flat_state.set_float cur 0 me (priority ~seed ~id:(Network.id net me) ~phase);
+      false
+    end
+    else begin
+      let statuses = Flat_state.int_column prev 0 in
+      let status' =
+        if status <> active then status
+        else if Array.exists (fun u -> statuses.(u) = in_mis) nbrs then out
+          (* retire FIRST if a neighbor already made it into the MIS —
+             otherwise a node could join next to a fresh MIS member *)
+        else begin
+          let my_p = Flat_state.get_float prev 0 me in
+          let priorities = Flat_state.float_column prev 0 in
+          let local_min = ref true in
+          Array.iter
+            (fun u -> if statuses.(u) = active && not (my_p < priorities.(u)) then local_min := false)
+            nbrs;
+          if !local_min then in_mis else active
+        end
+      in
+      Flat_state.set_int cur 0 me status';
+      (* halting: a node is done when it has decided and (for Out nodes)
+         its decision is stable; staying one extra phase is harmless and
+         keeps the rule simple: halt when self and all neighbors are
+         decided *)
+      status' <> active && Array.for_all (fun u -> statuses.(u) <> active) nbrs
+    end
+  in
+  let st, stats = Runtime.run_flat ~max_rounds ?domains ?metrics net ~state ~step in
+  let statuses = Flat_state.int_column st 0 in
+  (Array.map (fun s -> s = in_mis) statuses, stats.Runtime.rounds)
+
+(* The boxed-record original, kept as the ablation/reference
+   implementation for the flat-vs-boxed differential tests and bench
+   rows. *)
+let luby_boxed ?(max_rounds = 10_000) ?domains ?metrics ~seed net =
   let step ~round ~me s nbrs =
     let phase = round / 2 in
     if round mod 2 = 0 then begin
@@ -55,7 +111,7 @@ let luby ?(max_rounds = 10_000) ?domains ?metrics ~seed net =
     end
   in
   let states, stats =
-    Runtime.run_full_info ~max_rounds ?domains ?metrics net
+    Runtime.run_full_info_boxed ~max_rounds ?domains ?metrics net
       ~init:(fun _ -> { status = Active; priority = 0. })
       ~step
   in

@@ -6,7 +6,14 @@ module Graph = Lll_graph.Graph
 val luby :
   ?max_rounds:int -> ?domains:int -> ?metrics:Metrics.sink -> seed:int -> Network.t -> bool array * int
 (** [(in_mis, rounds)]; O(log n) rounds w.h.p. Randomness is a
-    deterministic function of [(seed, node id, phase)]. *)
+    deterministic function of [(seed, node id, phase)]. Runs on the flat
+    record-of-arrays engine ({!Runtime.run_flat}): one int column for
+    status, one float column for priority. *)
+
+val luby_boxed :
+  ?max_rounds:int -> ?domains:int -> ?metrics:Metrics.sink -> seed:int -> Network.t -> bool array * int
+(** The boxed-record original on the retired boxed engine — ablation
+    baseline only; agrees with {!luby} bit-for-bit. *)
 
 val greedy : Graph.t -> bool array
 (** Sequential greedy MIS in id order. *)

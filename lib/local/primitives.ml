@@ -2,24 +2,44 @@
    by extremum flooding and BFS spanning-tree construction. Not used by
    the LLL algorithms themselves (which are the point of this library),
    but standard substrate any distributed-algorithms toolkit ships, and
-   additional exercise for the runtime semantics. *)
+   additional exercise for the runtime semantics.
+
+   Both primitives run on the flat record-of-arrays engine
+   ([Runtime.run_flat]); the boxed originals are kept below as
+   [_boxed] ablation baselines for the differential tests and bench
+   rows.
+
+   Round bounds: both entry points take the same pair of knobs. The
+   protocol HALTS after its internal bound (diameter bound, default [n]
+   — the safe LOCAL bound), and [?max_rounds] (default
+   [Runtime.default_max_rounds]) is the engine's hard cap that raises
+   [Round_limit_exceeded] if the protocol somehow fails to halt first —
+   so a caller-supplied [max_rounds] smaller than the internal bound is
+   honored by both entry points. *)
 
 module Graph = Lll_graph.Graph
 
 (* Elect the minimum id by flooding for [diameter_bound] rounds (LOCAL
    standard: n is a safe bound). Every node ends up knowing the leader's
    id; the leader knows it is the leader. *)
-let elect_leader ?(diameter_bound = max_int) ?domains net =
+let elect_leader ?(max_rounds = Runtime.default_max_rounds) ?(diameter_bound = max_int) ?domains
+    net =
   let n = Network.n net in
   let bound = if diameter_bound = max_int then max 1 n else max 1 diameter_bound in
-  let states, stats =
-    Runtime.run_full_info ?domains net
-      ~init:(fun v -> Network.id net v)
-      ~step:(fun ~round ~me:_ s nbrs ->
-        let s = List.fold_left (fun acc (_, x) -> min acc x) s nbrs in
-        (s, round + 1 >= bound))
+  let state = Flat_state.create ~n ~int_fields:1 () in
+  let col = Flat_state.int_column state 0 in
+  for v = 0 to n - 1 do
+    col.(v) <- Network.id net v
+  done;
+  let step ~round ~me ~prev ~cur ~nbrs =
+    let ids = Flat_state.int_column prev 0 in
+    let best = ref ids.(me) in
+    Array.iter (fun u -> if ids.(u) < !best then best := ids.(u)) nbrs;
+    Flat_state.set_int cur 0 me !best;
+    round + 1 >= bound
   in
-  (states, stats.Runtime.rounds)
+  let st, stats = Runtime.run_flat ~max_rounds ?domains net ~state ~step in
+  (Flat_state.int_column st 0, stats.Runtime.rounds)
 
 (* BFS spanning tree rooted at [root]: each node learns its distance and
    a parent (the smallest-id neighbor strictly closer to the root).
@@ -29,8 +49,61 @@ type bfs_state = { dist : int; parent : int }
 let bfs_tree ?(max_rounds = Runtime.default_max_rounds) ?domains net ~root =
   let n = Network.n net in
   let bound = max 1 n in
+  let state = Flat_state.create ~n ~int_fields:2 () in
+  let dist0 = Flat_state.int_column state 0 in
+  let parent0 = Flat_state.int_column state 1 in
+  for v = 0 to n - 1 do
+    dist0.(v) <- (if v = root then 0 else max_int);
+    parent0.(v) <- -1
+  done;
+  let step ~round ~me ~prev ~cur ~nbrs =
+    let dists = Flat_state.int_column prev 0 in
+    if dists.(me) = max_int then begin
+      (* adopt the smallest-id neighbor that already has a distance;
+         ascending slice order makes "first strict improvement" the
+         smallest id among equals, matching the boxed fold *)
+      let best_d = ref max_int and best_u = ref (-1) in
+      Array.iter
+        (fun u ->
+          let d = dists.(u) in
+          if d < !best_d then begin
+            best_d := d;
+            best_u := u
+          end)
+        nbrs;
+      if !best_u >= 0 then begin
+        Flat_state.set_int cur 0 me (!best_d + 1);
+        Flat_state.set_int cur 1 me !best_u
+      end
+    end;
+    round + 1 >= bound
+  in
+  let st, stats = Runtime.run_flat ~max_rounds ?domains net ~state ~step in
+  let dists = Flat_state.int_column st 0 in
+  ( Flat_state.int_column st 1,
+    Array.map (fun d -> if d = max_int then -1 else d) dists,
+    stats.Runtime.rounds )
+
+(* ---- boxed ablation baselines (retired engine) ---- *)
+
+let elect_leader_boxed ?(max_rounds = Runtime.default_max_rounds) ?(diameter_bound = max_int)
+    ?domains net =
+  let n = Network.n net in
+  let bound = if diameter_bound = max_int then max 1 n else max 1 diameter_bound in
   let states, stats =
-    Runtime.run_full_info ~max_rounds ?domains net
+    Runtime.run_full_info_boxed ~max_rounds ?domains net
+      ~init:(fun v -> Network.id net v)
+      ~step:(fun ~round ~me:_ s nbrs ->
+        let s = List.fold_left (fun acc (_, x) -> min acc x) s nbrs in
+        (s, round + 1 >= bound))
+  in
+  (states, stats.Runtime.rounds)
+
+let bfs_tree_boxed ?(max_rounds = Runtime.default_max_rounds) ?domains net ~root =
+  let n = Network.n net in
+  let bound = max 1 n in
+  let states, stats =
+    Runtime.run_full_info_boxed ~max_rounds ?domains net
       ~init:(fun v -> if v = root then { dist = 0; parent = -1 } else { dist = max_int; parent = -1 })
       ~step:(fun ~round ~me:_ s nbrs ->
         let s =

@@ -1,14 +1,31 @@
-(** Classic LOCAL primitives: leader election and BFS spanning trees. *)
+(** Classic LOCAL primitives: leader election and BFS spanning trees.
+
+    Round bounds are uniform across both entry points: the protocol
+    halts after its internal diameter bound (default [n], the safe
+    LOCAL bound), while [?max_rounds] (default
+    [Runtime.default_max_rounds]) is the engine's hard cap — exceeding
+    it raises [Runtime.Round_limit_exceeded]. *)
 
 module Graph = Lll_graph.Graph
 
-val elect_leader : ?diameter_bound:int -> ?domains:int -> Network.t -> int array * int
+val elect_leader :
+  ?max_rounds:int -> ?diameter_bound:int -> ?domains:int -> Network.t -> int array * int
 (** Minimum-id flooding; returns each node's view of the leader id and
-    the round count (defaults to [n] rounds, a safe diameter bound). *)
+    the round count (halts after [diameter_bound] rounds, default [n]).
+    Runs on the flat engine. *)
 
 val bfs_tree :
   ?max_rounds:int -> ?domains:int -> Network.t -> root:int -> int array * int array * int
 (** [(parents, dists, rounds)]: parent is [-1] for the root and for
-    unreachable nodes (whose dist is also [-1]). *)
+    unreachable nodes (whose dist is also [-1]). Runs on the flat
+    engine (two int columns: dist, parent). *)
+
+val elect_leader_boxed :
+  ?max_rounds:int -> ?diameter_bound:int -> ?domains:int -> Network.t -> int array * int
+(** Boxed-engine ablation baseline; agrees with {!elect_leader}. *)
+
+val bfs_tree_boxed :
+  ?max_rounds:int -> ?domains:int -> Network.t -> root:int -> int array * int array * int
+(** Boxed-engine ablation baseline; agrees with {!bfs_tree}. *)
 
 val is_bfs_tree : Graph.t -> root:int -> int array -> int array -> bool

@@ -100,10 +100,16 @@ let arena_max_inbox a n =
   done;
   !best
 
+(* The domain count a [?domains] argument resolves to for an [n]-node
+   parallel phase — what [Par.fork_join] will actually use, surfaced in
+   metrics as the round's [par_width]. *)
+let effective_domains ?domains n =
+  min (match domains with Some d -> max 1 d | None -> Par.default_domains ()) (max 1 n)
+
 (* One metrics record, appended both to the sink and to the per-run
    accumulator surfaced through [stats.per_round]. *)
 let emit metrics acc ~round ~t0 ~messages ~stepped ~halted_count ~n ~sample ~max_inbox
-    ~arena_occupancy =
+    ~arena_occupancy ~par_width =
   if Metrics.enabled metrics then begin
     let r =
       {
@@ -116,6 +122,7 @@ let emit metrics acc ~round ~t0 ~messages ~stepped ~halted_count ~n ~sample ~max
         state_words = Metrics.state_words sample;
         max_inbox;
         arena_occupancy;
+        par_width;
       }
     in
     Metrics.record metrics r;
@@ -139,6 +146,7 @@ let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled
   let round = ref 0 in
   let messages = ref 0 in
   let recs = ref [] in
+  let par_width = effective_domains ?domains n in
   while !halted_count < n do
     if !round >= max_rounds then raise (Round_limit_exceeded max_rounds);
     let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
@@ -211,19 +219,83 @@ let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled
     emit metrics recs ~round:!round ~t0 ~messages:!round_msgs ~stepped:!stepped
       ~halted_count:!halted_count ~n ~sample:states.(0)
       ~max_inbox:(arena_max_inbox inbox_arena n)
-      ~arena_occupancy:(max (arena_capacity !cur) (arena_capacity !nxt));
+      ~arena_occupancy:(max (arena_capacity !cur) (arena_capacity !nxt))
+      ~par_width;
     cur := dst;
     nxt := inbox_arena;
     incr round
   done;
   (states, finish ~rounds:!round ~messages:!messages recs)
 
+(* ---- the flat full-information engine ----
+
+   The generalized record-of-arrays engine every full-information
+   protocol now runs on. State is a [Flat_state.t] (parallel int/float
+   columns plus an optional boxed payload column); [prev] is a
+   double-buffered snapshot refreshed by column blits at the top of each
+   round. A step receives both buffers plus its CSR-aligned neighbor
+   slice and the contract is: read anything from [prev], write only row
+   [me] of [cur], return the halt request. Halt bookkeeping happens in a
+   sequential sweep in node order after the parallel phase, so the
+   result is bit-identical for any [domains] — the same determinism
+   contract as [run], asserted by the differential tests. *)
+let run_flat ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net ~state
+    ~step =
+  let n = Network.n net in
+  if Flat_state.n state <> n then invalid_arg "Runtime.run_flat: state/network size mismatch";
+  let nbrs = neighbor_index net in
+  let cur = state in
+  let prev = Flat_state.copy state in
+  let halted = Array.make n false in
+  let halted_count = ref 0 in
+  let halt_req = Array.make n false in
+  let round = ref 0 in
+  let recs = ref [] in
+  let par_width = effective_domains ?domains n in
+  let payload = Flat_state.payload_column cur in
+  while !halted_count < n do
+    if !round >= max_rounds then raise (Round_limit_exceeded max_rounds);
+    let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
+    Flat_state.blit ~src:cur ~dst:prev;
+    Par.parallel_for ?domains ~n (fun v ->
+        if not halted.(v) then
+          halt_req.(v) <- step ~round:!round ~me:v ~prev ~cur ~nbrs:nbrs.(v));
+    let stepped = ref 0 in
+    for v = 0 to n - 1 do
+      if not halted.(v) then begin
+        incr stepped;
+        if halt_req.(v) then begin
+          halted.(v) <- true;
+          incr halted_count
+        end
+      end
+    done;
+    (* sample the payload column when the protocol has one (so
+       state-growth protocols like ball gathering stay observable);
+       pure column states sample as an immediate, i.e. 0 words *)
+    (if Array.length payload > 0 then
+       emit metrics recs ~round:!round ~t0 ~messages:0 ~stepped:!stepped
+         ~halted_count:!halted_count ~n ~sample:payload.(0) ~max_inbox:0 ~arena_occupancy:0
+         ~par_width
+     else
+       emit metrics recs ~round:!round ~t0 ~messages:0 ~stepped:!stepped
+         ~halted_count:!halted_count ~n ~sample:0 ~max_inbox:0 ~arena_occupancy:0 ~par_width);
+    incr round
+  done;
+  (cur, finish ~rounds:!round ~messages:0 recs)
+
 (* Full-information rounds: each node's step sees [(neighbor, neighbor's
    state at the start of the round)]. All nodes are stepped against the
    same snapshot, faithfully modelling synchronous rounds — which is also
-   exactly what makes the parallel step phase sound. *)
-let run_full_info ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net
-    ~init ~step =
+   exactly what makes the parallel step phase sound.
+
+   This is the RETIRED boxed engine, kept verbatim as an ablation
+   baseline (bench flat-vs-boxed rows) and as the reference
+   implementation the compatibility shim below is tested against. New
+   protocols must target [run_flat]; the @flat-lint alias keeps boxed
+   calls from creeping back into lib/. *)
+let run_full_info_boxed ?(max_rounds = default_max_rounds) ?domains
+    ?(metrics = Metrics.disabled) net ~init ~step =
   let n = Network.n net in
   let nbrs = neighbor_index net in
   let states = Array.init n init in
@@ -256,54 +328,53 @@ let run_full_info ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metric
       end
     done;
     emit metrics recs ~round:!round ~t0 ~messages:0 ~stepped:!stepped
-      ~halted_count:!halted_count ~n ~sample:states.(0) ~max_inbox:0 ~arena_occupancy:0;
+      ~halted_count:!halted_count ~n ~sample:states.(0) ~max_inbox:0 ~arena_occupancy:0
+      ~par_width:(effective_domains ?domains n);
     incr round
   done;
   (states, finish ~rounds:!round ~messages:0 recs)
 
-(* Flat int-state variant of [run_full_info], for protocols whose whole
-   node state is one integer (colorings, floods): states and the per-round
-   snapshot are int arrays, and each step sees its neighbors' states as an
-   int array read straight off the CSR slice — no assoc lists, no boxed
-   pairs. Same engine contract as [run_full_info]: parallel step phase
-   against an immutable snapshot, sequential halt sweep in node order. *)
-let run_full_info_flat ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled)
-    net ~init ~step =
+(* Compatibility shim over [run_flat]: the historical boxed API
+   (assoc-list neighborhoods), now a payload-column protocol on the flat
+   engine. Kept for tests and examples; hot paths call [run_flat]
+   directly. The per-node assoc list is materialised inside the step
+   wrapper, so callers see exactly the old interface and — because the
+   wrapper reads the same snapshot in the same order — exactly the old
+   results. *)
+let run_full_info ?max_rounds ?domains ?metrics net ~init ~step =
   let n = Network.n net in
-  let nbrs = neighbor_index net in
-  let states = Array.init n init in
-  let snapshot = Array.make (max n 1) 0 in
-  let halted = Array.make n false in
-  let halted_count = ref 0 in
-  let halt_req = Array.make n false in
-  let round = ref 0 in
-  let recs = ref [] in
-  while !halted_count < n do
-    if !round >= max_rounds then raise (Round_limit_exceeded max_rounds);
-    let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
-    Array.blit states 0 snapshot 0 n;
-    Par.parallel_for ?domains ~n (fun v ->
-        if not halted.(v) then begin
-          let nbr_states = Array.map (fun u -> snapshot.(u)) nbrs.(v) in
-          let s, h = step ~round:!round ~me:v snapshot.(v) nbr_states in
-          states.(v) <- s;
-          halt_req.(v) <- h
-        end);
-    let stepped = ref 0 in
-    for v = 0 to n - 1 do
-      if not halted.(v) then begin
-        incr stepped;
-        if halt_req.(v) then begin
-          halted.(v) <- true;
-          incr halted_count
-        end
-      end
-    done;
-    emit metrics recs ~round:!round ~t0 ~messages:0 ~stepped:!stepped
-      ~halted_count:!halted_count ~n ~sample:states.(0) ~max_inbox:0 ~arena_occupancy:0;
-    incr round
+  let state = Flat_state.create ~n ~payload:init () in
+  let stepf ~round ~me ~prev ~cur ~nbrs =
+    let payload = Flat_state.payload_column prev in
+    let nbr_states = Array.to_list (Array.map (fun u -> (u, payload.(u))) nbrs) in
+    let s, h = step ~round ~me payload.(me) nbr_states in
+    Flat_state.set_payload cur me s;
+    h
+  in
+  let st, stats = run_flat ?max_rounds ?domains ?metrics net ~state ~step:stepf in
+  (Flat_state.payload_column st, stats)
+
+(* Flat int-state variant of [run_full_info], for protocols whose whole
+   node state is one integer (colorings, floods) — now a one-int-column
+   wrapper over [run_flat] that still materialises the neighbor int
+   array the historical API promised. Protocols wanting the zero-alloc
+   path read the column straight off [prev] via [run_flat] instead. *)
+let run_full_info_flat ?max_rounds ?domains ?metrics net ~init ~step =
+  let n = Network.n net in
+  let state = Flat_state.create ~n ~int_fields:1 () in
+  let col = Flat_state.int_column state 0 in
+  for v = 0 to n - 1 do
+    col.(v) <- init v
   done;
-  (states, finish ~rounds:!round ~messages:0 recs)
+  let stepf ~round ~me ~prev ~cur ~nbrs =
+    let snapshot = Flat_state.int_column prev 0 in
+    let nbr_states = Array.map (fun u -> snapshot.(u)) nbrs in
+    let s, h = step ~round ~me snapshot.(me) nbr_states in
+    Flat_state.set_int cur 0 me s;
+    h
+  in
+  let st, stats = run_flat ?max_rounds ?domains ?metrics net ~state ~step:stepf in
+  (Flat_state.int_column st 0, stats)
 
 (* Gather the (node, state) pairs within radius [k] of every node by
    flooding for [k] rounds — the canonical LOCAL primitive: any
@@ -329,12 +400,22 @@ let merge_sorted_balls l l' =
 
 let gather_balls ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net
     ~radius ~(value : int -> 'a) : (int * 'a) list array * stats =
-  let init v = [ (v, value v) ] in
-  let step ~round ~me:_ s nbrs =
-    let s' = List.fold_left (fun acc (_, l) -> merge_sorted_balls acc l) s nbrs in
-    (s', round + 1 >= radius)
-  in
   if radius = 0 then
     ( Array.init (Network.n net) (fun v -> [ (v, value v) ]),
       { rounds = 0; messages = 0; per_round = [] } )
-  else run_full_info ~max_rounds ?domains ~metrics net ~init ~step
+  else begin
+    let n = Network.n net in
+    let state = Flat_state.create ~n ~payload:(fun v -> [ (v, value v) ]) () in
+    let step ~round ~me ~prev ~cur ~nbrs =
+      let balls = Flat_state.payload_column prev in
+      (* ascending CSR slice order — the same merge order as the old
+         assoc-list fold, so the result lists are bit-identical *)
+      let s' =
+        Array.fold_left (fun acc u -> merge_sorted_balls acc balls.(u)) balls.(me) nbrs
+      in
+      Flat_state.set_payload cur me s';
+      round + 1 >= radius
+    in
+    let st, stats = run_flat ~max_rounds ?domains ~metrics net ~state ~step in
+    (Flat_state.payload_column st, stats)
+  end

@@ -40,6 +40,32 @@ val run :
     safe to call concurrently for distinct nodes (pure up to per-call
     local state), which every synchronous-round protocol is. *)
 
+val run_flat :
+  ?max_rounds:int ->
+  ?domains:int ->
+  ?metrics:Metrics.sink ->
+  Network.t ->
+  state:'p Flat_state.t ->
+  step:
+    (round:int ->
+    me:int ->
+    prev:'p Flat_state.t ->
+    cur:'p Flat_state.t ->
+    nbrs:int array ->
+    bool) ->
+  'p Flat_state.t * stats
+(** The generalized full-information engine over record-of-arrays states
+    — the house engine every hot protocol runs on. [state] holds the
+    initial columns and is mutated in place; [prev] is a double-buffered
+    snapshot refreshed by column blits at the top of each round. A step
+    may read any row of [prev] (its neighbors' ids arrive as the
+    CSR-aligned slice [nbrs], in ascending order) but must write only
+    row [me] of [cur]; it returns its halt request, committed by a
+    sequential sweep in node order. Results are bit-identical for every
+    [domains] value. Rows a step does not write carry over from the
+    previous round. Exceeding [max_rounds] raises
+    {!Round_limit_exceeded}. *)
+
 val run_full_info :
   ?max_rounds:int ->
   ?domains:int ->
@@ -49,7 +75,23 @@ val run_full_info :
   step:(round:int -> me:int -> 's -> (int * 's) list -> 's * bool) ->
   's array * stats
 (** Full-information rounds: each step sees the previous-round states of
-    all neighbors — equivalent to LOCAL because messages are unbounded. *)
+    all neighbors — equivalent to LOCAL because messages are unbounded.
+    Compatibility shim over {!run_flat} (payload-column protocol, assoc
+    lists materialised per step) kept for tests and examples; hot
+    protocols use {!run_flat}. *)
+
+val run_full_info_boxed :
+  ?max_rounds:int ->
+  ?domains:int ->
+  ?metrics:Metrics.sink ->
+  Network.t ->
+  init:(int -> 's) ->
+  step:(round:int -> me:int -> 's -> (int * 's) list -> 's * bool) ->
+  's array * stats
+(** The retired boxed engine behind the historical {!run_full_info}
+    semantics, kept verbatim as an ablation baseline for the bench
+    flat-vs-boxed rows and as the reference the shim is tested
+    against. Do not use in new code. *)
 
 val run_full_info_flat :
   ?max_rounds:int ->
@@ -63,7 +105,8 @@ val run_full_info_flat :
     (colorings, floods): states live in an int array and each step sees
     its neighbors' states as an int array, in ascending neighbor order —
     no per-round assoc-list allocation. Same semantics and determinism
-    contract as {!run_full_info} restricted to int states. *)
+    contract as {!run_full_info} restricted to int states. Implemented
+    as a one-int-column wrapper over {!run_flat}. *)
 
 val gather_balls :
   ?max_rounds:int ->

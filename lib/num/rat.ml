@@ -34,11 +34,20 @@ let sign x = Bigint.sign x.num
 let neg x = { x with num = Bigint.neg x.num }
 let abs x = { x with num = Bigint.abs x.num }
 
+(* Same-denominator fast path: a/d + b/d = (a+b)/d, normalized by [make]
+   — one gcd over much smaller operands than the cross-multiplied form.
+   Probability sums in the tracker hot loops overwhelmingly add
+   same-table weights (identical denominators), where this saves two
+   multiplications and the large-operand gcd. *)
 let add x y =
-  make (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
+  if Bigint.equal x.den y.den then make (Bigint.add x.num y.num) x.den
+  else
+    make (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
 
 let sub x y =
-  make (Bigint.sub (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
+  if Bigint.equal x.den y.den then make (Bigint.sub x.num y.num) x.den
+  else
+    make (Bigint.sub (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
 
 let mul x y = make (Bigint.mul x.num y.num) (Bigint.mul x.den y.den)
 

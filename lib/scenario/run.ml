@@ -17,6 +17,7 @@ type measurement = {
   ok : bool;
   guaranteed : bool;
   round_records : int;
+  max_sweep_width : int;
 }
 
 type growth = Constant | Log_log | Log
@@ -40,8 +41,18 @@ type fit = {
 let round_engines () =
   List.filter (fun s -> (Solver.caps s).Solver.distributed) (Solver.all ())
 
+(* runtime rounds also carry [par_width > 0]; the phase label singles
+   out the color-class fixer sweeps recorded via [Metrics.record_sweep] *)
+let max_sweep_width records =
+  List.fold_left
+    (fun acc (r : Metrics.round_record) ->
+      if r.Metrics.par_width > 0 && r.Metrics.phase = "fix-sweep" then
+        Stdlib.max acc r.Metrics.stepped
+      else acc)
+    0 records
+
 let measure ?(grid = Corpus.default_grid) ?(seeds = Corpus.default_seeds)
-    ?(families = Corpus.all) () =
+    ?(families = Corpus.all) ?(domains = Some 1) () =
   let engines = round_engines () in
   List.concat_map
     (fun (f : Corpus.family) ->
@@ -55,14 +66,16 @@ let measure ?(grid = Corpus.default_grid) ?(seeds = Corpus.default_seeds)
                   if not (Solver.applicable s inst) then None
                   else begin
                     let sink = Metrics.buffer () in
-                    (* domains pinned: baselines must not depend on the
-                       machine's core count *)
+                    (* domains defaults to [Some 1]: baselines must not
+                       depend on the machine's core count. Overriding it
+                       must not change any round count (the determinism
+                       contract) — only the recorded sweep widths. *)
                     let params =
                       {
                         Solver.default_params with
                         Solver.seed;
                         metrics = sink;
-                        domains = Some 1;
+                        domains;
                       }
                     in
                     let rounds, ok =
@@ -81,6 +94,7 @@ let measure ?(grid = Corpus.default_grid) ?(seeds = Corpus.default_seeds)
                         ok;
                         guaranteed = Solver.guarantees s inst;
                         round_records = List.length (Metrics.records sink);
+                        max_sweep_width = max_sweep_width (Metrics.records sink);
                       }
                   end)
                 engines)
@@ -147,14 +161,14 @@ let fit_growth ms =
   |> List.sort (fun a b -> compare (a.f_family, a.f_engine) (b.f_family, b.f_engine))
 
 let pp_measurements ppf ms =
-  Format.fprintf ppf "%-18s %-18s %6s %5s %7s %-5s %-5s %6s@." "family" "engine" "n" "seed"
-    "rounds" "ok" "guar" "metric";
+  Format.fprintf ppf "%-18s %-18s %6s %5s %7s %-5s %-5s %6s %5s@." "family" "engine" "n"
+    "seed" "rounds" "ok" "guar" "metric" "width";
   List.iter
     (fun m ->
-      Format.fprintf ppf "%-18s %-18s %6d %5d %7s %-5b %-5b %6d@." m.family m.engine m.n
-        m.seed
+      Format.fprintf ppf "%-18s %-18s %6d %5d %7s %-5b %-5b %6d %5d@." m.family m.engine
+        m.n m.seed
         (match m.rounds with Some r -> string_of_int r | None -> "-")
-        m.ok m.guaranteed m.round_records)
+        m.ok m.guaranteed m.round_records m.max_sweep_width)
     ms
 
 let pp_fits ppf fits =

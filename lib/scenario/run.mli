@@ -13,6 +13,10 @@ type measurement = {
   guaranteed : bool;  (** the engine's theorem covered this instance *)
   round_records : int;
       (** per-round records the engine pushed into the Metrics sink *)
+  max_sweep_width : int;
+      (** widest color-class fixer sweep (max [stepped] over
+          ["fix-sweep"]-phase records with [par_width > 0]); [0] when
+          the engine never ran a parallel class sweep *)
 }
 
 type growth = Constant | Log_log | Log
@@ -35,6 +39,7 @@ val measure :
   ?grid:int list ->
   ?seeds:int list ->
   ?families:Corpus.family list ->
+  ?domains:int option ->
   unit ->
   measurement list
 (** Run every registered engine with [caps.distributed = true] (the
@@ -42,7 +47,10 @@ val measure :
     Deterministic in (grid, seeds): engines draw randomness only from
     the per-measurement seed. An engine that raises yields a
     [rounds = None, ok = false] measurement rather than aborting the
-    sweep. *)
+    sweep. [domains] defaults to [Some 1] so baselines never depend on
+    the machine's core count; any override must leave every round count
+    bit-identical (the runtime's determinism contract) and only affects
+    the recorded sweep widths. *)
 
 val fit_growth : measurement list -> fit list
 (** Least-squares fit (through the origin) of each (family, engine)

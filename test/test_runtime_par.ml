@@ -131,6 +131,69 @@ let diff_props =
   ]
 
 (* ---------------------------------------------------------------- *)
+(* migrated protocols: flat d1 == flat d4 == boxed ablation         *)
+(* ---------------------------------------------------------------- *)
+
+module Mis = Lll_local.Mis
+module Primitives = Lll_local.Primitives
+module Dist_lll = Lll_core.Dist_lll
+module Distributed = Lll_core.Distributed
+module Synthetic = Lll_core.Synthetic
+
+(* every protocol that moved off the boxed engine in the record-of-arrays
+   migration: its flat sequential run, its flat multi-domain run, and the
+   retained boxed ablation baseline must agree byte for byte *)
+let protocol_props =
+  [
+    prop "Mis.luby: flat d1 == flat d4 == boxed" 200 arb_net_params
+      (fun ((seed, _, _) as p) ->
+        let net = net_of p in
+        let f1 = Mis.luby ~domains:1 ~seed net
+        and f4 = Mis.luby ~domains:4 ~seed net
+        and b = Mis.luby_boxed ~domains:1 ~seed net in
+        f1 = f4 && f1 = b);
+    prop "Primitives.elect_leader: flat d1 == flat d4 == boxed" 200 arb_net_params
+      (fun p ->
+        let net = net_of p in
+        let f1 = Primitives.elect_leader ~domains:1 net
+        and f4 = Primitives.elect_leader ~domains:4 net
+        and b = Primitives.elect_leader_boxed ~domains:1 net in
+        f1 = f4 && f1 = b);
+    prop "Primitives.bfs_tree: flat d1 == flat d4 == boxed" 200 arb_net_params
+      (fun ((seed, n, _) as p) ->
+        let net = net_of p in
+        let root = seed mod n in
+        let f1 = Primitives.bfs_tree ~domains:1 net ~root
+        and f4 = Primitives.bfs_tree ~domains:4 net ~root
+        and b = Primitives.bfs_tree_boxed ~domains:1 net ~root in
+        f1 = f4 && f1 = b);
+    prop "Dist_lll.solve: `Flat d1 == `Flat d4 == `Boxed" 200
+      (QCheck.make
+         ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+         QCheck.Gen.(int_bound 100_000))
+      (fun seed ->
+        let inst =
+          (* the 2-regular rank-3 structure needs [3 | n] and enough
+             nodes for distinct edges *)
+          Synthetic.random ~seed ~n:(3 * (4 + (seed mod 4))) ~rank:3 ~delta:2 ~arity:2 ()
+        in
+        let go engine domains = Dist_lll.solve ~engine ~domains inst in
+        let f1 = go `Flat 1 and f4 = go `Flat 4 and b = go `Boxed 1 in
+        f1 = f4 && f1 = b);
+    prop "Distributed.solve_rank3: parallel fix_class d1 == d4" 200
+      (QCheck.make
+         ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+         QCheck.Gen.(int_bound 100_000))
+      (fun seed ->
+        let inst =
+          (* the 2-regular rank-3 structure needs [3 | n] and enough
+             nodes for distinct edges *)
+          Synthetic.random ~seed ~n:(3 * (4 + (seed mod 4))) ~rank:3 ~delta:2 ~arity:2 ()
+        in
+        Distributed.solve_rank3 ~domains:1 inst = Distributed.solve_rank3 ~domains:4 inst);
+  ]
+
+(* ---------------------------------------------------------------- *)
 (* non-neighbor rejection survives the parallel merge               *)
 (* ---------------------------------------------------------------- *)
 
@@ -314,6 +377,7 @@ let () =
   Alcotest.run "runtime_par"
     [
       ("differential", diff_props);
+      ("protocols", protocol_props);
       ( "delivery",
         [
           Alcotest.test_case "non-neighbor rejected under domains:4" `Quick

@@ -120,6 +120,17 @@ let test_sub_threshold_families_have_o1_witness () =
         (List.exists (fun w -> w.Baseline.w_family = fam) b.Baseline.witnesses))
     below
 
+let test_domains_override_is_invisible () =
+  (* the determinism contract at the scenario layer: re-measuring one
+     small slice with domains:4 must reproduce the pinned domains:1
+     measurements field for field (rounds, ok, record counts, widths) *)
+  let b = Lazy.force baseline in
+  let grid = [ List.fold_left min max_int b.Baseline.grid ] in
+  let seeds = [ List.hd b.Baseline.seeds ] in
+  let m1 = Run.measure ~grid ~seeds ~domains:(Some 1) ()
+  and m4 = Run.measure ~grid ~seeds ~domains:(Some 4) () in
+  Alcotest.(check bool) "domains:4 slice == domains:1 slice" true (m1 = m4)
+
 let test_above_threshold_growth_recorded () =
   (* at-threshold families carry non-constant fitted envelopes for at
      least one randomized distributed engine *)
@@ -154,5 +165,7 @@ let () =
             test_sub_threshold_families_have_o1_witness;
           Alcotest.test_case "at-threshold growth recorded" `Quick
             test_above_threshold_growth_recorded;
+          Alcotest.test_case "domains override leaves measurements intact" `Quick
+            test_domains_override_is_invisible;
         ] );
     ]
