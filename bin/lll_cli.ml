@@ -8,6 +8,9 @@
      triple    — check/decompose a representable triple
      fuzz      — adversarial fuzz-and-shrink over the solver registry
      scenario  — threshold corpus round-count measurement / regression
+     convert   — rewrite a serialized instance between text v2 and binary v3
+     serve     — persistent solve service (unix socket or stdio framing)
+     client    — talk to a running server (or spawn one) over the frame protocol
 
    Every engine lives behind the Solver registry: `--solver NAME` picks
    one, `--list-solvers` enumerates them, and every run goes through the
@@ -41,6 +44,14 @@ open Cmdliner
 
 type family = Ring | Rank3 | Sinkless | Sinkless_relaxed | Hyper | Weak_splitting
 
+let family_to_string = function
+  | Ring -> "ring"
+  | Rank3 -> "rank3"
+  | Sinkless -> "sinkless"
+  | Sinkless_relaxed -> "sinkless-relaxed"
+  | Hyper -> "hyper"
+  | Weak_splitting -> "weak-splitting"
+
 let family_conv =
   let parse = function
     | "ring" -> Ok Ring
@@ -51,16 +62,7 @@ let family_conv =
     | "weak-splitting" -> Ok Weak_splitting
     | s -> Error (`Msg (Printf.sprintf "unknown family %S" s))
   in
-  let print fmt f =
-    Format.pp_print_string fmt
-      (match f with
-      | Ring -> "ring"
-      | Rank3 -> "rank3"
-      | Sinkless -> "sinkless"
-      | Sinkless_relaxed -> "sinkless-relaxed"
-      | Hyper -> "hyper"
-      | Weak_splitting -> "weak-splitting")
-  in
+  let print fmt f = Format.pp_print_string fmt (family_to_string f) in
   Arg.conv (parse, print)
 
 let build_instance family ~n ~degree ~seed ~at_threshold =
@@ -91,31 +93,87 @@ let at_threshold_arg =
 let file_arg =
   Arg.(value & opt (some string) None
        & info [ "file"; "load-instance" ] ~docv:"PATH"
-           ~doc:"Load the instance from a serialized file (v1 or v2 format) instead of \
-                 generating one.")
+           ~doc:"Load the instance from a serialized file (text v1/v2 or binary v3, \
+                 auto-detected) instead of generating one.")
 
 let get_instance file family ~n ~degree ~seed ~at_threshold =
   match file with
-  | Some path -> Lll_core.Serial.load path
+  | Some path -> Lll_core.Serial.load_any path
   | None -> build_instance family ~n ~degree ~seed ~at_threshold
 
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run family n degree seed at_threshold output =
+  let run family n degree seed at_threshold output binary =
     let inst = build_instance family ~n ~degree ~seed ~at_threshold in
     match output with
     | Some path ->
-      Lll_core.Serial.save path inst;
-      Format.printf "wrote %a to %s@." I.pp inst path
-    | None -> print_string (Lll_core.Serial.to_string inst)
+      if binary then Lll_core.Serial.save_binary path inst
+      else Lll_core.Serial.save path inst;
+      Format.printf "wrote %a to %s (%s)@." I.pp inst path (if binary then "binary v3" else "text v2")
+    | None ->
+      if binary then begin
+        set_binary_mode_out stdout true;
+        print_string (Lll_core.Serial.to_binary_string inst)
+      end
+      else print_string (Lll_core.Serial.to_string inst)
   in
   let output =
     Arg.(value & opt (some string) None
          & info [ "output"; "o" ] ~docv:"PATH" ~doc:"Write to a file instead of stdout.")
   in
+  let binary =
+    Arg.(value & flag
+         & info [ "binary" ] ~doc:"Emit the binary v3 container instead of the text v2 format.")
+  in
   Cmd.v (Cmd.info "gen" ~doc:"Generate an instance family and serialize it.")
-    Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ output)
+    Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ output $ binary)
+
+(* ---- convert: lossless text v2 <-> binary v3 ---- *)
+
+let convert_cmd =
+  let run input output to_format =
+    let inst =
+      try Lll_core.Serial.load_any input
+      with
+      | Lll_core.Serial.Parse_error { line; message } ->
+        Format.eprintf "convert: %s:%d: %s@." input line message;
+        exit 2
+      | Lll_graph.Serialize.Bin.Corrupt msg ->
+        Format.eprintf "convert: %s: corrupt binary: %s@." input msg;
+        exit 2
+    in
+    let binary =
+      match to_format with
+      | Some "binary" -> true
+      | Some "text" -> false
+      | Some other ->
+        Format.eprintf "convert: unknown target format %S (binary|text)@." other;
+        exit 2
+      | None ->
+        (* default: flip whatever the input was *)
+        let ic = open_in_bin input in
+        let probe = really_input_string ic (min 4 (in_channel_length ic)) in
+        close_in ic;
+        not (Lll_core.Serial.is_binary probe)
+    in
+    if binary then Lll_core.Serial.save_binary output inst
+    else Lll_core.Serial.save output inst;
+    Format.printf "converted %a: %s -> %s (%s)@." I.pp inst input output
+      (if binary then "binary v3" else "text v2")
+  in
+  let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
+  let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT") in
+  let to_format =
+    Arg.(value & opt (some string) None
+         & info [ "to" ] ~docv:"FORMAT"
+             ~doc:"Target format: binary or text (default: the opposite of the input).")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Rewrite a serialized instance between the text v2 interchange format and the \
+             binary v3 container; the conversion is lossless in both directions.")
+    Term.(const run $ input $ output $ to_format)
 
 (* ---- criteria ---- *)
 
@@ -397,16 +455,46 @@ let scenario_cmd =
       | _ -> None
     with _ -> None
   in
-  let run check record force baselines domains =
+  let run check record force baselines domains via_serve =
     (* --domains only overrides the fan-out width; the determinism
        contract keeps every round count identical to the pinned
        [Some 1] default, so checks stay valid at any width. *)
+    let raw_domains = domains in
     let domains = match domains with None -> None | Some k -> Some (Some k) in
     if check && record then begin
       Format.eprintf "--check and --record are mutually exclusive@.";
       exit 2
     end;
-    if check then begin
+    if via_serve then begin
+      if check || record then begin
+        Format.eprintf "--via-serve only supports the plain measurement report@.";
+        exit 2
+      end;
+      (* the measurement sweep routed through an in-process serve
+         session: same scheduler/cache/protocol stack as a socket
+         server, minus the socket *)
+      let sched = Lll_serve.Sched.create ?domains:raw_domains () in
+      let frame =
+        { Lll_serve.Protocol.header = [ ("op", "scenario") ]; body = "" }
+      in
+      let result = ref None in
+      (match
+         Lll_serve.Sched.handle_batch sched [ frame ] ~emit:(fun f ->
+             if Lll_serve.Protocol.get f "frame" = Some "result" then result := Some f)
+       with
+      | `Continue | `Shutdown -> ());
+      match !result with
+      | Some r when Lll_serve.Protocol.get r "status" = Some "ok" ->
+        print_string r.Lll_serve.Protocol.body
+      | Some r ->
+        Format.eprintf "scenario --via-serve failed: %s@."
+          (Option.value (Lll_serve.Protocol.get r "error") ~default:"unknown error");
+        exit 1
+      | None ->
+        Format.eprintf "scenario --via-serve: no result frame@.";
+        exit 1
+    end
+    else if check then begin
       let b =
         try Baseline.load baselines
         with
@@ -476,12 +564,140 @@ let scenario_cmd =
     Arg.(value & opt string "scenario_baselines.json"
          & info [ "baselines" ] ~docv:"PATH" ~doc:"Baseline artifact location.")
   in
+  let via_serve_arg =
+    Arg.(value & flag
+         & info [ "via-serve" ]
+             ~doc:"Route the measurement sweep through an in-process solve-service session \
+                   (same scheduler and protocol as $(b,serve)) instead of calling the \
+                   library directly.")
+  in
   Cmd.v
     (Cmd.info "scenario"
        ~doc:"Threshold-sharpness corpus: run every round-accounted engine over the \
              threshold-straddling workload families, fit round counts against log log n / \
              log n envelopes, and check or record the regression baselines.")
-    Term.(const run $ check_arg $ record_arg $ force_arg $ baselines_arg $ domains_arg)
+    Term.(const run $ check_arg $ record_arg $ force_arg $ baselines_arg $ domains_arg
+          $ via_serve_arg)
+
+(* ---- serve / client ---- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket stdio cache domains =
+    match (socket, stdio) with
+    | Some _, true ->
+      Format.eprintf "serve: --socket and --stdio are mutually exclusive@.";
+      exit 2
+    | None, false ->
+      Format.eprintf "serve: pick a transport: --socket PATH or --stdio@.";
+      exit 2
+    | Some path, false ->
+      Format.eprintf "serving on %s (cache %d)@." path cache;
+      Lll_serve.Serve.serve_socket ~capacity:cache ?domains ~path ()
+    | None, true -> Lll_serve.Serve.serve_stdio ~capacity:cache ?domains ()
+  in
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ] ~doc:"Serve length-framed requests on stdin/stdout (the \
+                                  child-process transport of $(b,client --spawn)).")
+  in
+  let cache =
+    Arg.(value & opt int 32
+         & info [ "cache" ] ~docv:"N" ~doc:"LRU instance-cache capacity.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Persistent solve service: an LRU instance cache plus a batching scheduler \
+             behind a length-framed request protocol. Requests describe instances by \
+             generator spec or serialized blob; repeat requests hit the cache with zero \
+             rebuild work and bit-identical solver output.")
+    Term.(const run $ socket_arg $ stdio $ cache $ domains_arg)
+
+let client_cmd =
+  let run socket spawn smoke op family n degree seed solver stream =
+    let conn =
+      match (socket, spawn) with
+      | Some path, false -> Lll_serve.Client.connect_socket path
+      | None, true -> Lll_serve.Client.spawn ()
+      | Some _, true ->
+        Format.eprintf "client: --socket and --spawn are mutually exclusive@.";
+        exit 2
+      | None, false ->
+        Format.eprintf "client: pick a server: --socket PATH or --spawn@.";
+        exit 2
+    in
+    (* a spawned child is ours to stop; a shared socket server stays up *)
+    let finally () =
+      if spawn then Lll_serve.Client.shutdown conn else Lll_serve.Client.close conn
+    in
+    Fun.protect ~finally (fun () ->
+        if smoke then begin
+          match Lll_serve.Client.smoke conn with
+          | Ok () -> Format.printf "serve smoke: solve/verify batch, cache hit, stats OK@."
+          | Error reason ->
+            Format.eprintf "serve smoke FAILED: %s@." reason;
+            exit 1
+        end
+        else begin
+          let family_name = family_to_string family in
+          let header =
+            [
+              ("op", op);
+              ("family", family_name);
+              ("n", string_of_int n);
+              ("degree", string_of_int degree);
+              ("seed", string_of_int seed);
+              ("solver", solver);
+            ]
+            @ (if stream then [ ("stream", "1") ] else [])
+          in
+          let resp =
+            Lll_serve.Client.request conn { Lll_serve.Protocol.header; body = "" }
+          in
+          List.iter
+            (fun m -> Format.printf "metrics: %s@." m.Lll_serve.Protocol.body)
+            resp.Lll_serve.Client.metrics;
+          let r = resp.Lll_serve.Client.result in
+          Format.printf "result:";
+          List.iter
+            (fun (k, v) -> if k <> "frame" then Format.printf " %s=%s" k v)
+            r.Lll_serve.Protocol.header;
+          Format.printf "@.";
+          if r.Lll_serve.Protocol.body <> "" then
+            Format.printf "body: %s@." r.Lll_serve.Protocol.body;
+          if Lll_serve.Protocol.get r "status" <> Some "ok" then exit 1
+        end)
+  in
+  let spawn =
+    Arg.(value & flag
+         & info [ "spawn" ]
+             ~doc:"Launch a private server child over stdio instead of connecting to a \
+                   socket.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Run the end-to-end smoke: mixed solve batch, identical repeat request \
+                   asserting a cache hit with byte-identical output, verify, stats.")
+  in
+  let op =
+    Arg.(value & opt string "solve"
+         & info [ "op" ] ~docv:"OP" ~doc:"Request operation: solve, verify, fuzz, scenario, stats.")
+  in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ] ~doc:"Stream per-round metrics frames for solve requests.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a solve server over the frame protocol — connect to a socket or spawn \
+             a private child — and print the demultiplexed response.")
+    Term.(
+      const run $ socket_arg $ spawn $ smoke $ op $ family_arg $ n_arg $ degree_arg
+      $ seed_arg $ solver_arg $ stream)
 
 (* ---- solvers ---- *)
 
@@ -538,6 +754,7 @@ let () =
        (Cmd.group ~default (Cmd.info "lll_cli" ~doc)
           [
             gen_cmd;
+            convert_cmd;
             criteria_cmd;
             solve_cmd;
             solvers_cmd;
@@ -545,4 +762,6 @@ let () =
             triple_cmd;
             fuzz_cmd;
             scenario_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -119,6 +119,66 @@ let of_norm_edges ~n (edges : (int * int) array) =
   done;
   { n; edges; adj_offsets; adj_neighbors; adj_edge_ids; max_degree = !max_degree }
 
+(* ---- raw CSR view, for the binary serializer ----
+
+   [csr] exposes exactly the arrays of the internal representation so a
+   binary dump is a plain copy-out and a binary load a copy-in.
+   [of_csr] re-validates every structural invariant in O(n + m) int
+   work — strictly sorted slices, mirror symmetry via [edges], offsets
+   monotone and covering — so a loaded graph is as trustworthy as a
+   constructed one without re-running the counting sorts. *)
+
+type csr = {
+  csr_n : int;
+  csr_edges : (int * int) array;
+  csr_offsets : int array;
+  csr_neighbors : int array;
+  csr_edge_ids : int array;
+}
+
+let csr g =
+  {
+    csr_n = g.n;
+    csr_edges = g.edges;
+    csr_offsets = g.adj_offsets;
+    csr_neighbors = g.adj_neighbors;
+    csr_edge_ids = g.adj_edge_ids;
+  }
+
+let of_csr { csr_n = n; csr_edges = edges; csr_offsets = off; csr_neighbors = nbr;
+             csr_edge_ids = eid } =
+  let fail msg = invalid_arg ("Graph.of_csr: " ^ msg) in
+  let m = Array.length edges in
+  let h = 2 * m in
+  if n < 0 then fail "negative n";
+  if Array.length off <> n + 1 then fail "offsets length must be n+1";
+  if Array.length nbr <> h || Array.length eid <> h then
+    fail "adjacency arrays must have length 2m";
+  if off.(0) <> 0 || off.(n) <> h then fail "offsets must cover [0, 2m)";
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || v >= n || u >= v then fail "edge endpoints must satisfy 0 <= u < v < n")
+    edges;
+  (* every half-edge must appear exactly once per direction: count them
+     against the offsets while checking slice order and edge agreement *)
+  let max_degree = ref 0 in
+  for v = 0 to n - 1 do
+    let lo = off.(v) and hi = off.(v + 1) in
+    if hi < lo then fail "offsets must be monotone";
+    max_degree := max !max_degree (hi - lo);
+    for i = lo to hi - 1 do
+      let u = nbr.(i) and e = eid.(i) in
+      if u < 0 || u >= n then fail "neighbor out of range";
+      if i > lo && nbr.(i - 1) >= u then fail "slice not strictly sorted by neighbor";
+      if e < 0 || e >= m then fail "edge id out of range";
+      let a, b = edges.(e) in
+      if not ((a = v && b = u) || (a = u && b = v)) then
+        fail "edge id disagrees with slice entry"
+    done
+  done;
+  { n; edges; adj_offsets = off; adj_neighbors = nbr; adj_edge_ids = eid;
+    max_degree = !max_degree }
+
 let create ~n edge_list =
   if n < 0 then invalid_arg "Graph.create: negative n";
   let seen = Hashtbl.create (List.length edge_list) in

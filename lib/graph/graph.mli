@@ -19,6 +19,26 @@ val create : n:int -> (int * int) list -> t
     dropped; self-loops and out-of-range endpoints raise
     [Invalid_argument]. *)
 
+type csr = {
+  csr_n : int;
+  csr_edges : (int * int) array;  (** edge id -> [(u, v)] with [u < v] *)
+  csr_offsets : int array;  (** length [n+1], monotone, covering [0, 2m) *)
+  csr_neighbors : int array;  (** per-node slices strictly sorted *)
+  csr_edge_ids : int array;  (** edge id of each half-edge *)
+}
+(** The raw CSR columns of a graph, exposed for binary serialization.
+    The arrays are the graph's own (not copies): treat them as
+    read-only. *)
+
+val csr : t -> csr
+(** O(1); shares the internal arrays. *)
+
+val of_csr : csr -> t
+(** Rebuild a graph directly from CSR columns, re-validating every
+    structural invariant (offset coverage, sorted slices, edge-id
+    agreement, normalized endpoints) in O(n + m). Raises
+    [Invalid_argument] on any violation. *)
+
 val n : t -> int
 (** Number of nodes. *)
 

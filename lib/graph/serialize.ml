@@ -202,6 +202,395 @@ let weighted_table_of_string s =
   weighted_table_of_lines ~next_line ~fail:(fun msg ->
       Parse_error { line = !lineno; message = msg })
 
+(* ---- binary container (v3) ----
+
+   The v3 binary format is a sectioned container:
+
+     "LLL3"                            magic (4 bytes)
+     i64 LE  format version            (currently 3)
+     i64 LE  kind length, kind bytes   ("graph", "instance", ...)
+     i64 LE  checksum                  (over the whole payload below)
+     payload:
+       i64 LE  section count
+       per section: i64 tag length, tag bytes, i64 body length, body
+
+   All integers are i64 LE; rationals carry a one-byte tag (0 = both
+   parts fit a native int and follow as two i64s; 1 = decimal strings).
+   The checksum folds the payload 8 bytes at a time into a 63-bit
+   djb2-xor accumulator — cheap enough to never dominate a load, strong
+   enough to catch flipped bytes. Readers validate magic, version, kind,
+   section bounds and checksum before any section is consumed, so a
+   decoder past [open_reader] only ever sees structurally intact data
+   (semantic validation, e.g. {!Graph.of_csr}, still reruns on load). *)
+
+module Bin = struct
+  exception Corrupt of string
+
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+  let magic = "LLL3"
+  let format_version = 3
+
+  let checksum data pos len =
+    let h = ref 0x1505 in
+    let words = len / 8 in
+    for i = 0 to words - 1 do
+      let w = Int64.to_int (String.get_int64_le data (pos + (8 * i))) in
+      h := ((!h lsl 5) + !h) lxor w
+    done;
+    for i = pos + (8 * words) to pos + len - 1 do
+      h := ((!h lsl 5) + !h) lxor Char.code data.[i]
+    done;
+    !h land max_int
+
+  (* -- writer -- *)
+
+  type writer = {
+    w_kind : string;
+    mutable w_done : (string * Buffer.t) list; (* finished sections, reversed *)
+    mutable w_cur : (string * Buffer.t) option;
+  }
+
+  let make_writer ~kind = { w_kind = kind; w_done = []; w_cur = None }
+
+  let flush_cur w =
+    match w.w_cur with
+    | None -> ()
+    | Some sec ->
+      w.w_done <- sec :: w.w_done;
+      w.w_cur <- None
+
+  let section w tag =
+    flush_cur w;
+    w.w_cur <- Some (tag, Buffer.create 256)
+
+  let cur w =
+    match w.w_cur with
+    | Some (_, b) -> b
+    | None -> invalid_arg "Serialize.Bin: add outside a section"
+
+  let buf_i64 b i = Buffer.add_int64_le b (Int64.of_int i)
+  let add_int w i = buf_i64 (cur w) i
+
+  (* Arrays pack to the narrowest of four widths (u8/u16/i32/i64, one
+     tag byte) — column payloads are mostly small non-negative ints, and
+     the narrower rows halve both the container and the decode's memory
+     traffic. *)
+  let add_int_array w a =
+    let b = cur w in
+    buf_i64 b (Array.length a);
+    let lo = ref 0 and hi = ref 0 in
+    Array.iter
+      (fun i ->
+        if i < !lo then lo := i;
+        if i > !hi then hi := i)
+      a;
+    if !lo >= 0 && !hi < 0x100 then begin
+      Buffer.add_char b '\001';
+      Array.iter (fun i -> Buffer.add_char b (Char.unsafe_chr i)) a
+    end
+    else if !lo >= 0 && !hi < 0x1_0000 then begin
+      Buffer.add_char b '\002';
+      Array.iter (fun i -> Buffer.add_uint16_le b i) a
+    end
+    else if !lo >= -0x8000_0000 && !hi < 0x8000_0000 then begin
+      Buffer.add_char b '\004';
+      Array.iter (fun i -> Buffer.add_int32_le b (Int32.of_int i)) a
+    end
+    else begin
+      Buffer.add_char b '\008';
+      Array.iter (fun i -> buf_i64 b i) a
+    end
+
+  let add_string w s =
+    let b = cur w in
+    buf_i64 b (String.length s);
+    Buffer.add_string b s
+
+  let add_rat w q =
+    let b = cur w in
+    let open Lll_num in
+    match (Bigint.to_int_opt (Rat.num q), Bigint.to_int_opt (Rat.den q)) with
+    | Some n, Some d ->
+      Buffer.add_char b '\000';
+      buf_i64 b n;
+      buf_i64 b d
+    | _ ->
+      Buffer.add_char b '\001';
+      let ns = Bigint.to_string (Rat.num q) and ds = Bigint.to_string (Rat.den q) in
+      buf_i64 b (String.length ns);
+      Buffer.add_string b ns;
+      buf_i64 b (String.length ds);
+      Buffer.add_string b ds
+
+  (* Run-length encoding: (count, value) pairs until the declared total
+     is reached. Probability and weight columns repeat a handful of
+     values, so most arrays collapse to one or two runs. *)
+  let add_rat_array w qs =
+    let n = Array.length qs in
+    add_int w n;
+    let i = ref 0 in
+    while !i < n do
+      let j = ref (!i + 1) in
+      while !j < n && Lll_num.Rat.equal qs.(!j) qs.(!i) do
+        incr j
+      done;
+      add_int w (!j - !i);
+      add_rat w qs.(!i);
+      i := !j
+    done
+
+  let contents w =
+    flush_cur w;
+    let sections = List.rev w.w_done in
+    let p = Buffer.create 4096 in
+    buf_i64 p (List.length sections);
+    List.iter
+      (fun (tag, body) ->
+        buf_i64 p (String.length tag);
+        Buffer.add_string p tag;
+        buf_i64 p (Buffer.length body);
+        Buffer.add_buffer p body)
+      sections;
+    let payload = Buffer.contents p in
+    let h = Buffer.create (String.length payload + 64) in
+    Buffer.add_string h magic;
+    buf_i64 h format_version;
+    buf_i64 h (String.length w.w_kind);
+    Buffer.add_string h w.w_kind;
+    buf_i64 h (checksum payload 0 (String.length payload));
+    Buffer.add_string h payload;
+    Buffer.contents h
+
+  (* -- reader -- *)
+
+  type reader = {
+    r_data : string;
+    mutable r_pos : int; (* cursor within the current section *)
+    mutable r_limit : int; (* end of the current section *)
+    mutable r_cur_tag : string;
+    mutable r_next : (string * int * int) list; (* (tag, start, length) *)
+    mutable r_rat : (int * int * Lll_num.Rat.t) option; (* last small rational *)
+  }
+
+  let kind_of_string data =
+    let len = String.length data in
+    if len < 4 || String.sub data 0 4 <> magic then None
+    else begin
+      let pos = 4 in
+      if pos + 16 > len then None
+      else begin
+        let klen = Int64.to_int (String.get_int64_le data (pos + 8)) in
+        if klen < 0 || pos + 16 + klen > len then None
+        else Some (String.sub data (pos + 16) klen)
+      end
+    end
+
+  let open_reader ~kind data =
+    let len = String.length data in
+    if len < 4 || String.sub data 0 4 <> magic then corrupt "bad magic";
+    let pos = ref 4 in
+    let rd_i64 what =
+      if !pos + 8 > len then corrupt "truncated header (%s)" what;
+      let v = Int64.to_int (String.get_int64_le data !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let version = rd_i64 "version" in
+    if version <> format_version then
+      corrupt "unsupported version %d (expected %d)" version format_version;
+    let klen = rd_i64 "kind" in
+    if klen < 0 || !pos + klen > len then corrupt "truncated header (kind)";
+    let k = String.sub data !pos klen in
+    pos := !pos + klen;
+    if k <> kind then corrupt "kind mismatch: expected %s, got %s" kind k;
+    let stored = rd_i64 "checksum" in
+    let payload_pos = !pos in
+    (* walk the section table first so truncation reports as such; the
+       checksum then vouches for the body bytes *)
+    let count = rd_i64 "section count" in
+    if count < 0 then corrupt "negative section count";
+    let sections = ref [] in
+    for _ = 1 to count do
+      let tlen = rd_i64 "section tag" in
+      if tlen < 0 || !pos + tlen > len then corrupt "truncated section table";
+      let tag = String.sub data !pos tlen in
+      pos := !pos + tlen;
+      let blen = rd_i64 "section length" in
+      if blen < 0 || !pos + blen > len then corrupt "truncated section %s" tag;
+      sections := (tag, !pos, blen) :: !sections;
+      pos := !pos + blen
+    done;
+    if !pos <> len then corrupt "trailing bytes after last section";
+    if checksum data payload_pos (len - payload_pos) <> stored then
+      corrupt "checksum mismatch";
+    {
+      r_data = data;
+      r_pos = 0;
+      r_limit = 0;
+      r_cur_tag = "<none>";
+      r_next = List.rev !sections;
+      r_rat = None;
+    }
+
+  let enter r tag =
+    if r.r_pos <> r.r_limit then
+      corrupt "section %s: %d unread bytes" r.r_cur_tag (r.r_limit - r.r_pos);
+    match r.r_next with
+    | [] -> corrupt "missing section %s" tag
+    | (t, start, blen) :: rest ->
+      if t <> tag then corrupt "expected section %s, found %s" tag t;
+      r.r_next <- rest;
+      r.r_pos <- start;
+      r.r_limit <- start + blen;
+      r.r_cur_tag <- t
+
+  let read_int r =
+    if r.r_pos + 8 > r.r_limit then corrupt "section %s: truncated value" r.r_cur_tag;
+    let v = Int64.to_int (String.get_int64_le r.r_data r.r_pos) in
+    r.r_pos <- r.r_pos + 8;
+    v
+
+  let read_int_array r =
+    let n = read_int r in
+    if n < 0 || r.r_pos >= r.r_limit then
+      corrupt "section %s: truncated array" r.r_cur_tag;
+    let width = Char.code r.r_data.[r.r_pos] in
+    r.r_pos <- r.r_pos + 1;
+    (match width with
+    | 1 | 2 | 4 | 8 -> ()
+    | _ -> corrupt "section %s: bad array width %d" r.r_cur_tag width);
+    if n > (r.r_limit - r.r_pos) / width then
+      corrupt "section %s: truncated array" r.r_cur_tag;
+    let base = r.r_pos in
+    let data = r.r_data in
+    let a =
+      match width with
+      | 1 -> Array.init n (fun i -> Char.code data.[base + i])
+      | 2 -> Array.init n (fun i -> String.get_uint16_le data (base + (2 * i)))
+      | 4 -> Array.init n (fun i -> Int32.to_int (String.get_int32_le data (base + (4 * i))))
+      | _ -> Array.init n (fun i -> Int64.to_int (String.get_int64_le data (base + (8 * i))))
+    in
+    r.r_pos <- base + (n * width);
+    a
+
+  let read_string r =
+    let n = read_int r in
+    if n < 0 || r.r_pos + n > r.r_limit then corrupt "section %s: truncated string" r.r_cur_tag;
+    let s = String.sub r.r_data r.r_pos n in
+    r.r_pos <- r.r_pos + n;
+    s
+
+  let read_rat r =
+    if r.r_pos >= r.r_limit then corrupt "section %s: truncated rational" r.r_cur_tag;
+    let tag = r.r_data.[r.r_pos] in
+    r.r_pos <- r.r_pos + 1;
+    let open Lll_num in
+    match tag with
+    | '\000' -> (
+      let n = read_int r in
+      let d = read_int r in
+      if d = 0 then corrupt "zero rational denominator";
+      (* bulk payloads repeat a handful of values (uniform probs, equal
+         table weights): reuse the previous rational when it recurs *)
+      match r.r_rat with
+      | Some (n', d', q) when n = n' && d = d' -> q
+      | _ ->
+        let q = Rat.of_ints n d in
+        r.r_rat <- Some (n, d, q);
+        q)
+    | '\001' -> (
+      let ns = read_string r in
+      let ds = read_string r in
+      try Rat.make (Bigint.of_string ns) (Bigint.of_string ds)
+      with Invalid_argument _ -> corrupt "bad rational")
+    | c -> corrupt "bad rational tag %d" (Char.code c)
+
+  let read_rat_array r =
+    let n = read_int r in
+    if n < 0 then corrupt "section %s: negative rational count" r.r_cur_tag;
+    let a = Array.make n Lll_num.Rat.one in
+    let filled = ref 0 in
+    while !filled < n do
+      let run = read_int r in
+      if run <= 0 || run > n - !filled then corrupt "section %s: bad rational run" r.r_cur_tag;
+      let q = read_rat r in
+      Array.fill a !filled run q;
+      filled := !filled + run
+    done;
+    a
+
+  let close r =
+    if r.r_pos <> r.r_limit then
+      corrupt "section %s: %d unread bytes" r.r_cur_tag (r.r_limit - r.r_pos);
+    match r.r_next with
+    | [] -> ()
+    | (tag, _, _) :: _ -> corrupt "unconsumed section %s" tag
+end
+
+(* ---- binary graph codec ---- *)
+
+let graph_bin_kind = "graph"
+
+let graph_to_binary g =
+  let { Graph.csr_n; csr_edges; csr_offsets; csr_neighbors; csr_edge_ids } = Graph.csr g in
+  let w = Bin.make_writer ~kind:graph_bin_kind in
+  Bin.section w "GRPH";
+  Bin.add_int w csr_n;
+  Bin.section w "EDGE";
+  let m = Array.length csr_edges in
+  let flat =
+    Array.init (2 * m) (fun i ->
+        let u, v = csr_edges.(i / 2) in
+        if i land 1 = 0 then u else v)
+  in
+  Bin.add_int_array w flat;
+  Bin.section w "COFF";
+  Bin.add_int_array w csr_offsets;
+  Bin.section w "CNBR";
+  Bin.add_int_array w csr_neighbors;
+  Bin.section w "CEID";
+  Bin.add_int_array w csr_edge_ids;
+  Bin.contents w
+
+let graph_of_binary s =
+  let r = Bin.open_reader ~kind:graph_bin_kind s in
+  Bin.enter r "GRPH";
+  let n = Bin.read_int r in
+  Bin.enter r "EDGE";
+  let flat = Bin.read_int_array r in
+  if Array.length flat land 1 <> 0 then raise (Bin.Corrupt "odd edge endpoint array");
+  let m = Array.length flat / 2 in
+  let edges = Array.init m (fun e -> (flat.(2 * e), flat.((2 * e) + 1))) in
+  Bin.enter r "COFF";
+  let off = Bin.read_int_array r in
+  Bin.enter r "CNBR";
+  let nbr = Bin.read_int_array r in
+  Bin.enter r "CEID";
+  let eid = Bin.read_int_array r in
+  Bin.close r;
+  try
+    Graph.of_csr
+      {
+        Graph.csr_n = n;
+        csr_edges = edges;
+        csr_offsets = off;
+        csr_neighbors = nbr;
+        csr_edge_ids = eid;
+      }
+  with Invalid_argument msg -> raise (Bin.Corrupt msg)
+
+let save_graph_binary path g =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (graph_to_binary g))
+
+let load_graph_binary path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> graph_of_binary (In_channel.input_all ic))
+
 let save_hypergraph path h =
   let oc = open_out path in
   Fun.protect

@@ -36,3 +36,74 @@ val weighted_table_of_lines :
 val weighted_table_of_string : string -> weighted_table
 (** Standalone parse (skips blank lines and 'c'/'#' comments).
     @raise Parse_error on malformed input. *)
+
+(** The v3 sectioned binary container: magic ["LLL3"], i64 LE format
+    version, a kind string, a payload checksum, then length-prefixed
+    tagged sections. Loading is bounds-checked blits — no tokenizing,
+    no re-derivation. Higher layers ({!graph_to_binary},
+    [Lll.Serial.to_binary_string]) define their section vocabularies on
+    top of this container. *)
+module Bin : sig
+  exception Corrupt of string
+  (** Raised on any malformed binary input: bad magic, version skew,
+      kind mismatch, truncated section, checksum mismatch, or a decoder
+      running past its section. *)
+
+  val format_version : int
+
+  type writer
+
+  val make_writer : kind:string -> writer
+  val section : writer -> string -> unit
+  (** Start a new section; subsequent [add_*] calls append to it. *)
+
+  val add_int : writer -> int -> unit
+
+  val add_int_array : writer -> int array -> unit
+  (** Width-packed: elements are stored at the narrowest of u8, u16, i32
+      or i64 that fits the whole array. *)
+
+  val add_string : writer -> string -> unit
+  val add_rat : writer -> Lll_num.Rat.t -> unit
+
+  val add_rat_array : writer -> Lll_num.Rat.t array -> unit
+  (** Run-length encoded: consecutive equal rationals are stored once
+      with a repeat count. Probability columns are mostly constant, so
+      this collapses them to a handful of entries. *)
+
+  val contents : writer -> string
+  (** Assemble header + checksum + sections into the final blob. *)
+
+  type reader
+
+  val open_reader : kind:string -> string -> reader
+  (** Validate magic, version, kind, section bounds and checksum.
+      @raise Corrupt on any violation. *)
+
+  val kind_of_string : string -> string option
+  (** Peek at a blob's kind without validating the payload; [None] if
+      the data is not a v3 container. *)
+
+  val enter : reader -> string -> unit
+  (** Advance to the next section, which must carry the given tag and
+      the previous section must be fully consumed. *)
+
+  val read_int : reader -> int
+  val read_int_array : reader -> int array
+  val read_string : reader -> string
+  val read_rat : reader -> Lll_num.Rat.t
+  val read_rat_array : reader -> Lll_num.Rat.t array
+
+  val close : reader -> unit
+  (** Assert every section was consumed in full. *)
+end
+
+val graph_to_binary : Graph.t -> string
+(** v3 binary graph: raw CSR columns in a {!Bin} container. *)
+
+val graph_of_binary : string -> Graph.t
+(** Decode and structurally re-validate (via [Graph.of_csr]).
+    @raise Bin.Corrupt on malformed input. *)
+
+val save_graph_binary : string -> Graph.t -> unit
+val load_graph_binary : string -> Graph.t

@@ -80,6 +80,52 @@ let create space events =
   let hypergraph = Hypergraph.create ~n:ne (List.rev !hedges) in
   { space; events; var_events; dep_graph; hypergraph; hyperedge_of_var }
 
+(* Assembly from precomputed parts — the binary loader's fast path.
+   [var_events] and the hypergraph are rebuilt here (both are linear
+   prepend loops, deterministic and identical to [create]'s); the
+   expensive parts [create] would redo — the O(Σ deg²) dependency-pair
+   enumeration with its dedup table, and [Space.compile_events]'s
+   full-scope enumeration — are exactly what the caller supplies: a
+   ready dependency graph and a space whose tables are already
+   installed. The dependency graph is structurally validated by
+   [Graph.of_csr] on decode and covered by the container checksum; its
+   semantic agreement with the scopes is the serializer's contract. *)
+let of_precomputed space events ~dep_graph =
+  Array.iteri
+    (fun i e ->
+      if Event.id e <> i then
+        invalid_arg "Instance.of_precomputed: event id must equal its index")
+    events;
+  let nv = Space.num_vars space in
+  let ne = Array.length events in
+  if Graph.n dep_graph <> ne then
+    invalid_arg "Instance.of_precomputed: dependency graph node count mismatch";
+  let var_events_l = Array.make nv [] in
+  for i = ne - 1 downto 0 do
+    Array.iter
+      (fun vid ->
+        if vid < 0 || vid >= nv then
+          invalid_arg "Instance.of_precomputed: event scope outside space";
+        var_events_l.(vid) <- i :: var_events_l.(vid))
+      (Event.scope events.(i))
+  done;
+  let var_events = Array.map Array.of_list var_events_l in
+  let hyperedge_of_var = Array.make nv None in
+  let hedges = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun vid evs ->
+      if Array.length evs > 0 then begin
+        hyperedge_of_var.(vid) <- Some !next;
+        incr next;
+        hedges := evs :: !hedges
+      end)
+    var_events;
+  (* the per-var event lists are strictly ascending by construction, so
+     the hypergraph can skip its sort/dedup normalisation *)
+  let hypergraph = Hypergraph.of_sorted_arrays ~n:ne (Array.of_list (List.rev !hedges)) in
+  { space; events; var_events; dep_graph; hypergraph; hyperedge_of_var }
+
 let space t = t.space
 let events t = t.events
 let event t i = t.events.(i)

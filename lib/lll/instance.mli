@@ -12,6 +12,14 @@ type t
 val create : Space.t -> Event.t array -> t
 (** Event ids must equal their index; scopes must lie inside the space. *)
 
+val of_precomputed : Space.t -> Event.t array -> dep_graph:Graph.t -> t
+(** Assemble an instance from precomputed parts (the binary loader's
+    fast path): the space must already carry the events' compiled
+    tables ({!Space.install_table}) and [dep_graph] must be the events'
+    dependency graph. [var_events] and the hypergraph are rebuilt
+    deterministically (linear time), skipping [create]'s pair
+    enumeration and table compilation. *)
+
 val space : t -> Space.t
 val events : t -> Event.t array
 val event : t -> int -> Event.t

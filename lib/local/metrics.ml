@@ -23,69 +23,82 @@ type round_record = {
 
 type buffer = { mutable phase : string; mutable recs : round_record list (* newest first *) }
 
-type sink = Disabled | Buffer of buffer
+(* A streaming sink: each record is handed to the callback the moment it
+   is produced (the serve layer uses this to push per-round JSON frames
+   to a client while the solve is still running). Nothing accumulates;
+   [records] on a callback sink is []. *)
+type callback_sink = { mutable cb_phase : string; cb_emit : round_record -> unit }
+
+type sink = Disabled | Buffer of buffer | Callback of callback_sink
 
 let disabled = Disabled
 
 let buffer () = Buffer { phase = ""; recs = [] }
 
-let enabled = function Disabled -> false | Buffer _ -> true
+let callback f = Callback { cb_phase = ""; cb_emit = f }
 
-let set_phase sink p = match sink with Disabled -> () | Buffer b -> b.phase <- p
+let enabled = function Disabled -> false | Buffer _ | Callback _ -> true
 
-let phase = function Disabled -> "" | Buffer b -> b.phase
+let set_phase sink p =
+  match sink with Disabled -> () | Buffer b -> b.phase <- p | Callback c -> c.cb_phase <- p
 
-let record sink r = match sink with Disabled -> () | Buffer b -> b.recs <- r :: b.recs
+let phase = function Disabled -> "" | Buffer b -> b.phase | Callback c -> c.cb_phase
+
+let record sink r =
+  match sink with
+  | Disabled -> ()
+  | Buffer b -> b.recs <- r :: b.recs
+  | Callback c -> c.cb_emit r
+
+let step_record ~phase ~round ~total ~wall_ns ~state =
+  {
+    round;
+    phase;
+    wall_ns;
+    messages = 0;
+    stepped = 1;
+    halted_fraction = (if total = 0 then 1. else float_of_int (round + 1) /. float_of_int total);
+    state_words =
+      (let r = Obj.repr state in
+       if Obj.is_int r then 0 else Obj.reachable_words r);
+    max_inbox = 0;
+    arena_occupancy = 0;
+    par_width = 0;
+  }
 
 let record_step sink ~round ~total ~wall_ns ~state =
   match sink with
   | Disabled -> ()
-  | Buffer b ->
-    b.recs <-
-      {
-        round;
-        phase = b.phase;
-        wall_ns;
-        messages = 0;
-        stepped = 1;
-        halted_fraction =
-          (if total = 0 then 1. else float_of_int (round + 1) /. float_of_int total);
-        state_words =
-          (let r = Obj.repr state in
-           if Obj.is_int r then 0 else Obj.reachable_words r);
-        max_inbox = 0;
-        arena_occupancy = 0;
-        par_width = 0;
-      }
-      :: b.recs
+  | Buffer b -> b.recs <- step_record ~phase:b.phase ~round ~total ~wall_ns ~state :: b.recs
+  | Callback c -> c.cb_emit (step_record ~phase:c.cb_phase ~round ~total ~wall_ns ~state)
 
 (* One record per color-class sweep of a distributed fixer: [stepped]
    carries the class size (how many owners fixed concurrently) and
    [par_width] the domains actually used, so a dump can report parallel
    efficiency (width / par_width) next to round counts. *)
+let sweep_record ~phase ~round ~total ~wall_ns ~width ~domains =
+  {
+    round;
+    phase;
+    wall_ns;
+    messages = 0;
+    stepped = width;
+    halted_fraction = (if total = 0 then 1. else float_of_int (round + 1) /. float_of_int total);
+    state_words = 0;
+    max_inbox = 0;
+    arena_occupancy = 0;
+    par_width = domains;
+  }
+
 let record_sweep sink ~round ~total ~wall_ns ~width ~domains =
   match sink with
   | Disabled -> ()
-  | Buffer b ->
-    b.recs <-
-      {
-        round;
-        phase = b.phase;
-        wall_ns;
-        messages = 0;
-        stepped = width;
-        halted_fraction =
-          (if total = 0 then 1. else float_of_int (round + 1) /. float_of_int total);
-        state_words = 0;
-        max_inbox = 0;
-        arena_occupancy = 0;
-        par_width = domains;
-      }
-      :: b.recs
+  | Buffer b -> b.recs <- sweep_record ~phase:b.phase ~round ~total ~wall_ns ~width ~domains :: b.recs
+  | Callback c -> c.cb_emit (sweep_record ~phase:c.cb_phase ~round ~total ~wall_ns ~width ~domains)
 
-let records = function Disabled -> [] | Buffer b -> List.rev b.recs
+let records = function Disabled | Callback _ -> [] | Buffer b -> List.rev b.recs
 
-let clear = function Disabled -> () | Buffer b -> b.recs <- []
+let clear = function Disabled | Callback _ -> () | Buffer b -> b.recs <- []
 
 let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
 

@@ -25,6 +25,12 @@ val buffer : unit -> sink
 (** A fresh accumulating sink; records survive across multiple runtime
     invocations (coloring then sweep, say). *)
 
+val callback : (round_record -> unit) -> sink
+(** A streaming sink: every record is handed to the function the moment
+    it is produced (the serve layer pushes per-round JSON frames this
+    way). Nothing accumulates — {!records} returns [[]]. The callback
+    runs on the recording thread; keep it cheap and non-raising. *)
+
 val enabled : sink -> bool
 val set_phase : sink -> string -> unit
 val phase : sink -> string
@@ -53,6 +59,10 @@ val now_ns : unit -> int
 
 val state_words : 'a -> int
 (** Reachable heap words of a value; [0] for immediates. *)
+
+val record_to_json : round_record -> string
+(** One record as a single JSON object (the serve layer's per-round
+    streaming frames). *)
 
 val to_json : round_record list -> string
 val write_json : string -> round_record list -> unit

@@ -33,7 +33,15 @@
    list engine delivered after its [List.rev]. The parallel step phase
    reads only its own node's slice (disjoint reads of an immutable
    snapshot), and the two arenas swap roles every round, so steady-state
-   rounds allocate nothing proportional to the message count. See
+   rounds allocate nothing proportional to the message count.
+
+   Above [par_commit_cutoff] nodes the commit sweep itself also runs in
+   parallel: each domain counts its own contiguous sender chunk into a
+   private per-destination array, a shared prefix sum turns those into
+   per-(destination, domain) slot starts, and the scatter reuses the
+   same chunking — ascending domain blocks of ascending senders, i.e.
+   exactly the sequential ascending-sender slice order, so results stay
+   bit-identical at any [~domains] (differentially tested). See
    DESIGN.md §9 for the layout and the determinism argument. *)
 
 exception Round_limit_exceeded of int
@@ -131,6 +139,11 @@ let emit metrics acc ~round ~t0 ~messages ~stepped ~halted_count ~n ~sample ~max
 
 let finish ~rounds ~messages acc = { rounds; messages; per_round = List.rev !acc }
 
+(* Below this node count the parallel commit sweep's per-domain count
+   arrays and extra barriers cost more than the O(n) sequential sweep
+   they replace; measured crossover is in the low thousands. *)
+let par_commit_cutoff = 2048
+
 let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled) net ~init ~step =
   let n = Network.n net in
   let nbr_index = neighbor_index net in
@@ -147,6 +160,18 @@ let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled
   let messages = ref 0 in
   let recs = ref [] in
   let par_width = effective_domains ?domains n in
+  (* parallel commit sweep scratch: one destination-count array per
+     domain, plus per-domain tallies. [bounds] fixes the sender chunking
+     shared by the count and scatter passes. Engaged only when the node
+     count amortises the k·n scratch (sequential sweep otherwise). *)
+  let commit_k = if par_width > 1 && n >= par_commit_cutoff then par_width else 1 in
+  let dcounts = Array.init (if commit_k > 1 then commit_k else 0) (fun _ -> Array.make n 0) in
+  let dstepped = Array.make (max commit_k 1) 0 in
+  let dhalted = Array.make (max commit_k 1) 0 in
+  let dmsgs = Array.make (max commit_k 1) 0 in
+  let dfiller = Array.make (max commit_k 1) None in
+  let col_total = Array.make (if commit_k > 1 then n else 0) 0 in
+  let bounds = if commit_k > 1 then Par.chunks ~domains:commit_k ~n else [||] in
   while !halted_count < n do
     if !round >= max_rounds then raise (Round_limit_exceeded max_rounds);
     let t0 = if Metrics.enabled metrics then Metrics.now_ns () else 0 in
@@ -157,63 +182,160 @@ let run ?(max_rounds = default_max_rounds) ?domains ?(metrics = Metrics.disabled
     Par.parallel_for ?domains ~n (fun v ->
         if not halted.(v) then
           results.(v) <- Some (step ~round:!round ~me:v states.(v) (arena_inbox inbox_arena v)));
-    (* sequential merge in node order. Pass 1 commits states/halts and
-       validates every destination in exactly the interleaving the list
-       engine used (so a non-neighbor send raises after the same
-       prefix of state commits), accumulating per-destination counts. *)
     let stepped = ref 0 in
     let round_msgs = ref 0 in
-    Array.fill counts 0 (max n 1) 0;
-    for v = 0 to n - 1 do
-      match results.(v) with
-      | None -> ()
-      | Some r ->
-        incr stepped;
-        states.(v) <- r.state;
-        if r.halt then begin
-          halted.(v) <- true;
-          incr halted_count
-        end;
-        List.iter
-          (fun (target, _) ->
-            if not (mem_sorted nbr_index.(v) target) then
-              invalid_arg "Runtime.run: message to non-neighbor";
-            incr round_msgs;
-            counts.(target) <- counts.(target) + 1)
-          r.send
-    done;
-    (* prefix-sum the counts into the next arena's offsets and write each
-       message into its destination slice; sweeping senders in node order
-       fills every slice in ascending sender order *)
     let dst = !nxt in
-    dst.off.(0) <- 0;
-    for v = 0 to n - 1 do
-      dst.off.(v + 1) <- dst.off.(v) + counts.(v)
-    done;
-    dst.total <- !round_msgs;
-    if Array.length dst.src < !round_msgs then
-      dst.src <- Array.make (max !round_msgs (2 * Array.length dst.src)) 0;
-    let cursor = Array.blit dst.off 0 counts 0 (max n 1); counts in
-    for v = 0 to n - 1 do
-      match results.(v) with
-      | None -> ()
-      | Some r ->
-        results.(v) <- None;
-        List.iter
-          (fun (target, msg) ->
-            let p = cursor.(target) in
-            cursor.(target) <- p + 1;
-            if Array.length dst.msg < dst.total then
-              (* first message of the run (or a grown round): (re)allocate
-                 using a real message as filler *)
-              dst.msg <-
-                (let grown = Array.make (max dst.total (2 * Array.length dst.msg)) msg in
-                 Array.blit dst.msg 0 grown 0 (Array.length dst.msg);
-                 grown);
-            dst.src.(p) <- v;
-            dst.msg.(p) <- msg)
-          r.send
-    done;
+    if commit_k <= 1 then begin
+      (* sequential merge in node order. Pass 1 commits states/halts and
+         validates every destination in exactly the interleaving the list
+         engine used (so a non-neighbor send raises after the same
+         prefix of state commits), accumulating per-destination counts. *)
+      Array.fill counts 0 (max n 1) 0;
+      for v = 0 to n - 1 do
+        match results.(v) with
+        | None -> ()
+        | Some r ->
+          incr stepped;
+          states.(v) <- r.state;
+          if r.halt then begin
+            halted.(v) <- true;
+            incr halted_count
+          end;
+          List.iter
+            (fun (target, _) ->
+              if not (mem_sorted nbr_index.(v) target) then
+                invalid_arg "Runtime.run: message to non-neighbor";
+              incr round_msgs;
+              counts.(target) <- counts.(target) + 1)
+            r.send
+      done;
+      (* prefix-sum the counts into the next arena's offsets and write each
+         message into its destination slice; sweeping senders in node order
+         fills every slice in ascending sender order *)
+      dst.off.(0) <- 0;
+      for v = 0 to n - 1 do
+        dst.off.(v + 1) <- dst.off.(v) + counts.(v)
+      done;
+      dst.total <- !round_msgs;
+      if Array.length dst.src < !round_msgs then
+        dst.src <- Array.make (max !round_msgs (2 * Array.length dst.src)) 0;
+      let cursor = Array.blit dst.off 0 counts 0 (max n 1); counts in
+      for v = 0 to n - 1 do
+        match results.(v) with
+        | None -> ()
+        | Some r ->
+          results.(v) <- None;
+          List.iter
+            (fun (target, msg) ->
+              let p = cursor.(target) in
+              cursor.(target) <- p + 1;
+              if Array.length dst.msg < dst.total then
+                (* first message of the run (or a grown round): (re)allocate
+                   using a real message as filler *)
+                dst.msg <-
+                  (let grown = Array.make (max dst.total (2 * Array.length dst.msg)) msg in
+                   Array.blit dst.msg 0 grown 0 (Array.length dst.msg);
+                   grown);
+              dst.src.(p) <- v;
+              dst.msg.(p) <- msg)
+            r.send
+      done
+    end
+    else begin
+      (* parallel commit sweep. Pass A: each domain commits the states
+         and halts of its own sender chunk (disjoint cells), validates
+         destinations, and accumulates counts into its private
+         destination array. A non-neighbor send raises from the
+         lowest-numbered raising chunk — i.e. the globally lowest
+         offending sender, the same node the sequential sweep blamed. *)
+      Par.parallel_for ~domains:commit_k ~n:commit_k (fun j ->
+          let lo, hi = bounds.(j) in
+          let counts_j = dcounts.(j) in
+          Array.fill counts_j 0 n 0;
+          let stp = ref 0 and hlt = ref 0 and msgs = ref 0 in
+          for v = lo to hi do
+            match results.(v) with
+            | None -> ()
+            | Some r ->
+              incr stp;
+              states.(v) <- r.state;
+              if r.halt then begin
+                halted.(v) <- true;
+                incr hlt
+              end;
+              List.iter
+                (fun ((target, m) : int * 'm) ->
+                  if not (mem_sorted nbr_index.(v) target) then
+                    invalid_arg "Runtime.run: message to non-neighbor";
+                  incr msgs;
+                  (match dfiller.(j) with None -> dfiller.(j) <- Some m | Some _ -> ());
+                  counts_j.(target) <- counts_j.(target) + 1)
+                r.send
+          done;
+          dstepped.(j) <- !stp;
+          dhalted.(j) <- !hlt;
+          dmsgs.(j) <- !msgs);
+      for j = 0 to commit_k - 1 do
+        stepped := !stepped + dstepped.(j);
+        halted_count := !halted_count + dhalted.(j);
+        round_msgs := !round_msgs + dmsgs.(j)
+      done;
+      (* shared prefix sum. Per destination, turn each domain's count
+         into its slot start within that destination's slice (parallel
+         over destinations); the only remaining sequential pass is the
+         bare int scan turning per-destination totals into offsets. *)
+      Par.parallel_for ?domains ~n (fun v ->
+          let running = ref 0 in
+          for j = 0 to commit_k - 1 do
+            let c = dcounts.(j).(v) in
+            dcounts.(j).(v) <- !running;
+            running := !running + c
+          done;
+          col_total.(v) <- !running);
+      dst.off.(0) <- 0;
+      for v = 0 to n - 1 do
+        dst.off.(v + 1) <- dst.off.(v) + col_total.(v)
+      done;
+      dst.total <- !round_msgs;
+      if Array.length dst.src < !round_msgs then
+        dst.src <- Array.make (max !round_msgs (2 * Array.length dst.src)) 0;
+      if Array.length dst.msg < !round_msgs then begin
+        (* grow BEFORE the parallel scatter (reallocation inside a domain
+           would race); any message captured in pass A serves as filler,
+           and [round_msgs > 0] guarantees one exists *)
+        let filler = ref None in
+        for j = 0 to commit_k - 1 do
+          if !filler = None then filler := dfiller.(j)
+        done;
+        match !filler with
+        | None -> ()
+        | Some m ->
+          let grown = Array.make (max !round_msgs (2 * Array.length dst.msg)) m in
+          Array.blit dst.msg 0 grown 0 (Array.length dst.msg);
+          dst.msg <- grown
+      end;
+      (* Pass B: scatter with the same sender chunking. Domain [j]'s
+         messages to [target] land at [off + its slot start], cursored
+         through its private count cell — so a slice holds domain 0's
+         senders, then domain 1's, ..., each ascending: ascending sender
+         order overall, bit-identical to the sequential scatter. *)
+      Par.parallel_for ~domains:commit_k ~n:commit_k (fun j ->
+          let lo, hi = bounds.(j) in
+          let counts_j = dcounts.(j) in
+          for v = lo to hi do
+            match results.(v) with
+            | None -> ()
+            | Some r ->
+              results.(v) <- None;
+              List.iter
+                (fun (target, msg) ->
+                  let p = dst.off.(target) + counts_j.(target) in
+                  counts_j.(target) <- counts_j.(target) + 1;
+                  dst.src.(p) <- v;
+                  dst.msg.(p) <- msg)
+                r.send
+          done)
+    end;
     messages := !messages + !round_msgs;
     (* n > 0 inside the loop, so states.(0) is a valid sample *)
     emit metrics recs ~round:!round ~t0 ~messages:!round_msgs ~stepped:!stepped

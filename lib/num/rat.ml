@@ -7,15 +7,34 @@ type t = { num : Bigint.t; den : Bigint.t }
 
 let make_raw num den = { num; den }
 
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+(* Normalise a machine-int fraction with native Euclid; [d > 0] and
+   neither operand is [min_int]. *)
+let make_ints n d =
+  if n = 0 then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let g = igcd (Stdlib.abs n) d in
+    make_raw (Bigint.of_int (n / g)) (Bigint.of_int (d / g))
+  end
+
 let make num den =
   if Bigint.is_zero den then invalid_arg "Rat.make: zero denominator";
   if Bigint.is_zero num then make_raw Bigint.zero Bigint.one
-  else begin
-    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
-    let g = Bigint.gcd num den in
-    if Bigint.equal g Bigint.one then make_raw num den
-    else make_raw (Bigint.div num g) (Bigint.div den g)
-  end
+  else
+    match (Bigint.to_int_opt num, Bigint.to_int_opt den) with
+    | Some n, Some d when n <> min_int && d <> min_int ->
+      (* limb-wise gcd dominates bulk construction; native Euclid is an
+         order of magnitude cheaper when both sides fit a machine int *)
+      let n, d = if d < 0 then (-n, -d) else (n, d) in
+      make_ints n d
+    | _ ->
+      let num, den =
+        if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den)
+      in
+      let g = Bigint.gcd num den in
+      if Bigint.equal g Bigint.one then make_raw num den
+      else make_raw (Bigint.div num g) (Bigint.div den g)
 
 let zero = make_raw Bigint.zero Bigint.one
 let one = make_raw Bigint.one Bigint.one
@@ -24,7 +43,13 @@ let minus_one = make_raw Bigint.minus_one Bigint.one
 
 let of_bigint n = make_raw n Bigint.one
 let of_int i = of_bigint (Bigint.of_int i)
-let of_ints num den = make (Bigint.of_int num) (Bigint.of_int den)
+
+let of_ints n d =
+  if d = 0 then invalid_arg "Rat.make: zero denominator"
+  else if n = min_int || d = min_int then make (Bigint.of_int n) (Bigint.of_int d)
+  else
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    make_ints n d
 
 let num x = x.num
 let den x = x.den
@@ -34,22 +59,48 @@ let sign x = Bigint.sign x.num
 let neg x = { x with num = Bigint.neg x.num }
 let abs x = { x with num = Bigint.abs x.num }
 
+(* Machine-int fast path for the ring operations: when all four sides
+   fit below 2^30 the cross-products stay below 2^60 and native
+   arithmetic (and [make_ints]' native gcd) replaces four [Bigint]
+   allocations. Table weights and tracker sums live in this range. *)
+let small = 0x4000_0000
+
+let as_small x =
+  match (Bigint.to_int_opt x.num, Bigint.to_int_opt x.den) with
+  | Some n, Some d when -small < n && n < small && d < small -> Some (n, d)
+  | _ -> None
+
 (* Same-denominator fast path: a/d + b/d = (a+b)/d, normalized by [make]
    — one gcd over much smaller operands than the cross-multiplied form.
    Probability sums in the tracker hot loops overwhelmingly add
    same-table weights (identical denominators), where this saves two
    multiplications and the large-operand gcd. *)
 let add x y =
-  if Bigint.equal x.den y.den then make (Bigint.add x.num y.num) x.den
-  else
-    make (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
+  match (as_small x, as_small y) with
+  | Some (a, b), Some (c, d) ->
+    if b = d then make_ints (a + c) b else make_ints ((a * d) + (c * b)) (b * d)
+  | _ ->
+    if Bigint.equal x.den y.den then make (Bigint.add x.num y.num) x.den
+    else
+      make
+        (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den))
+        (Bigint.mul x.den y.den)
 
 let sub x y =
-  if Bigint.equal x.den y.den then make (Bigint.sub x.num y.num) x.den
-  else
-    make (Bigint.sub (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
+  match (as_small x, as_small y) with
+  | Some (a, b), Some (c, d) ->
+    if b = d then make_ints (a - c) b else make_ints ((a * d) - (c * b)) (b * d)
+  | _ ->
+    if Bigint.equal x.den y.den then make (Bigint.sub x.num y.num) x.den
+    else
+      make
+        (Bigint.sub (Bigint.mul x.num y.den) (Bigint.mul y.num x.den))
+        (Bigint.mul x.den y.den)
 
-let mul x y = make (Bigint.mul x.num y.num) (Bigint.mul x.den y.den)
+let mul x y =
+  match (as_small x, as_small y) with
+  | Some (a, b), Some (c, d) -> make_ints (a * c) (b * d)
+  | _ -> make (Bigint.mul x.num y.num) (Bigint.mul x.den y.den)
 
 let inv x =
   if is_zero x then invalid_arg "Rat.inv: zero";

@@ -137,6 +137,48 @@ let compile ~arity_of ~prob_of ?(max_rows = default_max_rows) e =
     Some { tab with codes = Array.of_list !codes; weights = Array.of_list !weights }
   end
 
+(* Rebuild an event and its compiled table from stored parts (the v3
+   binary instance loader). Only [codes]/[weights]/[arities] travel;
+   strides, total and the sat bitmap are re-derived here, and the event's
+   predicate is the bitmap itself — the same replacement [of_bad_set]
+   performs for the text loader, so both backends see one semantics. *)
+let of_table ~id ~name ~scope ~arities ~codes ~weights =
+  let fail msg = invalid_arg ("Event.of_table: " ^ msg) in
+  let k = Array.length scope in
+  if Array.length arities <> k then fail "scope/arities length mismatch";
+  for i = 1 to k - 1 do
+    if scope.(i - 1) >= scope.(i) then fail "scope must be strictly increasing"
+  done;
+  Array.iter (fun v -> if v < 0 then fail "negative variable id") scope;
+  Array.iter (fun a -> if a <= 0 then fail "arities must be positive") arities;
+  let total =
+    Array.fold_left
+      (fun acc a ->
+        if acc > max_int / a then fail "arity product overflow";
+        acc * a)
+      1 arities
+  in
+  let strides = Array.make k 1 in
+  for i = k - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * arities.(i + 1)
+  done;
+  let nrows = Array.length codes in
+  if Array.length weights <> nrows then fail "codes/weights length mismatch";
+  let sat = Bytes.make ((total + 7) / 8) '\000' in
+  for j = 0 to nrows - 1 do
+    let code = codes.(j) in
+    if code < 0 || code >= total then fail "row code out of range";
+    if j > 0 && codes.(j - 1) >= code then fail "row codes must be strictly increasing";
+    if Rat.sign weights.(j) <= 0 then fail "row weight must be positive";
+    Bytes.set sat (code lsr 3)
+      (Char.chr (Char.code (Bytes.get sat (code lsr 3)) lor (1 lsl (code land 7))))
+  done;
+  let tab = { tscope = scope; arities; strides; total; codes; weights; sat } in
+  let ev =
+    { id; name; scope; pred = (fun lookup -> table_mem tab (code_of tab lookup)) }
+  in
+  (ev, tab)
+
 (* Common constructions *)
 
 let never ~id ~name = { id; name; scope = [||]; pred = (fun _ -> false) }

@@ -58,6 +58,21 @@ val compile :
 val default_max_rows : int
 (** Table-size cap for {!compile}: [2^20] rows. *)
 
+val of_table :
+  id:int ->
+  name:string ->
+  scope:int array ->
+  arities:int array ->
+  codes:int array ->
+  weights:Lll_num.Rat.t array ->
+  t * table
+(** Rebuild an event and its compiled table from stored parts (the
+    binary instance loader). Strides, total and the sat bitmap are
+    re-derived; the event's predicate is the rebuilt bitmap, so solving
+    under either backend matches the original event. Validates scope
+    order, arity positivity, code range/order and weight positivity.
+    @raise Invalid_argument on any violation. *)
+
 val value_at : table -> pos:int -> code:int -> int
 (** Value of the scope variable at position [pos] in the tuple encoded by
     [code]. *)

@@ -83,6 +83,18 @@ let compile_event t e =
 
 let compile_events t events = Array.iter (compile_event t) events
 
+(* Install a pre-built table (the binary instance loader) instead of
+   recompiling. The caller vouches that [tab] was built against this
+   space's distributions — [Event.of_table] re-validates structure, and
+   the binary container's checksum covers transport. *)
+let install_table t e tab =
+  let id = Event.id e in
+  if id < 0 then invalid_arg "Space.install_table: negative event id";
+  if not (Event.scope e == tab.Event.tscope) then
+    invalid_arg "Space.install_table: table does not belong to the event";
+  ensure_table_capacity t id;
+  t.tables.(id) <- Some (e, tab)
+
 (* The cached table for exactly this event value, regardless of the
    backend toggle (serialization wants the table even under [Enum]). *)
 let compiled_table t e =

@@ -41,6 +41,12 @@ val compile_events : t -> Event.t array -> unit
 
 val compile_event : t -> Event.t -> unit
 
+val install_table : t -> Event.t -> Event.table -> unit
+(** Cache a pre-built table for an event instead of recompiling (the
+    binary instance loader's fast path). The table must physically share
+    the event's scope array (as {!Event.of_table} guarantees); the
+    caller vouches that its weights match this space's distributions. *)
+
 val compiled_table : t -> Event.t -> Event.table option
 (** The cached table for exactly this event value (validated by physical
     equality, so an event the space never compiled — or a same-id

@@ -1,0 +1,74 @@
+(* The LRU instance cache behind the solve service.
+
+   Keys are content identifiers: for generator-described instances the
+   canonical parameter spec, for uploaded blobs an MD5 digest of the
+   bytes ([content_key]). Entries carry the fully built [Instance.t] —
+   space with installed tables, dependency graph, hypergraph — so a hit
+   skips every parse/compile/rebuild step; that is the "zero
+   instance-rebuild work" the service promises for repeat requests.
+
+   The cache is deliberately simple: a Hashtbl plus a logical clock,
+   eviction by minimum last-use tick (an O(capacity) scan — capacities
+   are tens of instances, each worth megabytes, so the scan never
+   matters). Single-threaded by construction: the server loop is the
+   only caller. *)
+
+module Instance = Lll_core.Instance
+
+type entry = { inst : Instance.t; mutable tick : int }
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { s_size : int; s_capacity : int; s_hits : int; s_misses : int; s_evictions : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { capacity; tbl = Hashtbl.create 16; clock = 0; hits = 0; misses = 0; evictions = 0 }
+
+let content_key blob = "blob:" ^ Digest.to_hex (Digest.string blob)
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, best) when best <= e.tick -> ()
+      | _ -> victim := Some (key, e.tick))
+    t.tbl;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.tbl key;
+    t.evictions <- t.evictions + 1
+
+(* [`Hit] means the instance came straight out of the cache — no build
+   ran; [`Miss] means [build] ran (and the result is now cached). *)
+let find_or_build t ~key ~build =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    e.tick <- t.clock;
+    t.hits <- t.hits + 1;
+    (e.inst, `Hit)
+  | None ->
+    let inst = build () in
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+    Hashtbl.replace t.tbl key { inst; tick = t.clock };
+    (inst, `Miss)
+
+let stats t =
+  {
+    s_size = Hashtbl.length t.tbl;
+    s_capacity = t.capacity;
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_evictions = t.evictions;
+  }

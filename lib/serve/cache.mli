@@ -1,0 +1,28 @@
+(** LRU cache of fully built instances, keyed by content identity.
+    A hit returns the cached [Instance.t] with zero rebuild work. *)
+
+module Instance = Lll_core.Instance
+
+type t
+
+type stats = {
+  s_size : int;
+  s_capacity : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val content_key : string -> string
+(** Content identity of an uploaded instance blob (digest-based). Spec
+    described instances use their canonical parameter string directly. *)
+
+val find_or_build : t -> key:string -> build:(unit -> Instance.t) -> Instance.t * [ `Hit | `Miss ]
+(** Return the cached instance ([`Hit], no build work) or run [build],
+    cache the result and return it ([`Miss]), evicting the least
+    recently used entry when over capacity. *)
+
+val stats : t -> stats

@@ -1,0 +1,37 @@
+(** Client side of the solve service: connect or spawn a server, send
+    batches, demultiplex responses. *)
+
+type conn
+
+val connect_socket : string -> conn
+
+val spawn : ?exe:string -> ?args:string list -> unit -> conn
+(** Launch a child server process speaking the stdio transport.
+    [exe] defaults to [Sys.executable_name]; [args] to
+    [["serve"; "--stdio"]]. *)
+
+type response = {
+  metrics : Protocol.frame list;  (** streamed metrics frames, oldest first *)
+  result : Protocol.frame;
+}
+
+val batch : conn -> Protocol.frame list -> response list
+(** Send a batch, block for every response; returned in request order.
+    @raise Protocol.Protocol_error if the connection drops mid-way. *)
+
+val request : conn -> Protocol.frame -> response
+
+val close : conn -> unit
+(** Drop the connection without stopping the server (the right exit for
+    a shared socket server). *)
+
+val shutdown : conn -> unit
+(** Best-effort shutdown request, then close the connection (the right
+    exit for a {!spawn}ed private child). *)
+
+val smoke : conn -> (unit, string) result
+(** The end-to-end exercise behind [lll_cli client --smoke]: mixed
+    solve batch (cache misses), identical repeat solve (must report
+    [cache=hit] with a byte-identical assignment), verify of the
+    returned assignment, cache-stats check. The caller owns [conn]
+    (call {!shutdown} after). *)

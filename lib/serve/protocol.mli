@@ -1,0 +1,23 @@
+(** Length-framed wire protocol: [u32 LE length] + payload, payload =
+    one [key=value] header line + '\n' + raw byte body. See the
+    implementation header for the request/response vocabulary. *)
+
+exception Protocol_error of string
+
+type frame = { header : (string * string) list; body : string }
+
+val encode : frame -> string
+val decode : string -> frame
+
+val write_frame : out_channel -> frame -> unit
+(** Write and flush one frame. *)
+
+val read_frame : in_channel -> frame option
+(** [None] on clean EOF before a frame starts.
+    @raise Protocol_error on a truncated or oversized frame. *)
+
+val get : frame -> string -> string option
+val get_exn : frame -> string -> string
+val get_int : frame -> string -> int option
+val get_bool : frame -> string -> bool
+(** Absent and ["0"] are [false]; any other value is [true]. *)

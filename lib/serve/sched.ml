@@ -1,0 +1,269 @@
+(* The batching scheduler behind the solve service.
+
+   A batch of request frames comes in; response frames go out through
+   the caller-supplied [emit]. Requests are grouped by the cache key of
+   the instance they describe (first-occurrence order), so one cache
+   fetch serves every compatible request in the batch — the first
+   request of a fresh group pays the build, the rest report [cache=hit]
+   with zero rebuild work. Within a group requests run in arrival
+   order on the shared domain pool (the runtime itself spreads a run
+   across domains; requests are not interleaved, keeping every solve
+   bit-identical to a direct run).
+
+   Metrics frames ([frame=metrics id=N] + one JSON round record) stream
+   the moment the runtime produces them. Result frames are buffered and
+   emitted in request order once the whole batch has executed, each
+   tagged with its request's position [id]. A raising request yields a
+   [status=error] result for that id only; the rest of the batch is
+   unaffected. *)
+
+module Solver = Lll_core.Solver
+module Verify = Lll_core.Verify
+module Serial = Lll_core.Serial
+module Instance = Lll_core.Instance
+module Assignment = Lll_prob.Assignment
+module Metrics = Lll_local.Metrics
+module Corpus = Lll_scenario.Corpus
+module Run = Lll_scenario.Run
+
+type t = { cache : Cache.t; default_domains : int option }
+
+let create ?(capacity = 32) ?domains () =
+  { cache = Cache.create ~capacity; default_domains = domains }
+
+let stats t = Cache.stats t.cache
+
+(* ---- assignment transport: CSV of values in variable-id order ---- *)
+
+let assignment_to_string (a : Assignment.t) =
+  String.concat ","
+    (Array.to_list (Array.map (function Some v -> string_of_int v | None -> "") a))
+
+let assignment_of_string nvars s =
+  let cells = if s = "" then [||] else Array.of_list (String.split_on_char ',' s) in
+  if Array.length cells <> nvars then
+    raise
+      (Protocol.Protocol_error
+         (Printf.sprintf "assignment has %d cells, instance has %d variables"
+            (Array.length cells) nvars));
+  Array.map
+    (fun c ->
+      if c = "" then None
+      else
+        match int_of_string_opt c with
+        | Some v -> Some v
+        | None -> raise (Protocol.Protocol_error (Printf.sprintf "bad assignment cell %S" c)))
+    cells
+
+let int_list_field frame key =
+  match Protocol.get frame key with
+  | None -> None
+  | Some s ->
+    Some
+      (String.split_on_char ',' s
+      |> List.filter (fun c -> c <> "")
+      |> List.map (fun c ->
+             match int_of_string_opt c with
+             | Some v -> v
+             | None ->
+               raise
+                 (Protocol.Protocol_error
+                    (Printf.sprintf "field %S: bad integer %S" key c))))
+
+(* ---- per-op handlers; each returns the result frame's extra header
+   fields and body ---- *)
+
+let run_params t frame ~sink =
+  let domains =
+    match Protocol.get_int frame "domains" with
+    | Some d -> Some d
+    | None -> t.default_domains
+  in
+  {
+    Solver.default_params with
+    seed = Option.value (Protocol.get_int frame "seed") ~default:1;
+    domains;
+    metrics = sink;
+  }
+
+let handle_solve t frame ~id ~emit =
+  let key, build = Workload.of_frame frame in
+  let inst, status = Cache.find_or_build t.cache ~key ~build in
+  let solver = Option.value (Protocol.get frame "solver") ~default:"fix3" in
+  let sink =
+    if Protocol.get_bool frame "stream" then
+      Metrics.callback (fun r ->
+          emit
+            {
+              Protocol.header = [ ("frame", "metrics"); ("id", string_of_int id) ];
+              body = Metrics.record_to_json r;
+            })
+    else Metrics.disabled
+  in
+  let params = run_params t frame ~sink in
+  let report = Solver.solve_by_name ~params solver inst in
+  let rounds =
+    match report.Solver.outcome.Solver.rounds with
+    | Some r -> [ ("rounds", string_of_int r) ]
+    | None -> []
+  in
+  ( [
+      ("op", "solve");
+      ("cache", (match status with `Hit -> "hit" | `Miss -> "miss"));
+      ("key", key);
+      ("solver", solver);
+      ("ok", if report.Solver.ok then "1" else "0");
+      ("verified", if report.Solver.verify.Verify.ok then "1" else "0");
+    ]
+    @ rounds,
+    assignment_to_string report.Solver.outcome.Solver.assignment )
+
+let handle_verify t frame =
+  (* the instance comes from the spec headers; the body carries the
+     assignment CSV (blob-described instances go through solve) *)
+  let key, build = Workload.of_frame { frame with Protocol.body = "" } in
+  let inst, status = Cache.find_or_build t.cache ~key ~build in
+  let a = assignment_of_string (Instance.num_vars inst) frame.Protocol.body in
+  let result = Verify.check inst a in
+  ( [
+      ("op", "verify");
+      ("cache", (match status with `Hit -> "hit" | `Miss -> "miss"));
+      ("key", key);
+      ("ok", if result.Verify.ok then "1" else "0");
+      ("violated", String.concat "," (List.map string_of_int result.Verify.violated));
+    ],
+    "" )
+
+let handle_fuzz frame =
+  let seed = Option.value (Protocol.get_int frame "seed") ~default:1 in
+  let budget = Option.value (Protocol.get_int frame "budget") ~default:10 in
+  let outcome = Lll_fuzz.Fuzz.run ~seed ~budget () in
+  let found, label, body =
+    match outcome.Lll_fuzz.Fuzz.finding with
+    | None -> ("0", [], "")
+    | Some f ->
+      ("1", [ ("label", f.Lll_fuzz.Fuzz.label) ], Serial.to_string f.Lll_fuzz.Fuzz.shrunk)
+  in
+  ( [ ("op", "fuzz"); ("tested", string_of_int outcome.Lll_fuzz.Fuzz.tested); ("found", found) ]
+    @ label,
+    body )
+
+let handle_scenario t frame =
+  let grid = int_list_field frame "grid" in
+  let seeds = int_list_field frame "seeds" in
+  let families =
+    match Protocol.get frame "families" with
+    | None -> None
+    | Some s ->
+      Some
+        (String.split_on_char ',' s
+        |> List.filter (fun f -> f <> "")
+        |> List.map (fun name ->
+               match Corpus.find name with
+               | Some f -> f
+               | None ->
+                 raise
+                   (Protocol.Protocol_error (Printf.sprintf "unknown scenario family %S" name))))
+  in
+  let domains =
+    match Protocol.get_int frame "domains" with
+    | Some d -> Some (Some d)
+    | None -> (match t.default_domains with None -> None | Some d -> Some (Some d))
+  in
+  let measurements = Run.measure ?grid ?seeds ?families ?domains () in
+  let fits = Run.fit_growth measurements in
+  ( [ ("op", "scenario"); ("measurements", string_of_int (List.length measurements)) ],
+    Format.asprintf "%a@.%a" Run.pp_measurements measurements Run.pp_fits fits )
+
+let handle_stats t =
+  let s = stats t in
+  ( [
+      ("op", "stats");
+      ("size", string_of_int s.Cache.s_size);
+      ("capacity", string_of_int s.Cache.s_capacity);
+      ("hits", string_of_int s.Cache.s_hits);
+      ("misses", string_of_int s.Cache.s_misses);
+      ("evictions", string_of_int s.Cache.s_evictions);
+    ],
+    "" )
+
+(* ---- batch execution ---- *)
+
+let instance_key frame =
+  match Protocol.get frame "op" with
+  | Some "solve" -> Some (fst (Workload.of_frame frame))
+  | Some "verify" -> Some (fst (Workload.of_frame { frame with Protocol.body = "" }))
+  | _ -> None
+
+let handle_one t frame ~id ~emit =
+  match Protocol.get_exn frame "op" with
+  | "solve" -> handle_solve t frame ~id ~emit
+  | "verify" -> handle_verify t frame
+  | "fuzz" -> handle_fuzz frame
+  | "scenario" -> handle_scenario t frame
+  | "stats" -> handle_stats t
+  | "shutdown" -> ([ ("op", "shutdown") ], "")
+  | op -> raise (Protocol.Protocol_error (Printf.sprintf "unknown op %S" op))
+
+let handle_batch t frames ~emit =
+  let frames = Array.of_list frames in
+  let n = Array.length frames in
+  let results = Array.make n None in
+  (* group request ids by instance key, first-occurrence order; keyless
+     ops form singleton groups in place *)
+  let seen : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iteri
+    (fun id frame ->
+      match (try instance_key frame with _ -> None) with
+      | Some key -> (
+        match Hashtbl.find_opt seen key with
+        | Some ids -> ids := id :: !ids
+        | None ->
+          let ids = ref [ id ] in
+          Hashtbl.add seen key ids;
+          order := `Group ids :: !order)
+      | None -> order := `Single id :: !order)
+    frames;
+  let run id =
+    let frame = frames.(id) in
+    let result =
+      match handle_one t frame ~id ~emit with
+      | fields, body ->
+        {
+          Protocol.header =
+            [ ("frame", "result"); ("id", string_of_int id); ("status", "ok") ] @ fields;
+          body;
+        }
+      | exception e ->
+        let msg =
+          match e with
+          | Protocol.Protocol_error m -> m
+          | Serial.Parse_error { line; message } ->
+            Printf.sprintf "parse error (line %d): %s" line message
+          | Lll_graph.Serialize.Bin.Corrupt m -> "corrupt binary: " ^ m
+          | Invalid_argument m -> m
+          | Not_found -> "unknown solver"
+          | e -> Printexc.to_string e
+        in
+        {
+          Protocol.header =
+            [ ("frame", "result"); ("id", string_of_int id); ("status", "error"); ("error", msg) ];
+          body = "";
+        }
+    in
+    results.(id) <- Some result
+  in
+  List.iter
+    (function
+      | `Single id -> run id
+      | `Group ids -> List.iter run (List.rev !ids))
+    (List.rev !order);
+  (* result frames in request order *)
+  Array.iteri
+    (fun id r -> match r with Some f -> emit f | None -> assert (id < 0))
+    results;
+  let shutdown =
+    Array.exists (fun f -> Protocol.get f "op" = Some "shutdown") frames
+  in
+  if shutdown then `Shutdown else `Continue

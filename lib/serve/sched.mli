@@ -1,0 +1,19 @@
+(** The batching scheduler: executes request batches against the shared
+    LRU instance cache and domain pool, streaming metrics frames and
+    emitting result frames in request order. See the implementation
+    header for the grouping and ordering contract. *)
+
+type t
+
+val create : ?capacity:int -> ?domains:int -> unit -> t
+(** [capacity] bounds the instance cache (default 32); [domains] is the
+    default domain count for requests that do not set one. *)
+
+val stats : t -> Cache.stats
+
+val handle_batch :
+  t -> Protocol.frame list -> emit:(Protocol.frame -> unit) -> [ `Continue | `Shutdown ]
+(** Execute one batch. Every response frame (streamed metrics, then one
+    result per request in id order) goes through [emit]. Returns
+    [`Shutdown] when the batch contained a shutdown request. A raising
+    request produces a [status=error] result for its id only. *)

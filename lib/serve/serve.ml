@@ -1,0 +1,76 @@
+(* Transport loops of the solve service.
+
+   One scheduler (cache + domain pool defaults) serves a sequence of
+   length-framed requests. Two transports share the loop:
+
+   - stdio: frames on stdin/stdout — the child-process transport
+     ([lll_cli client --spawn] talks to it), also handy under socat.
+   - unix socket: bind, listen, accept one connection at a time. A
+     dropped connection just closes; a shutdown request stops the
+     whole server and unlinks the socket path.
+
+   Requests arrive either bare (a batch of one) or as an explicit
+   [op=batch count=K] frame followed by K request frames. *)
+
+let read_batch ic first =
+  match Protocol.get first "op" with
+  | Some "batch" ->
+    let count =
+      match Protocol.get_int first "count" with
+      | Some c when c >= 0 -> c
+      | _ -> raise (Protocol.Protocol_error "batch frame needs count>=0")
+    in
+    let rec collect k acc =
+      if k = 0 then List.rev acc
+      else
+        match Protocol.read_frame ic with
+        | Some frame -> collect (k - 1) (frame :: acc)
+        | None -> raise (Protocol.Protocol_error "EOF inside a batch")
+    in
+    collect count []
+  | _ -> [ first ]
+
+let serve_channels sched ic oc =
+  let emit frame = Protocol.write_frame oc frame in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> `Eof
+    | Some first -> (
+      match Sched.handle_batch sched (read_batch ic first) ~emit with
+      | `Continue -> loop ()
+      | `Shutdown -> `Shutdown)
+  in
+  loop ()
+
+let serve_stdio ?capacity ?domains () =
+  let sched = Sched.create ?capacity ?domains () in
+  set_binary_mode_in stdin true;
+  set_binary_mode_out stdout true;
+  ignore (serve_channels sched stdin stdout)
+
+let serve_socket ?capacity ?domains ~path () =
+  let sched = Sched.create ?capacity ?domains () in
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    if Sys.file_exists path then Sys.remove path
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let conn, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr conn in
+        let oc = Unix.out_channel_of_descr conn in
+        let outcome =
+          match serve_channels sched ic oc with
+          | v -> v
+          | exception Protocol.Protocol_error _ -> `Eof
+          | exception Sys_error _ -> `Eof
+        in
+        (try close_out oc with Sys_error _ -> ());
+        (try close_in ic with Sys_error _ -> ());
+        match outcome with `Eof -> accept_loop () | `Shutdown -> ()
+      in
+      accept_loop ())

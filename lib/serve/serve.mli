@@ -1,0 +1,12 @@
+(** Transport loops: one scheduler behind stdio or unix-socket framing. *)
+
+val serve_channels : Sched.t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+(** Serve frames until clean EOF or a shutdown request. *)
+
+val serve_stdio : ?capacity:int -> ?domains:int -> unit -> unit
+(** Serve on stdin/stdout (binary mode) until EOF or shutdown. *)
+
+val serve_socket : ?capacity:int -> ?domains:int -> path:string -> unit -> unit
+(** Bind a unix socket at [path] (replacing a stale file), accept one
+    connection at a time, and serve until a shutdown request. The
+    socket file is removed on exit. *)

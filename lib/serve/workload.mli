@@ -1,0 +1,25 @@
+(** Instance descriptions carried by requests, and their canonical
+    cache keys. *)
+
+type spec = {
+  family : string;
+  n : int;
+  degree : int;
+  seed : int;
+  at_threshold : bool;
+}
+
+val families : string list
+(** The generator families the service accepts (mirrors the CLI). *)
+
+val build_spec : spec -> Lll_core.Instance.t
+(** @raise Invalid_argument on an unknown family. *)
+
+val key_of_spec : spec -> string
+
+val of_frame : Protocol.frame -> string * (unit -> Lll_core.Instance.t)
+(** The cache key and builder a request frame describes: a non-empty
+    body is a serialized instance blob (keyed by digest); otherwise the
+    [family]/[n]/[degree]/[gen-seed]/[at-threshold] header fields name a
+    generator spec (keyed by canonical parameter string).
+    @raise Protocol.Protocol_error on an unknown family. *)

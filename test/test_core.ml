@@ -1264,6 +1264,99 @@ let test_serial_bad_tuples () =
      (0, 1) *)
   Alcotest.(check (list (list int))) "table" [ [ 0; 1 ] ] tuples
 
+(* ---- the binary v3 container ---- *)
+
+module Bin = Lll_graph.Serialize.Bin
+
+let test_serial_binary_roundtrip () =
+  List.iter
+    (fun (inst, name) ->
+      let blob = Ser.to_binary_string inst in
+      Alcotest.(check bool) (name ^ " detected as binary") true (Ser.is_binary blob);
+      Alcotest.(check bool) (name ^ " text not binary") false (Ser.is_binary (Ser.to_string inst));
+      let inst' = Ser.of_binary_string blob in
+      Alcotest.(check bool) (name ^ " roundtrip") true (instances_agree inst inst');
+      let a, _ = F3.solve inst and a', _ = F3.solve inst' in
+      Alcotest.(check bool) (name ^ " same solution") true (a = a'))
+    [
+      (triangle_instance (), "triangle");
+      (Syn.ring ~seed:3 ~n:10 ~arity:4 (), "ring");
+      (Lll_apps.Sinkless.relaxed_instance (Gen.cycle 8), "sinkless");
+    ]
+
+let test_serial_binary_cross_conversion () =
+  (* text -> binary -> text is the identity on the v2 rendering, so the
+     two formats are lossless interchange *)
+  let inst = Syn.random ~seed:2 ~n:12 ~rank:3 ~delta:2 ~arity:4 () in
+  let text = Ser.to_string inst in
+  let text' = Ser.to_string (Ser.of_binary_string (Ser.to_binary_string (Ser.of_string text))) in
+  Alcotest.(check string) "v2 fixed point" text text';
+  (* of_any_string dispatches on content *)
+  Alcotest.(check bool) "any: text" true
+    (instances_agree inst (Ser.of_any_string text));
+  Alcotest.(check bool) "any: binary" true
+    (instances_agree inst (Ser.of_any_string (Ser.to_binary_string inst)))
+
+let test_serial_binary_file_roundtrip () =
+  let inst = Syn.random ~seed:5 ~n:12 ~rank:3 ~delta:2 ~arity:4 () in
+  let path = Filename.temp_file "lll_test" ".lllb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ser.save_binary path inst;
+      Alcotest.(check bool) "load_binary" true (instances_agree inst (Ser.load_binary path));
+      Alcotest.(check bool) "load_any" true (instances_agree inst (Ser.load_any path)))
+
+let test_serial_binary_error_paths () =
+  (* every plausible kind of file damage must surface as a clean
+     Bin.Corrupt with a distinguishing message, never a wrong instance *)
+  let blob = Ser.to_binary_string (triangle_instance ()) in
+  let reject name expect s =
+    try
+      ignore (Ser.of_binary_string s);
+      Alcotest.fail (name ^ " accepted")
+    with Bin.Corrupt msg ->
+      let holds =
+        let el = String.length expect and ml = String.length msg in
+        let rec scan i = i + el <= ml && (String.sub msg i el = expect || scan (i + 1)) in
+        scan 0
+      in
+      if not holds then
+        Alcotest.fail (Printf.sprintf "%s: message %S lacks %S" name msg expect)
+  in
+  let patch pos c =
+    let b = Bytes.of_string blob in
+    Bytes.set b pos c;
+    Bytes.to_string b
+  in
+  (* bad magic: first four bytes are not LLL3 *)
+  reject "bad magic" "bad magic" (patch 0 'X');
+  (* version skew: the i64 at offset 4 is the format version *)
+  reject "version skew" "unsupported version" (patch 4 '\099');
+  (* truncation: cut the container mid-section *)
+  reject "truncated" "truncated" (String.sub blob 0 (String.length blob - 5));
+  reject "truncated header" "truncated" (String.sub blob 0 8);
+  (* checksum: flip one byte inside a section body (the last byte of the
+     payload sits inside the final section) *)
+  let last = String.length blob - 1 in
+  let flipped = Char.chr (Char.code blob.[last] lxor 0x40) in
+  reject "corrupted checksum" "checksum mismatch" (patch last flipped);
+  (* wrong container kind: a graph blob is not an instance *)
+  reject "wrong kind" "kind"
+    (Lll_graph.Serialize.graph_to_binary (Gen.cycle 6))
+
+let suite_binary_qcheck =
+  [
+    prop "binary round-trip solves identically to text v2" 25
+      (QCheck.make QCheck.Gen.(int_range 0 10_000))
+      (fun seed ->
+        let inst = Syn.random ~seed ~n:12 ~rank:3 ~delta:2 ~arity:4 () in
+        let via_text = Ser.of_string (Ser.to_string inst) in
+        let via_bin = Ser.of_binary_string (Ser.to_binary_string inst) in
+        let a, _ = F3.solve via_text and a', _ = F3.solve via_bin in
+        instances_agree via_text via_bin && a = a');
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* The message-passing distributed solver                               *)
 (* ------------------------------------------------------------------ *)
@@ -1517,7 +1610,12 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_serial_rejects_garbage;
           Alcotest.test_case "v2 error paths" `Quick test_serial_v2_error_paths;
           Alcotest.test_case "bad tuples" `Quick test_serial_bad_tuples;
-        ] );
+          Alcotest.test_case "binary roundtrip" `Quick test_serial_binary_roundtrip;
+          Alcotest.test_case "binary cross-conversion" `Quick test_serial_binary_cross_conversion;
+          Alcotest.test_case "binary file roundtrip" `Quick test_serial_binary_file_roundtrip;
+          Alcotest.test_case "binary error paths" `Quick test_serial_binary_error_paths;
+        ]
+        @ suite_binary_qcheck );
       ( "dist-lll-protocol",
         [
           Alcotest.test_case "solves and accounts rounds" `Quick test_dist_lll_solves;

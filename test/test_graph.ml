@@ -524,6 +524,82 @@ let test_serialization_files () =
       Ser.save_graph path g;
       Alcotest.(check bool) "file roundtrip" true (graphs_equal g (Ser.load_graph path)))
 
+let test_graph_binary_roundtrip () =
+  List.iter
+    (fun g ->
+      let g' = Ser.graph_of_binary (Ser.graph_to_binary g) in
+      Alcotest.(check bool) "binary roundtrip" true (graphs_equal g g'))
+    [ Gen.cycle 7; Gen.random_regular ~seed:1 20 3; G.create ~n:5 []; Gen.grid 3 4 ]
+
+let test_graph_binary_file_roundtrip () =
+  let g = Gen.random_regular ~seed:3 24 3 in
+  let path = Filename.temp_file "lll_graph" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ser.save_graph_binary path g;
+      Alcotest.(check bool) "binary file roundtrip" true
+        (graphs_equal g (Ser.load_graph_binary path)))
+
+let test_graph_binary_error_paths () =
+  let blob = Ser.graph_to_binary (Gen.cycle 9) in
+  let reject name s =
+    try
+      ignore (Ser.graph_of_binary s);
+      Alcotest.fail (name ^ " accepted")
+    with Ser.Bin.Corrupt _ -> ()
+  in
+  let patch pos c =
+    let b = Bytes.of_string blob in
+    Bytes.set b pos c;
+    Bytes.to_string b
+  in
+  reject "bad magic" (patch 0 '?');
+  reject "version skew" (patch 4 '\042');
+  reject "truncated" (String.sub blob 0 (String.length blob - 3));
+  let last = String.length blob - 1 in
+  reject "checksum" (patch last (Char.chr (Char.code blob.[last] lxor 1)))
+
+let test_of_csr_validation () =
+  let g = Gen.random_regular ~seed:5 18 3 in
+  (* the identity: csr followed by of_csr reproduces the graph *)
+  Alcotest.(check bool) "of_csr identity" true (graphs_equal g (G.of_csr (G.csr g)));
+  let reject name c =
+    try
+      ignore (G.of_csr c);
+      Alcotest.fail (name ^ " accepted")
+    with Invalid_argument _ -> ()
+  in
+  let c = G.csr g in
+  reject "bad offsets length" { c with G.csr_offsets = Array.sub c.G.csr_offsets 0 3 };
+  reject "neighbor out of range"
+    {
+      c with
+      G.csr_neighbors =
+        (let a = Array.copy c.G.csr_neighbors in
+         a.(0) <- G.n g;
+         a);
+    };
+  reject "unsorted slice"
+    {
+      c with
+      G.csr_neighbors =
+        (let a = Array.copy c.G.csr_neighbors in
+         (* the graph is 3-regular: the first slice has 3 entries *)
+         let t = a.(0) in
+         a.(0) <- a.(1);
+         a.(1) <- t;
+         a);
+    };
+  reject "edge id disagrees"
+    {
+      c with
+      G.csr_edge_ids =
+        (let a = Array.copy c.G.csr_edge_ids in
+         a.(0) <- (a.(0) + 1) mod Array.length c.G.csr_edges;
+         a);
+    }
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -862,6 +938,10 @@ let () =
           Alcotest.test_case "wtable roundtrip" `Quick test_wtable_roundtrip;
           Alcotest.test_case "wtable error paths" `Quick test_wtable_error_paths;
           Alcotest.test_case "file roundtrip" `Quick test_serialization_files;
+          Alcotest.test_case "binary roundtrip" `Quick test_graph_binary_roundtrip;
+          Alcotest.test_case "binary file roundtrip" `Quick test_graph_binary_file_roundtrip;
+          Alcotest.test_case "binary error paths" `Quick test_graph_binary_error_paths;
+          Alcotest.test_case "of_csr validation" `Quick test_of_csr_validation;
         ] );
       ("properties", graph_props);
       ("girth-sampler", girth_sampler_props);

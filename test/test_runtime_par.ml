@@ -194,6 +194,59 @@ let protocol_props =
   ]
 
 (* ---------------------------------------------------------------- *)
+(* the parallel commit sweep (n >= par_commit_cutoff)               *)
+(* ---------------------------------------------------------------- *)
+
+(* The properties above stay far below [par_commit_cutoff], so they pin
+   the sequential commit path. These cross it (n = 3000 > 2048): the
+   chunked commit, the per-destination prefix merge and the parallel
+   scatter must reproduce the sequential engine byte for byte. *)
+
+let big_net seed = Net.create (Gen.random_regular ~seed 3000 4)
+
+let test_parallel_commit_differential () =
+  List.iter
+    (fun seed ->
+      let net = big_net seed in
+      let st1, s1 = run_with net 1 and st4, s4 = run_with net 4 in
+      Alcotest.(check bool) (Printf.sprintf "states agree (seed %d)" seed) true (st1 = st4);
+      Alcotest.(check int) "rounds" s1.RT.rounds s4.RT.rounds;
+      Alcotest.(check int) "messages" s1.RT.messages s4.RT.messages)
+    [ 3; 19 ]
+
+let test_parallel_commit_inbox_order () =
+  (* ascending-sender delivery survives the parallel scatter *)
+  let net = big_net 7 in
+  let states, _ =
+    RT.run ~domains:4 net
+      ~init:(fun _ -> [])
+      ~step:(fun ~round ~me s inbox ->
+        {
+          RT.state = (if round = 1 then List.map fst inbox else s);
+          send = (if round = 0 then List.map (fun u -> (u, me)) (Net.neighbors net me) else []);
+          halt = round >= 1;
+        })
+  in
+  Array.iteri
+    (fun v senders ->
+      if senders <> List.sort compare (Net.neighbors net v) then
+        Alcotest.failf "inbox of %d not in ascending sender order" v)
+    states
+
+let test_parallel_commit_rejects_non_neighbor () =
+  (* the validation inside the chunked pass A must surface the exact
+     sequential exception *)
+  let n = 3000 in
+  let net = Net.create (Gen.cycle n) in
+  Alcotest.check_raises "non-neighbor send above cutoff"
+    (Invalid_argument "Runtime.run: message to non-neighbor") (fun () ->
+      ignore
+        (RT.run ~domains:4 net
+           ~init:(fun v -> v)
+           ~step:(fun ~round ~me s _ ->
+             { RT.state = s; send = [ ((me + 2) mod n, s) ]; halt = round >= 2 })))
+
+(* ---------------------------------------------------------------- *)
 (* non-neighbor rejection survives the parallel merge               *)
 (* ---------------------------------------------------------------- *)
 
@@ -382,6 +435,15 @@ let () =
         [
           Alcotest.test_case "non-neighbor rejected under domains:4" `Quick
             test_non_neighbor_rejected_parallel;
+        ] );
+      ( "parallel-commit",
+        [
+          Alcotest.test_case "d4 == d1 above the cutoff" `Quick
+            test_parallel_commit_differential;
+          Alcotest.test_case "inbox order above the cutoff" `Quick
+            test_parallel_commit_inbox_order;
+          Alcotest.test_case "non-neighbor rejected above the cutoff" `Quick
+            test_parallel_commit_rejects_non_neighbor;
         ] );
       ( "arena",
         arena_stress_props

@@ -1,0 +1,366 @@
+(* Tests for the solve service: the LRU instance cache, the frame
+   protocol, and the batching scheduler (grouping, cache hits,
+   bit-identical repeat output, per-request error isolation). *)
+
+module Cache = Lll_serve.Cache
+module Protocol = Lll_serve.Protocol
+module Sched = Lll_serve.Sched
+module Workload = Lll_serve.Workload
+module Syn = Lll_core.Synthetic
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tiny n () = Syn.ring ~seed:1 ~n ~arity:4 ()
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~capacity:4 in
+  let builds = ref 0 in
+  let build n () =
+    incr builds;
+    tiny n ()
+  in
+  let _, s1 = Cache.find_or_build c ~key:"a" ~build:(build 10) in
+  let _, s2 = Cache.find_or_build c ~key:"a" ~build:(build 10) in
+  Alcotest.(check bool) "first is miss" true (s1 = `Miss);
+  Alcotest.(check bool) "second is hit" true (s2 = `Hit);
+  Alcotest.(check int) "built once" 1 !builds;
+  let st = Cache.stats c in
+  Alcotest.(check int) "hits" 1 st.Cache.s_hits;
+  Alcotest.(check int) "misses" 1 st.Cache.s_misses;
+  Alcotest.(check int) "size" 1 st.Cache.s_size
+
+let test_cache_hit_returns_same_instance () =
+  (* a hit is the cached instance itself — zero rebuild work *)
+  let c = Cache.create ~capacity:2 in
+  let i1, _ = Cache.find_or_build c ~key:"k" ~build:(tiny 12) in
+  let i2, _ = Cache.find_or_build c ~key:"k" ~build:(tiny 12) in
+  Alcotest.(check bool) "physically equal" true (i1 == i2)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  let touch key = ignore (Cache.find_or_build c ~key ~build:(tiny 10)) in
+  touch "a";
+  touch "b";
+  touch "a";
+  (* "b" is now least recently used; inserting "c" must evict it *)
+  touch "c";
+  let _, sa = Cache.find_or_build c ~key:"a" ~build:(tiny 10) in
+  Alcotest.(check bool) "a survived" true (sa = `Hit);
+  let _, sb = Cache.find_or_build c ~key:"b" ~build:(tiny 10) in
+  Alcotest.(check bool) "b evicted" true (sb = `Miss);
+  let st = Cache.stats c in
+  Alcotest.(check int) "evictions" 2 st.Cache.s_evictions;
+  Alcotest.(check int) "size bounded" 2 st.Cache.s_size
+
+let test_cache_rejects_bad_capacity () =
+  try
+    ignore (Cache.create ~capacity:0);
+    Alcotest.fail "capacity 0 accepted"
+  with Invalid_argument _ -> ()
+
+let test_content_key_distinguishes () =
+  Alcotest.(check bool) "same blob same key" true
+    (Cache.content_key "hello" = Cache.content_key "hello");
+  Alcotest.(check bool) "distinct blobs distinct keys" false
+    (Cache.content_key "hello" = Cache.content_key "hellp")
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_roundtrip () =
+  let f =
+    {
+      Protocol.header = [ ("op", "solve"); ("family", "ring"); ("n", "30") ];
+      body = "raw \x00 bytes\nsecond line";
+    }
+  in
+  let f' = Protocol.decode (Protocol.encode f) in
+  Alcotest.(check bool) "header" true (f.Protocol.header = f'.Protocol.header);
+  Alcotest.(check string) "body" f.Protocol.body f'.Protocol.body
+
+let test_protocol_escaping () =
+  (* every reserved character survives a header value round trip *)
+  let hostile = "a b=c%d\ne\rf%%20" in
+  let f = { Protocol.header = [ ("k", hostile); ("plain", "v") ]; body = "" } in
+  let f' = Protocol.decode (Protocol.encode f) in
+  Alcotest.(check (option string)) "hostile value" (Some hostile) (Protocol.get f' "k");
+  Alcotest.(check (option string)) "plain value" (Some "v") (Protocol.get f' "plain")
+
+let test_protocol_channel_framing () =
+  let path = Filename.temp_file "lll_serve" ".frames" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let frames =
+        [
+          { Protocol.header = [ ("op", "stats") ]; body = "" };
+          { Protocol.header = [ ("op", "solve"); ("n", "8") ]; body = String.make 1000 '\x7f' };
+        ]
+      in
+      let oc = open_out_bin path in
+      List.iter (Protocol.write_frame oc) frames;
+      close_out oc;
+      let ic = open_in_bin path in
+      let got =
+        List.map
+          (fun _ ->
+            match Protocol.read_frame ic with
+            | Some f -> f
+            | None -> Alcotest.fail "premature EOF")
+          frames
+      in
+      Alcotest.(check bool) "frames roundtrip" true (got = frames);
+      Alcotest.(check bool) "clean EOF" true (Protocol.read_frame ic = None);
+      close_in ic)
+
+let test_protocol_truncation () =
+  let path = Filename.temp_file "lll_serve" ".trunc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      (* a length header promising 100 bytes, then only 3 *)
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_le hdr 0 100l;
+      output_bytes oc hdr;
+      output_string oc "abc";
+      close_out oc;
+      let ic = open_in_bin path in
+      (try
+         ignore (Protocol.read_frame ic);
+         Alcotest.fail "truncated frame accepted"
+       with Protocol.Protocol_error _ -> ());
+      close_in ic)
+
+let test_protocol_accessors () =
+  let f = { Protocol.header = [ ("n", "42"); ("bad", "x"); ("flag", "1"); ("off", "0") ]; body = "" } in
+  Alcotest.(check (option int)) "int" (Some 42) (Protocol.get_int f "n");
+  Alcotest.(check (option int)) "absent int" None (Protocol.get_int f "missing");
+  (try
+     ignore (Protocol.get_int f "bad");
+     Alcotest.fail "non-integer accepted"
+   with Protocol.Protocol_error _ -> ());
+  Alcotest.(check bool) "flag set" true (Protocol.get_bool f "flag");
+  Alcotest.(check bool) "flag 0" false (Protocol.get_bool f "off");
+  Alcotest.(check bool) "flag absent" false (Protocol.get_bool f "nope")
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_spec_keys () =
+  let frame n =
+    { Protocol.header = [ ("op", "solve"); ("family", "ring"); ("n", string_of_int n) ]; body = "" }
+  in
+  let k1, _ = Workload.of_frame (frame 30) in
+  let k2, _ = Workload.of_frame (frame 30) in
+  let k3, _ = Workload.of_frame (frame 31) in
+  Alcotest.(check string) "same spec same key" k1 k2;
+  Alcotest.(check bool) "different n different key" false (k1 = k3)
+
+let test_workload_blob_key () =
+  let inst = Syn.ring ~seed:2 ~n:10 ~arity:4 () in
+  let blob = Lll_core.Serial.to_binary_string inst in
+  let frame = { Protocol.header = [ ("op", "solve") ]; body = blob } in
+  let key, build = Workload.of_frame frame in
+  Alcotest.(check string) "digest key" (Cache.content_key blob) key;
+  Alcotest.(check int) "builds the blob" (Lll_core.Instance.num_events inst)
+    (Lll_core.Instance.num_events (build ()))
+
+let test_workload_rejects_unknown_family () =
+  let frame = { Protocol.header = [ ("family", "moebius") ]; body = "" } in
+  try
+    ignore (Workload.of_frame frame);
+    Alcotest.fail "unknown family accepted"
+  with Protocol.Protocol_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch sched frames =
+  let all = ref [] in
+  let _ = Sched.handle_batch sched frames ~emit:(fun f -> all := f :: !all) in
+  let all = List.rev !all in
+  let results =
+    List.filter (fun f -> Protocol.get f "frame" = Some "result") all
+  in
+  (all, results)
+
+let solve_frame ?(solver = "fix3") ?(extra = []) n =
+  {
+    Protocol.header =
+      [ ("op", "solve"); ("family", "ring"); ("n", string_of_int n); ("solver", solver) ] @ extra;
+    body = "";
+  }
+
+let test_sched_repeat_hits_cache () =
+  let sched = Sched.create ~capacity:8 () in
+  let _, r1 = run_batch sched [ solve_frame 20 ] in
+  let _, r2 = run_batch sched [ solve_frame 20 ] in
+  match (r1, r2) with
+  | [ a ], [ b ] ->
+    Alcotest.(check (option string)) "first miss" (Some "miss") (Protocol.get a "cache");
+    Alcotest.(check (option string)) "repeat hit" (Some "hit") (Protocol.get b "cache");
+    Alcotest.(check string) "byte-identical assignment" a.Protocol.body b.Protocol.body;
+    Alcotest.(check (option string)) "ok" (Some "1") (Protocol.get b "ok")
+  | _ -> Alcotest.fail "expected one result per batch"
+
+let test_sched_batch_grouping () =
+  (* same-key requests inside one batch share one cache fetch: the
+     first is the miss, the rest are hits; ids map back to arrival
+     order *)
+  let sched = Sched.create ~capacity:8 () in
+  let _, results = run_batch sched [ solve_frame 20; solve_frame 24; solve_frame 20 ] in
+  Alcotest.(check int) "three results" 3 (List.length results);
+  List.iteri
+    (fun i f ->
+      Alcotest.(check (option int)) "id in arrival order" (Some i) (Protocol.get_int f "id"))
+    results;
+  let cache_of i = Protocol.get (List.nth results i) "cache" in
+  Alcotest.(check (option string)) "first of group misses" (Some "miss") (cache_of 0);
+  Alcotest.(check (option string)) "other key misses" (Some "miss") (cache_of 1);
+  Alcotest.(check (option string)) "repeat in batch hits" (Some "hit") (cache_of 2);
+  Alcotest.(check string) "group output identical" (List.nth results 0).Protocol.body
+    (List.nth results 2).Protocol.body
+
+let test_sched_error_isolation () =
+  let sched = Sched.create ~capacity:4 () in
+  let bad = { Protocol.header = [ ("op", "transmogrify") ]; body = "" } in
+  let _, results = run_batch sched [ bad; solve_frame 20 ] in
+  match results with
+  | [ e; ok ] ->
+    Alcotest.(check (option string)) "bad op errors" (Some "error") (Protocol.get e "status");
+    Alcotest.(check bool) "has reason" true (Protocol.get e "error" <> None);
+    Alcotest.(check (option string)) "good request unaffected" (Some "ok")
+      (Protocol.get ok "status")
+  | _ -> Alcotest.fail "expected two results"
+
+let test_sched_unknown_solver_errors () =
+  let sched = Sched.create ~capacity:4 () in
+  let _, results = run_batch sched [ solve_frame ~solver:"no-such-engine" 20 ] in
+  match results with
+  | [ r ] ->
+    Alcotest.(check (option string)) "status" (Some "error") (Protocol.get r "status")
+  | _ -> Alcotest.fail "expected one result"
+
+let test_sched_metrics_stream () =
+  let sched = Sched.create ~capacity:4 () in
+  let all, results =
+    run_batch sched [ solve_frame ~solver:"mp2" ~extra:[ ("stream", "1") ] 24 ]
+  in
+  let metrics = List.filter (fun f -> Protocol.get f "frame" = Some "metrics") all in
+  Alcotest.(check bool) "streamed records" true (metrics <> []);
+  List.iter
+    (fun m ->
+      Alcotest.(check (option int)) "tagged id" (Some 0) (Protocol.get_int m "id");
+      Alcotest.(check bool) "json body" true
+        (String.length m.Protocol.body > 0 && m.Protocol.body.[0] = '{'))
+    metrics;
+  (* metrics precede the result frame *)
+  (match all with
+  | first :: _ ->
+    Alcotest.(check (option string)) "metrics first" (Some "metrics") (Protocol.get first "frame")
+  | [] -> Alcotest.fail "no frames");
+  match results with
+  | [ r ] -> Alcotest.(check (option string)) "ok" (Some "1") (Protocol.get r "ok")
+  | _ -> Alcotest.fail "expected one result"
+
+let test_sched_solve_verify_flow () =
+  (* verify the assignment a solve returned, against the same cached
+     instance *)
+  let sched = Sched.create ~capacity:4 () in
+  let _, r1 = run_batch sched [ solve_frame 20 ] in
+  let body = (List.hd r1).Protocol.body in
+  let verify =
+    { Protocol.header = [ ("op", "verify"); ("family", "ring"); ("n", "20") ]; body }
+  in
+  let _, r2 = run_batch sched [ verify ] in
+  match r2 with
+  | [ r ] ->
+    Alcotest.(check (option string)) "verified" (Some "1") (Protocol.get r "ok");
+    Alcotest.(check (option string)) "cache hit" (Some "hit") (Protocol.get r "cache");
+    Alcotest.(check (option string)) "no violations" (Some "") (Protocol.get r "violated")
+  | _ -> Alcotest.fail "expected one result"
+
+let test_sched_blob_solve () =
+  (* an uploaded binary v3 blob solves identically to the spec-described
+     run of the same instance *)
+  let sched = Sched.create ~capacity:4 () in
+  let inst = Syn.ring ~seed:1 ~n:20 ~arity:4 () in
+  let blob = Lll_core.Serial.to_binary_string inst in
+  let by_blob = { Protocol.header = [ ("op", "solve"); ("solver", "fix3") ]; body = blob } in
+  let _, r1 = run_batch sched [ by_blob ] in
+  let _, r2 = run_batch sched [ solve_frame 20 ] in
+  let _, r3 = run_batch sched [ by_blob ] in
+  match (r1, r2, r3) with
+  | [ a ], [ b ], [ c ] ->
+    Alcotest.(check string) "blob solves like spec" a.Protocol.body b.Protocol.body;
+    Alcotest.(check (option string)) "blob repeat hits" (Some "hit") (Protocol.get c "cache")
+  | _ -> Alcotest.fail "expected one result per batch"
+
+let test_sched_stats_op () =
+  let sched = Sched.create ~capacity:4 () in
+  let _ = run_batch sched [ solve_frame 20 ] in
+  let _, results =
+    run_batch sched [ { Protocol.header = [ ("op", "stats") ]; body = "" } ]
+  in
+  match results with
+  | [ r ] ->
+    Alcotest.(check (option int)) "size" (Some 1) (Protocol.get_int r "size");
+    Alcotest.(check (option int)) "misses" (Some 1) (Protocol.get_int r "misses")
+  | _ -> Alcotest.fail "expected one result"
+
+let test_sched_shutdown_signal () =
+  let sched = Sched.create ~capacity:4 () in
+  let outcome =
+    Sched.handle_batch sched
+      [ { Protocol.header = [ ("op", "shutdown") ]; body = "" } ]
+      ~emit:(fun _ -> ())
+  in
+  Alcotest.(check bool) "signals shutdown" true (outcome = `Shutdown)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lll_serve"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit and miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "hit is the cached instance" `Quick
+            test_cache_hit_returns_same_instance;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "rejects bad capacity" `Quick test_cache_rejects_bad_capacity;
+          Alcotest.test_case "content keys" `Quick test_content_key_distinguishes;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "encode/decode roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "header escaping" `Quick test_protocol_escaping;
+          Alcotest.test_case "channel framing" `Quick test_protocol_channel_framing;
+          Alcotest.test_case "truncation" `Quick test_protocol_truncation;
+          Alcotest.test_case "accessors" `Quick test_protocol_accessors;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "spec keys canonical" `Quick test_workload_spec_keys;
+          Alcotest.test_case "blob keyed by digest" `Quick test_workload_blob_key;
+          Alcotest.test_case "rejects unknown family" `Quick test_workload_rejects_unknown_family;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "repeat request hits cache" `Quick test_sched_repeat_hits_cache;
+          Alcotest.test_case "batch grouping" `Quick test_sched_batch_grouping;
+          Alcotest.test_case "error isolation" `Quick test_sched_error_isolation;
+          Alcotest.test_case "unknown solver" `Quick test_sched_unknown_solver_errors;
+          Alcotest.test_case "metrics streaming" `Quick test_sched_metrics_stream;
+          Alcotest.test_case "solve then verify" `Quick test_sched_solve_verify_flow;
+          Alcotest.test_case "blob solve" `Quick test_sched_blob_solve;
+          Alcotest.test_case "stats op" `Quick test_sched_stats_op;
+          Alcotest.test_case "shutdown signal" `Quick test_sched_shutdown_signal;
+        ] );
+    ]
