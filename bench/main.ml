@@ -1133,12 +1133,277 @@ let write_serve_report path =
     serve_rows;
   Format.printf "serve/substrate report -> %s@." path
 
+(* ---- the concurrent-serve report (BENCH_pr9.json) ----
+
+   PR 9 scaled the socket server to a worker-pool fleet and memoized
+   repeat solve responses. Two measurements:
+
+   - fleet — requests/sec for 1/2/4 concurrent client connections
+     firing identical blob-bodied solve requests at a real socket
+     server (in-process, worker domains, full frame transport). Repeat
+     requests replay out of the response memo — sound because a solve
+     is bit-identical for identical (instance, solver, seed, domains),
+     which the scenario corpus pins — so the served rate measures the
+     fleet path, not repeated solver work. The memo=0 row is the
+     honest no-memo baseline: every request re-runs the solver. The
+     acceptance bar compares the 4-client row against BENCH_pr8.json's
+     single-connection served rate at n=1e5.
+
+   - mmap — cold file-to-instance load of the n~1e5 binary container
+     via the classic read path (slurp + decode) vs the mmap path
+     (map_file + decode off the mapping), fresh child process per rep
+     like the codec rows. Acceptance: mmap no slower than read. *)
+
+module SClient = Lll_serve.Client
+
+let cold_file_load_once ~mode path =
+  (* process CPU time, not wall: the load is page-cache-warm and
+     compute-bound (page faults land in sys time, the slurp copy in
+     user time), while wall clock on a busy shared host swings by more
+     than the few percent separating the modes *)
+  let cmd =
+    Filename.quote_command Sys.executable_name
+      [ "--codec-probe-load"; path; "--load-mode"; mode; "--cpu" ]
+  in
+  let ic = Unix.open_process_in cmd in
+  let line = try input_line ic with End_of_file -> "" in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> failwith ("load probe failed on " ^ path));
+  float_of_string line /. 1e9
+
+(* Median-of-reps with the two modes interleaved rep by rep: they sit
+   within a few percent of each other, so back-to-back blocks would let
+   host drift between the blocks (or one lucky scheduling window under
+   best-of-N) decide the comparison. *)
+let cold_file_load_pair ?(reps = 7) ~mode_a ~mode_b path =
+  let sa = Array.make reps 0. in
+  let sb = Array.make reps 0. in
+  for i = 0 to reps - 1 do
+    sa.(i) <- cold_file_load_once ~mode:mode_a path;
+    sb.(i) <- cold_file_load_once ~mode:mode_b path
+  done;
+  Array.sort compare sa;
+  Array.sort compare sb;
+  (sa.(reps / 2), sb.(reps / 2))
+
+let codec_probe_load mode path =
+  let module Bin = Lll_graph.Serialize.Bin in
+  let cpu0 = Unix.times () in
+  let t0 = Lll_local.Metrics.now_ns () in
+  (match mode with
+  | "mmap" -> ignore (Serial.load_binary_mmap path : Lll_core.Instance.t)
+  | "mmap-open" ->
+    (* header + checksum only: isolates the word-assembly cost *)
+    ignore (Bin.open_reader_src ~kind:"instance" (Bin.source_of_path path))
+  | "read-open" ->
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    ignore (Bin.open_reader_src ~kind:"instance" (Bin.source_of_string data))
+  | "read-sections" | "mmap-sections" ->
+    (* coarse per-phase split of the instance decode, stderr *)
+    let now = Lll_local.Metrics.now_ns in
+    let t_open0 = now () in
+    let src =
+      if mode = "mmap-sections" then Bin.source_of_path path
+      else Bin.source_of_string (In_channel.with_open_bin path In_channel.input_all)
+    in
+    let r = Bin.open_reader_src ~kind:"instance" src in
+    let t_open = now () - t_open0 in
+    let t_vars0 = now () in
+    Bin.enter r "VARS";
+    let nvars = Bin.read_int r in
+    for _ = 1 to nvars do
+      ignore (Bin.read_string r);
+      ignore (Bin.read_rat_array r)
+    done;
+    let t_vars = now () - t_vars0 in
+    let t_evts0 = now () in
+    Bin.enter r "EVTS";
+    let nevents = Bin.read_int r in
+    for _ = 1 to nevents do
+      ignore (Bin.read_string r);
+      ignore (Bin.read_int_array r);
+      ignore (Bin.read_int_array r);
+      ignore (Bin.read_rat_array r)
+    done;
+    let t_evts = now () - t_evts0 in
+    let t_depg0 = now () in
+    Bin.enter r "DEPG";
+    let gblob = Bin.read_blob r in
+    let _g = Lll_graph.Serialize.graph_of_binary_src gblob in
+    let t_depg = now () - t_depg0 in
+    Printf.eprintf "open %.3f vars %.3f evts %.3f depg %.3f\n" (float t_open /. 1e9)
+      (float t_vars /. 1e9) (float t_evts /. 1e9) (float t_depg /. 1e9)
+  | "mmap-touch" ->
+    (* page-fault floor: touch one byte per page of a fresh mapping *)
+    let buf = Bin.map_file path in
+    let n = Bigarray.Array1.dim buf in
+    let acc = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      acc := !acc + Char.code (Bigarray.Array1.unsafe_get buf !i);
+      i := !i + 4096
+    done;
+    ignore (Sys.opaque_identity !acc)
+  | _ -> ignore (Serial.load_binary path : Lll_core.Instance.t));
+  (* Settle each mode's deferred collector debt inside the stopwatch:
+     GC pacing scales with heap size, so the read path's 20MB transient
+     slurp string otherwise pushes its own major cycle past the timed
+     window while the mmap path (smaller heap) pays one within it.
+     Collecting that transient copy is a real cost of the read
+     approach — it just has to be charged to the right interval. *)
+  Gc.full_major ();
+  let wall = Lll_local.Metrics.now_ns () - t0 in
+  let cpu1 = Unix.times () in
+  let cpu =
+    cpu1.Unix.tms_utime -. cpu0.Unix.tms_utime +. cpu1.Unix.tms_stime -. cpu0.Unix.tms_stime
+  in
+  ignore (Sys.opaque_identity cpu);
+  if Array.exists (( = ) "--cpu") Sys.argv then
+    Printf.printf "%d\n" (int_of_float (cpu *. 1e9))
+  else Printf.printf "%d\n" wall
+
+(* One fleet measurement: an in-process socket server on worker
+   domains, [clients] connection domains sending [requests] identical
+   requests each over the full frame transport. Returns requests/sec
+   over the whole storm. *)
+let fleet_req_per_sec ~workers ~clients ~requests frame =
+  let path = Filename.temp_file "lll_bench" ".sock" in
+  Sys.remove path;
+  let server =
+    Domain.spawn (fun () ->
+        Lll_serve.Serve.serve_socket ~capacity:8 ~workers ~path ())
+  in
+  let rec await tries =
+    let ok =
+      Sys.file_exists path
+      &&
+      match SClient.connect_socket path with
+      | conn ->
+        SClient.close conn;
+        true
+      | exception _ -> false
+    in
+    if ok then ()
+    else if tries = 0 then failwith "bench server did not come up"
+    else begin
+      Unix.sleepf 0.02;
+      await (tries - 1)
+    end
+  in
+  await 500;
+  (* warm: first request pays the instance build (and the memo fill
+     when memoization is on) — the steady state is what the row rates *)
+  (let conn = SClient.connect_socket path in
+   let r = SClient.request conn frame in
+   assert (Proto.get r.SClient.result "status" = Some "ok");
+   SClient.close conn);
+  let hammer () =
+    let conn = SClient.connect_socket path in
+    Fun.protect
+      ~finally:(fun () -> SClient.close conn)
+      (fun () ->
+        for _ = 1 to requests do
+          let r = SClient.request conn frame in
+          assert (Proto.get r.SClient.result "status" = Some "ok")
+        done)
+  in
+  let t0 = Lll_local.Metrics.now_ns () in
+  let doms = List.init clients (fun _ -> Domain.spawn hammer) in
+  List.iter Domain.join doms;
+  let dt = float_of_int (Lll_local.Metrics.now_ns () - t0) /. 1e9 in
+  (let conn = SClient.connect_socket path in
+   SClient.shutdown conn);
+  Domain.join server;
+  float_of_int (clients * requests) /. dt
+
+let write_serve9_report path =
+  let n = 100_000 in
+  let inst = Sink.instance (Gen.random_regular ~seed:8 n 3) in
+  let text = Lll_core.Serial.to_string inst in
+  let blob = Serial.to_binary_string inst in
+  let bin_file = Filename.temp_file "lll_mmap" ".lllbin" in
+  Out_channel.with_open_bin bin_file (fun oc -> output_string oc blob);
+  (* the fleet's requests name the server-local container file: a
+     ~100-byte frame instead of a multi-megabyte blob body per request,
+     keyed by the container's header fingerprint and loaded via mmap —
+     the serving mode this PR adds. The blob row keeps the PR 8 framing
+     for comparison: there, reshipping the body dominates. *)
+  let file_frame extra =
+    { Proto.header = [ ("op", "solve"); ("solver", "sinkless-orient"); ("file", bin_file) ] @ extra;
+      body = "" }
+  in
+  let blob_frame =
+    { Proto.header = [ ("op", "solve"); ("solver", "sinkless-orient") ]; body = text }
+  in
+  let fleet_rows =
+    List.map
+      (fun (label, clients, requests, frame) ->
+        let rps = fleet_req_per_sec ~workers:4 ~clients ~requests frame in
+        (label, clients, rps))
+      [
+        ("memo-1-client", 1, 24, file_frame []);
+        ("memo-2-clients", 2, 24, file_frame []);
+        ("memo-4-clients", 4, 24, file_frame []);
+        ("nomemo-4-clients", 4, 2, file_frame [ ("memo", "0") ]);
+        ("memo-blob-4-clients", 4, 8, blob_frame);
+      ]
+  in
+  (* mmap vs read cold load of the binary container *)
+  let t_read, t_mmap =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove bin_file)
+      (fun () ->
+        cold_file_load_pair ~mode_a:"read" ~mode_b:"mmap" bin_file)
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"bench\": \"pr9-concurrent-serve\",\n";
+  Buffer.add_string buf
+    "  \"note\": \"fleet = requests/sec for concurrent clients firing identical solve \
+     requests at an in-process socket server (4 worker domains, full frame transport); \
+     file rows name the server-local binary container (fingerprint-keyed, mmap-loaded), \
+     the blob row reships the text body per request (PR 8 framing); memo rows replay \
+     repeat responses out of the response memo (sound: solves are bit-identical for \
+     identical instance/solver/seed/domains), the nomemo row re-runs the solver per \
+     request; mmap = cold file-to-instance load of the binary container, read path vs \
+     map_file path, fresh child per rep, seconds are process CPU time (user+sys), \
+     median of interleaved reps\",\n";
+  Buffer.add_string buf "  \"fleet\": [\n";
+  let fleet_entries =
+    List.map
+      (fun (label, clients, rps) ->
+        Printf.sprintf
+          "    {\"row\": \"%s\", \"family\": \"sinkless\", \"solver\": \
+           \"sinkless-orient\", \"n\": %d, \"clients\": %d, \"workers\": 4, \
+           \"req_per_sec\": %.2f}"
+          label n clients rps)
+      fleet_rows
+  in
+  Buffer.add_string buf (String.concat ",\n" fleet_entries);
+  Buffer.add_string buf "\n  ],\n  \"mmap\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    {\"family\": \"sinkless\", \"n\": %d, \"bin_bytes\": %d, \
+        \"read_load_sec\": %.6f, \"mmap_load_sec\": %.6f, \"mmap_speedup\": %.2f}"
+       n (String.length blob) t_read t_mmap (t_read /. t_mmap));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  List.iter
+    (fun (label, clients, rps) ->
+      Format.printf "fleet-%-18s n=%d clients=%d   %10.2f req/s@." label n clients rps)
+    fleet_rows;
+  Format.printf "mmap-load n=%d   read %8.4f s   mmap %8.4f s   %.2fx@." n t_read t_mmap
+    (t_read /. t_mmap);
+  Format.printf "concurrent-serve report -> %s@." path
+
 (* --quick: run every registry case once through the shared
    post-condition; exit non-zero if a guaranteed engine fails. Wired
    into dune runtest (alias @bench-quick) so solver-registry
    regressions fail the suite. Also writes the enum/table backend
    report (see above). *)
-let quick ~bench_out ~mt_bench_out ~csr_bench_out ~flat_bench_out ~serve_bench_out () =
+let quick ~bench_out ~mt_bench_out ~csr_bench_out ~flat_bench_out ~serve_bench_out
+    ~serve9_bench_out () =
   let failures = ref 0 in
   List.iter
     (fun (name, s, inst) ->
@@ -1162,7 +1427,8 @@ let quick ~bench_out ~mt_bench_out ~csr_bench_out ~flat_bench_out ~serve_bench_o
   write_mt_report mt_bench_out;
   write_csr_report csr_bench_out;
   write_flat_report flat_bench_out;
-  write_serve_report serve_bench_out
+  write_serve_report serve_bench_out;
+  write_serve9_report serve9_bench_out
 
 let argv_value key =
   let rec go i =
@@ -1183,6 +1449,10 @@ let () =
   match argv_value "--codec-probe" with
   | Some path -> codec_probe path
   | None ->
+  match argv_value "--codec-probe-load" with
+  | Some path ->
+    codec_probe_load (Option.value (argv_value "--load-mode") ~default:"read") path
+  | None ->
   if Array.exists (( = ) "--quick") Sys.argv then
     quick
       ~bench_out:(Option.value (argv_value "--bench-out") ~default:"BENCH_pr3.json")
@@ -1191,11 +1461,17 @@ let () =
       ~flat_bench_out:(Option.value (argv_value "--flat-bench-out") ~default:"BENCH_pr7.json")
       ~serve_bench_out:
         (Option.value (argv_value "--serve-bench-out") ~default:"BENCH_pr8.json")
+      ~serve9_bench_out:
+        (Option.value (argv_value "--serve9-bench-out") ~default:"BENCH_pr9.json")
       ()
   else if Array.exists (( = ) "--serve-report") Sys.argv then
     (* regenerate just the PR 8 report without the rest of the smoke *)
     write_serve_report
       (Option.value (argv_value "--serve-bench-out") ~default:"BENCH_pr8.json")
+  else if Array.exists (( = ) "--serve9-report") Sys.argv then
+    (* regenerate just the PR 9 concurrent-serve report *)
+    write_serve9_report
+      (Option.value (argv_value "--serve9-bench-out") ~default:"BENCH_pr9.json")
   else begin
     let results = benchmark () in
     let rows =

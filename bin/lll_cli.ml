@@ -586,7 +586,7 @@ let socket_arg =
        & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 let serve_cmd =
-  let run socket stdio cache domains =
+  let run socket stdio cache domains workers max_frame =
     match (socket, stdio) with
     | Some _, true ->
       Format.eprintf "serve: --socket and --stdio are mutually exclusive@.";
@@ -594,10 +594,14 @@ let serve_cmd =
     | None, false ->
       Format.eprintf "serve: pick a transport: --socket PATH or --stdio@.";
       exit 2
-    | Some path, false ->
-      Format.eprintf "serving on %s (cache %d)@." path cache;
-      Lll_serve.Serve.serve_socket ~capacity:cache ?domains ~path ()
-    | None, true -> Lll_serve.Serve.serve_stdio ~capacity:cache ?domains ()
+    | Some path, false -> (
+      Format.eprintf "serving on %s (cache %d, %d worker%s)@." path cache workers
+        (if workers = 1 then "" else "s");
+      try Lll_serve.Serve.serve_socket ~capacity:cache ?domains ~workers ?max_frame ~path ()
+      with Lll_serve.Serve.Socket_busy { path; reason } ->
+        Format.eprintf "serve: refusing to claim %s: %s@." path reason;
+        exit 1)
+    | None, true -> Lll_serve.Serve.serve_stdio ~capacity:cache ?domains ?max_frame ()
   in
   let stdio =
     Arg.(value & flag
@@ -608,16 +612,55 @@ let serve_cmd =
     Arg.(value & opt int 32
          & info [ "cache" ] ~docv:"N" ~doc:"LRU instance-cache capacity.")
   in
+  let workers =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains serving accepted connections concurrently \
+                   (socket transport only).")
+  in
+  let max_frame =
+    Arg.(value & opt (some int) None
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Reject request frames longer than this before reading their body \
+                   (default 2^30; minimum 4096).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Persistent solve service: an LRU instance cache plus a batching scheduler \
-             behind a length-framed request protocol. Requests describe instances by \
-             generator spec or serialized blob; repeat requests hit the cache with zero \
-             rebuild work and bit-identical solver output.")
-    Term.(const run $ socket_arg $ stdio $ cache $ domains_arg)
+             behind a length-framed request protocol, optionally fanned out over a pool \
+             of worker domains. Requests describe instances by generator spec, \
+             serialized blob, or server-local file; repeat requests hit the cache with \
+             zero rebuild work and bit-identical solver output.")
+    Term.(const run $ socket_arg $ stdio $ cache $ domains_arg $ workers $ max_frame)
 
 let client_cmd =
-  let run socket spawn smoke op family n degree seed solver stream =
+  let run socket spawn smoke op family n degree seed solver stream concurrency workers =
+    if concurrency > 1 then begin
+      (* the fleet smoke: a private socket-server child on a
+         collision-free temp path, hammered by concurrent clients *)
+      if not smoke then begin
+        Format.eprintf "client: --concurrency pairs with --smoke@.";
+        exit 2
+      end;
+      let srv = Lll_serve.Client.spawn_server ~workers () in
+      Fun.protect
+        ~finally:(fun () -> Lll_serve.Client.stop_server srv)
+        (fun () ->
+          match
+            Lll_serve.Client.smoke_fleet ~clients:concurrency
+              (Lll_serve.Client.server_path srv)
+          with
+          | Ok () ->
+            Format.printf
+              "serve fleet smoke: %d clients on %d worker%s, build-once + identical \
+               output OK@."
+              concurrency workers
+              (if workers = 1 then "" else "s")
+          | Error reason ->
+            Format.eprintf "serve fleet smoke FAILED: %s@." reason;
+            exit 1)
+    end
+    else begin
     let conn =
       match (socket, spawn) with
       | Some path, false -> Lll_serve.Client.connect_socket path
@@ -670,6 +713,7 @@ let client_cmd =
             Format.printf "body: %s@." r.Lll_serve.Protocol.body;
           if Lll_serve.Protocol.get r "status" <> Some "ok" then exit 1
         end)
+    end
   in
   let spawn =
     Arg.(value & flag
@@ -691,13 +735,24 @@ let client_cmd =
     Arg.(value & flag
          & info [ "stream" ] ~doc:"Stream per-round metrics frames for solve requests.")
   in
+  let concurrency =
+    Arg.(value & opt int 1
+         & info [ "concurrency" ] ~docv:"K"
+             ~doc:"With $(b,--smoke) and K>1: spawn a private socket server and hammer \
+                   it with K concurrent client connections (the fleet smoke).")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains for the fleet smoke's private server.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Talk to a solve server over the frame protocol — connect to a socket or spawn \
              a private child — and print the demultiplexed response.")
     Term.(
       const run $ socket_arg $ spawn $ smoke $ op $ family_arg $ n_arg $ degree_arg
-      $ seed_arg $ solver_arg $ stream)
+      $ seed_arg $ solver_arg $ stream $ concurrency $ workers)
 
 (* ---- solvers ---- *)
 

@@ -230,17 +230,240 @@ module Bin = struct
   let magic = "LLL3"
   let format_version = 3
 
-  let checksum data pos len =
-    let h = ref 0x1505 in
+  (* ---- byte sources ----
+
+     A reader decodes from a [source]: either an in-heap string (the
+     classic read path) or a window into an mmap-ed file
+     (Unix.map_file + Bigarray — the blob's bytes stay OS page cache
+     shared across every process mapping the same file, instead of a
+     per-process copy of the whole container). Windows carry an offset
+     and length so nested blobs (the DEPG graph container inside an
+     instance container) slice without copying in either
+     representation. *)
+
+  type bigstring = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type big32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  (* [w32], when present, is a second mapping of the same file with
+     int32 elements: the checksum and the wide column decoders assemble
+     64-bit words from two 32-bit loads instead of eight byte loads. An
+     int32 view rather than int64 because [Int32.to_int] of a bigarray
+     load compiles to an unboxed native-int chain — an int64 rolling
+     loop would box a value per iteration. The view covers the largest
+     whole-u32 prefix of the file; reads near the tail fall back to the
+     byte path. *)
+  (* [wlim] is the largest file-absolute byte offset at which an 8-byte
+     word-view load is safe ([word_at]'s misaligned case peeks one slot
+     past the window, hence the 12-byte slack); -1 when there is no
+     view. Precomputed so the per-read guard is one compare, not a
+     bigarray-dim load. *)
+  type source =
+    | Str of { s : string; off : int; len : int }
+    | Map of { buf : bigstring; w32 : big32 option; wlim : int; off : int; len : int }
+
+  let source_of_string s = Str { s; off = 0; len = String.length s }
+
+  let source_of_map buf =
+    Map { buf; w32 = None; wlim = -1; off = 0; len = Bigarray.Array1.dim buf }
+
+  let src_length = function Str { len; _ } | Map { len; _ } -> len
+
+  (* all accessors are offset-relative to the window; the reader
+     bounds-checks against its section limit before every call *)
+  let src_byte src i =
+    match src with
+    | Str { s; off; _ } -> Char.code (String.unsafe_get s (off + i))
+    | Map { buf; off; _ } -> Char.code (Bigarray.Array1.unsafe_get buf (off + i))
+
+  let src_char src i = Char.chr (src_byte src i)
+
+  (* the Map decoders assemble words from unsafe byte loads in native
+     int arithmetic — no boxed Int32/Int64 on the per-word hot path of
+     the checksum and the column decoders *)
+  let map_u16 buf i =
+    Char.code (Bigarray.Array1.unsafe_get buf i)
+    lor (Char.code (Bigarray.Array1.unsafe_get buf (i + 1)) lsl 8)
+
+  let map_u32 buf i = map_u16 buf i lor (map_u16 buf (i + 2) lsl 16)
+
+  let map_i64 buf i = map_u32 buf i lor (map_u32 buf (i + 4) lsl 32)
+
+  (* unboxed u32 out of the int32 view: load, sign-extend to native,
+     mask back to 32 bits — no Int32/Int64 allocation anywhere *)
+  let u32_of (w : big32) j = Int32.to_int (Bigarray.Array1.unsafe_get w j) land 0xFFFF_FFFF
+
+  (* Unaligned little-endian u32 load at byte offset [b]; the caller
+     guarantees the underlying u32 slots exist ([w32_ok]). *)
+  let u32_at w b =
+    let j = b lsr 2 in
+    let a = (b land 3) lsl 3 in
+    if a = 0 then u32_of w j
+    else (u32_of w j lsr a) lor (u32_of w (j + 1) lsl (32 - a) land 0xFFFF_FFFF)
+
+  (* Little-endian 64-bit word at byte offset [b], truncated to native
+     int exactly like [Int64.to_int] (the top bit shifts off the 63-bit
+     integer just as to_int drops it). *)
+  let word_at w b =
+    let j = b lsr 2 in
+    let a = (b land 3) lsl 3 in
+    if a = 0 then u32_of w j lor (u32_of w (j + 1) lsl 32)
+    else
+      let na = 32 - a in
+      let c0 = u32_of w j in
+      let c1 = u32_of w (j + 1) in
+      let c2 = u32_of w (j + 2) in
+      let lo = (c0 lsr a) lor (c1 lsl na land 0xFFFF_FFFF) in
+      let hi = (c1 lsr a) lor (c2 lsl na land 0xFFFF_FFFF) in
+      lo lor (hi lsl 32)
+
+  let src_u16 src i =
+    match src with
+    | Str { s; off; _ } -> String.get_uint16_le s (off + i)
+    | Map { buf; off; _ } -> map_u16 buf (off + i)
+
+  (* sign-extend bit 31 in 63-bit native arithmetic; [lsl]/[asr] are
+     right-associative in OCaml, so the shifts need explicit parens *)
+  let sext32 v = (v lsl 31) asr 31
+
+  let src_i32 src i =
+    match src with
+    | Str { s; off; _ } -> Int32.to_int (String.get_int32_le s (off + i))
+    | Map { buf = _; w32 = Some w; wlim; off; _ } when off + i <= wlim ->
+      sext32 (u32_at w (off + i))
+    | Map { buf; off; _ } -> sext32 (map_u32 buf (off + i))
+
+  let src_i64 src i =
+    match src with
+    | Str { s; off; _ } -> Int64.to_int (String.get_int64_le s (off + i))
+    | Map { buf = _; w32 = Some w; wlim; off; _ } when off + i <= wlim ->
+      word_at w (off + i)
+    | Map { buf; off; _ } ->
+      (* low and high 32-bit halves; the [lsl 32] wraps exactly like
+         [Int64.to_int]'s 63-bit truncation *)
+      map_i64 buf (off + i)
+
+  let src_sub src pos len =
+    match src with
+    | Str { s; off; _ } -> Str { s; off = off + pos; len }
+    | Map { buf; w32; wlim; off; _ } -> Map { buf; w32; wlim; off = off + pos; len }
+
+  let src_string src pos len =
+    match src with
+    | Str { s; off; _ } -> String.sub s (off + pos) len
+    | Map { buf; w32; wlim; off; _ } ->
+      (* manual loop rather than [String.init]: no closure call per byte;
+         copy in u32 chunks while the view covers the span, byte tail
+         after *)
+      let b = Bytes.create len in
+      let base = off + pos in
+      let i0 =
+        match w32 with
+        | Some w when len >= 4 && base <= wlim ->
+          let nw = min (len lsr 2) (((wlim - base) lsr 2) + 1) in
+          for k = 0 to nw - 1 do
+            let d = k lsl 2 in
+            Bytes.set_int32_le b d (Int32.of_int (u32_at w (base + d)))
+          done;
+          nw lsl 2
+        | _ -> 0
+      in
+      for i = i0 to len - 1 do
+        Bytes.unsafe_set b i (Bigarray.Array1.unsafe_get buf (base + i))
+      done;
+      Bytes.unsafe_to_string b
+
+  let map_file path : bigstring =
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |]))
+
+  (* Map the file twice — byte elements for the tail/odd accessors and
+     int64 elements over the whole-word prefix for the bulk loops. Both
+     mappings share the same page-cache pages. *)
+  let source_of_path path =
+    let buf = map_file path in
+    let len = Bigarray.Array1.dim buf in
+    let slots = len / 4 in
+    (* The u32 view is the same mapping reinterpreted, not a second
+       [map_file]: a second mapping would be charged as another
+       file-sized block of custom out-of-heap memory and measurably
+       accelerate major GC during instance construction. The reinterpret
+       is safe for [unsafe_get], which compiles the element size from
+       the static type and never consults the header — but the header's
+       [dim] still counts BYTES, so every bounds guard on this view must
+       derive the slot count from [wlim], never from [Array1.dim]. *)
+    let w32 : big32 option = if slots = 0 then None else Some (Obj.magic buf : big32) in
+    Map { buf; w32; wlim = (slots lsl 2) - 12; off = 0; len }
+
+  let mix h w = ((h lsl 5) + h) lxor w
+
+  let checksum_tail src pos len h0 =
+    let h = ref h0 in
+    for i = pos to pos + len - 1 do
+      h := mix !h (src_byte src i)
+    done;
+    !h
+
+  let checksum_src src pos len =
     let words = len / 8 in
-    for i = 0 to words - 1 do
-      let w = Int64.to_int (String.get_int64_le data (pos + (8 * i))) in
-      h := ((!h lsl 5) + !h) lxor w
-    done;
-    for i = pos + (8 * words) to pos + len - 1 do
-      h := ((!h lsl 5) + !h) lxor Char.code data.[i]
-    done;
-    !h land max_int
+    let h = ref 0x1505 in
+    (match src with
+    | Str { s; off; _ } ->
+      let base = off + pos in
+      for i = 0 to words - 1 do
+        h := mix !h (Int64.to_int (String.get_int64_le s (base + (8 * i))))
+      done
+    | Map { buf; w32; wlim; off; _ } ->
+      let base = off + pos in
+      (* as many whole 64-bit words as the u32 view can serve (the run
+         may stop short when the region ends inside the file's ragged
+         tail); the rest byte-assembles below so the mixing schedule —
+         and hence the hash — matches the Str path exactly. Slot count
+         comes from [wlim]: the view may be a reinterpreted byte
+         mapping whose [dim] counts bytes. *)
+      let fast =
+        match w32 with
+        | None -> 0
+        | Some _ ->
+          let slots = (wlim + 12) lsr 2 in
+          let j0 = base lsr 2 in
+          let avail = slots - j0 - (if base land 3 = 0 then 0 else 1) in
+          max 0 (min words (avail / 2))
+      in
+      (match w32 with
+      | Some w when fast > 0 ->
+        let j0 = base lsr 2 in
+        if base land 3 = 0 then
+          for k = 0 to fast - 1 do
+            let j = j0 + (2 * k) in
+            h := mix !h (u32_of w j lor (u32_of w (j + 1) lsl 32))
+          done
+        else begin
+          (* misaligned: roll a window of adjacent u32 slots so each
+             iteration costs two loads — all native-int arithmetic *)
+          let a = (base land 3) lsl 3 in
+          let na = 32 - a in
+          let prev = ref (u32_of w j0) in
+          for k = 0 to fast - 1 do
+            let j = j0 + (2 * k) in
+            let c1 = u32_of w (j + 1) in
+            let c2 = u32_of w (j + 2) in
+            let lo = (!prev lsr a) lor (c1 lsl na land 0xFFFF_FFFF) in
+            let hi = (c1 lsr a) lor (c2 lsl na land 0xFFFF_FFFF) in
+            h := mix !h (lo lor (hi lsl 32));
+            prev := c2
+          done
+        end
+      | _ -> ());
+      for i = fast to words - 1 do
+        h := mix !h (map_i64 buf (base + (8 * i)))
+      done);
+    checksum_tail src (pos + (8 * words)) (len - (8 * words)) !h land max_int
+
+  let checksum data pos len = checksum_src (source_of_string data) pos len
 
   (* -- writer -- *)
 
@@ -364,7 +587,7 @@ module Bin = struct
   (* -- reader -- *)
 
   type reader = {
-    r_data : string;
+    r_data : source;
     mutable r_pos : int; (* cursor within the current section *)
     mutable r_limit : int; (* end of the current section *)
     mutable r_cur_tag : string;
@@ -385,13 +608,13 @@ module Bin = struct
       end
     end
 
-  let open_reader ~kind data =
-    let len = String.length data in
-    if len < 4 || String.sub data 0 4 <> magic then corrupt "bad magic";
+  let open_reader_src ~kind src =
+    let len = src_length src in
+    if len < 4 || src_string src 0 4 <> magic then corrupt "bad magic";
     let pos = ref 4 in
     let rd_i64 what =
       if !pos + 8 > len then corrupt "truncated header (%s)" what;
-      let v = Int64.to_int (String.get_int64_le data !pos) in
+      let v = src_i64 src !pos in
       pos := !pos + 8;
       v
     in
@@ -400,7 +623,7 @@ module Bin = struct
       corrupt "unsupported version %d (expected %d)" version format_version;
     let klen = rd_i64 "kind" in
     if klen < 0 || !pos + klen > len then corrupt "truncated header (kind)";
-    let k = String.sub data !pos klen in
+    let k = src_string src !pos klen in
     pos := !pos + klen;
     if k <> kind then corrupt "kind mismatch: expected %s, got %s" kind k;
     let stored = rd_i64 "checksum" in
@@ -413,7 +636,7 @@ module Bin = struct
     for _ = 1 to count do
       let tlen = rd_i64 "section tag" in
       if tlen < 0 || !pos + tlen > len then corrupt "truncated section table";
-      let tag = String.sub data !pos tlen in
+      let tag = src_string src !pos tlen in
       pos := !pos + tlen;
       let blen = rd_i64 "section length" in
       if blen < 0 || !pos + blen > len then corrupt "truncated section %s" tag;
@@ -421,16 +644,52 @@ module Bin = struct
       pos := !pos + blen
     done;
     if !pos <> len then corrupt "trailing bytes after last section";
-    if checksum data payload_pos (len - payload_pos) <> stored then
+    if checksum_src src payload_pos (len - payload_pos) <> stored then
       corrupt "checksum mismatch";
     {
-      r_data = data;
+      r_data = src;
       r_pos = 0;
       r_limit = 0;
       r_cur_tag = "<none>";
       r_next = List.rev !sections;
       r_rat = None;
     }
+
+  let open_reader ~kind data = open_reader_src ~kind (source_of_string data)
+
+  (* Map the container at [path] and open a reader over the mapping:
+     the checksum pass touches each page once, but the bytes stay in the
+     OS page cache — no per-process copy of the whole file, and repeat
+     loads of a warm file skip the read(2) traffic entirely. *)
+  let load_mmap ~kind path = open_reader_src ~kind (source_of_path path)
+
+  (* A cheap identity for a container file without decoding (or even
+     reading) its payload: kind, stored checksum, and byte length pulled
+     from the fixed-layout header. [None] when the file is not a v3
+     container. *)
+  let fingerprint_file path =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          let head_len = min len 4096 in
+          match really_input_string ic head_len with
+          | exception End_of_file -> None
+          | head ->
+            if head_len < 4 + 16 || String.sub head 0 4 <> magic then None
+            else begin
+              let version = Int64.to_int (String.get_int64_le head 4) in
+              let klen = Int64.to_int (String.get_int64_le head 12) in
+              if version <> format_version || klen < 0 || 20 + klen + 8 > head_len then None
+              else begin
+                let kind = String.sub head 20 klen in
+                let stored = Int64.to_int (String.get_int64_le head (20 + klen)) in
+                Some (Printf.sprintf "%s:v%d:%x:%d" kind version stored len)
+              end
+            end)
 
   let enter r tag =
     if r.r_pos <> r.r_limit then
@@ -446,7 +705,7 @@ module Bin = struct
 
   let read_int r =
     if r.r_pos + 8 > r.r_limit then corrupt "section %s: truncated value" r.r_cur_tag;
-    let v = Int64.to_int (String.get_int64_le r.r_data r.r_pos) in
+    let v = src_i64 r.r_data r.r_pos in
     r.r_pos <- r.r_pos + 8;
     v
 
@@ -454,7 +713,7 @@ module Bin = struct
     let n = read_int r in
     if n < 0 || r.r_pos >= r.r_limit then
       corrupt "section %s: truncated array" r.r_cur_tag;
-    let width = Char.code r.r_data.[r.r_pos] in
+    let width = src_byte r.r_data r.r_pos in
     r.r_pos <- r.r_pos + 1;
     (match width with
     | 1 | 2 | 4 | 8 -> ()
@@ -463,12 +722,56 @@ module Bin = struct
       corrupt "section %s: truncated array" r.r_cur_tag;
     let base = r.r_pos in
     let data = r.r_data in
+    (* hoist the representation dispatch out of the per-element closure;
+       wide columns on a mapped file decode with one or two word loads
+       per element instead of four or eight byte loads *)
+    (* elements whose u32-view loads stay inside the file's whole-slot
+       prefix; the handful at the ragged tail (if any) take the byte
+       path. [word_at]'s misaligned case peeks one slot past the 8-byte
+       window, hence the 12-byte slack already folded into [wlim]. *)
+    let n_fast wlim b0 stride need =
+      let limit = wlim + 12 - need - b0 in
+      if limit < 0 then 0 else min n ((limit / stride) + 1)
+    in
     let a =
-      match width with
-      | 1 -> Array.init n (fun i -> Char.code data.[base + i])
-      | 2 -> Array.init n (fun i -> String.get_uint16_le data (base + (2 * i)))
-      | 4 -> Array.init n (fun i -> Int32.to_int (String.get_int32_le data (base + (4 * i))))
-      | _ -> Array.init n (fun i -> Int64.to_int (String.get_int64_le data (base + (8 * i))))
+      match (width, data) with
+      | 1, _ -> Array.init n (fun i -> src_byte data (base + i))
+      | 2, _ -> Array.init n (fun i -> src_u16 data (base + (2 * i)))
+      | 4, Map { buf = _; w32 = Some w; wlim; off; _ } ->
+        (* stride 4 walks consecutive u32 slots: one load per element
+           when aligned, a rolled two-slot window (still one fresh load
+           per element) when not *)
+        let b0 = off + base in
+        let nf = n_fast wlim b0 4 (if b0 land 3 = 0 then 4 else 8) in
+        let arr = Array.make (max n 1) 0 in
+        (if b0 land 3 = 0 then begin
+           let j0 = b0 lsr 2 in
+           for i = 0 to nf - 1 do
+             Array.unsafe_set arr i (sext32 (u32_of w (j0 + i)))
+           done
+         end
+         else if nf > 0 then begin
+           let a = (b0 land 3) lsl 3 in
+           let na = 32 - a in
+           let j0 = b0 lsr 2 in
+           let prev = ref (u32_of w j0) in
+           for i = 0 to nf - 1 do
+             let c1 = u32_of w (j0 + i + 1) in
+             Array.unsafe_set arr i (sext32 ((!prev lsr a) lor (c1 lsl na land 0xFFFF_FFFF)));
+             prev := c1
+           done
+         end);
+        for i = nf to n - 1 do
+          arr.(i) <- src_i32 data (base + (4 * i))
+        done;
+        if n = 0 then [||] else arr
+      | 4, _ -> Array.init n (fun i -> src_i32 data (base + (4 * i)))
+      | _, Map { buf = _; w32 = Some w; wlim; off; _ } ->
+        let b0 = off + base in
+        let nf = n_fast wlim b0 8 12 in
+        Array.init n (fun i ->
+            if i < nf then word_at w (b0 + (8 * i)) else src_i64 data (base + (8 * i)))
+      | _, _ -> Array.init n (fun i -> src_i64 data (base + (8 * i)))
     in
     r.r_pos <- base + (n * width);
     a
@@ -476,13 +779,24 @@ module Bin = struct
   let read_string r =
     let n = read_int r in
     if n < 0 || r.r_pos + n > r.r_limit then corrupt "section %s: truncated string" r.r_cur_tag;
-    let s = String.sub r.r_data r.r_pos n in
+    let s = src_string r.r_data r.r_pos n in
+    r.r_pos <- r.r_pos + n;
+    s
+
+  (* Like {!read_string} but yields a window into the reader's backing
+     bytes instead of copying them out — the zero-copy path for nested
+     containers (an instance's DEPG section holds a whole graph
+     container). *)
+  let read_blob r =
+    let n = read_int r in
+    if n < 0 || r.r_pos + n > r.r_limit then corrupt "section %s: truncated blob" r.r_cur_tag;
+    let s = src_sub r.r_data r.r_pos n in
     r.r_pos <- r.r_pos + n;
     s
 
   let read_rat r =
     if r.r_pos >= r.r_limit then corrupt "section %s: truncated rational" r.r_cur_tag;
-    let tag = r.r_data.[r.r_pos] in
+    let tag = src_char r.r_data r.r_pos in
     r.r_pos <- r.r_pos + 1;
     let open Lll_num in
     match tag with
@@ -510,13 +824,73 @@ module Bin = struct
     if n < 0 then corrupt "section %s: negative rational count" r.r_cur_tag;
     let a = Array.make n Lll_num.Rat.one in
     let filled = ref 0 in
-    while !filled < n do
+    (* Probability columns are long sequences of fixed-size 25-byte
+       small-rational run records (run i64, tag '\000', num i64, den
+       i64). Decode those with the representation dispatch hoisted out
+       of the loop — the same treatment wide columns get in
+       [read_int_array] — and fall back to the generic reader for
+       big-integer entries, truncated tails and foreign tags, which all
+       raise the same [Corrupt] they always did. *)
+    let store run nv dv =
+      if run <= 0 || run > n - !filled then
+        corrupt "section %s: bad rational run" r.r_cur_tag;
+      if dv = 0 then corrupt "zero rational denominator";
+      let q =
+        match r.r_rat with
+        | Some (n', d', q) when nv = n' && dv = d' -> q
+        | _ ->
+          let q = Lll_num.Rat.of_ints nv dv in
+          r.r_rat <- Some (nv, dv, q);
+          q
+      in
+      Array.fill a !filled run q;
+      filled := !filled + run
+    in
+    let generic () =
       let run = read_int r in
-      if run <= 0 || run > n - !filled then corrupt "section %s: bad rational run" r.r_cur_tag;
+      if run <= 0 || run > n - !filled then
+        corrupt "section %s: bad rational run" r.r_cur_tag;
       let q = read_rat r in
       Array.fill a !filled run q;
       filled := !filled + run
-    done;
+    in
+    (match r.r_data with
+    | Str { s; off; _ } ->
+      while !filled < n do
+        let p = off + r.r_pos in
+        if r.r_pos + 25 <= r.r_limit && String.unsafe_get s (p + 8) = '\000' then begin
+          let run = Int64.to_int (String.get_int64_le s p) in
+          let nv = Int64.to_int (String.get_int64_le s (p + 9)) in
+          let dv = Int64.to_int (String.get_int64_le s (p + 17)) in
+          r.r_pos <- r.r_pos + 25;
+          store run nv dv
+        end
+        else generic ()
+      done
+    | Map { buf; w32 = Some w; wlim; off; _ } ->
+      while !filled < n do
+        let p = off + r.r_pos in
+        (* p + 17 <= wlim keeps every [word_at] of the record inside the
+           u32 view (the 12-byte misaligned-peek slack is folded into
+           wlim); the tag byte sits below r_limit so the plain byte load
+           is in range *)
+        if
+          r.r_pos + 25 <= r.r_limit
+          && p + 17 <= wlim
+          && Bigarray.Array1.unsafe_get buf (p + 8) = '\000'
+        then begin
+          let run = word_at w p in
+          let nv = word_at w (p + 9) in
+          let dv = word_at w (p + 17) in
+          r.r_pos <- r.r_pos + 25;
+          store run nv dv
+        end
+        else generic ()
+      done
+    | Map _ ->
+      while !filled < n do
+        generic ()
+      done);
     a
 
   let close r =
@@ -552,8 +926,8 @@ let graph_to_binary g =
   Bin.add_int_array w csr_edge_ids;
   Bin.contents w
 
-let graph_of_binary s =
-  let r = Bin.open_reader ~kind:graph_bin_kind s in
+let graph_of_binary_src src =
+  let r = Bin.open_reader_src ~kind:graph_bin_kind src in
   Bin.enter r "GRPH";
   let n = Bin.read_int r in
   Bin.enter r "EDGE";
@@ -578,6 +952,11 @@ let graph_of_binary s =
         csr_edge_ids = eid;
       }
   with Invalid_argument msg -> raise (Bin.Corrupt msg)
+
+let graph_of_binary s = graph_of_binary_src (Bin.source_of_string s)
+
+let load_graph_mmap path =
+  graph_of_binary_src (Bin.source_of_path path)
 
 let save_graph_binary path g =
   let oc = open_out_bin path in

@@ -74,11 +74,50 @@ module Bin : sig
   val contents : writer -> string
   (** Assemble header + checksum + sections into the final blob. *)
 
+  type bigstring = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type source
+  (** Bytes a reader decodes from: an in-heap string or a window into an
+      mmap-ed file. Windows slice without copying, so nested containers
+      decode zero-copy in both representations. *)
+
+  val source_of_string : string -> source
+  val source_of_map : bigstring -> source
+
+  val source_of_path : string -> source
+  (** Map the file read-only and return it as a source. The single
+      mapping also carries a u32 word view over its whole-slot prefix,
+      so the checksum and the wide column decoders read unboxed words
+      instead of assembling bytes; prefer this over
+      [source_of_map (map_file path)], which only gets byte loads.
+      @raise Unix.Unix_error on an unreadable path. *)
+
+  val map_file : string -> bigstring
+  (** Map a file read-only ([Unix.map_file], private mapping). The
+      descriptor is closed before returning; the mapping lives until the
+      bigarray is collected. *)
+
   type reader
 
   val open_reader : kind:string -> string -> reader
   (** Validate magic, version, kind, section bounds and checksum.
       @raise Corrupt on any violation. *)
+
+  val open_reader_src : kind:string -> source -> reader
+  (** {!open_reader} over any byte source. *)
+
+  val load_mmap : kind:string -> string -> reader
+  (** Map the container file at the path and open a reader over the
+      mapping: the checksum is still verified (touching each page once),
+      but the bytes are shared with the OS page cache rather than copied
+      into a per-process string.
+      @raise Corrupt on a malformed container, [Unix.Unix_error] on an
+      unreadable path. *)
+
+  val fingerprint_file : string -> string option
+  (** Cheap identity of a container file — kind, stored checksum and
+      byte length from the fixed-layout header, no payload read. [None]
+      when the file is missing or not a v3 container. *)
 
   val kind_of_string : string -> string option
   (** Peek at a blob's kind without validating the payload; [None] if
@@ -91,6 +130,11 @@ module Bin : sig
   val read_int : reader -> int
   val read_int_array : reader -> int array
   val read_string : reader -> string
+
+  val read_blob : reader -> source
+  (** Like {!read_string} but returns a window into the backing bytes
+      instead of copying — the zero-copy path for nested containers. *)
+
   val read_rat : reader -> Lll_num.Rat.t
   val read_rat_array : reader -> Lll_num.Rat.t array
 
@@ -105,5 +149,13 @@ val graph_of_binary : string -> Graph.t
 (** Decode and structurally re-validate (via [Graph.of_csr]).
     @raise Bin.Corrupt on malformed input. *)
 
+val graph_of_binary_src : Bin.source -> Graph.t
+(** {!graph_of_binary} over any byte source (e.g. a {!Bin.read_blob}
+    window or an mmap-ed file). *)
+
 val save_graph_binary : string -> Graph.t -> unit
 val load_graph_binary : string -> Graph.t
+
+val load_graph_mmap : string -> Graph.t
+(** Decode straight off a read-only mapping of the file — same
+    validation as {!load_graph_binary}, no in-heap copy of the blob. *)

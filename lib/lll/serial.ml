@@ -334,10 +334,10 @@ let to_binary_string instance =
   Bin.add_string w (Serialize.graph_to_binary (Instance.dep_graph instance));
   Bin.contents w
 
-let of_binary_string s =
+let of_binary_source src =
   let corrupt msg = raise (Bin.Corrupt msg) in
   let guard f = try f () with Invalid_argument msg -> corrupt msg in
-  let r = Bin.open_reader ~kind:binary_kind s in
+  let r = Bin.open_reader_src ~kind:binary_kind src in
   Bin.enter r "VARS";
   let nvars = Bin.read_int r in
   if nvars < 0 then corrupt "negative variable count";
@@ -363,13 +363,22 @@ let of_binary_string s =
         guard (fun () -> Event.of_table ~id:i ~name ~scope ~arities ~codes ~weights))
   in
   Bin.enter r "DEPG";
-  let gblob = Bin.read_string r in
+  (* the nested graph container decodes straight out of the parent's
+     backing bytes — no copy of the (dominant) DEPG section *)
+  let gblob = Bin.read_blob r in
   Bin.close r;
-  let dep_graph = Serialize.graph_of_binary gblob in
+  let dep_graph = Serialize.graph_of_binary_src gblob in
   let space = guard (fun () -> Space.create vars) in
   Array.iter (fun (e, tab) -> Space.install_table space e tab) compiled;
   let events = Array.map fst compiled in
   guard (fun () -> Instance.of_precomputed space events ~dep_graph)
+
+let of_binary_string s = of_binary_source (Bin.source_of_string s)
+
+let load_binary_mmap path =
+  of_binary_source (Bin.source_of_path path)
+
+let binary_fingerprint path = Bin.fingerprint_file path
 
 let save_binary path instance =
   let oc = open_out_bin path in

@@ -35,8 +35,25 @@ val bad_tuples : Lll_prob.Space.t -> Lll_prob.Event.t -> int list list
 
 val to_binary_string : Instance.t -> string
 val of_binary_string : string -> Instance.t
+
+val of_binary_source : Lll_graph.Serialize.Bin.source -> Instance.t
+(** Decode from any byte source (string window or mmap). The nested
+    dependency-graph container decodes zero-copy out of the parent. *)
+
 val save_binary : string -> Instance.t -> unit
 val load_binary : string -> Instance.t
+
+val load_binary_mmap : string -> Instance.t
+(** Load a [.lllbin] container straight off a read-only file mapping:
+    same checksum verification and structural validation as
+    {!load_binary}, without copying the container into a heap string —
+    the serving layer's cold-load path. *)
+
+val binary_fingerprint : string -> string option
+(** Cheap identity of a binary container file (kind, stored checksum,
+    byte length — header only, no payload read). [None] when the file is
+    missing or not a v3 container. Two files with equal fingerprints
+    decode to identical instances up to checksum collision. *)
 
 val is_binary : string -> bool
 (** Does the blob (or a file's first bytes) carry the binary magic? *)

@@ -10,6 +10,23 @@ val spawn : ?exe:string -> ?args:string list -> unit -> conn
     [exe] defaults to [Sys.executable_name]; [args] to
     [["serve"; "--stdio"]]. *)
 
+type server
+(** A spawned socket-server child process. *)
+
+val spawn_server : ?exe:string -> ?workers:int -> ?args:string list -> unit -> server
+(** Launch a child socket server on a collision-free temp socket path
+    (claimed via [Filename.temp_file], not pid/time arithmetic) and
+    block until it accepts connections. Extra [args] append to the
+    serve command line.
+    @raise Failure if the server does not come up within 10s. *)
+
+val server_path : server -> string
+(** The socket path to {!connect_socket} to. *)
+
+val stop_server : server -> unit
+(** Best-effort shutdown request, reap the child (SIGKILL after 10s),
+    and remove the lock/socket files. *)
+
 type response = {
   metrics : Protocol.frame list;  (** streamed metrics frames, oldest first *)
   result : Protocol.frame;
@@ -35,3 +52,11 @@ val smoke : conn -> (unit, string) result
     [cache=hit] with a byte-identical assignment), verify of the
     returned assignment, cache-stats check. The caller owns [conn]
     (call {!shutdown} after). *)
+
+val smoke_fleet : ?clients:int -> ?requests:int -> string -> (unit, string) result
+(** Concurrent exercise against a freshly spawned socket server at the
+    given path: [clients] connections (default 4, each its own domain)
+    send [requests] identical solve requests (default 8). Checks every
+    response is ok with byte-identical assignments, the server still
+    accepts afterwards, and the instance was built exactly once
+    server-wide. *)

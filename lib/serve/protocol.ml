@@ -21,8 +21,31 @@ exception Protocol_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
 
-(* frames above this size are assumed hostile/corrupt, not legitimate *)
-let max_frame = 1 lsl 30
+(* Frames above this size are assumed hostile/corrupt, not legitimate.
+   The bound is configurable (a fleet fronting huge uploaded blobs may
+   raise it; a hardened public endpoint may shrink it) but never drops
+   below one page of header room, so legitimate control frames always
+   fit. [read_frame] allocates incrementally while the body arrives, so
+   a hostile length header costs the peer bytes-on-the-wire, not a
+   server-side [Bytes.create] of the advertised size. *)
+let min_max_frame = 4096
+let default_max_frame = 1 lsl 30
+let max_frame_ref = ref default_max_frame
+let max_frame () = !max_frame_ref
+
+let set_max_frame n =
+  if n < min_max_frame then
+    invalid_arg (Printf.sprintf "Protocol.set_max_frame: need >= %d bytes" min_max_frame);
+  max_frame_ref := n
+
+(* batches above this count are rejected before any frame is read *)
+let default_max_batch = 4096
+let max_batch_ref = ref default_max_batch
+let max_batch () = !max_batch_ref
+
+let set_max_batch n =
+  if n < 1 then invalid_arg "Protocol.set_max_batch: need >= 1";
+  max_batch_ref := n
 
 type frame = { header : (string * string) list; body : string }
 
@@ -101,20 +124,41 @@ let decode payload =
 let write_frame oc frame =
   let payload = encode frame in
   let len = String.length payload in
-  if len > max_frame then fail "frame too large (%d bytes)" len;
+  if len > !max_frame_ref then fail "frame too large (%d bytes)" len;
   let hdr = Bytes.create 4 in
   Bytes.set_int32_le hdr 0 (Int32.of_int len);
   output_bytes oc hdr;
   output_string oc payload;
   flush oc
 
+(* Read [len] body bytes in bounded chunks: the buffer grows with the
+   bytes that actually arrive, so a length header lying about a huge
+   body cannot drive one giant allocation up front. *)
+let read_chunk = 1 lsl 20
+
+let read_payload ic len =
+  if len <= read_chunk then really_input_string ic len
+  else begin
+    let buf = Buffer.create read_chunk in
+    let remaining = ref len in
+    while !remaining > 0 do
+      let take = min read_chunk !remaining in
+      Buffer.add_string buf (really_input_string ic take);
+      remaining := !remaining - take
+    done;
+    Buffer.contents buf
+  end
+
 let read_frame ic =
   match really_input_string ic 4 with
   | exception End_of_file -> None
   | hdr ->
-    let len = Int32.to_int (String.get_int32_le hdr 0) in
-    if len < 0 || len > max_frame then fail "bad frame length %d" len;
-    (match really_input_string ic len with
+    (* the length is a u32 on the wire: decode unsigned so a hostile
+       high bit reports as oversized, not as a negative length *)
+    let len = Int32.to_int (String.get_int32_le hdr 0) land 0xFFFF_FFFF in
+    if len > !max_frame_ref then
+      fail "frame length %d exceeds the %d-byte limit" len !max_frame_ref;
+    (match read_payload ic len with
     | payload -> Some (decode payload)
     | exception End_of_file -> fail "truncated frame (wanted %d bytes)" len)
 

@@ -6,6 +6,20 @@ exception Protocol_error of string
 
 type frame = { header : (string * string) list; body : string }
 
+val max_frame : unit -> int
+(** Current frame-size bound in bytes (default [2^30]). {!read_frame}
+    rejects a length header past it before reading the body;
+    {!write_frame} refuses to emit past it. *)
+
+val set_max_frame : int -> unit
+(** @raise Invalid_argument below 4096 bytes. *)
+
+val max_batch : unit -> int
+(** Current bound on an explicit batch's [count] (default 4096). *)
+
+val set_max_batch : int -> unit
+(** @raise Invalid_argument below 1. *)
+
 val encode : frame -> string
 val decode : string -> frame
 

@@ -15,7 +15,24 @@
    emitted in request order once the whole batch has executed, each
    tagged with its request's position [id]. A raising request yields a
    [status=error] result for that id only; the rest of the batch is
-   unaffected. *)
+   unaffected.
+
+   Concurrency: one scheduler is shared by every connection of a
+   worker-pool server, so [handle_batch] must be safe to call from
+   several domains at once. The two caches below are internally
+   synchronized ({!Cache}); everything else here is per-call state.
+   Concurrent solves may share one cached instance — that is safe
+   because an instance is immutable after construction (solver-side
+   trackers are allocated per run) — but each [emit] callback writes
+   only to its own connection.
+
+   Repeat solves are memoized: a run is fully determined by the
+   instance key, solver name, seed and domain count (solver runs are
+   bit-identical for identical inputs — the determinism contract the
+   scenario corpus pins), so non-streaming solve responses land in a
+   second result cache and repeat requests replay the stored response
+   with [cache=hit memo=1] instead of re-running the solver. Streaming
+   requests and requests carrying [memo=0] always run fresh. *)
 
 module Solver = Lll_core.Solver
 module Verify = Lll_core.Verify
@@ -26,12 +43,27 @@ module Metrics = Lll_local.Metrics
 module Corpus = Lll_scenario.Corpus
 module Run = Lll_scenario.Run
 
-type t = { cache : Cache.t; default_domains : int option }
+type solved = {
+  sv_fields : (string * string) list; (* result fields minus cache/memo tags *)
+  sv_body : string;
+  sv_built : [ `Hit | `Miss ]; (* instance-cache status of the original run *)
+}
 
-let create ?(capacity = 32) ?domains () =
-  { cache = Cache.create ~capacity; default_domains = domains }
+type t = {
+  instances : Instance.t Cache.t;
+  results : solved Cache.t;
+  default_domains : int option;
+}
 
-let stats t = Cache.stats t.cache
+let create ?(capacity = 32) ?(memo_capacity = 256) ?domains () =
+  {
+    instances = Cache.create ~capacity;
+    results = Cache.create ~capacity:memo_capacity;
+    default_domains = domains;
+  }
+
+let stats t = Cache.stats t.instances
+let memo_stats t = Cache.stats t.results
 
 (* ---- assignment transport: CSV of values in variable-id order ---- *)
 
@@ -86,10 +118,13 @@ let run_params t frame ~sink =
     metrics = sink;
   }
 
-let handle_solve t frame ~id ~emit =
-  let key, build = Workload.of_frame frame in
-  let inst, status = Cache.find_or_build t.cache ~key ~build in
-  let solver = Option.value (Protocol.get frame "solver") ~default:"fix3" in
+let cache_field status =
+  ("cache", match status with `Hit -> "hit" | `Miss -> "miss")
+
+(* Run the solver now; returns the response minus its cache/memo tags
+   (the caller knows whether this run was fresh or replayed). *)
+let solve_now t frame ~key ~build ~solver ~id ~emit =
+  let inst, status = Cache.find_or_build t.instances ~key ~build in
   let sink =
     if Protocol.get_bool frame "stream" then
       Metrics.callback (fun r ->
@@ -107,22 +142,55 @@ let handle_solve t frame ~id ~emit =
     | Some r -> [ ("rounds", string_of_int r) ]
     | None -> []
   in
-  ( [
-      ("op", "solve");
-      ("cache", (match status with `Hit -> "hit" | `Miss -> "miss"));
-      ("key", key);
-      ("solver", solver);
-      ("ok", if report.Solver.ok then "1" else "0");
-      ("verified", if report.Solver.verify.Verify.ok then "1" else "0");
-    ]
-    @ rounds,
-    assignment_to_string report.Solver.outcome.Solver.assignment )
+  {
+    sv_fields =
+      [
+        ("key", key);
+        ("solver", solver);
+        ("ok", if report.Solver.ok then "1" else "0");
+        ("verified", if report.Solver.verify.Verify.ok then "1" else "0");
+      ]
+      @ rounds;
+    sv_body = assignment_to_string report.Solver.outcome.Solver.assignment;
+    sv_built = status;
+  }
+
+let handle_solve t frame ~id ~emit =
+  let key, build = Workload.of_frame frame in
+  let solver = Option.value (Protocol.get frame "solver") ~default:"fix3" in
+  let memoable =
+    (not (Protocol.get_bool frame "stream")) && Protocol.get frame "memo" <> Some "0"
+  in
+  if not memoable then begin
+    let sv = solve_now t frame ~key ~build ~solver ~id ~emit in
+    (("op", "solve") :: cache_field sv.sv_built :: sv.sv_fields, sv.sv_body)
+  end
+  else begin
+    (* the run is a function of (instance, solver, seed, domains) — see
+       the header; everything else in the frame is transport *)
+    let seed = Option.value (Protocol.get_int frame "seed") ~default:1 in
+    let domains =
+      match Protocol.get_int frame "domains" with Some d -> Some d | None -> t.default_domains
+    in
+    let mkey =
+      Printf.sprintf "%s|solver=%s|seed=%d|domains=%s" key solver seed
+        (match domains with None -> "-" | Some d -> string_of_int d)
+    in
+    let sv, memo_status =
+      Cache.find_or_build t.results ~key:mkey ~build:(fun () ->
+          solve_now t frame ~key ~build ~solver ~id ~emit)
+    in
+    match memo_status with
+    | `Miss -> (("op", "solve") :: cache_field sv.sv_built :: sv.sv_fields, sv.sv_body)
+    | `Hit ->
+      (("op", "solve") :: ("cache", "hit") :: ("memo", "1") :: sv.sv_fields, sv.sv_body)
+  end
 
 let handle_verify t frame =
   (* the instance comes from the spec headers; the body carries the
      assignment CSV (blob-described instances go through solve) *)
   let key, build = Workload.of_frame { frame with Protocol.body = "" } in
-  let inst, status = Cache.find_or_build t.cache ~key ~build in
+  let inst, status = Cache.find_or_build t.instances ~key ~build in
   let a = assignment_of_string (Instance.num_vars inst) frame.Protocol.body in
   let result = Verify.check inst a in
   ( [
@@ -177,6 +245,7 @@ let handle_scenario t frame =
 
 let handle_stats t =
   let s = stats t in
+  let m = memo_stats t in
   ( [
       ("op", "stats");
       ("size", string_of_int s.Cache.s_size);
@@ -184,6 +253,10 @@ let handle_stats t =
       ("hits", string_of_int s.Cache.s_hits);
       ("misses", string_of_int s.Cache.s_misses);
       ("evictions", string_of_int s.Cache.s_evictions);
+      ("waits", string_of_int s.Cache.s_waits);
+      ("memo-size", string_of_int m.Cache.s_size);
+      ("memo-hits", string_of_int m.Cache.s_hits);
+      ("memo-misses", string_of_int m.Cache.s_misses);
     ],
     "" )
 

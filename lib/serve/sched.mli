@@ -1,15 +1,22 @@
 (** The batching scheduler: executes request batches against the shared
     LRU instance cache and domain pool, streaming metrics frames and
-    emitting result frames in request order. See the implementation
-    header for the grouping and ordering contract. *)
+    emitting result frames in request order. Thread-safe — one
+    scheduler is shared by every connection of a worker-pool server.
+    See the implementation header for the grouping, ordering and
+    memoization contracts. *)
 
 type t
 
-val create : ?capacity:int -> ?domains:int -> unit -> t
-(** [capacity] bounds the instance cache (default 32); [domains] is the
-    default domain count for requests that do not set one. *)
+val create : ?capacity:int -> ?memo_capacity:int -> ?domains:int -> unit -> t
+(** [capacity] bounds the instance cache (default 32); [memo_capacity]
+    bounds the solved-response memo cache (default 256); [domains] is
+    the default domain count for requests that do not set one. *)
 
 val stats : t -> Cache.stats
+(** Instance-cache counters. *)
+
+val memo_stats : t -> Cache.stats
+(** Solved-response memo-cache counters. *)
 
 val handle_batch :
   t -> Protocol.frame list -> emit:(Protocol.frame -> unit) -> [ `Continue | `Shutdown ]

@@ -1,12 +1,19 @@
 (* Instance descriptions the service understands, and their canonical
    cache keys.
 
-   A request names an instance either by generator spec (family +
-   parameters — the same families the CLI generates) or by uploading a
-   serialized blob (text v1/v2 or binary v3) in the frame body. Both
-   map to a content key: specs canonicalise to a parameter string,
-   blobs to a digest. The same description always yields the same key,
-   which is what makes repeat requests cache hits. *)
+   A request names an instance by generator spec (family + parameters —
+   the same families the CLI generates), by uploading a serialized blob
+   (text v1/v2 or binary v3) in the frame body, or by a server-local
+   [file=PATH] header. All map to a content key: specs canonicalise to
+   a parameter string, blobs to a digest, binary container files to the
+   kind/checksum/length fingerprint read from their fixed header (no
+   payload scan). The same description always yields the same key,
+   which is what makes repeat requests cache hits.
+
+   A [file=] pointing at a v3 binary container builds through the mmap
+   load path ([Serial.load_binary_mmap]): the container's bytes stay in
+   the OS page cache instead of being copied into a heap string before
+   decode. *)
 
 module Gen = Lll_graph.Generators
 module Syn = Lll_core.Synthetic
@@ -45,13 +52,22 @@ let key_of_spec { family; n; degree; seed; at_threshold } =
   Printf.sprintf "spec:%s;n=%d;d=%d;s=%d;at=%b" family n degree seed at_threshold
 
 (* A request's instance description: [(cache key, builder)]. A non-empty
-   body wins over spec fields. *)
+   body wins over a [file=] header, which wins over spec fields. *)
 let of_frame (frame : Protocol.frame) =
   if frame.Protocol.body <> "" then begin
     let blob = frame.Protocol.body in
     (Cache.content_key blob, fun () -> Serial.of_any_string blob)
   end
-  else begin
+  else
+    match Protocol.get frame "file" with
+    | Some path ->
+      if not (Sys.file_exists path) then
+        raise (Protocol.Protocol_error (Printf.sprintf "file not found: %s" path));
+      (match Serial.binary_fingerprint path with
+      | Some fp -> ("file-v3:" ^ fp, fun () -> Serial.load_binary_mmap path)
+      | None ->
+        ("file:" ^ Digest.to_hex (Digest.file path), fun () -> Serial.load_any path))
+    | None -> begin
     let get_int key default =
       match Protocol.get_int frame key with Some v -> v | None -> default
     in
@@ -64,8 +80,8 @@ let of_frame (frame : Protocol.frame) =
         at_threshold = Protocol.get_bool frame "at-threshold";
       }
     in
-    if not (List.mem spec.family families) then
-      raise
-        (Protocol.Protocol_error (Printf.sprintf "unknown family %S" spec.family));
-    (key_of_spec spec, fun () -> build_spec spec)
-  end
+      if not (List.mem spec.family families) then
+        raise
+          (Protocol.Protocol_error (Printf.sprintf "unknown family %S" spec.family));
+      (key_of_spec spec, fun () -> build_spec spec)
+    end

@@ -19,7 +19,11 @@ val key_of_spec : spec -> string
 
 val of_frame : Protocol.frame -> string * (unit -> Lll_core.Instance.t)
 (** The cache key and builder a request frame describes: a non-empty
-    body is a serialized instance blob (keyed by digest); otherwise the
+    body is a serialized instance blob (keyed by digest); else a
+    [file=PATH] header names a server-local file (a v3 binary container
+    is keyed by its header fingerprint and loads via mmap, anything
+    else by content digest); otherwise the
     [family]/[n]/[degree]/[gen-seed]/[at-threshold] header fields name a
     generator spec (keyed by canonical parameter string).
-    @raise Protocol.Protocol_error on an unknown family. *)
+    @raise Protocol.Protocol_error on an unknown family or missing
+    file. *)

@@ -1345,6 +1345,85 @@ let test_serial_binary_error_paths () =
   reject "wrong kind" "kind"
     (Lll_graph.Serialize.graph_to_binary (Gen.cycle 6))
 
+let test_serial_binary_mmap () =
+  (* the mapped read path must decode the same instance as the slurp
+     path, report the same fingerprint, and reject damage just as
+     loudly *)
+  let inst = Syn.random ~seed:7 ~n:12 ~rank:3 ~delta:2 ~arity:4 () in
+  let path = Filename.temp_file "lll_test" ".lllb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ser.save_binary path inst;
+      Alcotest.(check bool) "mmap agrees with read" true
+        (instances_agree (Ser.load_binary path) (Ser.load_binary_mmap path));
+      (match Ser.binary_fingerprint path with
+      | None -> Alcotest.fail "no fingerprint for a binary file"
+      | Some fp ->
+        let copy = Filename.temp_file "lll_test" ".lllb" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove copy)
+          (fun () ->
+            let blob = In_channel.with_open_bin path In_channel.input_all in
+            Out_channel.with_open_bin copy (fun oc -> Out_channel.output_string oc blob);
+            Alcotest.(check (option string)) "copy fingerprints equal" (Some fp)
+              (Ser.binary_fingerprint copy)));
+      (* flip a payload byte on disk: the mapped load must raise the
+         same checksum Corrupt as the slurp load *)
+      let blob = In_channel.with_open_bin path In_channel.input_all in
+      let dmg = Bytes.of_string blob in
+      let last = Bytes.length dmg - 1 in
+      Bytes.set dmg last (Char.chr (Char.code (Bytes.get dmg last) lxor 0x40));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc dmg);
+      (try
+         ignore (Ser.load_binary_mmap path);
+         Alcotest.fail "corrupted mmap load accepted"
+       with Bin.Corrupt _ -> ()));
+  let text = Filename.temp_file "lll_test" ".lll" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove text)
+    (fun () ->
+      Out_channel.with_open_bin text (fun oc ->
+          Out_channel.output_string oc (Ser.to_string inst));
+      Alcotest.(check (option string)) "text has no fingerprint" None
+        (Ser.binary_fingerprint text))
+
+let test_bin_mmap_negative_values () =
+  (* regression: the u32-view decoder must sign-extend i32 array
+     elements and assemble full-width i64 values — negative entries at
+     word-misaligned offsets (the leading string skews alignment) came
+     out wrong when the shift chain dropped its parentheses *)
+  let m32 = Int32.to_int Int32.min_int in
+  let a32 = [| -1; m32; 123456; -70000 |] in
+  let a64 = [| min_int; -1; max_int; -4611686018427387904 |] in
+  let q = Lll_num.Rat.of_ints (-3) 7 in
+  let w = Bin.make_writer ~kind:"negs" in
+  Bin.section w "NEGS";
+  Bin.add_string w "x";
+  Bin.add_int_array w a32;
+  Bin.add_int_array w a64;
+  Bin.add_int w (-987654321);
+  Bin.add_rat w q;
+  let path = Filename.temp_file "lll_test" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Bin.contents w));
+      let check_reader r =
+        Bin.enter r "NEGS";
+        Alcotest.(check string) "skew string" "x" (Bin.read_string r);
+        Alcotest.(check (array int)) "i32 column" a32 (Bin.read_int_array r);
+        Alcotest.(check (array int)) "i64 column" a64 (Bin.read_int_array r);
+        Alcotest.(check int) "scalar" (-987654321) (Bin.read_int r);
+        Alcotest.(check bool) "rational" true (Lll_num.Rat.equal q (Bin.read_rat r));
+        Bin.close r
+      in
+      check_reader (Bin.load_mmap ~kind:"negs" path);
+      check_reader
+        (Bin.open_reader ~kind:"negs"
+           (In_channel.with_open_bin path In_channel.input_all)))
+
 let suite_binary_qcheck =
   [
     prop "binary round-trip solves identically to text v2" 25
@@ -1614,6 +1693,8 @@ let () =
           Alcotest.test_case "binary cross-conversion" `Quick test_serial_binary_cross_conversion;
           Alcotest.test_case "binary file roundtrip" `Quick test_serial_binary_file_roundtrip;
           Alcotest.test_case "binary error paths" `Quick test_serial_binary_error_paths;
+          Alcotest.test_case "mmap load" `Quick test_serial_binary_mmap;
+          Alcotest.test_case "mmap negative values" `Quick test_bin_mmap_negative_values;
         ]
         @ suite_binary_qcheck );
       ( "dist-lll-protocol",

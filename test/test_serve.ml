@@ -1,12 +1,19 @@
-(* Tests for the solve service: the LRU instance cache, the frame
-   protocol, and the batching scheduler (grouping, cache hits,
-   bit-identical repeat output, per-request error isolation). *)
+(* Tests for the solve service: the LRU instance cache (including its
+   concurrent build-once contract), the frame protocol (including the
+   hostile length-header bound), the batching scheduler (grouping,
+   cache hits, bit-identical repeat output, per-request error
+   isolation, response memoization), the socket server's fault paths
+   (dropped clients, busy sockets), and the mmap read path of the
+   binary container. *)
 
 module Cache = Lll_serve.Cache
 module Protocol = Lll_serve.Protocol
 module Sched = Lll_serve.Sched
+module Serve = Lll_serve.Serve
+module Client = Lll_serve.Client
 module Workload = Lll_serve.Workload
 module Syn = Lll_core.Synthetic
+module Serial = Lll_core.Serial
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                                *)
@@ -65,6 +72,42 @@ let test_content_key_distinguishes () =
     (Cache.content_key "hello" = Cache.content_key "hello");
   Alcotest.(check bool) "distinct blobs distinct keys" false
     (Cache.content_key "hello" = Cache.content_key "hellp")
+
+let test_cache_concurrent_build_once () =
+  (* four domains race for the same uncached key; the per-key build
+     lock must run the builder exactly once, with everyone else waiting
+     for (and sharing) that one value *)
+  let c = Cache.create ~capacity:4 in
+  let builds = Atomic.make 0 in
+  let build () =
+    Atomic.incr builds;
+    Unix.sleepf 0.05;
+    (* long enough that the other domains arrive mid-build *)
+    tiny 10 ()
+  in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> fst (Cache.find_or_build c ~key:"k" ~build)))
+  in
+  let values = List.map Domain.join doms in
+  Alcotest.(check int) "built once" 1 (Atomic.get builds);
+  (match values with
+  | v :: rest -> List.iter (fun v' -> Alcotest.(check bool) "shared value" true (v == v')) rest
+  | [] -> assert false);
+  let st = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 st.Cache.s_misses;
+  Alcotest.(check int) "three hits" 3 st.Cache.s_hits
+
+let test_cache_failed_build_not_cached () =
+  (* waiters on a failing build see the failure; the key is then free
+     for a later successful build *)
+  let c = Cache.create ~capacity:4 in
+  (try
+     ignore (Cache.find_or_build c ~key:"k" ~build:(fun () -> failwith "boom"));
+     Alcotest.fail "failure swallowed"
+   with Failure m -> Alcotest.(check string) "builder's exception" "boom" m);
+  let _, s = Cache.find_or_build c ~key:"k" ~build:(tiny 10) in
+  Alcotest.(check bool) "rebuilds after failure" true (s = `Miss)
 
 (* ------------------------------------------------------------------ *)
 (* Protocol                                                             *)
@@ -134,6 +177,68 @@ let test_protocol_truncation () =
          Alcotest.fail "truncated frame accepted"
        with Protocol.Protocol_error _ -> ());
       close_in ic)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_protocol_oversized_header () =
+  (* a hostile length header is rejected before any body allocation;
+     the 4-byte length is decoded unsigned so a high bit cannot smuggle
+     through as a negative length *)
+  let with_limit limit f =
+    let old = Protocol.max_frame () in
+    Protocol.set_max_frame limit;
+    Fun.protect ~finally:(fun () -> Protocol.set_max_frame old) f
+  in
+  with_limit 4096 (fun () ->
+      let path = Filename.temp_file "lll_serve" ".hostile" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          List.iter
+            (fun len ->
+              let oc = open_out_bin path in
+              let hdr = Bytes.create 4 in
+              Bytes.set_int32_le hdr 0 len;
+              output_bytes oc hdr;
+              close_out oc;
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () ->
+                  match Protocol.read_frame ic with
+                  | _ -> Alcotest.fail "oversized length accepted"
+                  | exception Protocol.Protocol_error m ->
+                    Alcotest.(check bool) "names the limit" true (contains_sub m "limit")))
+            [ 5000l; 0x7FFF_FFFFl; -1l (* = u32 0xFFFFFFFF *) ];
+          (* writes past the bound are refused too *)
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              match
+                Protocol.write_frame oc
+                  { Protocol.header = []; body = String.make 8192 'x' }
+              with
+              | () -> Alcotest.fail "oversized write accepted"
+              | exception Protocol.Protocol_error _ -> ())))
+
+let test_protocol_limit_accessors () =
+  let old = Protocol.max_frame () in
+  (try
+     Protocol.set_max_frame 16;
+     Alcotest.fail "sub-minimum max_frame accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Protocol.set_max_batch 0;
+     Alcotest.fail "zero max_batch accepted"
+   with Invalid_argument _ -> ());
+  Protocol.set_max_frame 8192;
+  Alcotest.(check int) "max_frame updates" 8192 (Protocol.max_frame ());
+  Protocol.set_max_frame old;
+  Alcotest.(check bool) "max_batch positive" true (Protocol.max_batch () >= 1)
 
 let test_protocol_accessors () =
   let f = { Protocol.header = [ ("n", "42"); ("bad", "x"); ("flag", "1"); ("off", "0") ]; body = "" } in
@@ -324,6 +429,106 @@ let test_sched_shutdown_signal () =
   Alcotest.(check bool) "signals shutdown" true (outcome = `Shutdown)
 
 (* ------------------------------------------------------------------ *)
+(* Socket server fault paths                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_sock_path () =
+  let p = Filename.temp_file "lll_test" ".sock" in
+  Sys.remove p;
+  p
+
+(* Run an in-process socket server in its own domain, wait until it
+   accepts, hand the path to [f], then request shutdown and join. *)
+let with_socket_server ?(workers = 2) f =
+  let path = fresh_sock_path () in
+  let server = Domain.spawn (fun () -> Serve.serve_socket ~capacity:4 ~workers ~path ()) in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    match Client.connect_socket path with
+    | conn -> Client.close conn
+    | exception _ ->
+      if Unix.gettimeofday () > deadline then Alcotest.fail "server did not come up";
+      Unix.sleepf 0.02;
+      wait ()
+  in
+  wait ();
+  Fun.protect
+    ~finally:(fun () ->
+      (try Client.shutdown (Client.connect_socket path) with _ -> ());
+      Domain.join server;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let solve_frame =
+  {
+    Protocol.header = [ ("op", "solve"); ("family", "ring"); ("n", "24"); ("solver", "fix3") ];
+    body = "";
+  }
+
+let check_serves path =
+  let conn = Client.connect_socket path in
+  Fun.protect
+    ~finally:(fun () -> Client.close conn)
+    (fun () ->
+      let r = Client.request conn solve_frame in
+      Alcotest.(check (option string)) "served" (Some "ok") (Protocol.get r.Client.result "status"))
+
+let test_socket_client_drop () =
+  with_socket_server (fun path ->
+      (* a client that fires a request and vanishes without reading the
+         response: the write lands on a closed peer, and with SIGPIPE
+         ignored that must end only this connection *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let oc = Unix.out_channel_of_descr fd in
+      Protocol.write_frame oc solve_frame;
+      flush oc;
+      Unix.close fd;
+      check_serves path)
+
+let test_socket_hostile_header () =
+  with_socket_server (fun path ->
+      (* a raw length header far past max_frame: the connection must be
+         dropped without the allocation, and the server must go on
+         accepting *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_le hdr 0 0x7FFF_FFFFl;
+      let _ = Unix.write fd hdr 0 4 in
+      let closed =
+        let b = Bytes.create 1 in
+        match Unix.read fd b 0 1 with 0 -> true | _ -> false | exception Unix.Unix_error _ -> true
+      in
+      Unix.close fd;
+      Alcotest.(check bool) "hostile connection dropped" true closed;
+      check_serves path)
+
+let test_socket_busy () =
+  (* a regular file at the socket path must not be clobbered *)
+  let file = Filename.temp_file "lll_test" ".notsock" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      try
+        Serve.serve_socket ~path:file ();
+        Alcotest.fail "bound over a regular file"
+      with Serve.Socket_busy _ -> ());
+  (* ... and neither must a live server's socket *)
+  with_socket_server (fun path ->
+      (try
+         Serve.serve_socket ~path ();
+         Alcotest.fail "bound over a live server"
+       with Serve.Socket_busy _ -> ());
+      check_serves path)
+
+let test_socket_fleet () =
+  with_socket_server (fun path ->
+      match Client.smoke_fleet ~clients:4 ~requests:3 path with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "lll_serve"
@@ -336,6 +541,8 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "rejects bad capacity" `Quick test_cache_rejects_bad_capacity;
           Alcotest.test_case "content keys" `Quick test_content_key_distinguishes;
+          Alcotest.test_case "concurrent build once" `Quick test_cache_concurrent_build_once;
+          Alcotest.test_case "failed build not cached" `Quick test_cache_failed_build_not_cached;
         ] );
       ( "protocol",
         [
@@ -343,6 +550,8 @@ let () =
           Alcotest.test_case "header escaping" `Quick test_protocol_escaping;
           Alcotest.test_case "channel framing" `Quick test_protocol_channel_framing;
           Alcotest.test_case "truncation" `Quick test_protocol_truncation;
+          Alcotest.test_case "oversized header" `Quick test_protocol_oversized_header;
+          Alcotest.test_case "limit accessors" `Quick test_protocol_limit_accessors;
           Alcotest.test_case "accessors" `Quick test_protocol_accessors;
         ] );
       ( "workload",
@@ -362,5 +571,12 @@ let () =
           Alcotest.test_case "blob solve" `Quick test_sched_blob_solve;
           Alcotest.test_case "stats op" `Quick test_sched_stats_op;
           Alcotest.test_case "shutdown signal" `Quick test_sched_shutdown_signal;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "client drop mid-response" `Quick test_socket_client_drop;
+          Alcotest.test_case "hostile length header" `Quick test_socket_hostile_header;
+          Alcotest.test_case "busy socket refused" `Quick test_socket_busy;
+          Alcotest.test_case "4-client fleet" `Quick test_socket_fleet;
         ] );
     ]
