@@ -1397,13 +1397,164 @@ let write_serve9_report path =
     (t_read /. t_mmap);
   Format.printf "concurrent-serve report -> %s@." path
 
+(* ---- the artifact-store report (BENCH_pr10.json) ----
+
+   PR 10 made the content-addressed store the only acquisition path and
+   extended the corpus grids an order of magnitude. Two measurements:
+
+   - acquisition — honest cold vs warm seconds per instance: cold runs
+     the generator in-process (Spec.build, exactly what the scenario
+     runner did before the store), warm opens a fresh store over a
+     pre-warmed directory and fetches (disk artifact, mmap load — the
+     memory tier is cold by construction). Rows cover every corpus
+     family at the top of the committed grid (n = 960, where the
+     acceptance bar is warm >= 10x cold) plus the girth-6 sinkless
+     structure at n = 96000, the 10^5-node scale the store unlocks.
+
+   - envelope — the threshold dichotomy on the deep grid (to n = 9600):
+     round-count growth fits per (family, engine) for the sinkless and
+     ring pairs. The paper's separation shows as the below-threshold
+     witnesses fitting O(1) while their at-threshold twins grow. *)
+
+module ASpec = Lll_store.Spec
+module AStore = Lll_store.Store
+module SRun = Lll_scenario.Run
+module SCorpus = Lll_scenario.Corpus
+
+let write_store_report path =
+  let dir = Filename.temp_file "lll_bench_store" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let top = 960 in
+      let rows =
+        List.map (fun (f : SCorpus.family) -> (f.SCorpus.name, f.SCorpus.spec ~seed:1 top))
+          SCorpus.all
+        @ [
+            ( "sinkless-at-96000",
+              ASpec.Sinkless { n = 96_000; seed = 1; degree = 3; girth = 6; relaxed = false }
+            );
+          ]
+      in
+      let acq_rows =
+        List.map
+          (fun (label, spec) ->
+            let n = ASpec.size spec in
+            (* warm the artifact once (not timed) ... *)
+            ignore (AStore.materialize (AStore.create ~dir ()) spec : string);
+            let warmup = n < 50_000 in
+            (* ... cold: the generator, in-process, as the pre-store
+               scenario runner ran it *)
+            let t_cold =
+              time_secs_per_op ~warmup (fun () ->
+                  ignore (ASpec.build spec : Lll_core.Instance.t))
+            in
+            (* ... warm: fresh store over the warmed directory, so every
+               rep is a disk-artifact mmap load, never a memory hit *)
+            let t_warm =
+              time_secs_per_op ~warmup (fun () ->
+                  let st = AStore.create ~dir () in
+                  let _, src = AStore.fetch st spec in
+                  assert (src = `Disk))
+            in
+            (label, n, t_cold, t_warm))
+          rows
+      in
+      (* deep-grid envelope fits through the same warm store *)
+      let deep_families =
+        List.filter
+          (fun (f : SCorpus.family) ->
+            List.mem f.SCorpus.name
+              [ "sinkless-at"; "sinkless-below"; "ring-at"; "ring-below" ])
+          SCorpus.all
+      in
+      let store = AStore.create ~dir () in
+      let ms =
+        SRun.measure ~grid:SCorpus.deep_grid ~seeds:[ 1 ] ~families:deep_families ~store ()
+      in
+      let fits = SRun.fit_growth ms in
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf "{\n  \"bench\": \"pr10-artifact-store\",\n";
+      Buffer.add_string buf
+        "  \"note\": \"acquisition = seconds per instance, cold in-process generation \
+         (Spec.build) vs warm store fetch (fresh store over a pre-warmed directory: disk \
+         artifact, mmap load, cold memory tier), fastest rep after Gc.compact; rows are \
+         every corpus family at the committed grid top n=960 (acceptance: warm >= 10x \
+         cold) plus girth-6 sinkless at n=96000; envelope = round-count growth fits on \
+         the deep grid (to n=9600) for the sinkless/ring threshold pairs, acquired \
+         through the same store\",\n";
+      Buffer.add_string buf "  \"acquisition\": [\n";
+      let acq_entries =
+        List.map
+          (fun (label, n, t_cold, t_warm) ->
+            Printf.sprintf
+              "    {\"family\": \"%s\", \"n\": %d, \"cold_gen_sec\": %.6f, \
+               \"warm_load_sec\": %.6f, \"warm_speedup\": %.2f}"
+              label n t_cold t_warm (t_cold /. t_warm))
+          acq_rows
+      in
+      Buffer.add_string buf (String.concat ",\n" acq_entries);
+      Buffer.add_string buf "\n  ],\n  \"envelope\": [\n";
+      let fit_entries =
+        List.map
+          (fun (f : SRun.fit) ->
+            Printf.sprintf
+              "    {\"family\": \"%s\", \"engine\": \"%s\", \"growth\": \"%s\", \
+               \"coeff\": %.3f, \"residual\": %.3f}"
+              f.SRun.f_family f.SRun.f_engine
+              (SRun.growth_to_string f.SRun.f_growth)
+              f.SRun.coeff f.SRun.residual)
+          fits
+      in
+      Buffer.add_string buf (String.concat ",\n" fit_entries);
+      Buffer.add_string buf "\n  ]\n}\n";
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+      List.iter
+        (fun (label, n, t_cold, t_warm) ->
+          Format.printf
+            "store-%-22s n=%-7d cold %9.5f s   warm %9.5f s   %.1fx@." label n t_cold
+            t_warm (t_cold /. t_warm))
+        acq_rows;
+      let bar_met =
+        List.exists (fun (_, n, tc, tw) -> n = top && tc /. tw >= 10.) acq_rows
+      in
+      if not bar_met then
+        Format.printf
+          "store: WARNING — no n=%d row reached the 10x warm-acquisition bar@." top;
+      let growth_of fam eng =
+        List.find_map
+          (fun (f : SRun.fit) ->
+            if f.SRun.f_family = fam && f.SRun.f_engine = eng then
+              Some (SRun.growth_to_string f.SRun.f_growth)
+            else None)
+          fits
+      in
+      List.iter
+        (fun (fam_at, fam_below, eng) ->
+          match (growth_of fam_at eng, growth_of fam_below eng) with
+          | Some at, Some below ->
+            Format.printf "envelope-%-18s %s: %s at threshold, %s below@." eng fam_at at
+              below
+          | _ -> ())
+        [
+          ("sinkless-at", "sinkless-below", "sinkless-orient");
+          ("sinkless-at", "sinkless-below", "mt-par-rand");
+          ("ring-at", "ring-below", "mt-par-rand");
+        ];
+      Format.printf "artifact-store report -> %s@." path)
+
 (* --quick: run every registry case once through the shared
    post-condition; exit non-zero if a guaranteed engine fails. Wired
    into dune runtest (alias @bench-quick) so solver-registry
    regressions fail the suite. Also writes the enum/table backend
    report (see above). *)
 let quick ~bench_out ~mt_bench_out ~csr_bench_out ~flat_bench_out ~serve_bench_out
-    ~serve9_bench_out () =
+    ~serve9_bench_out ~store_bench_out () =
   let failures = ref 0 in
   List.iter
     (fun (name, s, inst) ->
@@ -1428,7 +1579,8 @@ let quick ~bench_out ~mt_bench_out ~csr_bench_out ~flat_bench_out ~serve_bench_o
   write_csr_report csr_bench_out;
   write_flat_report flat_bench_out;
   write_serve_report serve_bench_out;
-  write_serve9_report serve9_bench_out
+  write_serve9_report serve9_bench_out;
+  write_store_report store_bench_out
 
 let argv_value key =
   let rec go i =
@@ -1463,7 +1615,13 @@ let () =
         (Option.value (argv_value "--serve-bench-out") ~default:"BENCH_pr8.json")
       ~serve9_bench_out:
         (Option.value (argv_value "--serve9-bench-out") ~default:"BENCH_pr9.json")
+      ~store_bench_out:
+        (Option.value (argv_value "--store-bench-out") ~default:"BENCH_pr10.json")
       ()
+  else if Array.exists (( = ) "--store-report") Sys.argv then
+    (* regenerate just the PR 10 artifact-store report *)
+    write_store_report
+      (Option.value (argv_value "--store-bench-out") ~default:"BENCH_pr10.json")
   else if Array.exists (( = ) "--serve-report") Sys.argv then
     (* regenerate just the PR 8 report without the rest of the smoke *)
     write_serve_report

@@ -32,6 +32,8 @@ module Srep = Lll_core.Srep
 module Syn = Lll_core.Synthetic
 module Solver = Lll_core.Solver
 module Sink = Lll_apps.Sinkless
+module Spec = Lll_store.Spec
+module Store = Lll_store.Store
 
 (* the application engines (sinkless-orient, weak-split-greedy) register
    themselves on first use; pull them in before any registry lookup *)
@@ -65,16 +67,17 @@ let family_conv =
   let print fmt f = Format.pp_print_string fmt (family_to_string f) in
   Arg.conv (parse, print)
 
-let build_instance family ~n ~degree ~seed ~at_threshold =
-  let position = if at_threshold then Syn.At_threshold else Syn.Below_threshold in
-  match family with
-  | Ring -> Syn.ring ~position ~seed ~n ~arity:4 ()
-  | Rank3 -> Syn.random ~position ~seed ~n ~rank:3 ~delta:2 ~arity:8 ()
-  | Sinkless -> Sink.instance (Gen.random_regular ~seed n degree)
-  | Sinkless_relaxed -> Sink.relaxed_instance (Gen.random_regular ~seed n degree)
-  | Hyper -> HO.instance (Gen.random_regular_hypergraph ~seed n 3 degree)
-  | Weak_splitting ->
-    WS.instance ~nv:n (Gen.random_biregular_bipartite ~seed ~nv:n ~nu:n ~deg_u:3 ~deg_v:3)
+(* every CLI generation goes through the spec codec and a store: with
+   --store DIR the instance is materialized as (or loaded from) a
+   content-addressed artifact, without it the store is memory-only *)
+let spec_of_family family ~n ~degree ~seed ~at_threshold =
+  Spec.of_family_params ~family:(family_to_string family) ~n ~degree ~seed ~at_threshold
+
+let make_store store_dir = Store.create ?dir:store_dir ()
+
+let build_instance ?store_dir family ~n ~degree ~seed ~at_threshold =
+  let store = make_store store_dir in
+  fst (Store.fetch store (spec_of_family family ~n ~degree ~seed ~at_threshold))
 
 (* ---- shared args ---- *)
 
@@ -96,16 +99,31 @@ let file_arg =
            ~doc:"Load the instance from a serialized file (text v1/v2 or binary v3, \
                  auto-detected) instead of generating one.")
 
-let get_instance file family ~n ~degree ~seed ~at_threshold =
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Artifact store directory: generated instances are materialized as \
+                 content-addressed binary v3 artifacts and reloaded via mmap on repeat runs.")
+
+let get_instance ?store_dir file family ~n ~degree ~seed ~at_threshold =
+  let store = make_store store_dir in
   match file with
-  | Some path -> Lll_core.Serial.load_any path
-  | None -> build_instance family ~n ~degree ~seed ~at_threshold
+  | Some path -> fst (Store.fetch_descr store (Store.Of_file path))
+  | None -> fst (Store.fetch store (spec_of_family family ~n ~degree ~seed ~at_threshold))
 
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run family n degree seed at_threshold output binary =
-    let inst = build_instance family ~n ~degree ~seed ~at_threshold in
+  let run family n degree seed at_threshold output binary store_dir =
+    let spec = spec_of_family family ~n ~degree ~seed ~at_threshold in
+    (match store_dir with
+    | Some _ ->
+      let store = make_store store_dir in
+      let path = Store.materialize store spec in
+      Format.printf "store artifact %s@.  spec %s@.  key  %s@." path (Spec.to_string spec)
+        (Spec.key spec)
+    | None -> ());
+    let inst = build_instance ?store_dir family ~n ~degree ~seed ~at_threshold in
     match output with
     | Some path ->
       if binary then Lll_core.Serial.save_binary path inst
@@ -116,7 +134,7 @@ let gen_cmd =
         set_binary_mode_out stdout true;
         print_string (Lll_core.Serial.to_binary_string inst)
       end
-      else print_string (Lll_core.Serial.to_string inst)
+      else if store_dir = None then print_string (Lll_core.Serial.to_string inst)
   in
   let output =
     Arg.(value & opt (some string) None
@@ -127,7 +145,8 @@ let gen_cmd =
          & info [ "binary" ] ~doc:"Emit the binary v3 container instead of the text v2 format.")
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate an instance family and serialize it.")
-    Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ output $ binary)
+    Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ output
+          $ binary $ store_arg)
 
 (* ---- convert: lossless text v2 <-> binary v3 ---- *)
 
@@ -178,14 +197,15 @@ let convert_cmd =
 (* ---- criteria ---- *)
 
 let criteria_cmd =
-  let run family n degree seed at_threshold file =
-    let inst = get_instance file family ~n ~degree ~seed ~at_threshold in
+  let run family n degree seed at_threshold file store_dir =
+    let inst = get_instance ?store_dir file family ~n ~degree ~seed ~at_threshold in
     let rep = Crit.evaluate inst in
     Format.printf "%a@.%a" I.pp inst Crit.pp_report rep;
     Format.printf "recommended: %s@." (Crit.best_algorithm rep)
   in
   Cmd.v (Cmd.info "criteria" ~doc:"Print the criteria report of an instance family.")
-    Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg)
+    Term.(const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg
+          $ store_arg)
 
 (* ---- solve: one registry-driven loop for every engine ---- *)
 
@@ -259,11 +279,11 @@ let dump_instance_arg =
            ~doc:"Serialize the instance (v2 weighted-table format) to PATH before solving.")
 
 let solve_cmd =
-  let run family n degree seed at_threshold file list_solvers solver_name trace domains
-      metrics_path prob_backend dump_instance =
+  let run family n degree seed at_threshold file store_dir list_solvers solver_name trace
+      domains metrics_path prob_backend dump_instance =
     if list_solvers then print_solver_list ()
     else begin
-      let inst = get_instance file family ~n ~degree ~seed ~at_threshold in
+      let inst = get_instance ?store_dir file family ~n ~degree ~seed ~at_threshold in
       (match dump_instance with
       | None -> ()
       | Some path ->
@@ -327,14 +347,21 @@ let solve_cmd =
              post-condition (exact verification plus the engine's P* claim).")
     Term.(
       const run $ family_arg $ n_arg $ degree_arg $ seed_arg $ at_threshold_arg $ file_arg
-      $ list_solvers_arg $ solver_arg $ trace_arg $ domains_arg $ metrics_arg
+      $ store_arg $ list_solvers_arg $ solver_arg $ trace_arg $ domains_arg $ metrics_arg
       $ prob_backend_arg $ dump_instance_arg)
 
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
-  let run seed budget engines out self_test geometry_samples =
+  let run seed budget engines out self_test geometry_samples store_dir =
     let module Fuzz = Lll_fuzz.Fuzz in
+    let dump_to_store f =
+      match store_dir with
+      | None -> ()
+      | Some _ ->
+        let digest, path = Fuzz.dump_reproducer_store (make_store store_dir) f in
+        Format.printf "  reproducer artifact %s (key blob:%s)@." path digest
+    in
     let log line = Format.eprintf "%s@." line in
     let resolve_engines () =
       match engines with
@@ -367,6 +394,7 @@ let fuzz_cmd =
         Format.printf "  shrunk reproducer: %a@." I.pp f.Fuzz.shrunk;
         ignore (Fuzz.dump_reproducer out f);
         Format.printf "  reproducer written to %s@." out;
+        dump_to_store f;
         if events > 4 then begin
           Format.eprintf "self-test FAILED: reproducer has %d events (want <= 4)@." events;
           exit 1
@@ -394,6 +422,7 @@ let fuzz_cmd =
           Format.printf "  shrunk reproducer: %a@." I.pp f.Fuzz.shrunk;
           ignore (Fuzz.dump_reproducer out f);
           Format.printf "  reproducer written to %s (reload: lll_cli solve --file %s)@." out out;
+          dump_to_store f;
           exit 1)
     end
   in
@@ -430,7 +459,8 @@ let fuzz_cmd =
              guarantee predicate vs exact verification, and an independent P* replay of \
              every trace. Violations are shrunk greedily and dumped as v2 reproducers.")
     Term.(
-      const run $ seed_arg $ budget_arg $ engines_arg $ out_arg $ self_test_arg $ geometry_arg)
+      const run $ seed_arg $ budget_arg $ engines_arg $ out_arg $ self_test_arg $ geometry_arg
+      $ store_arg)
 
 (* ---- scenario ---- *)
 
@@ -455,12 +485,49 @@ let scenario_cmd =
       | _ -> None
     with _ -> None
   in
-  let run check record force baselines domains via_serve =
+  let parse_int_list what v =
+    match v with
+    | None -> None
+    | Some spec ->
+      Some
+        (String.split_on_char ',' spec
+        |> List.filter (fun c -> c <> "")
+        |> List.map (fun c ->
+               match int_of_string_opt (String.trim c) with
+               | Some v -> v
+               | None ->
+                 Format.eprintf "scenario: bad %s entry %S@." what c;
+                 exit 2))
+  in
+  let run check record force baselines domains via_serve store_dir grid seeds families =
     (* --domains only overrides the fan-out width; the determinism
        contract keeps every round count identical to the pinned
        [Some 1] default, so checks stay valid at any width. *)
     let raw_domains = domains in
     let domains = match domains with None -> None | Some k -> Some (Some k) in
+    let grid = parse_int_list "--grid" grid in
+    let seeds = parse_int_list "--seeds" seeds in
+    let families =
+      match families with
+      | None -> None
+      | Some spec ->
+        Some
+          (String.split_on_char ',' spec
+          |> List.filter (fun c -> c <> "")
+          |> List.map (fun name ->
+                 match Corpus.find (String.trim name) with
+                 | Some f -> f
+                 | None ->
+                   Format.eprintf "scenario: unknown family %S@." name;
+                   exit 2))
+    in
+    if (check || record) && (grid <> None || seeds <> None || families <> None) then begin
+      Format.eprintf
+        "--grid/--seeds/--families apply to the plain measurement report only (checks use \
+         the baseline's grid, records use the default)@.";
+      exit 2
+    end;
+    let store = make_store store_dir in
     if check && record then begin
       Format.eprintf "--check and --record are mutually exclusive@.";
       exit 2
@@ -473,7 +540,7 @@ let scenario_cmd =
       (* the measurement sweep routed through an in-process serve
          session: same scheduler/cache/protocol stack as a socket
          server, minus the socket *)
-      let sched = Lll_serve.Sched.create ?domains:raw_domains () in
+      let sched = Lll_serve.Sched.create ?domains:raw_domains ?store_dir () in
       let frame =
         { Lll_serve.Protocol.header = [ ("op", "scenario") ]; body = "" }
       in
@@ -505,7 +572,7 @@ let scenario_cmd =
           Format.eprintf "scenario: %s@." msg;
           exit 2
       in
-      let ms = Run.measure ~grid:b.Baseline.grid ~seeds:b.Baseline.seeds ?domains () in
+      let ms = Run.measure ~grid:b.Baseline.grid ~seeds:b.Baseline.seeds ?domains ~store () in
       match Baseline.check b ms with
       | [] ->
         Format.printf "scenario check: %d measurements within %d bands, %d O(1) witnesses hold@."
@@ -527,7 +594,7 @@ let scenario_cmd =
              baselines status;
            exit 2
          | None -> ());
-      let ms = Run.measure ?domains () in
+      let ms = Run.measure ?domains ~store () in
       let fits = Run.fit_growth ms in
       let b =
         Baseline.of_measurements ~grid:Corpus.default_grid ~seeds:Corpus.default_seeds ms fits
@@ -539,7 +606,7 @@ let scenario_cmd =
         baselines
     end
     else begin
-      let ms = Run.measure ?domains () in
+      let ms = Run.measure ?grid ?seeds ?families ?domains ~store () in
       Format.printf "%a@." Run.pp_measurements ms;
       Format.printf "%a@." Run.pp_fits (Run.fit_growth ms)
     end
@@ -564,6 +631,22 @@ let scenario_cmd =
     Arg.(value & opt string "scenario_baselines.json"
          & info [ "baselines" ] ~docv:"PATH" ~doc:"Baseline artifact location.")
   in
+  let grid_arg =
+    Arg.(value & opt (some string) None
+         & info [ "grid" ] ~docv:"N,N,..."
+             ~doc:"Comma-separated sizes for the plain measurement report (default: the \
+                   corpus grid).")
+  in
+  let seeds_arg =
+    Arg.(value & opt (some string) None
+         & info [ "seeds" ] ~docv:"S,S,..."
+             ~doc:"Comma-separated seeds for the plain measurement report.")
+  in
+  let families_arg =
+    Arg.(value & opt (some string) None
+         & info [ "families" ] ~docv:"NAMES"
+             ~doc:"Comma-separated corpus family filter for the plain measurement report.")
+  in
   let via_serve_arg =
     Arg.(value & flag
          & info [ "via-serve" ]
@@ -577,7 +660,7 @@ let scenario_cmd =
              threshold-straddling workload families, fit round counts against log log n / \
              log n envelopes, and check or record the regression baselines.")
     Term.(const run $ check_arg $ record_arg $ force_arg $ baselines_arg $ domains_arg
-          $ via_serve_arg)
+          $ via_serve_arg $ store_arg $ grid_arg $ seeds_arg $ families_arg)
 
 (* ---- serve / client ---- *)
 
@@ -586,7 +669,7 @@ let socket_arg =
        & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 let serve_cmd =
-  let run socket stdio cache domains workers max_frame =
+  let run socket stdio cache domains workers max_frame store_dir =
     match (socket, stdio) with
     | Some _, true ->
       Format.eprintf "serve: --socket and --stdio are mutually exclusive@.";
@@ -597,11 +680,14 @@ let serve_cmd =
     | Some path, false -> (
       Format.eprintf "serving on %s (cache %d, %d worker%s)@." path cache workers
         (if workers = 1 then "" else "s");
-      try Lll_serve.Serve.serve_socket ~capacity:cache ?domains ~workers ?max_frame ~path ()
+      try
+        Lll_serve.Serve.serve_socket ~capacity:cache ?domains ?store_dir:store_dir ~workers
+          ?max_frame ~path ()
       with Lll_serve.Serve.Socket_busy { path; reason } ->
         Format.eprintf "serve: refusing to claim %s: %s@." path reason;
         exit 1)
-    | None, true -> Lll_serve.Serve.serve_stdio ~capacity:cache ?domains ?max_frame ()
+    | None, true ->
+      Lll_serve.Serve.serve_stdio ~capacity:cache ?domains ?store_dir:store_dir ?max_frame ()
   in
   let stdio =
     Arg.(value & flag
@@ -631,7 +717,8 @@ let serve_cmd =
              of worker domains. Requests describe instances by generator spec, \
              serialized blob, or server-local file; repeat requests hit the cache with \
              zero rebuild work and bit-identical solver output.")
-    Term.(const run $ socket_arg $ stdio $ cache $ domains_arg $ workers $ max_frame)
+    Term.(const run $ socket_arg $ stdio $ cache $ domains_arg $ workers $ max_frame
+          $ store_arg)
 
 let client_cmd =
   let run socket spawn smoke op family n degree seed solver stream concurrency workers =
@@ -754,6 +841,168 @@ let client_cmd =
       const run $ socket_arg $ spawn $ smoke $ op $ family_arg $ n_arg $ degree_arg
       $ seed_arg $ solver_arg $ stream $ concurrency $ workers)
 
+(* ---- store: artifact-store maintenance ---- *)
+
+let store_cmd =
+  let module Corpus = Lll_scenario.Corpus in
+  let require_dir dir =
+    match dir with
+    | Some d -> d
+    | None ->
+      Format.eprintf "store: pass --dir DIR@.";
+      exit 2
+  in
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir"; "store" ] ~docv:"DIR" ~doc:"Artifact store directory.")
+  in
+  let ls_cmd =
+    let run dir =
+      let store = Store.create ~dir:(require_dir dir) () in
+      let entries = Store.ls store in
+      List.iter
+        (fun (e : Store.entry) ->
+          Format.printf "%s %8d %s@." e.Store.e_digest e.Store.e_bytes
+            (Option.value e.Store.e_spec ~default:"(blob artifact)"))
+        entries;
+      Format.printf "%d artifact(s)@." (List.length entries)
+    in
+    Cmd.v (Cmd.info "ls" ~doc:"List artifacts (digest, bytes, canonical spec).")
+      Term.(const run $ dir_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let store = Store.create ~dir:(require_dir dir) () in
+      let results = Store.verify store in
+      let bad =
+        List.filter_map
+          (function
+            | _, `Ok -> None
+            | digest, `Corrupt msg ->
+              Format.printf "CORRUPT %s: %s@." digest msg;
+              Some digest)
+          results
+      in
+      Format.printf "verified %d artifact(s): %d ok, %d corrupt@." (List.length results)
+        (List.length results - List.length bad)
+        (List.length bad);
+      if bad <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Decode every artifact through the checksummed load path; non-zero exit on \
+               any corruption.")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let run dir all =
+      let store = Store.create ~dir:(require_dir dir) () in
+      let r = Store.gc ~all store in
+      Format.printf "gc: removed %d file(s) (%d bytes), kept %d artifact file(s)@."
+        r.Store.gc_removed r.Store.gc_bytes r.Store.gc_kept
+    in
+    let all_arg =
+      Arg.(value & flag
+           & info [ "all" ]
+               ~doc:"Also remove every artifact and sidecar, not just quarantined and \
+                     temporary files.")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Remove quarantined (.bad) and stray temporary files; --all empties the \
+               store. Artifacts mmapped by live readers stay readable until they close.")
+      Term.(const run $ dir_arg $ all_arg)
+  in
+  let warm_cmd =
+    let run dir families grid seeds =
+      let dir = require_dir dir in
+      let sink = Lll_local.Metrics.buffer () in
+      let store = Store.create ~dir ~metrics:sink () in
+      let families =
+        match families with
+        | None -> Corpus.all
+        | Some spec ->
+          String.split_on_char ',' spec
+          |> List.filter (fun c -> c <> "")
+          |> List.map (fun name ->
+                 match Corpus.find (String.trim name) with
+                 | Some f -> f
+                 | None ->
+                   Format.eprintf "store warm: unknown family %S@." name;
+                   exit 2)
+      in
+      let ints what v default =
+        match v with
+        | None -> default
+        | Some spec ->
+          String.split_on_char ',' spec
+          |> List.filter (fun c -> c <> "")
+          |> List.map (fun c ->
+                 match int_of_string_opt (String.trim c) with
+                 | Some v -> v
+                 | None ->
+                   Format.eprintf "store warm: bad %s entry %S@." what c;
+                   exit 2)
+      in
+      let grid = ints "--grid" grid Corpus.default_grid in
+      let seeds = ints "--seeds" seeds Corpus.default_seeds in
+      List.iter
+        (fun (f : Corpus.family) ->
+          List.iter
+            (fun n ->
+              List.iter
+                (fun seed ->
+                  let spec = f.Corpus.spec ~seed n in
+                  let t0 = Lll_local.Metrics.now_ns () in
+                  let _, source = Store.fetch store spec in
+                  let ms = float_of_int (Lll_local.Metrics.now_ns () - t0) /. 1e6 in
+                  Format.printf "%-18s n=%-6d seed=%d %-5s %7.1f ms  %s@." f.Corpus.name n
+                    seed
+                    (match source with `Mem -> "mem" | `Disk -> "disk" | `Built -> "built")
+                    ms (Spec.digest spec))
+                seeds)
+            grid)
+        families;
+      (* girth-sampler cost per (n, girth), surfaced from the metrics
+         sink the store records generation work into *)
+      List.iter
+        (fun (r : Lll_local.Metrics.round_record) ->
+          if r.Lll_local.Metrics.phase = "girth-sample" then
+            Format.printf
+              "girth-sample: n=%d girth=%d restarts=%d swaps=%d reverts=%d rejects=%d \
+               (%.1f ms)@."
+              r.Lll_local.Metrics.state_words r.Lll_local.Metrics.round
+              r.Lll_local.Metrics.stepped r.Lll_local.Metrics.messages
+              r.Lll_local.Metrics.max_inbox r.Lll_local.Metrics.arena_occupancy
+              (float_of_int r.Lll_local.Metrics.wall_ns /. 1e6))
+        (Lll_local.Metrics.records sink);
+      let st = Store.stats store in
+      Format.printf "warm: %d built, %d disk hit(s), %d quarantined@." st.Store.st_built
+        st.Store.st_disk_hits st.Store.st_quarantined
+    in
+    let families_arg =
+      Arg.(value & opt (some string) None
+           & info [ "families" ] ~docv:"NAMES" ~doc:"Comma-separated corpus family filter.")
+    in
+    let grid_arg =
+      Arg.(value & opt (some string) None
+           & info [ "grid" ] ~docv:"N,N,..." ~doc:"Sizes to materialize (default: corpus grid).")
+    in
+    let seeds_arg =
+      Arg.(value & opt (some string) None
+           & info [ "seeds" ] ~docv:"S,S,..." ~doc:"Seeds to materialize (default: corpus seeds).")
+    in
+    Cmd.v
+      (Cmd.info "warm"
+         ~doc:"Materialize scenario-corpus artifacts ahead of time, reporting per-instance \
+               acquisition source/latency and girth-sampler work.")
+      Term.(const run $ dir_arg $ families_arg $ grid_arg $ seeds_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Content-addressed instance artifact store maintenance: ls, verify, gc, warm.")
+    [ ls_cmd; verify_cmd; gc_cmd; warm_cmd ]
+
 (* ---- solvers ---- *)
 
 let solvers_cmd =
@@ -818,5 +1067,6 @@ let () =
             fuzz_cmd;
             scenario_cmd;
             serve_cmd;
+            store_cmd;
             client_cmd;
           ]))

@@ -271,3 +271,10 @@ let self_test ?eps ?(seed = 7) ?(budget = 50) ?log () =
 let dump_reproducer path finding =
   Serial.save path finding.shrunk;
   path
+
+(* Reproducers as first-class store artifacts: content-addressed, so
+   re-finding the same shrunk instance dedupes, and any layer reloads
+   it by key ([solve file=<path>] converges on the same cache entry). *)
+let dump_reproducer_store store finding =
+  let digest = Lll_store.Store.put_blob store finding.shrunk in
+  (digest, Filename.concat (Option.get (Lll_store.Store.dir store)) (digest ^ ".lllbin"))

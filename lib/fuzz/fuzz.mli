@@ -79,6 +79,11 @@ val dump_reproducer : string -> finding -> string
 (** Save the shrunk reproducer in the Serialize v2 instance format;
     returns the path ([lll_cli solve/criteria --file] reload it). *)
 
+val dump_reproducer_store : Lll_store.Store.t -> finding -> string * string
+(** Persist the shrunk reproducer as a content-addressed binary
+    artifact in the store; returns [(digest, path)]. Requires a
+    disk-backed store ([Store.create ~dir]). *)
+
 (** {1 Harness self-test} *)
 
 val mutant_name : string

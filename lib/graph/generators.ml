@@ -150,7 +150,18 @@ let random_regular ~seed n d =
    cycles below any fixed length, so the repair loop converges after a
    handful of swaps. The lower-bound constructions of the sinkless
    orientation papers live on exactly these high-girth regular graphs. *)
-let random_regular_girth ~seed ~girth n d =
+type girth_stats = {
+  mutable gs_attempts : int;
+  mutable gs_swaps : int;
+  mutable gs_reverts : int;
+  mutable gs_rejects : int;
+}
+
+let fresh_girth_stats () = { gs_attempts = 0; gs_swaps = 0; gs_reverts = 0; gs_rejects = 0 }
+
+(* Counter updates must never touch the rng streams: the attempt-0 seed
+   derivation below is pinned by store artifact keys. *)
+let random_regular_girth ?(stats = fresh_girth_stats ()) ~seed ~girth n d =
   if girth < 3 then invalid_arg "Generators.random_regular_girth: need girth >= 3";
   if d < 1 || d >= n then invalid_arg "Generators.random_regular_girth: need 1 <= d < n";
   if n * d mod 2 <> 0 then invalid_arg "Generators.random_regular_girth: n*d must be even";
@@ -179,6 +190,7 @@ let random_regular_girth ~seed ~girth n d =
      Attempt 0 keeps the canonical seed derivation so recorded corpora
      (scenario baselines) reproduce bit-for-bit across runs. *)
   let attempt k =
+  stats.gs_attempts <- stats.gs_attempts + 1;
   let g0 = random_regular ~seed:(if k = 0 then seed else seed + (k * 0x9e3779)) n d in
   let rng =
     if k = 0 then Random.State.make [| seed; girth; d; 0x5157 |]
@@ -247,11 +259,17 @@ let random_regular_girth ~seed ~girth n d =
   in
   let try_swap ei =
     let ej = Random.State.int rng m in
-    if ej = ei then false
+    if ej = ei then begin
+      stats.gs_rejects <- stats.gs_rejects + 1;
+      false
+    end
     else begin
       let u, v = edges.(ei) in
       let x, y = if Random.State.bool rng then edges.(ej) else (snd edges.(ej), fst edges.(ej)) in
-      if u = x || u = y || v = x || v = y || mem_edge u x || mem_edge v y then false
+      if u = x || u = y || v = x || v = y || mem_edge u x || mem_edge v y then begin
+        stats.gs_rejects <- stats.gs_rejects + 1;
+        false
+      end
       else begin
         remove_edge u v;
         remove_edge x y;
@@ -268,11 +286,13 @@ let random_regular_girth ~seed ~girth n d =
           remove_edge v y;
           add_edge u v;
           add_edge x y;
+          stats.gs_reverts <- stats.gs_reverts + 1;
           false
         end
         else begin
           edges.(ei) <- key u x;
           edges.(ej) <- key v y;
+          stats.gs_swaps <- stats.gs_swaps + 1;
           true
         end
       end

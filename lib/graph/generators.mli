@@ -28,13 +28,32 @@ val random_regular : seed:int -> int -> int -> Graph.t
 (** [random_regular ~seed n d]: simple [d]-regular graph via the
     configuration model with retries. Requires [n*d] even, [1 <= d < n]. *)
 
-val random_regular_girth : seed:int -> girth:int -> int -> int -> Graph.t
+type girth_stats = {
+  mutable gs_attempts : int;
+      (** configuration-model restarts, including the first attempt *)
+  mutable gs_swaps : int;  (** accepted degree-preserving 2-swaps *)
+  mutable gs_reverts : int;
+      (** swaps undone by informed acceptance (replacement edges landed
+          on short cycles) *)
+  mutable gs_rejects : int;  (** swap offers rejected before mutating *)
+}
+(** Girth-sampler work counters, the cost that otherwise vanishes into
+    wall-clock when growing high-girth corpora. *)
+
+val fresh_girth_stats : unit -> girth_stats
+
+val random_regular_girth :
+  ?stats:girth_stats -> seed:int -> girth:int -> int -> int -> Graph.t
 (** [random_regular_girth ~seed ~girth n d]: simple [d]-regular graph
     whose girth is at least [girth], sampled by configuration-model
     start plus degree-preserving edge swaps that destroy short cycles
     (the high-girth regular graphs of the sinkless-orientation lower
     bound, arXiv 1511.00900). Requires [n*d] even, [1 <= d < n] and
-    [n] at least the Moore bound for [(d, girth)].
+    [n] at least the Moore bound for [(d, girth)]. [stats] counters are
+    incremented as the repair walk runs (pass a fresh record per call to
+    get per-call numbers); passing it never changes the sampled graph —
+    in particular the attempt-0 seed derivation, which store artifact
+    keys depend on, is regression-pinned in the test suite.
     @raise Failure if the swap budget runs out. *)
 
 val gnm : seed:int -> int -> int -> Graph.t

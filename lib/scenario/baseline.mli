@@ -35,10 +35,11 @@ val default_tolerance : float
 (** 0.25: a quarter of the recorded maximum, at least one round. *)
 
 val default_o1_cap : int
-(** 6 rounds: the ceiling for "O(1)-round-solvable" on the default
+(** 8 rounds: the ceiling for "O(1)-round-solvable" on the default
     grid. At-threshold deterministic series cross it well before
-    [n = 96]; the sub-threshold witnesses sit under it (the application
-    engines at 0–1 rounds, parallel Moser–Tardos under shattering). *)
+    [n = 96]; the sub-threshold witnesses saturate under it (the
+    application engines at 0–1 rounds, parallel Moser–Tardos under
+    shattering plateauing at 7 rounds by [n = 960]). *)
 
 val of_measurements :
   ?tolerance:float ->

@@ -6,9 +6,11 @@
     at-threshold side is where the [Omega(log log n)] randomized /
     [Omega(log n)] deterministic lower bounds live (sinkless orientation
     on high-girth regular graphs, arXiv 1511.00900; rank-r synthetic
-    families after Brandt–Grunau–Rozhoň, arXiv 2006.04625). *)
+    families after Brandt–Grunau–Rozhoň, arXiv 2006.04625).
 
-module Instance = Lll_core.Instance
+    Families are described as canonical {!Lll_store.Spec.t} values;
+    instances are acquired through an artifact store, never generated
+    here. *)
 
 type side = Below | At  (** position of [p] relative to [2^-d] *)
 
@@ -17,9 +19,10 @@ type family = {
   side : side;
   rank : int;
   doc : string;
-  build : seed:int -> int -> Instance.t;
-      (** [build ~seed n] for any [n] in a valid grid (see
-          {!default_grid}); deterministic in [(seed, n)]. *)
+  spec : seed:int -> int -> Lll_store.Spec.t;
+      (** [spec ~seed n] for any [n] in a valid grid (see
+          {!default_grid}); deterministic in [(seed, n)] — the spec's
+          digest is the store artifact key. *)
 }
 
 val all : family list
@@ -34,7 +37,13 @@ val side_to_string : side -> string
 val default_grid : int list
 (** Sizes divisible by 12, satisfying every family's structural
     constraints (even [n] for 3-regular graphs, [3 | 2n] for the rank-3
-    hypergraph, girth-6 Moore bound), small enough that a full sweep
-    stays CI-friendly; experiments pass larger grids explicitly. *)
+    hypergraph, girth-6 Moore bound). An order of magnitude past the
+    PR 6 grids: warm-store sweeps load artifacts instead of
+    regenerating, and superlinear ablation engines stop at
+    {!Run.heavy_cutoff}. *)
 
 val default_seeds : int list
+
+val deep_grid : int list
+(** The offline growth grid (experiment t16 and the PR 10 bench
+    report); a full decade beyond {!default_grid}'s top. *)

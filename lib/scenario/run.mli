@@ -35,22 +35,37 @@ type fit = {
   residual : float;  (** normalized L2 residual of the best fit *)
 }
 
+val heavy_engines : string list
+(** Superlinear ablation engines measured only up to {!heavy_cutoff}
+    nodes; part of the measurement definition (applied identically when
+    recording and when checking baselines). *)
+
+val heavy_cutoff : int
+
+val engine_included : engine:string -> n:int -> bool
+
 val measure :
   ?grid:int list ->
   ?seeds:int list ->
   ?families:Corpus.family list ->
   ?domains:int option ->
+  ?store:Lll_store.Store.t ->
   unit ->
   measurement list
 (** Run every registered engine with [caps.distributed = true] (the
-    round-accounted ones) that is applicable to each family instance.
+    round-accounted ones) that is applicable to each family instance —
+    except {!heavy_engines} past {!heavy_cutoff}. Instances are
+    acquired through [store] (one per (family, n, seed), shared by the
+    engines); the default is a fresh memory-only store, so pass a
+    disk-backed one to reuse materialized artifacts across runs.
     Deterministic in (grid, seeds): engines draw randomness only from
-    the per-measurement seed. An engine that raises yields a
-    [rounds = None, ok = false] measurement rather than aborting the
-    sweep. [domains] defaults to [Some 1] so baselines never depend on
-    the machine's core count; any override must leave every round count
-    bit-identical (the runtime's determinism contract) and only affects
-    the recorded sweep widths. *)
+    the per-measurement seed, and a store hit is bit-identical to a
+    regeneration (serialization round-trips exactly). An engine that
+    raises yields a [rounds = None, ok = false] measurement rather than
+    aborting the sweep. [domains] defaults to [Some 1] so baselines
+    never depend on the machine's core count; any override must leave
+    every round count bit-identical (the runtime's determinism
+    contract) and only affects the recorded sweep widths. *)
 
 val fit_growth : measurement list -> fit list
 (** Least-squares fit (through the origin) of each (family, engine)

@@ -42,27 +42,30 @@ module Assignment = Lll_prob.Assignment
 module Metrics = Lll_local.Metrics
 module Corpus = Lll_scenario.Corpus
 module Run = Lll_scenario.Run
+module Store = Lll_store.Store
 
 type solved = {
   sv_fields : (string * string) list; (* result fields minus cache/memo tags *)
   sv_body : string;
-  sv_built : [ `Hit | `Miss ]; (* instance-cache status of the original run *)
+  sv_built : Store.source; (* store tier that satisfied the original run *)
 }
 
 type t = {
-  instances : Instance.t Cache.t;
+  store : Store.t; (* memory tier over optional artifact directory *)
   results : solved Cache.t;
   default_domains : int option;
 }
 
-let create ?(capacity = 32) ?(memo_capacity = 256) ?domains () =
+let create ?(capacity = 32) ?(memo_capacity = 256) ?domains ?store_dir () =
   {
-    instances = Cache.create ~capacity;
+    store = Store.create ?dir:store_dir ~capacity ();
     results = Cache.create ~capacity:memo_capacity;
     default_domains = domains;
   }
 
-let stats t = Cache.stats t.instances
+let store t = t.store
+let stats t = (Store.stats t.store).Store.st_mem
+let store_stats t = Store.stats t.store
 let memo_stats t = Cache.stats t.results
 
 (* ---- assignment transport: CSV of values in variable-id order ---- *)
@@ -118,13 +121,15 @@ let run_params t frame ~sink =
     metrics = sink;
   }
 
-let cache_field status =
-  ("cache", match status with `Hit -> "hit" | `Miss -> "miss")
+(* [hit]: served from the memory tier (or another thread's in-flight
+   build); [disk]: loaded from a store artifact; [miss]: built fresh. *)
+let cache_field (source : Store.source) =
+  ("cache", match source with `Mem -> "hit" | `Disk -> "disk" | `Built -> "miss")
 
 (* Run the solver now; returns the response minus its cache/memo tags
    (the caller knows whether this run was fresh or replayed). *)
-let solve_now t frame ~key ~build ~solver ~id ~emit =
-  let inst, status = Cache.find_or_build t.instances ~key ~build in
+let solve_now t frame ~key ~descr ~solver ~id ~emit =
+  let inst, source = Store.fetch_descr t.store descr in
   let sink =
     if Protocol.get_bool frame "stream" then
       Metrics.callback (fun r ->
@@ -152,17 +157,18 @@ let solve_now t frame ~key ~build ~solver ~id ~emit =
       ]
       @ rounds;
     sv_body = assignment_to_string report.Solver.outcome.Solver.assignment;
-    sv_built = status;
+    sv_built = source;
   }
 
 let handle_solve t frame ~id ~emit =
-  let key, build = Workload.of_frame frame in
+  let descr = Workload.of_frame frame in
+  let key = Store.descr_key t.store descr in
   let solver = Option.value (Protocol.get frame "solver") ~default:"fix3" in
   let memoable =
     (not (Protocol.get_bool frame "stream")) && Protocol.get frame "memo" <> Some "0"
   in
   if not memoable then begin
-    let sv = solve_now t frame ~key ~build ~solver ~id ~emit in
+    let sv = solve_now t frame ~key ~descr ~solver ~id ~emit in
     (("op", "solve") :: cache_field sv.sv_built :: sv.sv_fields, sv.sv_body)
   end
   else begin
@@ -178,7 +184,7 @@ let handle_solve t frame ~id ~emit =
     in
     let sv, memo_status =
       Cache.find_or_build t.results ~key:mkey ~build:(fun () ->
-          solve_now t frame ~key ~build ~solver ~id ~emit)
+          solve_now t frame ~key ~descr ~solver ~id ~emit)
     in
     match memo_status with
     | `Miss -> (("op", "solve") :: cache_field sv.sv_built :: sv.sv_fields, sv.sv_body)
@@ -189,13 +195,14 @@ let handle_solve t frame ~id ~emit =
 let handle_verify t frame =
   (* the instance comes from the spec headers; the body carries the
      assignment CSV (blob-described instances go through solve) *)
-  let key, build = Workload.of_frame { frame with Protocol.body = "" } in
-  let inst, status = Cache.find_or_build t.instances ~key ~build in
+  let descr = Workload.of_frame { frame with Protocol.body = "" } in
+  let key = Store.descr_key t.store descr in
+  let inst, source = Store.fetch_descr t.store descr in
   let a = assignment_of_string (Instance.num_vars inst) frame.Protocol.body in
   let result = Verify.check inst a in
   ( [
       ("op", "verify");
-      ("cache", (match status with `Hit -> "hit" | `Miss -> "miss"));
+      cache_field source;
       ("key", key);
       ("ok", if result.Verify.ok then "1" else "0");
       ("violated", String.concat "," (List.map string_of_int result.Verify.violated));
@@ -238,13 +245,14 @@ let handle_scenario t frame =
     | Some d -> Some (Some d)
     | None -> (match t.default_domains with None -> None | Some d -> Some (Some d))
   in
-  let measurements = Run.measure ?grid ?seeds ?families ?domains () in
+  let measurements = Run.measure ?grid ?seeds ?families ?domains ~store:t.store () in
   let fits = Run.fit_growth measurements in
   ( [ ("op", "scenario"); ("measurements", string_of_int (List.length measurements)) ],
     Format.asprintf "%a@.%a" Run.pp_measurements measurements Run.pp_fits fits )
 
 let handle_stats t =
-  let s = stats t in
+  let ss = store_stats t in
+  let s = ss.Store.st_mem in
   let m = memo_stats t in
   ( [
       ("op", "stats");
@@ -254,6 +262,10 @@ let handle_stats t =
       ("misses", string_of_int s.Cache.s_misses);
       ("evictions", string_of_int s.Cache.s_evictions);
       ("waits", string_of_int s.Cache.s_waits);
+      ("store-dir", Option.value (Store.dir t.store) ~default:"-");
+      ("store-built", string_of_int ss.Store.st_built);
+      ("store-disk-hits", string_of_int ss.Store.st_disk_hits);
+      ("store-quarantined", string_of_int ss.Store.st_quarantined);
       ("memo-size", string_of_int m.Cache.s_size);
       ("memo-hits", string_of_int m.Cache.s_hits);
       ("memo-misses", string_of_int m.Cache.s_misses);
@@ -262,10 +274,11 @@ let handle_stats t =
 
 (* ---- batch execution ---- *)
 
-let instance_key frame =
+let instance_key t frame =
   match Protocol.get frame "op" with
-  | Some "solve" -> Some (fst (Workload.of_frame frame))
-  | Some "verify" -> Some (fst (Workload.of_frame { frame with Protocol.body = "" }))
+  | Some "solve" -> Some (Store.descr_key t.store (Workload.of_frame frame))
+  | Some "verify" ->
+    Some (Store.descr_key t.store (Workload.of_frame { frame with Protocol.body = "" }))
   | _ -> None
 
 let handle_one t frame ~id ~emit =
@@ -288,7 +301,7 @@ let handle_batch t frames ~emit =
   let order = ref [] in
   Array.iteri
     (fun id frame ->
-      match (try instance_key frame with _ -> None) with
+      match (try instance_key t frame with _ -> None) with
       | Some key -> (
         match Hashtbl.find_opt seen key with
         | Some ids -> ids := id :: !ids

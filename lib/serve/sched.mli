@@ -7,13 +7,24 @@
 
 type t
 
-val create : ?capacity:int -> ?memo_capacity:int -> ?domains:int -> unit -> t
-(** [capacity] bounds the instance cache (default 32); [memo_capacity]
-    bounds the solved-response memo cache (default 256); [domains] is
-    the default domain count for requests that do not set one. *)
+val create :
+  ?capacity:int -> ?memo_capacity:int -> ?domains:int -> ?store_dir:string -> unit -> t
+(** [capacity] bounds the store's memory tier (default 32);
+    [memo_capacity] bounds the solved-response memo cache (default
+    256); [domains] is the default domain count for requests that do
+    not set one; [store_dir] backs the scheduler's store with an
+    artifact directory (without it instances live in memory only, as
+    before PR 10). *)
+
+val store : t -> Lll_store.Store.t
+(** The scheduler's store — the single acquisition path every request
+    description resolves through. *)
+
+val store_stats : t -> Lll_store.Store.stats
 
 val stats : t -> Cache.stats
-(** Instance-cache counters. *)
+(** Memory-tier counters (kept for compatibility: equals
+    [(store_stats t).st_mem]). *)
 
 val memo_stats : t -> Cache.stats
 (** Solved-response memo-cache counters. *)

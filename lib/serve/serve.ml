@@ -78,11 +78,11 @@ let serve_channels sched ic oc =
   in
   loop ()
 
-let serve_stdio ?capacity ?domains ?max_frame ?max_batch () =
+let serve_stdio ?capacity ?domains ?store_dir ?max_frame ?max_batch () =
   ignore_sigpipe ();
   Option.iter Protocol.set_max_frame max_frame;
   Option.iter Protocol.set_max_batch max_batch;
-  let sched = Sched.create ?capacity ?domains () in
+  let sched = Sched.create ?capacity ?domains ?store_dir () in
   set_binary_mode_in stdin true;
   set_binary_mode_out stdout true;
   ignore (serve_channels sched stdin stdout)
@@ -207,12 +207,12 @@ let rec accept_retry sock =
   | conn -> conn
   | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> accept_retry sock
 
-let serve_socket ?capacity ?domains ?(workers = 1) ?max_frame ?max_batch ~path () =
+let serve_socket ?capacity ?domains ?store_dir ?(workers = 1) ?max_frame ?max_batch ~path () =
   ignore_sigpipe ();
   Option.iter Protocol.set_max_frame max_frame;
   Option.iter Protocol.set_max_batch max_batch;
   let workers = max 1 workers in
-  let sched = Sched.create ?capacity ?domains () in
+  let sched = Sched.create ?capacity ?domains ?store_dir () in
   claim_socket_path path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let cleanup () =

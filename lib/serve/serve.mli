@@ -13,12 +13,21 @@ val serve_channels : Sched.t -> in_channel -> out_channel -> [ `Eof | `Shutdown 
 (** Serve frames until clean EOF or a shutdown request. *)
 
 val serve_stdio :
-  ?capacity:int -> ?domains:int -> ?max_frame:int -> ?max_batch:int -> unit -> unit
-(** Serve on stdin/stdout (binary mode) until EOF or shutdown. *)
+  ?capacity:int ->
+  ?domains:int ->
+  ?store_dir:string ->
+  ?max_frame:int ->
+  ?max_batch:int ->
+  unit ->
+  unit
+(** Serve on stdin/stdout (binary mode) until EOF or shutdown.
+    [store_dir] backs the scheduler's instance store with an artifact
+    directory. *)
 
 val serve_socket :
   ?capacity:int ->
   ?domains:int ->
+  ?store_dir:string ->
   ?workers:int ->
   ?max_frame:int ->
   ?max_batch:int ->

@@ -1,87 +1,38 @@
-(* Instance descriptions the service understands, and their canonical
-   cache keys.
+(* Instance descriptions the service understands.
 
    A request names an instance by generator spec (family + parameters —
    the same families the CLI generates), by uploading a serialized blob
    (text v1/v2 or binary v3) in the frame body, or by a server-local
-   [file=PATH] header. All map to a content key: specs canonicalise to
-   a parameter string, blobs to a digest, binary container files to the
-   kind/checksum/length fingerprint read from their fixed header (no
-   payload scan). The same description always yields the same key,
-   which is what makes repeat requests cache hits.
+   [file=PATH] header. This module only maps frames onto store
+   descriptions: canonicalisation, content keys, build and load logic
+   all live in [Lll_store] (one codec, one acquisition path), so a
+   description resolves to the same key — and the same materialized
+   artifact — whether it arrives here, at the CLI, or in the scenario
+   runner. *)
 
-   A [file=] pointing at a v3 binary container builds through the mmap
-   load path ([Serial.load_binary_mmap]): the container's bytes stay in
-   the OS page cache instead of being copied into a heap string before
-   decode. *)
+module Store = Lll_store.Store
+module Spec = Lll_store.Spec
 
-module Gen = Lll_graph.Generators
-module Syn = Lll_core.Synthetic
-module Serial = Lll_core.Serial
-module Sink = Lll_apps.Sinkless
-module HO = Lll_apps.Hyper_orientation
-module WS = Lll_apps.Weak_splitting
+let families = Spec.families
 
-(* the application engines register themselves on first use; any serve
-   consumer resolving solver names needs them in the registry *)
-let () = Lll_apps.App_engines.ensure_registered ()
-
-type spec = {
-  family : string;
-  n : int;
-  degree : int;
-  seed : int;
-  at_threshold : bool;
-}
-
-let families = [ "ring"; "rank3"; "sinkless"; "sinkless-relaxed"; "hyper"; "weak-splitting" ]
-
-let build_spec { family; n; degree; seed; at_threshold } =
-  let position = if at_threshold then Syn.At_threshold else Syn.Below_threshold in
-  match family with
-  | "ring" -> Syn.ring ~position ~seed ~n ~arity:4 ()
-  | "rank3" -> Syn.random ~position ~seed ~n ~rank:3 ~delta:2 ~arity:8 ()
-  | "sinkless" -> Sink.instance (Gen.random_regular ~seed n degree)
-  | "sinkless-relaxed" -> Sink.relaxed_instance (Gen.random_regular ~seed n degree)
-  | "hyper" -> HO.instance (Gen.random_regular_hypergraph ~seed n 3 degree)
-  | "weak-splitting" ->
-    WS.instance ~nv:n (Gen.random_biregular_bipartite ~seed ~nv:n ~nu:n ~deg_u:3 ~deg_v:3)
-  | f -> invalid_arg (Printf.sprintf "Workload.build_spec: unknown family %S" f)
-
-let key_of_spec { family; n; degree; seed; at_threshold } =
-  Printf.sprintf "spec:%s;n=%d;d=%d;s=%d;at=%b" family n degree seed at_threshold
-
-(* A request's instance description: [(cache key, builder)]. A non-empty
-   body wins over a [file=] header, which wins over spec fields. *)
+(* A non-empty body wins over a [file=] header, which wins over spec
+   fields. *)
 let of_frame (frame : Protocol.frame) =
-  if frame.Protocol.body <> "" then begin
-    let blob = frame.Protocol.body in
-    (Cache.content_key blob, fun () -> Serial.of_any_string blob)
-  end
+  if frame.Protocol.body <> "" then Store.Of_blob frame.Protocol.body
   else
     match Protocol.get frame "file" with
     | Some path ->
       if not (Sys.file_exists path) then
         raise (Protocol.Protocol_error (Printf.sprintf "file not found: %s" path));
-      (match Serial.binary_fingerprint path with
-      | Some fp -> ("file-v3:" ^ fp, fun () -> Serial.load_binary_mmap path)
-      | None ->
-        ("file:" ^ Digest.to_hex (Digest.file path), fun () -> Serial.load_any path))
-    | None -> begin
-    let get_int key default =
-      match Protocol.get_int frame key with Some v -> v | None -> default
-    in
-    let spec =
-      {
-        family = Option.value (Protocol.get frame "family") ~default:"ring";
-        n = get_int "n" 30;
-        degree = get_int "degree" 3;
-        seed = get_int "gen-seed" (get_int "seed" 1);
-        at_threshold = Protocol.get_bool frame "at-threshold";
-      }
-    in
-      if not (List.mem spec.family families) then
-        raise
-          (Protocol.Protocol_error (Printf.sprintf "unknown family %S" spec.family));
-      (key_of_spec spec, fun () -> build_spec spec)
-    end
+      Store.Of_file path
+    | None ->
+      let get_int key default =
+        match Protocol.get_int frame key with Some v -> v | None -> default
+      in
+      let family = Option.value (Protocol.get frame "family") ~default:"ring" in
+      if not (List.mem family families) then
+        raise (Protocol.Protocol_error (Printf.sprintf "unknown family %S" family));
+      Store.Of_spec
+        (Spec.of_family_params ~family ~n:(get_int "n" 30) ~degree:(get_int "degree" 3)
+           ~seed:(get_int "gen-seed" (get_int "seed" 1))
+           ~at_threshold:(Protocol.get_bool frame "at-threshold"))

@@ -1,29 +1,16 @@
-(** Instance descriptions carried by requests, and their canonical
-    cache keys. *)
-
-type spec = {
-  family : string;
-  n : int;
-  degree : int;
-  seed : int;
-  at_threshold : bool;
-}
+(** Mapping request frames onto store descriptions. All canonicalisation,
+    key and build logic lives in {!Lll_store} — the service resolves
+    instances through the same acquisition path as every other layer. *)
 
 val families : string list
-(** The generator families the service accepts (mirrors the CLI). *)
+(** The generator families the service accepts (mirrors the CLI;
+    re-exported from {!Lll_store.Spec.families}). *)
 
-val build_spec : spec -> Lll_core.Instance.t
-(** @raise Invalid_argument on an unknown family. *)
-
-val key_of_spec : spec -> string
-
-val of_frame : Protocol.frame -> string * (unit -> Lll_core.Instance.t)
-(** The cache key and builder a request frame describes: a non-empty
-    body is a serialized instance blob (keyed by digest); else a
-    [file=PATH] header names a server-local file (a v3 binary container
-    is keyed by its header fingerprint and loads via mmap, anything
-    else by content digest); otherwise the
+val of_frame : Protocol.frame -> Lll_store.Store.descr
+(** The store description a request frame names: a non-empty body is a
+    serialized instance blob, else a [file=PATH] header names a
+    server-local file, otherwise the
     [family]/[n]/[degree]/[gen-seed]/[at-threshold] header fields name a
-    generator spec (keyed by canonical parameter string).
+    generator spec.
     @raise Protocol.Protocol_error on an unknown family or missing
     file. *)

@@ -1,0 +1,34 @@
+(** Mutex-guarded LRU cache keyed by content identity, safe to share
+    across the worker pool. A hit returns the cached value with zero
+    rebuild work; concurrent misses on one key run the build exactly
+    once (per-key build locks — late arrivals park on a condition
+    variable until the first builder publishes). *)
+
+type 'v t
+
+type stats = {
+  s_size : int;  (** ready entries (in-flight builds excluded) *)
+  s_capacity : int;
+  s_hits : int;  (** includes threads served by another thread's build *)
+  s_misses : int;  (** builds actually run *)
+  s_evictions : int;
+  s_waits : int;  (** threads that parked on an in-flight build *)
+}
+
+val create : capacity:int -> 'v t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val content_key : string -> string
+(** Content identity of an uploaded instance blob (digest-based). Spec
+    described instances use their canonical parameter string directly. *)
+
+val find_or_build : 'v t -> key:string -> build:(unit -> 'v) -> 'v * [ `Hit | `Miss ]
+(** Return the cached value ([`Hit], this thread ran no build) or run
+    [build], cache the result and return it ([`Miss]), evicting the
+    least recently used ready entry when over capacity. A thread that
+    arrives while another thread is building the same key blocks until
+    that build publishes and reports [`Hit]; if the build raised, every
+    waiter re-raises the builder's exception and the key is dropped (a
+    later request retries). *)
+
+val stats : 'v t -> stats

@@ -1,0 +1,166 @@
+(* The canonical generation-spec codec (see spec.mli).
+
+   One versioned surface for every instance description the system
+   generates — the scenario corpus families, the serve protocol's spec
+   fields, and the CLI generator flags all normalise into [t] and share
+   its canonical string, digest and builder. Before this module the
+   spec-string logic lived three times (serve cache keys, serve workload
+   keys, scenario in-process regeneration) and the artifact layers could
+   not share materializations.
+
+   Canonical form: every constructor renders all of its fields in a
+   fixed order, so rendering is injective by construction (the family
+   tag disambiguates across constructors, the field list within one).
+   The [specv1:] prefix versions the codec: any change to field
+   semantics must bump it, because store artifact names are digests of
+   this string. *)
+
+module Gen = Lll_graph.Generators
+module Syn = Lll_core.Synthetic
+module Sink = Lll_apps.Sinkless
+module HO = Lll_apps.Hyper_orientation
+module WS = Lll_apps.Weak_splitting
+
+(* the application engines register themselves on first use; anything
+   resolving solver names against a store-built instance needs them *)
+let () = Lll_apps.App_engines.ensure_registered ()
+
+type t =
+  | Ring of { n : int; seed : int; arity : int; at : bool }
+  | Rank of { n : int; seed : int; rank : int; delta : int; arity : int; at : bool }
+  | Sinkless of { n : int; seed : int; degree : int; girth : int; relaxed : bool }
+  | Hyper of { n : int; seed : int; rank : int; degree : int }
+  | Weak_split of { n : int; seed : int; degree : int }
+
+let version = 1
+
+let bool_char b = if b then '1' else '0'
+
+let to_string = function
+  | Ring { n; seed; arity; at } ->
+    Printf.sprintf "specv%d:ring;n=%d;s=%d;a=%d;at=%c" version n seed arity (bool_char at)
+  | Rank { n; seed; rank; delta; arity; at } ->
+    Printf.sprintf "specv%d:rank;n=%d;s=%d;r=%d;dl=%d;a=%d;at=%c" version n seed rank delta
+      arity (bool_char at)
+  | Sinkless { n; seed; degree; girth; relaxed } ->
+    Printf.sprintf "specv%d:sinkless;n=%d;s=%d;d=%d;g=%d;rx=%c" version n seed degree girth
+      (bool_char relaxed)
+  | Hyper { n; seed; rank; degree } ->
+    Printf.sprintf "specv%d:hyper;n=%d;s=%d;r=%d;d=%d" version n seed rank degree
+  | Weak_split { n; seed; degree } ->
+    Printf.sprintf "specv%d:weak-split;n=%d;s=%d;d=%d" version n seed degree
+
+exception Malformed of string
+
+let malformed s = raise (Malformed (Printf.sprintf "Spec.of_string: cannot parse %S" s))
+
+let of_string s =
+  let prefix = Printf.sprintf "specv%d:" version in
+  if not (String.length s > String.length prefix && String.sub s 0 (String.length prefix) = prefix)
+  then malformed s;
+  let rest = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+  let family, fields =
+    match String.index_opt rest ';' with
+    | None -> malformed s
+    | Some i ->
+      ( String.sub rest 0 i,
+        String.split_on_char ';' (String.sub rest (i + 1) (String.length rest - i - 1)) )
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun field ->
+      match String.index_opt field '=' with
+      | Some i ->
+        Hashtbl.replace tbl
+          (String.sub field 0 i)
+          (String.sub field (i + 1) (String.length field - i - 1))
+      | None -> malformed s)
+    fields;
+  let int k =
+    match Hashtbl.find_opt tbl k with
+    | Some v -> ( try int_of_string v with _ -> malformed s)
+    | None -> malformed s
+  in
+  let bool k =
+    match Hashtbl.find_opt tbl k with
+    | Some "1" -> true
+    | Some "0" -> false
+    | _ -> malformed s
+  in
+  let t =
+    match family with
+    | "ring" -> Ring { n = int "n"; seed = int "s"; arity = int "a"; at = bool "at" }
+    | "rank" ->
+      Rank
+        {
+          n = int "n";
+          seed = int "s";
+          rank = int "r";
+          delta = int "dl";
+          arity = int "a";
+          at = bool "at";
+        }
+    | "sinkless" ->
+      Sinkless
+        { n = int "n"; seed = int "s"; degree = int "d"; girth = int "g"; relaxed = bool "rx" }
+    | "hyper" -> Hyper { n = int "n"; seed = int "s"; rank = int "r"; degree = int "d" }
+    | "weak-split" -> Weak_split { n = int "n"; seed = int "s"; degree = int "d" }
+    | _ -> malformed s
+  in
+  (* round-trip check: rejects non-canonical renderings (extra fields,
+     leading zeros) so a string and its spec digest always agree *)
+  if to_string t <> s then malformed s;
+  t
+
+let digest t = Digest.to_hex (Digest.string (to_string t))
+let key t = "spec:" ^ digest t
+
+let family_name = function
+  | Ring _ -> "ring"
+  | Rank { rank; _ } -> Printf.sprintf "rank%d" rank
+  | Sinkless { relaxed; _ } -> if relaxed then "sinkless-relaxed" else "sinkless"
+  | Hyper _ -> "hyper"
+  | Weak_split _ -> "weak-split"
+
+let size = function
+  | Ring { n; _ } | Rank { n; _ } | Sinkless { n; _ } | Hyper { n; _ } | Weak_split { n; _ } -> n
+
+let seed = function
+  | Ring { seed; _ }
+  | Rank { seed; _ }
+  | Sinkless { seed; _ }
+  | Hyper { seed; _ }
+  | Weak_split { seed; _ } -> seed
+
+(* The serve protocol / CLI family vocabulary (PR 8's [Workload.families]
+   kept verbatim so existing clients keep working). *)
+let families = [ "ring"; "rank3"; "sinkless"; "sinkless-relaxed"; "hyper"; "weak-splitting" ]
+
+let of_family_params ~family ~n ~degree ~seed ~at_threshold =
+  match family with
+  | "ring" -> Ring { n; seed; arity = 4; at = at_threshold }
+  | "rank3" -> Rank { n; seed; rank = 3; delta = 2; arity = 8; at = at_threshold }
+  | "sinkless" -> Sinkless { n; seed; degree; girth = 0; relaxed = false }
+  | "sinkless-relaxed" -> Sinkless { n; seed; degree; girth = 0; relaxed = true }
+  | "hyper" -> Hyper { n; seed; rank = 3; degree }
+  | "weak-splitting" -> Weak_split { n; seed; degree = 3 }
+  | f -> invalid_arg (Printf.sprintf "Spec.of_family_params: unknown family %S" f)
+
+let position at = if at then Syn.At_threshold else Syn.Below_threshold
+
+let build ?gen_stats t =
+  match t with
+  | Ring { n; seed; arity; at } -> Syn.ring ~position:(position at) ~seed ~n ~arity ()
+  | Rank { n; seed; rank; delta; arity; at } ->
+    Syn.random ~position:(position at) ~seed ~n ~rank ~delta ~arity ()
+  | Sinkless { n; seed; degree; girth; relaxed } ->
+    let g =
+      if girth <= 0 then Gen.random_regular ~seed n degree
+      else Gen.random_regular_girth ?stats:gen_stats ~seed ~girth n degree
+    in
+    if relaxed then Sink.relaxed_instance g else Sink.instance g
+  | Hyper { n; seed; rank; degree } ->
+    HO.instance (Gen.random_regular_hypergraph ~seed n rank degree)
+  | Weak_split { n; seed; degree } ->
+    WS.instance ~nv:n
+      (Gen.random_biregular_bipartite ~seed ~nv:n ~nu:n ~deg_u:degree ~deg_v:degree)

@@ -1,0 +1,58 @@
+(** The canonical, versioned generation-spec codec: the single source of
+    truth for turning instance descriptions into strings, digests and
+    built instances. Scenario corpus families, serve [spec=] workloads
+    and the CLI generator all normalise into {!t}; the store names
+    artifacts by {!digest} of the canonical string, so codec changes
+    must bump the embedded version. *)
+
+type t =
+  | Ring of { n : int; seed : int; arity : int; at : bool }
+      (** Rank-2 synthetic ring ([Synthetic.ring]), at or below threshold. *)
+  | Rank of { n : int; seed : int; rank : int; delta : int; arity : int; at : bool }
+      (** Synthetic family on a random [delta]-regular rank-[rank]
+          hypergraph ([Synthetic.random]). *)
+  | Sinkless of { n : int; seed : int; degree : int; girth : int; relaxed : bool }
+      (** Sinkless orientation on a [degree]-regular graph; [girth >= 3]
+          selects the girth-controlled sampler (the lower-bound
+          structure), [girth = 0] the plain configuration model.
+          [relaxed] is the ternary below-threshold variant. *)
+  | Hyper of { n : int; seed : int; rank : int; degree : int }
+      (** Hypergraph multi-orientation on a random regular hypergraph. *)
+  | Weak_split of { n : int; seed : int; degree : int }
+      (** Relaxed weak splitting on a biregular bipartite structure. *)
+
+exception Malformed of string
+
+val to_string : t -> string
+(** Canonical one-line rendering; injective (distinct specs render
+    distinct strings — family tag plus fixed field order). *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; rejects non-canonical renderings so string
+    and digest always agree. @raise Malformed otherwise. *)
+
+val digest : t -> string
+(** Hex content digest of the canonical string: the artifact name in a
+    store directory. *)
+
+val key : t -> string
+(** Cache key ["spec:<digest>"]. *)
+
+val build : ?gen_stats:Lll_graph.Generators.girth_stats -> t -> Lll_core.Instance.t
+(** Generate the instance (deterministic in the spec). [gen_stats]
+    accumulates girth-sampler restart/swap counters when the spec uses
+    the girth-controlled sampler. *)
+
+val family_name : t -> string
+val size : t -> int
+val seed : t -> int
+
+val families : string list
+(** The serve-protocol family vocabulary (["ring"; "rank3"; "sinkless";
+    "sinkless-relaxed"; "hyper"; "weak-splitting"]). *)
+
+val of_family_params :
+  family:string -> n:int -> degree:int -> seed:int -> at_threshold:bool -> t
+(** Map the protocol/CLI family vocabulary onto specs (fixed arities as
+    in PR 8's workload builder). @raise Invalid_argument on an unknown
+    family. *)

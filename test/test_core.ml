@@ -1388,6 +1388,47 @@ let test_serial_binary_mmap () =
       Alcotest.(check (option string)) "text has no fingerprint" None
         (Ser.binary_fingerprint text))
 
+let test_store_artifact_error_paths () =
+  (* the artifact store built on this container must never surface
+     Bin.Corrupt to its callers: a damaged artifact (any of the damage
+     kinds rejected above) is quarantined to [.bad] and regenerated *)
+  let module Spec = Lll_store.Spec in
+  let module Store = Lll_store.Store in
+  let dir = Filename.temp_file "lll_store_core" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let spec = Spec.Ring { n = 18; seed = 3; arity = 4; at = true } in
+      let damage name mutate =
+        let path = Store.materialize (Store.create ~dir ()) spec in
+        let blob = In_channel.with_open_bin path In_channel.input_all in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (mutate blob));
+        let st = Store.create ~dir () in
+        let inst, src = Store.fetch st spec in
+        Alcotest.(check bool) (name ^ ": regenerated, not crashed") true (src = `Built);
+        Alcotest.(check int) (name ^ ": quarantined") 1 (Store.stats st).Store.st_quarantined;
+        Alcotest.(check bool) (name ^ ": .bad parked") true (Sys.file_exists (path ^ ".bad"));
+        Alcotest.(check bool) (name ^ ": instance usable") true
+          (instances_agree inst (Spec.build spec));
+        Sys.remove (path ^ ".bad")
+      in
+      damage "bad magic" (fun b -> "XXXX" ^ String.sub b 4 (String.length b - 4));
+      damage "truncated" (fun b -> String.sub b 0 (String.length b / 3));
+      damage "checksum flip" (fun b ->
+          let d = Bytes.of_string b in
+          let last = Bytes.length d - 1 in
+          Bytes.set d last (Char.chr (Char.code (Bytes.get d last) lxor 0x40));
+          Bytes.to_string d);
+      damage "emptied" (fun _ -> "");
+      (* wrong container kind parked too: a graph blob is not an instance *)
+      damage "wrong kind" (fun _ ->
+          Lll_graph.Serialize.graph_to_binary (Gen.cycle 6)))
+
 let test_bin_mmap_negative_values () =
   (* regression: the u32-view decoder must sign-extend i32 array
      elements and assemble full-width i64 values — negative entries at
@@ -1693,6 +1734,8 @@ let () =
           Alcotest.test_case "binary cross-conversion" `Quick test_serial_binary_cross_conversion;
           Alcotest.test_case "binary file roundtrip" `Quick test_serial_binary_file_roundtrip;
           Alcotest.test_case "binary error paths" `Quick test_serial_binary_error_paths;
+          Alcotest.test_case "store artifact error paths" `Quick
+            test_store_artifact_error_paths;
           Alcotest.test_case "mmap load" `Quick test_serial_binary_mmap;
           Alcotest.test_case "mmap negative values" `Quick test_bin_mmap_negative_values;
         ]

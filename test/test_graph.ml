@@ -732,6 +732,49 @@ let girth_sampler_props =
         graphs_equal g (Ser.graph_of_string (Ser.graph_to_string g)));
   ]
 
+(* Every simple graph has girth >= 3, so the girth-3 repair loop is a
+   no-op and attempt 0 must hand back the configuration-model graph for
+   the *same* seed — the attempt-0 seed derivation that store artifact
+   keys are pinned to. *)
+let test_girth_sampler_attempt0_seed () =
+  List.iter
+    (fun (seed, n, d) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "girth 3 = plain configuration model (seed=%d n=%d d=%d)" seed n d)
+        true
+        (graphs_equal
+           (Gen.random_regular_girth ~seed ~girth:3 n d)
+           (Gen.random_regular ~seed n d)))
+    [ (1, 24, 3); (2, 24, 3); (1, 48, 3); (7, 30, 4) ]
+
+(* A hardcoded edge checksum on the corpus point (seed=1, girth=6,
+   n=24, d=3). Any change here silently renames every committed
+   sinkless artifact and invalidates the scenario baselines, so it must
+   be a deliberate, visible decision. *)
+let test_girth_sampler_pinned_edges () =
+  let g = Gen.random_regular_girth ~seed:1 ~girth:6 24 3 in
+  let sum =
+    Array.fold_left
+      (fun acc (u, v) -> ((acc * 131) + (u * 251) + v) land 0x3FFF_FFFF)
+      0 (G.edges g)
+  in
+  Alcotest.(check int) "edge checksum (store-key stability pin)" 727835792 sum
+
+let test_girth_sampler_stats () =
+  let stats = Gen.fresh_girth_stats () in
+  let g = Gen.random_regular_girth ~stats ~seed:1 ~girth:6 24 3 in
+  Alcotest.(check bool) "at least one attempt" true (stats.Gen.gs_attempts >= 1);
+  Alcotest.(check bool) "girth 6 at n=24 needs repair swaps" true (stats.Gen.gs_swaps > 0);
+  Alcotest.(check bool) "counters non-negative" true
+    (stats.Gen.gs_reverts >= 0 && stats.Gen.gs_rejects >= 0);
+  (* threading a stats record must not perturb the sample *)
+  Alcotest.(check bool) "stats do not touch the rng" true
+    (graphs_equal g (Gen.random_regular_girth ~seed:1 ~girth:6 24 3));
+  (* the record accumulates across calls rather than resetting *)
+  let before = stats.Gen.gs_attempts in
+  ignore (Gen.random_regular_girth ~stats ~seed:2 ~girth:6 24 3);
+  Alcotest.(check bool) "accumulates" true (stats.Gen.gs_attempts > before)
+
 (* ------------------------------------------------------------------ *)
 (* CSR vs naive list model                                              *)
 (* ------------------------------------------------------------------ *)
@@ -944,6 +987,13 @@ let () =
           Alcotest.test_case "of_csr validation" `Quick test_of_csr_validation;
         ] );
       ("properties", graph_props);
-      ("girth-sampler", girth_sampler_props);
+      ( "girth-sampler",
+        girth_sampler_props
+        @ [
+            Alcotest.test_case "attempt-0 seed derivation" `Quick
+              test_girth_sampler_attempt0_seed;
+            Alcotest.test_case "pinned corpus edges" `Quick test_girth_sampler_pinned_edges;
+            Alcotest.test_case "sampler stats" `Quick test_girth_sampler_stats;
+          ] );
       ("csr-vs-model", csr_model_props);
     ]

@@ -12,6 +12,7 @@ module Sched = Lll_serve.Sched
 module Serve = Lll_serve.Serve
 module Client = Lll_serve.Client
 module Workload = Lll_serve.Workload
+module Store = Lll_store.Store
 module Syn = Lll_core.Synthetic
 module Serial = Lll_core.Serial
 
@@ -257,23 +258,30 @@ let test_protocol_accessors () =
 (* ------------------------------------------------------------------ *)
 
 let test_workload_spec_keys () =
+  let store = Store.create () in
   let frame n =
     { Protocol.header = [ ("op", "solve"); ("family", "ring"); ("n", string_of_int n) ]; body = "" }
   in
-  let k1, _ = Workload.of_frame (frame 30) in
-  let k2, _ = Workload.of_frame (frame 30) in
-  let k3, _ = Workload.of_frame (frame 31) in
+  let key n = Store.descr_key store (Workload.of_frame (frame n)) in
+  let k1 = key 30 in
+  let k2 = key 30 in
+  let k3 = key 31 in
   Alcotest.(check string) "same spec same key" k1 k2;
-  Alcotest.(check bool) "different n different key" false (k1 = k3)
+  Alcotest.(check bool) "different n different key" false (k1 = k3);
+  Alcotest.(check bool) "spec-schema key" true
+    (String.length k1 > 5 && String.sub k1 0 5 = "spec:")
 
 let test_workload_blob_key () =
+  let store = Store.create () in
   let inst = Syn.ring ~seed:2 ~n:10 ~arity:4 () in
   let blob = Lll_core.Serial.to_binary_string inst in
   let frame = { Protocol.header = [ ("op", "solve") ]; body = blob } in
-  let key, build = Workload.of_frame frame in
-  Alcotest.(check string) "digest key" (Cache.content_key blob) key;
+  let descr = Workload.of_frame frame in
+  Alcotest.(check string) "digest key" (Cache.content_key blob)
+    (Store.descr_key store descr);
+  let built, _ = Store.fetch_descr store descr in
   Alcotest.(check int) "builds the blob" (Lll_core.Instance.num_events inst)
-    (Lll_core.Instance.num_events (build ()))
+    (Lll_core.Instance.num_events built)
 
 let test_workload_rejects_unknown_family () =
   let frame = { Protocol.header = [ ("family", "moebius") ]; body = "" } in
